@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one paper artifact (table/figure) end to end,
+times the regeneration with pytest-benchmark, asserts the paper's
+qualitative claims about it, and prints the reproduced rows (add ``-s``
+to see them inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(table) -> None:
+    """Print a reproduced artifact (visible with ``pytest -s``)."""
+    print()
+    print(table.to_ascii())
+
+
+@pytest.fixture
+def show():
+    return emit

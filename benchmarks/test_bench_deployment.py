@@ -1,0 +1,39 @@
+"""EXT6/ABL5 — deployment-grade runs, benchmarked."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_deployment
+
+
+def test_bench_measured_loop(benchmark, show):
+    artifact = benchmark(
+        lambda: ext_deployment.run_measured_loop(
+            windows=(50.0, 200.0), cycles=5
+        )
+    )
+    show(artifact)
+    regrets = artifact.column("mean_tail_regret")
+    # Longer measurement windows tighten the closed loop.
+    assert regrets[-1] < regrets[0]
+    for row in artifact.rows:
+        assert row["relative_to_equilibrium_time"] < 0.2
+
+
+def test_bench_fault_tolerance(benchmark, show):
+    artifact = benchmark(ext_deployment.run_fault_tolerance)
+    show(artifact)
+    assert all(artifact.column("converged"))
+    for row in artifact.rows:
+        assert row["max_time_gap_vs_lossless"] < 1e-9
+    overheads = artifact.column("message_overhead")
+    assert overheads == sorted(overheads)
+
+
+def test_bench_mechanism_frugality(benchmark, show):
+    from repro.experiments import ext_mechanism
+
+    artifact = benchmark(ext_mechanism.run_mechanism_frugality)
+    show(artifact)
+    ratios = artifact.column("overpayment_ratio")
+    assert all(r >= 1.0 for r in ratios)
+    assert ratios == sorted(ratios)  # truth gets pricier near monopoly

@@ -1,0 +1,15 @@
+"""ABL1 — the distributed ring protocol vs the sequential driver."""
+
+from __future__ import annotations
+
+from repro.experiments import extensions
+
+
+def test_bench_driver_ablation(benchmark, show):
+    artifact = benchmark(extensions.run_driver_ablation)
+    show(artifact)
+    for row in artifact.rows:
+        assert row["iterations_sequential"] == row["iterations_protocol"]
+        assert row["max_profile_gap"] < 1e-9
+        # Message complexity: one hop per user per sweep + termination.
+        assert row["messages"] == 10 * row["iterations_protocol"] + 9

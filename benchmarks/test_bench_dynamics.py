@@ -1,0 +1,50 @@
+"""EXT2/EXT3, ABL3/ABL4 — dynamics extensions and ablations, benchmarked."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_dynamics
+
+
+def test_bench_dynamic_policies(benchmark, show):
+    artifact = benchmark(
+        lambda: ext_dynamics.run_dynamic_policies(horizon=300.0, warmup=30.0)
+    )
+    show(artifact)
+    by_name = {
+        row["policy"]: row["mean_response_time"] for row in artifact.rows
+    }
+    # Static ordering reproduces the paper; dynamic information helps more.
+    assert by_name["NASH (static)"] < by_name["PS (static)"]
+    assert by_name["JSQ (dynamic)"] < by_name["NASH (static)"]
+
+
+def test_bench_update_order_ablation(benchmark, show):
+    artifact = benchmark(ext_dynamics.run_update_order_ablation)
+    show(artifact)
+    by_order = {row["order"]: row for row in artifact.rows}
+    assert by_order["roundrobin"]["converged"]
+    assert by_order["random"]["converged"]
+    assert not by_order["simultaneous"]["converged"]
+
+
+def test_bench_noise_ablation(benchmark, show):
+    artifact = benchmark(ext_dynamics.run_noise_ablation)
+    show(artifact)
+    raw = artifact.column("final_regret_raw")
+    smoothed = artifact.column("final_regret_smoothed")
+    assert raw == sorted(raw)  # regret grows with noise
+    assert smoothed[-1] < raw[-1]  # smoothing shrinks the plateau
+
+
+def test_bench_cooperative(benchmark, show):
+    artifact = benchmark(ext_dynamics.run_cooperative)
+    show(artifact)
+    by_scheme = {row["scheme"]: row for row in artifact.rows}
+    assert by_scheme["NBS"]["fairness"] == pytest.approx(1.0, abs=1e-6)
+    assert (
+        by_scheme["GOS"]["overall_time"] - 1e-9
+        <= by_scheme["NBS"]["overall_time"]
+        <= by_scheme["NASH"]["overall_time"] + 1e-9
+    )

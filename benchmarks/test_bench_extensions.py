@@ -1,0 +1,25 @@
+"""EXT1 — price of anarchy and Stackelberg leader-share sweeps."""
+
+from __future__ import annotations
+
+from repro.experiments import extensions
+
+
+def test_bench_price_of_anarchy(benchmark, show):
+    artifact = benchmark(extensions.run_price_of_anarchy)
+    show(artifact)
+    poas = artifact.column("price_of_anarchy")
+    assert all(p >= 1.0 - 1e-9 for p in poas)
+    # Selfish play costs little on the paper's configurations.
+    assert max(poas) < 1.3
+
+
+def test_bench_stackelberg_sweep(benchmark, show):
+    artifact = benchmark(extensions.run_stackelberg)
+    show(artifact)
+    times = artifact.column("ert_stackelberg")
+    # More centrally controlled flow never hurts.
+    for earlier, later in zip(times, times[1:]):
+        assert later <= earlier + 1e-9
+    # beta = 1 recovers the global optimum.
+    assert artifact.rows[-1]["vs_gos"] < 1.0 + 1e-6

@@ -1,0 +1,24 @@
+"""F2 — regenerate Figure 2 (norm vs iterations, NASH_0 vs NASH_P).
+
+Paper claims reproduced here:
+* both initializations converge on the Table-1 system (16 computers,
+  10 users);
+* NASH_P starts closer to the equilibrium and reaches any tolerance in
+  no more iterations than NASH_0.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_convergence
+
+
+def test_bench_fig2_norm_trajectories(benchmark, show):
+    artifact = benchmark(fig2_convergence.run)
+    show(artifact)
+    n0 = [v for v in artifact.column("norm_nash_0") if v is not None]
+    np_ = [v for v in artifact.column("norm_nash_p") if v is not None]
+    # Both traces converge below the tight tolerance.
+    assert n0[-1] <= 1e-8 and np_[-1] <= 1e-8
+    # NASH_P is never slower and starts closer.
+    assert len(np_) <= len(n0)
+    assert np_[0] < n0[0]

@@ -1,0 +1,23 @@
+"""F3 — regenerate Figure 3 (iterations to equilibrium vs #users).
+
+Paper claims reproduced here:
+* NASH_P needs fewer best-reply sweeps than NASH_0 at every user count
+  from 4 to 32;
+* the iteration count grows with the number of users.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_users
+
+
+def test_bench_fig3_user_scaling(benchmark, show):
+    artifact = benchmark(fig3_users.run)
+    show(artifact)
+    zero = artifact.column("iterations_nash_0")
+    prop = artifact.column("iterations_nash_p")
+    assert all(p <= z for p, z in zip(prop, zero))
+    assert zero == sorted(zero)
+    assert prop == sorted(prop)
+    # Savings are material (paper: "reduced ... in all the cases").
+    assert all(s > 0.0 for s in artifact.column("saving"))

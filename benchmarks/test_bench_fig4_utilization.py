@@ -1,0 +1,43 @@
+"""F4 — regenerate Figure 4 (response time and fairness vs utilization).
+
+Paper claims reproduced here (Sec. 4.2.2):
+* low load: NASH ~ GOS ~ IOS, PS worst;
+* 50% load: NASH within ~10% of GOS and ~30% better than PS;
+* high load: IOS == PS exactly, both above GOS ~ NASH;
+* fairness: PS = IOS = 1 at all loads, NASH ~ 1, GOS degrades with load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4_utilization
+
+
+def test_bench_fig4_utilization_sweep(benchmark, show):
+    artifact = benchmark(fig4_utilization.run)
+    show(artifact)
+    rows = {round(r["utilization"], 2): r for r in artifact.rows}
+
+    # Low load: the three informed schemes nearly coincide; PS lags.
+    low = rows[0.2]
+    trio = [low["ert_nash"], low["ert_gos"], low["ert_ios"]]
+    assert (max(trio) - min(trio)) / min(trio) < 0.15
+    assert low["ert_ps"] > 1.2 * max(trio)
+
+    # Medium load: paper's headline comparison at 50%.
+    mid = rows[0.5]
+    assert (mid["ert_nash"] - mid["ert_gos"]) / mid["ert_gos"] < 0.15
+    assert (mid["ert_ps"] - mid["ert_nash"]) / mid["ert_ps"] > 0.2
+
+    # High load: IOS == PS exactly once every computer is used.
+    high = rows[0.9]
+    assert high["ert_ios"] == pytest.approx(high["ert_ps"], rel=1e-9)
+    assert high["ert_gos"] <= high["ert_nash"] <= high["ert_ios"] + 1e-12
+
+    # Fairness panel.
+    for row in artifact.rows:
+        assert row["fairness_ps"] == pytest.approx(1.0)
+        assert row["fairness_ios"] == pytest.approx(1.0)
+        assert row["fairness_nash"] > 0.999
+    assert rows[0.9]["fairness_gos"] < rows[0.1]["fairness_gos"]

@@ -1,0 +1,29 @@
+"""F5 — regenerate Figure 5 (per-user expected response time at 60% load).
+
+Paper claims reproduced here:
+* PS and IOS give every user identical (higher) times;
+* GOS exhibits large per-user disparities;
+* NASH gives each user its unilaterally minimal time, nearly identical
+  across the (symmetric) users and below IOS/PS for all of them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_per_user
+
+
+def test_bench_fig5_per_user_times(benchmark, show):
+    artifact = benchmark(fig5_per_user.run)
+    show(artifact)
+    ps = artifact.column("ert_ps")
+    ios = artifact.column("ert_ios")
+    gos = artifact.column("ert_gos")
+    nash = artifact.column("ert_nash")
+
+    assert max(ps) - min(ps) < 1e-9
+    assert max(ios) - min(ios) < 1e-9
+    assert max(gos) > 1.5 * min(gos)
+    assert max(nash) - min(nash) < 1e-4 * min(nash)
+    for row in artifact.rows:
+        assert row["ert_nash"] <= row["ert_ios"] + 1e-9
+        assert row["ert_nash"] <= row["ert_ps"] + 1e-9

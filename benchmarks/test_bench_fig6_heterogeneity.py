@@ -1,0 +1,32 @@
+"""F6 — regenerate Figure 6 (effect of heterogeneity / speed skewness).
+
+Paper claims reproduced here (Sec. 4.2.3):
+* at skewness 1 (homogeneous) all schemes coincide;
+* with growing skewness NASH tracks GOS almost exactly;
+* IOS performs poorly at low-to-mid skewness (= PS) but approaches
+  NASH/GOS at high skewness;
+* PS stays poor throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig6_heterogeneity
+
+
+def test_bench_fig6_skewness_sweep(benchmark, show):
+    artifact = benchmark(fig6_heterogeneity.run)
+    show(artifact)
+    first = artifact.rows[0]
+    trio = [first["ert_nash"], first["ert_gos"], first["ert_ios"], first["ert_ps"]]
+    np.testing.assert_allclose(trio, trio[0], rtol=1e-6)
+
+    last = artifact.rows[-1]
+    assert last["ert_nash"] <= 1.05 * last["ert_gos"]
+    assert last["ert_ios"] <= 1.05 * last["ert_gos"]
+    assert last["ert_ps"] > 1.5 * last["ert_nash"]
+
+    # IOS == PS while all computers are used (low/mid skewness).
+    mid = artifact.rows[2]
+    assert abs(mid["ert_ios"] - mid["ert_ps"]) < 1e-9

@@ -1,0 +1,22 @@
+"""ABL2 — GOS per-user split policies (fairness is a free choice)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import extensions
+
+
+def test_bench_gos_split_ablation(benchmark, show):
+    artifact = benchmark(extensions.run_gos_split_ablation)
+    show(artifact)
+    times = artifact.column("overall_time")
+    np.testing.assert_allclose(times, times[0], rtol=1e-4)
+    by_split = {row["split"]: row for row in artifact.rows}
+    assert by_split["fair"]["fairness"] == pytest.approx(1.0)
+    assert by_split["sequential"]["fairness"] < 0.95
+    assert (
+        by_split["sequential"]["worst_user_time"]
+        > by_split["fair"]["worst_user_time"]
+    )

@@ -1,0 +1,83 @@
+"""MICRO — microbenchmarks of the core algorithmic kernels.
+
+Covers the complexity claims of the paper and this reproduction:
+
+* OPTIMAL (best response) is O(n log n) — dominated by one sort even at
+  thousands of computers;
+* one NASH sweep costs m best responses;
+* the full equilibrium computation on the paper's flagship configuration
+  (16 computers, 10 users) is interactive (milliseconds);
+* the vectorized Lindley kernel processes millions of jobs per second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import optimal_fractions
+from repro.core.nash import NashSolver
+from repro.simengine.fastpath import mm1_lindley_waits
+from repro.workloads import paper_table1_system
+
+
+@pytest.mark.parametrize("n_computers", [16, 256, 4096])
+def test_bench_optimal_scaling(benchmark, n_computers):
+    rng = np.random.default_rng(0)
+    available = rng.uniform(1.0, 100.0, size=n_computers)
+    demand = 0.6 * available.sum()
+    reply = benchmark(lambda: optimal_fractions(available, demand))
+    assert reply.fractions.sum() == pytest.approx(1.0)
+
+
+def test_bench_nash_equilibrium_table1(benchmark):
+    system = paper_table1_system(utilization=0.6)
+    solver = NashSolver(tolerance=1e-6)
+    result = benchmark(lambda: solver.solve(system, "proportional"))
+    assert result.converged
+
+
+@pytest.mark.parametrize("n_users", [4, 16, 32])
+def test_bench_nash_scaling_in_users(benchmark, n_users):
+    system = paper_table1_system(utilization=0.6, n_users=n_users)
+    solver = NashSolver(tolerance=1e-4)
+    result = benchmark(lambda: solver.solve(system, "proportional"))
+    assert result.converged
+
+
+def test_bench_lindley_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    n = 1_000_000
+    gaps = rng.exponential(1.0, size=n)
+    services = rng.exponential(0.6, size=n)
+    waits = benchmark(lambda: mm1_lindley_waits(gaps, services))
+    assert waits.size == n
+    assert np.all(waits >= 0.0)
+
+
+def test_bench_nash_large_scale(benchmark):
+    """A cluster-scale instance: 256 computers, 64 users."""
+    from repro.core.model import DistributedSystem
+
+    rng = np.random.default_rng(7)
+    mu = rng.uniform(10.0, 200.0, size=256)
+    phi = np.full(64, 0.6 * mu.sum() / 64)
+    system = DistributedSystem(service_rates=mu, arrival_rates=phi)
+    solver = NashSolver(tolerance=1e-3, max_sweeps=2000)
+    result = benchmark(lambda: solver.solve(system, "proportional"))
+    assert result.converged
+
+
+def test_bench_fastpath_million_jobs(benchmark):
+    """End-to-end fast-path simulation pushing ~1.8M jobs."""
+    from repro.core.strategy import StrategyProfile
+    from repro.simengine.fastpath import simulate_profile_fast
+
+    system = paper_table1_system(utilization=0.6)
+    profile = StrategyProfile.proportional(system)
+    result = benchmark(
+        lambda: simulate_profile_fast(
+            system, profile, horizon=6000.0, warmup=100.0, seed=1
+        )
+    )
+    assert result.total_jobs > 1_500_000

@@ -1,0 +1,18 @@
+"""T1 — regenerate the paper's Table 1 (system configuration)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, show):
+    artifact = benchmark(table1.run)
+    show(artifact)
+    assert artifact.column("number_of_computers") == [6, 5, 3, 2]
+    assert sum(
+        rel * count * 10.0
+        for rel, count in zip(
+            artifact.column("relative_processing_rate"),
+            artifact.column("number_of_computers"),
+        )
+    ) == 510.0

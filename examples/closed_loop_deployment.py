@@ -1,0 +1,55 @@
+"""Closed-loop deployment — the NASH algorithm with no oracle.
+
+Everything the analytic solvers know — service rates, other users'
+flows — a deployed system must *measure*.  The paper's remark that "the
+available processing rate can be determined by statistical estimation of
+the run queue length of each processor" is exercised literally here:
+
+1. the current strategy profile runs on the discrete-event simulator
+   (the stand-in for the physical cluster), sampling every computer's
+   run-queue length twice a second;
+2. each user inverts the M/M/1 occupancy law E[N] = rho/(1-rho) to
+   estimate the computers' loads, subtracts its own known flows, and
+   best-responds to the *estimates*;
+3. repeat.
+
+The loop settles within a few percent of the analytic Nash equilibrium,
+and the residual gap shrinks as the measurement window grows.
+
+Run:  python examples/closed_loop_deployment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import compute_nash_equilibrium, paper_table1_system
+from repro.simengine import run_measured_best_reply
+
+
+def main() -> None:
+    system = paper_table1_system(utilization=0.6, n_users=6)
+    oracle = compute_nash_equilibrium(system)
+    scale = float(oracle.user_times.mean())
+    print(f"analytic equilibrium: mean user time {scale:.4f} s "
+          f"({oracle.iterations} oracle sweeps)\n")
+
+    print("measured closed loop (measure -> estimate -> best-respond):")
+    print("window(s)  cycle regrets (s)                       relative")
+    for window in (50.0, 150.0, 400.0):
+        outcome = run_measured_best_reply(
+            system, cycles=5, measurement_window=window, seed=42
+        )
+        regrets = " ".join(f"{r:.5f}" for r in outcome.regret_history)
+        final = outcome.final_regret / scale
+        print(f"{window:8.0f}  {regrets}  {final:7.1%}")
+
+    print("\ninterpretation: with ~2-6 minutes of queue observations per "
+          "cycle, selfish users")
+    print("reach (and track) the Nash equilibrium using nothing but their "
+          "own run-queue")
+    print("measurements — the deployment the paper sketches in Section 2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Distributed protocol demo — the NASH algorithm as message passing.
+
+Executes the paper's Section-3 distributed algorithm over the in-process
+message bus: user agents on a logical ring circulate a (sweep, norm)
+token, each observing the computers' available rates and re-optimizing
+its own flows with the OPTIMAL algorithm.  The demo prints the protocol
+trace for the first sweeps and the transport-level accounting, and
+cross-checks the outcome against the sequential solver.
+
+Run:  python examples/distributed_protocol_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import compute_nash_equilibrium, paper_table1_system
+from repro.distributed import MessageKind, run_nash_protocol
+
+
+def main() -> None:
+    system = paper_table1_system(utilization=0.6, n_users=5)
+    print(f"ring of {system.n_users} user agents over "
+          f"{system.n_computers} computers\n")
+
+    outcome = run_nash_protocol(system, init="proportional", tolerance=1e-6)
+    result = outcome.result
+
+    # --- protocol trace (first 2 sweeps + termination) -------------------
+    print("protocol trace (first two sweeps):")
+    for message in outcome.transcript:
+        if message.kind is MessageKind.TOKEN and message.sweep <= 2:
+            print(f"  sweep {message.sweep}: user {message.sender} -> "
+                  f"user {message.receiver}  (norm so far "
+                  f"{message.norm:.3e})")
+    terminates = [m for m in outcome.transcript
+                  if m.kind is MessageKind.TERMINATE]
+    print(f"  ... {result.iterations} sweeps later ...")
+    for message in terminates:
+        print(f"  TERMINATE: user {message.sender} -> user "
+              f"{message.receiver}")
+
+    # --- accounting --------------------------------------------------------
+    print(f"\nconverged: {result.converged} after {result.iterations} "
+          f"sweeps, {outcome.messages_sent} messages "
+          f"({system.n_users} per sweep + {system.n_users - 1} to "
+          f"terminate)")
+
+    # --- equivalence with the sequential driver ---------------------------
+    sequential = compute_nash_equilibrium(system, init="proportional",
+                                          tolerance=1e-6)
+    gap = float(np.abs(result.profile.fractions
+                       - sequential.profile.fractions).max())
+    print(f"\nsequential driver: {sequential.iterations} sweeps; "
+          f"max strategy difference vs protocol: {gap:.1e}")
+
+    print("\nequilibrium per-user times (s):",
+          np.array_str(result.user_times, precision=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Capacity planning — how cluster heterogeneity changes scheme choice.
+
+A planning study built on the paper's Section 4.2.3: for a fixed budget
+(total processing capacity and load), how much does the load balancing
+scheme matter as the cluster mixes fast and slow machines?  The study
+sweeps the speed skewness of a 2-fast/14-slow cluster at 60% utilization
+and reports, per scheme, the overall expected response time and the
+penalty relative to the global optimum — including a simulated
+confirmation of the analytic numbers at one operating point.
+
+Run:  python examples/heterogeneity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import skewed_system, standard_schemes
+from repro.simengine import replicate, simulate_profile_fast
+
+
+def main() -> None:
+    skews = (1.0, 2.0, 5.0, 10.0, 20.0)
+    schemes = standard_schemes()
+
+    print("overall expected response time (s) vs speed skewness "
+          "(2 fast + 14 slow computers, 60% load)\n")
+    header = "skew  " + "".join(f"{s.name:>10s}" for s in schemes)
+    print(header)
+    print("-" * len(header))
+    table = {}
+    for skew in skews:
+        system = skewed_system(skew, utilization=0.6)
+        results = {s.name: s.allocate(system) for s in schemes}
+        table[skew] = results
+        row = f"{skew:4.0f}  " + "".join(
+            f"{results[s.name].overall_time:10.4f}" for s in schemes
+        )
+        print(row)
+
+    print("\npenalty vs the global optimum (GOS = 1.00):")
+    print(header)
+    print("-" * len(header))
+    for skew in skews:
+        results = table[skew]
+        gos = results["GOS"].overall_time
+        row = f"{skew:4.0f}  " + "".join(
+            f"{results[s.name].overall_time / gos:10.2f}" for s in schemes
+        )
+        print(row)
+
+    # --- simulated confirmation at the most heterogeneous point ----------
+    skew = skews[-1]
+    system = skewed_system(skew, utilization=0.6)
+    nash = table[skew]["NASH"]
+    stats = replicate(
+        lambda seed: simulate_profile_fast(
+            system, nash.profile, horizon=2000.0, warmup=200.0, seed=seed
+        ).user_mean_response_times,
+        n_replications=5,
+        seed=99,
+    )
+    simulated = float(
+        stats.mean @ system.arrival_rates / system.total_arrival_rate
+    )
+    print(f"\nsimulated NASH overall time at skew {skew:.0f}: "
+          f"{simulated:.4f} s "
+          f"(analytic {nash.overall_time:.4f} s, "
+          f"{abs(simulated - nash.overall_time) / nash.overall_time:.1%} apart; "
+          f"5 replications, std err "
+          f"{float(np.max(stats.relative_std_error)):.1%})")
+
+    print("\nplanning take-aways (matching the paper's Figure 6):")
+    print(" * homogeneous clusters: any sensible scheme works — even PS.")
+    print(" * heterogeneous clusters: PS collapses (it overloads slow "
+          "machines); IOS only recovers once the fast machines dominate.")
+    print(" * NASH stays within a few percent of the global optimum while "
+          "requiring no central authority.")
+
+
+if __name__ == "__main__":
+    main()

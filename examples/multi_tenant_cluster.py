@@ -1,0 +1,79 @@
+"""Multi-tenant cluster — why tenants prefer the NASH allocation.
+
+The paper's motivating scenario: a shared heterogeneous cluster where no
+central authority can impose an allocation, because tenants (users) are
+free to re-route their own jobs.  This example plays out that story on
+the paper's Table-1 system:
+
+1. the operator imposes the *globally optimal* (GOS) allocation — best
+   aggregate performance, but some tenants are sacrificed;
+2. sacrificed tenants defect: each computes its selfish best response,
+   which unravels GOS;
+3. the system settles at the Nash equilibrium, where every tenant gets
+   the best time it can unilaterally achieve — slightly worse on average
+   than GOS, but stable and fair.
+
+Run:  python examples/multi_tenant_cluster.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    best_response,
+    best_response_regrets,
+    compute_nash_equilibrium,
+    paper_table1_system,
+)
+from repro.schemes import GlobalOptimalScheme
+
+
+def main() -> None:
+    system = paper_table1_system(utilization=0.6, n_users=10)
+    print("Table-1 cluster: 16 computers (510 jobs/s aggregate), "
+          "10 equal tenants, 60% load\n")
+
+    # --- step 1: the operator imposes GOS --------------------------------
+    gos = GlobalOptimalScheme().allocate(system)
+    print("imposed GOS allocation (sequential split, as a central NLP "
+          "solver would produce):")
+    print(f"  overall time  : {gos.overall_time:.4f} s")
+    print(f"  fairness index: {gos.fairness:.3f}")
+    print(f"  best tenant   : {gos.user_times.min():.4f} s")
+    print(f"  worst tenant  : {gos.user_times.max():.4f} s "
+          f"({gos.user_times.max() / gos.user_times.min():.1f}x worse)")
+
+    # --- step 2: sacrificed tenants defect --------------------------------
+    cert = best_response_regrets(system, gos.profile)
+    defectors = np.flatnonzero(cert.regrets > 1e-6)
+    print(f"\ntenants with an incentive to defect from GOS: "
+          f"{len(defectors)} of {system.n_users}")
+    worst = int(np.argmax(cert.regrets))
+    reply = best_response(system, gos.profile, worst)
+    print(f"  tenant {worst} can cut its time from "
+          f"{cert.user_times[worst]:.4f} s to "
+          f"{reply.expected_response_time:.4f} s by re-routing alone "
+          f"(-{cert.regrets[worst] / cert.user_times[worst]:.0%})")
+
+    # --- step 3: defection cascades to the Nash equilibrium ---------------
+    nash = compute_nash_equilibrium(system, init=gos.profile)
+    print(f"\nafter all tenants iterate best responses "
+          f"({nash.iterations} sweeps): Nash equilibrium")
+    print(f"  overall time  : "
+          f"{system.overall_response_time(nash.profile.fractions):.4f} s "
+          f"(vs GOS {gos.overall_time:.4f})")
+    print(f"  tenant times  : min {nash.user_times.min():.4f}, "
+          f"max {nash.user_times.max():.4f}  (all equal — fair)")
+    post = best_response_regrets(system, nash.profile)
+    print(f"  stability     : max remaining incentive to defect "
+          f"{post.epsilon:.2e} s")
+
+    print("\nconclusion: GOS is unstable under tenant autonomy; NASH is the "
+          "allocation the cluster actually converges to, at "
+          f"{(system.overall_response_time(nash.profile.fractions) / gos.overall_time - 1.0):.1%} "
+          "aggregate cost.")
+
+
+if __name__ == "__main__":
+    main()

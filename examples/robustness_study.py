@@ -1,0 +1,94 @@
+"""Robustness study — how the NASH scheme survives broken assumptions.
+
+The paper's guarantees are proved under a clean model: exponential
+services, exact knowledge of available rates, reliable coordination.
+This example attacks each assumption with the reproduction's extension
+substrates and reports what actually breaks:
+
+1. **wrong service distribution** (M/G/1 reality vs the M/M/1 model);
+2. **noisy rate observations** (lognormal estimation error, with and
+   without smoothing);
+3. **lossy coordination network** (dropped/duplicated protocol messages).
+
+Run:  python examples/robustness_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import paper_table1_system
+from repro.core.uncertainty import NoisyNashSolver
+from repro.distributed import run_nash_protocol, run_nash_protocol_lossy
+from repro.queueing import expected_response_time_mg1
+from repro.schemes import NashScheme, ProportionalScheme
+from repro.simengine import from_scv, simulate_profile_fast
+
+
+def attack_service_distribution(system) -> None:
+    print("1. service-time misspecification "
+          "(allocation optimized assuming scv = 1)")
+    nash = NashScheme().allocate(system)
+    ps = ProportionalScheme().allocate(system)
+    print("   scv   NASH sim   PS sim    NASH still wins?")
+    for scv in (0.0, 1.0, 4.0):
+        dists = [from_scv(float(r), scv) for r in system.service_rates]
+        nash_sim = simulate_profile_fast(
+            system, nash.profile, horizon=1500.0, warmup=150.0, seed=1,
+            service_distributions=dists,
+        ).overall_mean_response_time()
+        ps_sim = simulate_profile_fast(
+            system, ps.profile, horizon=1500.0, warmup=150.0, seed=1,
+            service_distributions=dists,
+        ).overall_mean_response_time()
+        print(f"   {scv:3.1f}  {nash_sim:9.4f}  {ps_sim:8.4f}"
+              f"   {'yes' if nash_sim < ps_sim else 'NO'}")
+    print("   -> absolute latency shifts with variability, the scheme "
+          "ordering does not.\n")
+
+
+def attack_observations(system) -> None:
+    print("2. noisy available-rate estimates (lognormal sigma)")
+    print("   sigma  raw regret   EMA(0.3) regret")
+    for sigma in (0.05, 0.15, 0.3):
+        raw = NoisyNashSolver(noise=sigma, smoothing=1.0, sweeps=30,
+                              seed=4).solve(system)
+        ema = NoisyNashSolver(noise=sigma, smoothing=0.3, sweeps=30,
+                              seed=4).solve(system)
+        print(f"   {sigma:4.2f}  {raw.mean_final_regret:10.5f}"
+              f"  {ema.mean_final_regret:10.5f}")
+    print("   -> the dynamics hover near the equilibrium; smoothing the "
+          "estimates\n      (the paper's 'statistical estimation') shrinks "
+          "the orbit several-fold.\n")
+
+
+def attack_network(system) -> None:
+    print("3. lossy coordination network (ring protocol)")
+    clean = run_nash_protocol(system)
+    print(f"   lossless: {clean.messages_sent} messages, "
+          f"{clean.result.iterations} sweeps")
+    for drop, dup in ((0.1, 0.0), (0.3, 0.2)):
+        faulty = run_nash_protocol_lossy(
+            system, drop=drop, duplicate=dup, fault_seed=7
+        )
+        gap = float(np.abs(
+            faulty.result.user_times - clean.result.user_times
+        ).max())
+        print(f"   drop={drop:.0%} dup={dup:.0%}: "
+              f"{faulty.messages_sent} messages "
+              f"(+{faulty.messages_sent / clean.messages_sent - 1:.0%}), "
+              f"equilibrium gap {gap:.1e}")
+    print("   -> retransmission + dedup turn faults into pure message "
+          "overhead.")
+
+
+def main() -> None:
+    system = paper_table1_system(utilization=0.6, n_users=6)
+    print("Table-1 system, 6 users, 60% load\n")
+    attack_service_distribution(system)
+    attack_observations(system)
+    attack_network(system)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools lacks the ``wheel`` package required by the PEP 517 editable
+path (pip falls back to ``setup.py develop`` with ``--no-use-pep517``).
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Core of the reproduction: model, game, best response, Nash dynamics."""
+
+from repro.core.comm_delay import (
+    DelayedGame,
+    DelayedNashResult,
+    DelayedNashSolver,
+    delayed_best_response,
+)
+from repro.core.best_response import (
+    BestResponse,
+    best_response,
+    best_response_value,
+    optimal_fractions,
+)
+from repro.core.dynamics import (
+    DynamicsResult,
+    EpisodeResult,
+    run_dynamic_balancing,
+)
+from repro.core.equilibrium import (
+    EquilibriumCertificate,
+    best_response_regrets,
+    is_nash_equilibrium,
+    verify_equilibrium,
+)
+from repro.core.model import DistributedSystem
+from repro.core.nash import (
+    DEFAULT_MAX_SWEEPS,
+    DEFAULT_TOLERANCE,
+    NashResult,
+    NashSolver,
+    compute_nash_equilibrium,
+    initial_profile,
+)
+from repro.core.strategy import FEASIBILITY_ATOL, StrategyProfile
+from repro.core.uncertainty import NoisyNashResult, NoisyNashSolver
+from repro.core.waterfill import (
+    WaterfillResult,
+    response_time_waterfill,
+    sqrt_waterfill,
+)
+
+__all__ = [
+    "DelayedGame",
+    "DelayedNashResult",
+    "DelayedNashSolver",
+    "delayed_best_response",
+    "BestResponse",
+    "best_response",
+    "best_response_value",
+    "optimal_fractions",
+    "DynamicsResult",
+    "EpisodeResult",
+    "run_dynamic_balancing",
+    "EquilibriumCertificate",
+    "best_response_regrets",
+    "is_nash_equilibrium",
+    "verify_equilibrium",
+    "DistributedSystem",
+    "DEFAULT_MAX_SWEEPS",
+    "DEFAULT_TOLERANCE",
+    "NashResult",
+    "NashSolver",
+    "compute_nash_equilibrium",
+    "initial_profile",
+    "FEASIBILITY_ATOL",
+    "StrategyProfile",
+    "NoisyNashResult",
+    "NoisyNashSolver",
+    "WaterfillResult",
+    "response_time_waterfill",
+    "sqrt_waterfill",
+]

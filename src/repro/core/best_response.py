@@ -1,0 +1,109 @@
+"""The OPTIMAL algorithm — a user's best response (paper Sec. 2).
+
+Given the strategies of all other users, user ``j`` faces a single-user
+allocation problem over computers whose *available* processing rates are
+``a_i = mu_i - sum_{k != j} s_ki phi_k``.  Theorem 2.1 of the paper gives
+the closed-form water-filling solution; the OPTIMAL algorithm computes it
+in ``O(n log n)``:
+
+1. sort computers by available rate, descending;
+2. shrink the candidate support from the slowest end while the threshold
+   ``t = (sum a_i - phi_j) / (sum sqrt(a_i))`` would drive the slowest
+   included computer negative;
+3. assign ``s_ji = (a_i - t sqrt(a_i)) / phi_j`` on the final support.
+
+Theorem 2.2 proves this solves the (convex) optimization problem OPT_j
+exactly, so the result is the user's *global* best response, not a local
+improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.core.waterfill import WaterfillResult, sqrt_waterfill
+
+__all__ = [
+    "BestResponse",
+    "optimal_fractions",
+    "best_response",
+    "best_response_value",
+]
+
+
+@dataclass(frozen=True)
+class BestResponse:
+    """Result of the OPTIMAL algorithm for one user.
+
+    Attributes
+    ----------
+    fractions:
+        The user's optimal strategy row ``(s_j1 .. s_jn)``.
+    expected_response_time:
+        The user's expected response time ``D_j`` under its new strategy
+        (with the opponents' strategies held fixed).
+    support:
+        Indices of computers receiving a positive fraction.
+    threshold:
+        The water-fill threshold ``t`` of Theorem 2.1.
+    """
+
+    fractions: np.ndarray
+    expected_response_time: float
+    support: np.ndarray
+    threshold: float
+
+
+def optimal_fractions(available_rates, job_rate: float) -> BestResponse:
+    """Run OPTIMAL on explicit inputs (paper's pseudocode signature).
+
+    Parameters
+    ----------
+    available_rates:
+        ``a_i`` — processing rate of each computer left over for this user
+        once all other users' flows are subtracted.
+    job_rate:
+        ``phi_j`` — the user's total job arrival rate; must be strictly
+        below ``sum(max(a_i, 0))``.
+
+    Returns
+    -------
+    BestResponse
+        The optimal fractions and the resulting expected response time.
+    """
+    a = np.asarray(available_rates, dtype=float)
+    if job_rate <= 0.0:
+        raise ValueError("job rate must be strictly positive")
+    fill: WaterfillResult = sqrt_waterfill(a, job_rate)
+    fractions = fill.loads / job_rate
+    gap = a[fill.support] - fill.loads[fill.support]
+    d_j = float(fractions[fill.support] @ (1.0 / gap))
+    return BestResponse(
+        fractions=fractions,
+        expected_response_time=d_j,
+        support=fill.support,
+        threshold=fill.threshold,
+    )
+
+
+def best_response(
+    system: DistributedSystem, profile: StrategyProfile, user: int
+) -> BestResponse:
+    """Best response of ``user`` against the other rows of ``profile``.
+
+    The opponents' strategies are read from ``profile``; the user's own
+    current row is irrelevant (it is replaced wholesale).
+    """
+    available = system.available_rates(profile.fractions, user)
+    return optimal_fractions(available, float(system.arrival_rates[user]))
+
+
+def best_response_value(
+    system: DistributedSystem, profile: StrategyProfile, user: int
+) -> float:
+    """The lowest expected response time ``user`` can achieve unilaterally."""
+    return best_response(system, profile, user).expected_response_time

@@ -1,0 +1,107 @@
+"""Dynamic re-balancing on top of the static game (paper Sec. 3 and Sec. 5).
+
+The paper's NASH algorithm "is initiated periodically or when the system
+parameters are changed"; between runs the system stays at the last
+equilibrium.  This module drives exactly that loop over a sequence of
+system snapshots (e.g. time-varying user demand) and quantifies the
+benefit of *warm starting* each run from the previous equilibrium — the
+same phenomenon that makes NASH_P beat NASH_0 in Figures 2-3, taken to its
+logical conclusion (the paper's "dynamic load balancing" future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.core.nash import (
+    DEFAULT_MAX_SWEEPS,
+    DEFAULT_TOLERANCE,
+    NashResult,
+    NashSolver,
+)
+from repro.core.strategy import StrategyProfile
+
+__all__ = ["EpisodeResult", "DynamicsResult", "run_dynamic_balancing"]
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """Equilibrium computation for one system snapshot."""
+
+    system: DistributedSystem
+    result: NashResult
+
+    @property
+    def iterations(self) -> int:
+        return self.result.iterations
+
+
+@dataclass(frozen=True)
+class DynamicsResult:
+    """Sequence of re-balancing episodes.
+
+    Attributes
+    ----------
+    episodes:
+        One :class:`EpisodeResult` per system snapshot, in order.
+    """
+
+    episodes: tuple[EpisodeResult, ...]
+
+    @property
+    def iterations_per_episode(self) -> np.ndarray:
+        return np.asarray([e.iterations for e in self.episodes], dtype=int)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(e.result.converged for e in self.episodes)
+
+    @property
+    def user_time_trajectory(self) -> np.ndarray:
+        """(episodes, users) matrix of equilibrium expected response times."""
+        return np.vstack([e.result.user_times for e in self.episodes])
+
+
+def run_dynamic_balancing(
+    systems: Iterable[DistributedSystem],
+    *,
+    warm_start: bool = True,
+    cold_init: Literal["zero", "proportional", "uniform"] = "proportional",
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+) -> DynamicsResult:
+    """Re-run the NASH algorithm across a sequence of system snapshots.
+
+    Parameters
+    ----------
+    systems:
+        Snapshots of the distributed system; the computer set must stay
+        fixed but user arrival rates may change per episode (user counts
+        must match for warm starting to be meaningful).
+    warm_start:
+        Start each episode from the previous equilibrium profile when its
+        shape matches and it remains feasible; otherwise (and always for
+        the first episode) fall back to ``cold_init``.
+    """
+    solver = NashSolver(tolerance=tolerance, max_sweeps=max_sweeps)
+    episodes: list[EpisodeResult] = []
+    previous: StrategyProfile | None = None
+    for system in systems:
+        init: StrategyProfile | str = cold_init
+        if warm_start and previous is not None:
+            shape_ok = previous.fractions.shape == (
+                system.n_users,
+                system.n_computers,
+            )
+            if shape_ok and previous.is_feasible(system):
+                init = previous
+        result = solver.solve(system, init)  # type: ignore[arg-type]
+        episodes.append(EpisodeResult(system=system, result=result))
+        previous = result.profile
+    if not episodes:
+        raise ValueError("at least one system snapshot is required")
+    return DynamicsResult(episodes=tuple(episodes))

@@ -1,0 +1,92 @@
+"""Equilibrium verification (paper Definition 2.1).
+
+A strategy profile is a Nash equilibrium when no user can lower its
+expected response time by a unilateral feasible deviation.  Because each
+user's problem is convex with the exact solver available (OPTIMAL), the
+verification is *constructive*: compare every user's current cost against
+its best-response cost.  The largest improvement any user could gain — the
+**regret** — certifies how far a profile is from equilibrium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.best_response import best_response
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+
+__all__ = [
+    "EquilibriumCertificate",
+    "best_response_regrets",
+    "verify_equilibrium",
+    "is_nash_equilibrium",
+]
+
+
+@dataclass(frozen=True)
+class EquilibriumCertificate:
+    """Constructive evidence about a profile's equilibrium quality.
+
+    Attributes
+    ----------
+    regrets:
+        ``D_j(profile) - D_j(best response)`` per user; nonnegative up to
+        round-off, zero at an exact equilibrium.
+    user_times:
+        Expected response time of each user under the profile.
+    best_response_times:
+        Each user's unilaterally achievable optimum.
+    epsilon:
+        The maximum regret — the profile is an ``epsilon``-Nash
+        equilibrium.
+    """
+
+    regrets: np.ndarray
+    user_times: np.ndarray
+    best_response_times: np.ndarray
+    epsilon: float
+
+    def is_equilibrium(self, tol: float) -> bool:
+        return self.epsilon <= tol
+
+
+def best_response_regrets(
+    system: DistributedSystem, profile: StrategyProfile
+) -> EquilibriumCertificate:
+    """Compute the per-user regret certificate for ``profile``."""
+    profile.validate(system)
+    current = system.user_response_times(profile.fractions)
+    best = np.empty(system.n_users)
+    for j in range(system.n_users):
+        best[j] = best_response(system, profile, j).expected_response_time
+    regrets = current - best
+    return EquilibriumCertificate(
+        regrets=regrets,
+        user_times=current,
+        best_response_times=best,
+        epsilon=float(regrets.max()),
+    )
+
+
+def verify_equilibrium(
+    system: DistributedSystem, profile: StrategyProfile, *, tol: float = 1e-6
+) -> EquilibriumCertificate:
+    """Raise ``ValueError`` unless ``profile`` is a ``tol``-Nash equilibrium."""
+    cert = best_response_regrets(system, profile)
+    if not cert.is_equilibrium(tol):
+        worst = int(np.argmax(cert.regrets))
+        raise ValueError(
+            f"not a {tol:g}-Nash equilibrium: user {worst} can improve its "
+            f"expected response time by {cert.regrets[worst]:.3e}"
+        )
+    return cert
+
+
+def is_nash_equilibrium(
+    system: DistributedSystem, profile: StrategyProfile, *, tol: float = 1e-6
+) -> bool:
+    """Predicate form of :func:`verify_equilibrium`."""
+    return best_response_regrets(system, profile).is_equilibrium(tol)

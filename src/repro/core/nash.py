@@ -1,0 +1,247 @@
+"""NASH — the distributed greedy best-reply algorithm (paper Sec. 3).
+
+Users take turns, round-robin, replacing their strategy with the exact
+best response (the OPTIMAL algorithm) against the current strategies of
+everyone else.  A sweep accumulates ``norm += |D_j^{(l)} - D_j^{(l-1)}|``
+over the users; the iteration stops once a full sweep moves the users'
+expected response times by less than the acceptance tolerance ``eps``.
+
+Two initializations from the paper's Sec. 4.2.1:
+
+* ``"zero"`` (**NASH_0**) — the all-zero profile; the first sweep builds
+  the initial allocation with user 1 seeing an idle system.
+* ``"proportional"`` (**NASH_P**) — every user starts from the
+  proportional split ``s_ji = mu_i / sum mu_k``, which is near the
+  equilibrium and empirically halves the iteration count (Figures 2-3).
+
+This module is the *sequential* driver; :mod:`repro.distributed` executes
+the same algorithm as a message-passing ring protocol and must produce
+identical iterates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.core.best_response import optimal_fractions
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_MAX_SWEEPS",
+    "Initialization",
+    "UpdateOrder",
+    "NashResult",
+    "NashSolver",
+    "compute_nash_equilibrium",
+    "initial_profile",
+]
+
+#: Default acceptance tolerance ``eps`` on the per-sweep norm.
+DEFAULT_TOLERANCE = 1e-6
+#: Default cap on best-reply sweeps before declaring non-convergence.
+DEFAULT_MAX_SWEEPS = 500
+
+Initialization = Literal["zero", "proportional", "uniform"]
+UpdateOrder = Literal["roundrobin", "random", "simultaneous"]
+
+
+def initial_profile(
+    system: DistributedSystem, init: Initialization | StrategyProfile
+) -> StrategyProfile:
+    """Materialize an initialization choice into a concrete profile."""
+    if isinstance(init, StrategyProfile):
+        if init.fractions.shape != (system.n_users, system.n_computers):
+            raise ValueError("initial profile shape does not match the system")
+        return init
+    if init == "zero":
+        return StrategyProfile.zeros(system.n_users, system.n_computers)
+    if init == "proportional":
+        return StrategyProfile.proportional(system)
+    if init == "uniform":
+        return StrategyProfile.uniform(system.n_users, system.n_computers)
+    raise ValueError(f"unknown initialization {init!r}")
+
+
+@dataclass(frozen=True)
+class NashResult:
+    """Outcome of the best-reply iteration.
+
+    Attributes
+    ----------
+    profile:
+        The final strategy profile (the Nash equilibrium on convergence).
+    converged:
+        Whether the sweep norm fell below the tolerance within the sweep
+        budget.
+    iterations:
+        Number of completed sweeps (one sweep = every user updates once;
+        this is the x-axis of the paper's Figure 2 and the y-axis of
+        Figure 3).
+    norm_history:
+        Sweep norm after each sweep, ``norm_history[l] = sum_j
+        |D_j^{(l+1)} - D_j^{(l)}|``.
+    user_times:
+        Per-user expected response times under the final profile.
+    profile_history:
+        Profiles after each sweep (present only when recorded).
+    """
+
+    profile: StrategyProfile
+    converged: bool
+    iterations: int
+    norm_history: np.ndarray
+    user_times: np.ndarray
+    profile_history: tuple[StrategyProfile, ...] = field(default=())
+
+    @property
+    def final_norm(self) -> float:
+        return float(self.norm_history[-1]) if self.norm_history.size else 0.0
+
+
+@dataclass(frozen=True)
+class NashSolver:
+    """Configured best-reply solver.
+
+    Parameters
+    ----------
+    tolerance:
+        Acceptance tolerance ``eps`` on the per-sweep norm.
+    max_sweeps:
+        Sweep budget; exceeding it returns ``converged=False`` rather than
+        raising, because partial profiles remain informative (the paper
+        notes convergence for >2 users is an open problem, although every
+        experiment here and in the paper converges).
+    record_history:
+        Keep a copy of the profile after every sweep (needed by the
+        convergence experiments, off by default to save memory).
+    order:
+        Update schedule within a sweep.  ``"roundrobin"`` is the paper's
+        algorithm (users update in index order, each seeing the others'
+        freshest strategies — Gauss-Seidel).  ``"random"`` permutes the
+        order every sweep (needs ``seed``), probing the paper's open question
+        about schedule-independence of convergence.  ``"simultaneous"``
+        has every user best-respond to the *previous* sweep's profile
+        (Jacobi); it can overshoot and is included as an ablation.
+    seed:
+        RNG seed for the ``"random"`` order (ignored otherwise).
+    """
+
+    tolerance: float = DEFAULT_TOLERANCE
+    max_sweeps: int = DEFAULT_MAX_SWEEPS
+    record_history: bool = False
+    order: UpdateOrder = "roundrobin"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if self.max_sweeps < 1:
+            raise ValueError("max_sweeps must be at least 1")
+        if self.order not in ("roundrobin", "random", "simultaneous"):
+            raise ValueError(f"unknown update order {self.order!r}")
+
+    def solve(
+        self,
+        system: DistributedSystem,
+        init: Initialization | StrategyProfile = "proportional",
+    ) -> NashResult:
+        """Run best-reply sweeps from the given initialization."""
+        profile = initial_profile(system, init)
+        fractions = profile.fractions.copy()
+        m = system.n_users
+        rng = np.random.default_rng(self.seed) if self.order == "random" else None
+
+        # D_j^{(0)}: zero for users with no allocation yet (NASH_0), the
+        # actual expected time otherwise.  An initial profile that
+        # conserves flow but overloads some computer (e.g. a uniform split
+        # on a heterogeneous system) has no finite expected times; treat it
+        # like NASH_0 for norm purposes — the first sweep repairs it.
+        last_times = np.zeros(m)
+        if np.allclose(fractions.sum(axis=1), 1.0):
+            try:
+                last_times = system.user_response_times(fractions)
+            except ValueError:
+                pass
+
+        # Hot loop: the best responses are computed on the raw fraction
+        # matrix (identical arithmetic to best_response(), minus the
+        # per-update StrategyProfile construction the profiler flagged).
+        mu = system.service_rates
+        phi = system.arrival_rates
+
+        def reply_for(user: int, matrix: np.ndarray):
+            lam = phi @ matrix
+            available = mu - (lam - matrix[user] * phi[user])
+            return optimal_fractions(available, float(phi[user]))
+
+        norms: list[float] = []
+        history: list[StrategyProfile] = []
+        converged = False
+        for _sweep in range(self.max_sweeps):
+            norm = 0.0
+            if self.order == "simultaneous":
+                # Jacobi: everyone responds to the previous sweep's profile.
+                snapshot = fractions.copy()
+                for j in range(m):
+                    reply = reply_for(j, snapshot)
+                    fractions[j] = reply.fractions
+                    norm += abs(reply.expected_response_time - last_times[j])
+                    last_times[j] = reply.expected_response_time
+            else:
+                schedule = (
+                    rng.permutation(m) if rng is not None else range(m)
+                )
+                for j in schedule:
+                    reply = reply_for(j, fractions)
+                    fractions[j] = reply.fractions
+                    norm += abs(reply.expected_response_time - last_times[j])
+                    last_times[j] = reply.expected_response_time
+            norms.append(norm)
+            if self.record_history:
+                history.append(StrategyProfile(fractions.copy()))
+            if norm <= self.tolerance:
+                converged = True
+                break
+
+        final = StrategyProfile(fractions)
+        try:
+            user_times = system.user_response_times(final.fractions)
+        except ValueError:
+            # Only reachable with the simultaneous (Jacobi) order, which
+            # can overshoot into an unstable joint profile mid-oscillation.
+            user_times = np.full(m, np.inf)
+            converged = False
+        return NashResult(
+            profile=final,
+            converged=converged,
+            iterations=len(norms),
+            norm_history=np.asarray(norms, dtype=float),
+            user_times=user_times,
+            profile_history=tuple(history),
+        )
+
+
+def compute_nash_equilibrium(
+    system: DistributedSystem,
+    *,
+    init: Initialization | StrategyProfile = "proportional",
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    record_history: bool = False,
+) -> NashResult:
+    """One-call façade over :class:`NashSolver`.
+
+    >>> from repro.workloads import paper_table1_system
+    >>> result = compute_nash_equilibrium(paper_table1_system(utilization=0.6))
+    >>> result.converged
+    True
+    """
+    solver = NashSolver(
+        tolerance=tolerance, max_sweeps=max_sweeps, record_history=record_history
+    )
+    return solver.solve(system, init)

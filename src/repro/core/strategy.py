@@ -1,0 +1,198 @@
+"""Strategy profiles of the load balancing game.
+
+A load balancing **strategy** of user ``j`` is the vector
+``s_j = (s_j1 .. s_jn)`` of job fractions sent to each computer; a
+**strategy profile** stacks the ``m`` user strategies into an ``(m, n)``
+matrix.  Feasibility (paper Sec. 2) requires
+
+* positivity   — ``s_ji >= 0``,
+* conservation — ``sum_i s_ji = 1`` for every user,
+* stability    — ``sum_j s_ji phi_j < mu_i`` for every computer.
+
+:class:`StrategyProfile` is a thin immutable wrapper around the matrix with
+validated constructors, feasibility predicates and the norms used by the
+convergence plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+
+__all__ = ["StrategyProfile", "FEASIBILITY_ATOL"]
+
+#: Absolute tolerance for the conservation constraint ``sum_i s_ji == 1``.
+FEASIBILITY_ATOL = 1e-8
+
+
+@dataclass(frozen=True)
+class StrategyProfile:
+    """Immutable ``(m, n)`` matrix of per-user load fractions."""
+
+    fractions: np.ndarray
+
+    def __post_init__(self) -> None:
+        s = np.array(self.fractions, dtype=float, copy=True)
+        if s.ndim != 2 or s.size == 0:
+            raise ValueError("strategy profile must be a nonempty 2-D matrix")
+        if not np.all(np.isfinite(s)):
+            raise ValueError("strategy profile must be finite")
+        s.setflags(write=False)
+        object.__setattr__(self, "fractions", s)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, n_users: int, n_computers: int) -> "StrategyProfile":
+        """The all-zero profile — the NASH_0 initialization (paper Sec. 4.2.1).
+
+        Deliberately *infeasible* (conservation is violated): the first
+        best-reply sweep replaces each row by an actual allocation, with
+        user 1 seeing a completely idle system.
+        """
+        if n_users <= 0 or n_computers <= 0:
+            raise ValueError("dimensions must be positive")
+        return cls(np.zeros((n_users, n_computers)))
+
+    @classmethod
+    def uniform(cls, n_users: int, n_computers: int) -> "StrategyProfile":
+        """Every user spreads evenly over all computers."""
+        if n_users <= 0 or n_computers <= 0:
+            raise ValueError("dimensions must be positive")
+        return cls(np.full((n_users, n_computers), 1.0 / n_computers))
+
+    @classmethod
+    def proportional(cls, system: DistributedSystem) -> "StrategyProfile":
+        """Each user splits in proportion to processing rates.
+
+        ``s_ji = mu_i / sum_k mu_k`` — simultaneously the PS baseline
+        (Chow & Kohler) and the NASH_P initialization (paper Sec. 4.2.1).
+        """
+        row = system.service_rates / system.total_processing_rate
+        return cls(np.tile(row, (system.n_users, 1)))
+
+    @classmethod
+    def from_loads(
+        cls, system: DistributedSystem, loads: np.ndarray
+    ) -> "StrategyProfile":
+        """Profile in which every user splits along the given aggregate loads.
+
+        ``s_ji = lambda_i / Phi`` for all ``j`` — how the IOS (Wardrop) and
+        aggregate-GOS solutions are turned into per-user strategies when a
+        fair split is wanted.
+        """
+        lam = np.asarray(loads, dtype=float)
+        if lam.shape != (system.n_computers,):
+            raise ValueError("loads must have one entry per computer")
+        if np.any(lam < 0.0):
+            raise ValueError("loads must be nonnegative")
+        total = lam.sum()
+        if not np.isclose(total, system.total_arrival_rate, rtol=1e-6):
+            raise ValueError(
+                "loads must sum to the total arrival rate "
+                f"({total:.6g} vs {system.total_arrival_rate:.6g})"
+            )
+        row = lam / total
+        return cls(np.tile(row, (system.n_users, 1)))
+
+    # ------------------------------------------------------------------
+    # Shape and access
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return int(self.fractions.shape[0])
+
+    @property
+    def n_computers(self) -> int:
+        return int(self.fractions.shape[1])
+
+    def user_strategy(self, user: int) -> np.ndarray:
+        """Read-only view of user ``j``'s strategy row."""
+        return self.fractions[user]
+
+    def with_user_strategy(self, user: int, strategy) -> "StrategyProfile":
+        """Functional update: replace one user's row, return a new profile."""
+        row = np.asarray(strategy, dtype=float)
+        if row.shape != (self.n_computers,):
+            raise ValueError(
+                f"strategy must have {self.n_computers} entries, got {row.shape}"
+            )
+        fractions = self.fractions.copy()
+        fractions[user] = row
+        return StrategyProfile(fractions)
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+    def satisfies_positivity(self, *, atol: float = FEASIBILITY_ATOL) -> bool:
+        """Constraint (i): every fraction nonnegative."""
+        return bool(np.all(self.fractions >= -atol))
+
+    def satisfies_conservation(self, *, atol: float = FEASIBILITY_ATOL) -> bool:
+        """Constraint (ii): every user's fractions sum to one."""
+        return bool(
+            np.allclose(self.fractions.sum(axis=1), 1.0, rtol=0.0, atol=atol)
+        )
+
+    def satisfies_stability(self, system: DistributedSystem) -> bool:
+        """Constraint (iii): every computer's load below its service rate."""
+        lam = system.loads(self.fractions)
+        return bool(np.all(lam < system.service_rates))
+
+    def is_feasible(
+        self, system: DistributedSystem, *, atol: float = FEASIBILITY_ATOL
+    ) -> bool:
+        """All three feasibility constraints of the game."""
+        return (
+            self.satisfies_positivity(atol=atol)
+            and self.satisfies_conservation(atol=atol)
+            and self.satisfies_stability(system)
+        )
+
+    def validate(self, system: DistributedSystem) -> None:
+        """Raise ``ValueError`` describing the first violated constraint."""
+        if self.fractions.shape != (system.n_users, system.n_computers):
+            raise ValueError(
+                f"profile shape {self.fractions.shape} does not match system "
+                f"({system.n_users}, {system.n_computers})"
+            )
+        if not self.satisfies_positivity():
+            raise ValueError("positivity violated: negative load fraction")
+        if not self.satisfies_conservation():
+            raise ValueError("conservation violated: user fractions must sum to 1")
+        if not self.satisfies_stability(system):
+            raise ValueError("stability violated: some computer is overloaded")
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def distance_to(self, other: "StrategyProfile", *, ord: int | float = 1) -> float:
+        """Entrywise norm of the difference between two profiles."""
+        if self.fractions.shape != other.fractions.shape:
+            raise ValueError("profiles must have identical shapes")
+        diff = (self.fractions - other.fractions).ravel()
+        return float(np.linalg.norm(diff, ord=ord))
+
+    def support(self, user: int, *, atol: float = FEASIBILITY_ATOL) -> np.ndarray:
+        """Indices of computers that actually receive jobs from ``user``."""
+        return np.flatnonzero(self.fractions[user] > atol)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrategyProfile):
+            return NotImplemented
+        return self.fractions.shape == other.fractions.shape and bool(
+            np.array_equal(self.fractions, other.fractions)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.fractions.shape, self.fractions.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StrategyProfile(n_users={self.n_users}, "
+            f"n_computers={self.n_computers})"
+        )

@@ -1,0 +1,197 @@
+"""Best-reply dynamics under observation uncertainty (paper Sec. 5).
+
+The paper's future work names "game theoretic models for load balancing in
+the context of uncertainty", and its practical remarks already hint at the
+source: each user learns the available processing rates "by statistical
+estimation of the run queue length of each processor" — an inherently
+noisy measurement.  This module models exactly that: every time a user
+takes its best-reply turn, it observes
+
+    a_hat_i = a_i * exp(sigma * xi_i),      xi_i ~ N(0, 1)
+
+(multiplicative lognormal error, so estimates stay positive) and responds
+optimally *to the estimate*.  Optionally, users smooth their estimates
+with an exponential moving average across sweeps — the statistical
+estimator the paper alludes to.
+
+Because a user acting on an over-estimate could oversubscribe a computer,
+each noisy reply is projected back into the feasible region by mixing it
+toward the user's previous (feasible) strategy just enough to restore
+per-computer stability with a safety margin.
+
+The headline result (see ``tests/core/test_uncertainty.py`` and the ABL4
+benchmark): the dynamics no longer converge to the exact equilibrium but
+hover in a neighbourhood whose radius scales with the noise, and EMA
+smoothing shrinks that neighbourhood — i.e. the paper's algorithm is
+robust to the measurement noise its deployment would face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.best_response import optimal_fractions
+from repro.core.equilibrium import best_response_regrets
+from repro.core.model import DistributedSystem
+from repro.core.nash import Initialization, initial_profile
+from repro.core.strategy import StrategyProfile
+
+__all__ = ["NoisyNashResult", "NoisyNashSolver"]
+
+#: Per-computer load kept strictly below this fraction of the service rate
+#: when projecting a noisy reply back to feasibility.
+_SAFETY = 0.999
+
+
+@dataclass(frozen=True)
+class NoisyNashResult:
+    """Outcome of a noisy best-reply run.
+
+    Attributes
+    ----------
+    profile:
+        Profile after the last sweep (a point of the hovering orbit, not
+        an exact equilibrium).
+    regret_history:
+        After each sweep, the maximum benefit any user could get from a
+        unilateral deviation (computed with *noiseless* information) —
+        the distance-to-equilibrium trajectory.
+    mean_final_regret:
+        Average of the last quarter of ``regret_history`` — the radius of
+        the hovering neighbourhood once the transient has passed.
+    projections:
+        How many noisy replies had to be projected back to feasibility.
+    """
+
+    profile: StrategyProfile
+    regret_history: np.ndarray
+    mean_final_regret: float
+    projections: int
+
+
+@dataclass(frozen=True)
+class NoisyNashSolver:
+    """Best-reply dynamics with lognormal observation noise.
+
+    Parameters
+    ----------
+    noise:
+        ``sigma`` of the multiplicative lognormal observation error
+        (0 recovers the exact dynamics).
+    smoothing:
+        EMA weight on the *new* observation (1.0 = no smoothing; 0.2 =
+        heavy smoothing).  Each user maintains its own per-computer
+        estimate across its turns.
+    sweeps:
+        Fixed number of sweeps to run (noisy dynamics have no natural
+        stopping norm — the norm never settles below the noise floor).
+    seed:
+        Seed for the observation-noise stream.
+    """
+
+    noise: float = 0.1
+    smoothing: float = 1.0
+    sweeps: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.noise < 0.0:
+            raise ValueError("noise must be nonnegative")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must lie in (0, 1]")
+        if self.sweeps < 1:
+            raise ValueError("sweeps must be at least 1")
+
+    def solve(
+        self,
+        system: DistributedSystem,
+        init: Initialization | StrategyProfile = "proportional",
+    ) -> NoisyNashResult:
+        profile = initial_profile(system, init)
+        if not profile.is_feasible(system):
+            raise ValueError(
+                "noisy dynamics need a feasible starting profile "
+                "(NASH_0's zero profile cannot absorb projection mixing)"
+            )
+        fractions = profile.fractions.copy()
+        m = system.n_users
+        phi = system.arrival_rates
+        mu = system.service_rates
+        rng = np.random.default_rng(self.seed)
+
+        estimates = np.zeros((m, system.n_computers))
+        have_estimate = np.zeros(m, dtype=bool)
+        regrets: list[float] = []
+        projections = 0
+
+        for _sweep in range(self.sweeps):
+            for j in range(m):
+                true_available = system.available_rates(fractions, j)
+                observed = true_available * np.exp(
+                    self.noise * rng.standard_normal(true_available.size)
+                )
+                if self.smoothing < 1.0 and have_estimate[j]:
+                    observed = (
+                        self.smoothing * observed
+                        + (1.0 - self.smoothing) * estimates[j]
+                    )
+                estimates[j] = observed
+                have_estimate[j] = True
+
+                if observed[observed > 0.0].sum() <= phi[j]:
+                    # Estimate so pessimistic the reply would be
+                    # infeasible; fall back to the truth for this turn.
+                    observed = true_available
+                reply = optimal_fractions(observed, float(phi[j]))
+                candidate = fractions.copy()
+                candidate[j] = reply.fractions
+                theta = _feasible_mixing(
+                    candidate, fractions, phi, mu, user=j
+                )
+                if theta < 1.0:
+                    projections += 1
+                    candidate[j] = (
+                        theta * reply.fractions + (1.0 - theta) * fractions[j]
+                    )
+                fractions = candidate
+            cert = best_response_regrets(
+                system, StrategyProfile(fractions.copy())
+            )
+            regrets.append(cert.epsilon)
+
+        history = np.asarray(regrets, dtype=float)
+        tail = history[-max(1, len(history) // 4):]
+        return NoisyNashResult(
+            profile=StrategyProfile(fractions),
+            regret_history=history,
+            mean_final_regret=float(tail.mean()),
+            projections=projections,
+        )
+
+
+def _feasible_mixing(
+    candidate: np.ndarray,
+    previous: np.ndarray,
+    phi: np.ndarray,
+    mu: np.ndarray,
+    *,
+    user: int,
+) -> float:
+    """Largest ``theta`` keeping ``theta*new + (1-theta)*old`` stable.
+
+    Only row ``user`` differs between the two profiles; the previous
+    profile is feasible, so some ``theta > 0`` always exists.  Solves the
+    per-computer linear inequality exactly (no search).
+    """
+    lam_prev = phi @ previous
+    lam_new = phi @ candidate
+    delta = lam_new - lam_prev  # contribution of the user's row change
+    limit = _SAFETY * mu - lam_prev
+    # theta * delta_i <= limit_i; only binding where delta_i > 0.
+    binding = delta > 0.0
+    if not np.any(binding):
+        return 1.0
+    theta = float(np.min(limit[binding] / delta[binding]))
+    return float(np.clip(theta, 0.0, 1.0))

@@ -1,0 +1,175 @@
+"""Closed-form water-filling solvers behind the paper's algorithms.
+
+Two related allocation problems over parallel M/M/1 queues admit
+sorted-prefix closed forms, and both appear in the paper:
+
+* **sqrt water-fill** — minimize total delay ``sum_i x_i / (a_i - x_i)``
+  subject to ``sum x_i = d``, ``x_i >= 0``.  KKT equalizes the marginal
+  delay ``a_i / (a_i - x_i)^2`` over the support, giving
+  ``x_i = a_i - t * sqrt(a_i)`` with a single threshold ``t``.  This is the
+  core of the paper's Theorem 2.1 (user best response, ``a`` = available
+  rates) and, applied to the whole system (``a = mu``, ``d = Phi``), the
+  aggregate loads of the Global Optimal Scheme (Tantawi & Towsley 1985,
+  Kim & Kameda 1992, Tang & Chanson 2000).
+
+* **response-time water-fill** — the Wardrop condition of the Individual
+  Optimal Scheme: all *used* computers have equal expected response time
+  ``1/(a_i - x_i) = tau`` and unused ones are slower even when idle,
+  giving ``x_i = a_i - 1/tau``.
+
+Both run in ``O(n log n)`` (the sort dominates) and are fully vectorized:
+the threshold for every candidate support prefix is computed with
+cumulative sums and the valid prefix selected with a mask, with no Python
+loop over computers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WaterfillResult", "sqrt_waterfill", "response_time_waterfill"]
+
+
+@dataclass(frozen=True)
+class WaterfillResult:
+    """Solution of a water-filling problem.
+
+    Attributes
+    ----------
+    loads:
+        Optimal allocation ``x`` in the *original* (unsorted) computer
+        order; zero outside the support.
+    threshold:
+        The Lagrangian threshold — ``t`` for the sqrt fill (so that
+        ``x_i = a_i - t sqrt(a_i)`` on the support), or the common response
+        time ``tau`` for the Wardrop fill.
+    support:
+        Sorted array of original indices of the computers that receive a
+        strictly positive load.
+    """
+
+    loads: np.ndarray
+    threshold: float
+    support: np.ndarray
+
+
+def _validate_inputs(capacities, demand: float) -> np.ndarray:
+    a = np.asarray(capacities, dtype=float)
+    if a.ndim != 1 or a.size == 0:
+        raise ValueError("capacities must be a nonempty 1-D vector")
+    if not np.all(np.isfinite(a)):
+        raise ValueError("capacities must be finite")
+    if not np.isfinite(demand) or demand < 0.0:
+        raise ValueError("demand must be finite and nonnegative")
+    return a
+
+
+def sqrt_waterfill(capacities, demand: float) -> WaterfillResult:
+    """Delay-minimizing allocation of ``demand`` over parallel M/M/1 servers.
+
+    Solves ``min sum_i x_i / (a_i - x_i)  s.t.  sum_i x_i = demand,
+    x_i >= 0`` where ``a_i`` are the (available) processing rates.  This is
+    the optimization problem OPT_j of the paper, whose solution structure
+    is Theorem 2.1.
+
+    Computers with nonpositive capacity are treated as unavailable (they
+    can legitimately occur transiently if a caller constructs available
+    rates from an infeasible profile) and always receive zero load.
+
+    Raises
+    ------
+    ValueError
+        If ``demand`` is not strictly less than the total positive
+        capacity (the allocation would be infeasible/unstable).
+    """
+    a = _validate_inputs(capacities, demand)
+    loads = np.zeros_like(a)
+    if demand == 0.0:
+        return WaterfillResult(loads=loads, threshold=float("inf"),
+                               support=np.array([], dtype=np.intp))
+
+    usable = a > 0.0
+    if demand >= a[usable].sum():
+        raise ValueError(
+            "demand %.6g must be strictly below the total available rate %.6g"
+            % (demand, a[usable].sum())
+        )
+
+    # Work on the usable computers, sorted by capacity descending.
+    idx = np.flatnonzero(usable)
+    order = idx[np.argsort(-a[idx], kind="stable")]
+    a_sorted = a[order]
+    roots = np.sqrt(a_sorted)
+
+    # Threshold t_c for every candidate support {1..c}:
+    #   t_c = (sum_{i<=c} a_i - demand) / (sum_{i<=c} sqrt(a_i)).
+    cum_a = np.cumsum(a_sorted)
+    cum_root = np.cumsum(roots)
+    thresholds = (cum_a - demand) / cum_root
+
+    # The optimal support is the largest prefix in which the slowest
+    # included computer still gets a positive share: sqrt(a_c) > t_c.
+    # (Equivalently: the paper's OPTIMAL while-loop, which shrinks the
+    # candidate set while t * sqrt(a_c) >= a_c, scanned from below.)
+    valid = roots > thresholds
+    if not valid[0]:
+        # Cannot happen for demand > 0: with c = 1,
+        # t_1 = (a_1 - d)/sqrt(a_1) < sqrt(a_1).
+        raise AssertionError("sqrt water-fill: no valid support prefix")
+    cut = int(np.flatnonzero(valid).max()) + 1
+
+    t = float(thresholds[cut - 1])
+    support = order[:cut]
+    loads[support] = a[support] - t * np.sqrt(a[support])
+    # Guard against tiny negative round-off on the boundary computer.
+    np.maximum(loads, 0.0, out=loads)
+    scale = demand / loads.sum()
+    loads *= scale
+    return WaterfillResult(loads=loads, threshold=t, support=np.sort(support))
+
+
+def response_time_waterfill(capacities, demand: float) -> WaterfillResult:
+    """Wardrop (individually optimal) allocation over parallel M/M/1 servers.
+
+    Finds loads such that every used computer has the same expected
+    response time ``tau = 1 / (a_i - x_i)`` while every unused computer is
+    slower even when empty (``1/a_k >= tau``).  This is the equilibrium the
+    paper's IOS baseline computes (Kameda et al. 1997): the limit of
+    selfish optimization by individual *jobs* rather than users.
+    """
+    a = _validate_inputs(capacities, demand)
+    loads = np.zeros_like(a)
+    if demand == 0.0:
+        return WaterfillResult(loads=loads, threshold=float("inf"),
+                               support=np.array([], dtype=np.intp))
+
+    usable = a > 0.0
+    if demand >= a[usable].sum():
+        raise ValueError(
+            "demand %.6g must be strictly below the total available rate %.6g"
+            % (demand, a[usable].sum())
+        )
+
+    idx = np.flatnonzero(usable)
+    order = idx[np.argsort(-a[idx], kind="stable")]
+    a_sorted = a[order]
+
+    # For support {1..c} the common residual rate is
+    #   g_c = 1/tau_c = (sum_{i<=c} a_i - demand) / c,
+    # and inclusion of computer c is consistent iff a_c > g_c.
+    counts = np.arange(1, a_sorted.size + 1, dtype=float)
+    residual = (np.cumsum(a_sorted) - demand) / counts
+    valid = a_sorted > residual
+    if not valid[0]:
+        raise AssertionError("response-time water-fill: no valid support prefix")
+    cut = int(np.flatnonzero(valid).max()) + 1
+
+    g = float(residual[cut - 1])
+    support = order[:cut]
+    loads[support] = a[support] - g
+    np.maximum(loads, 0.0, out=loads)
+    scale = demand / loads.sum()
+    loads *= scale
+    return WaterfillResult(loads=loads, threshold=1.0 / g, support=np.sort(support))

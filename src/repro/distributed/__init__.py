@@ -1,0 +1,31 @@
+"""Distributed execution of the NASH algorithm (paper Sec. 3).
+
+An in-process message-passing runtime standing in for the physical
+distributed system: FIFO mailboxes (:class:`MessageBus`), a shared
+observable computer state (:class:`ComputerBoard`), and selfish
+:class:`UserAgent` processes circulating the best-reply token around a
+logical ring.
+"""
+
+from repro.distributed.faults import (
+    DedupingAgent,
+    LossyMessageBus,
+    run_nash_protocol_lossy,
+)
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import MessageBus
+from repro.distributed.node import ComputerBoard, UserAgent
+from repro.distributed.runtime import ProtocolOutcome, run_nash_protocol
+
+__all__ = [
+    "DedupingAgent",
+    "LossyMessageBus",
+    "run_nash_protocol_lossy",
+    "Message",
+    "MessageKind",
+    "MessageBus",
+    "ComputerBoard",
+    "UserAgent",
+    "ProtocolOutcome",
+    "run_nash_protocol",
+]

@@ -1,0 +1,218 @@
+"""Fault injection for the distributed protocol.
+
+The in-process :class:`~repro.distributed.network.MessageBus` delivers
+every message exactly once — real networks do not.  This module provides
+a drop/duplicate-injecting bus plus the two mechanisms that make the
+paper's token-ring protocol survive it:
+
+* **sender-side retransmission** — the runtime keeps each agent's last
+  outbound message and re-sends it when the ring stalls (the in-process
+  analogue of a retransmission timeout);
+* **receiver-side deduplication** — TOKEN messages carry ``(sweep,
+  sender)``; an agent that already acted on a given token ignores
+  duplicates, making the retransmission at-least-once semantics safe.
+
+Determinism is preserved: faults are driven by a seeded generator, so a
+given ``(seed, drop, duplicate)`` configuration replays exactly.  The
+fault-tolerance experiment shows the protocol reaches the *same*
+equilibrium as the lossless run, paying only extra messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.core.nash import (
+    DEFAULT_MAX_SWEEPS,
+    DEFAULT_TOLERANCE,
+    Initialization,
+    NashResult,
+    initial_profile,
+)
+from repro.core.strategy import StrategyProfile
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import MessageBus
+from repro.distributed.node import ComputerBoard, UserAgent
+from repro.distributed.runtime import ProtocolOutcome
+
+__all__ = ["LossyMessageBus", "DedupingAgent", "run_nash_protocol_lossy"]
+
+
+class LossyMessageBus(MessageBus):
+    """A message bus that drops and duplicates messages.
+
+    Parameters
+    ----------
+    n_agents:
+        Ring size.
+    drop:
+        Probability that a sent message is silently lost.
+    duplicate:
+        Probability that a delivered message is enqueued twice.
+    seed:
+        Fault-stream seed (replayable).
+    """
+
+    def __init__(
+        self,
+        n_agents: int,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        seed: int = 0,
+        record_transcript: bool = True,
+    ):
+        super().__init__(n_agents, record_transcript=record_transcript)
+        if not 0.0 <= drop < 1.0:
+            raise ValueError("drop probability must lie in [0, 1)")
+        if not 0.0 <= duplicate < 1.0:
+            raise ValueError("duplicate probability must lie in [0, 1)")
+        self.drop = drop
+        self.duplicate = duplicate
+        self._fault_rng = np.random.default_rng(seed)
+        self.dropped = 0
+        self.duplicated = 0
+
+    def send(self, message: Message) -> None:
+        roll = self._fault_rng.random()
+        if roll < self.drop:
+            self.dropped += 1
+            return
+        super().send(message)
+        if self._fault_rng.random() < self.duplicate:
+            self.duplicated += 1
+            super().send(message)
+
+
+class DedupingAgent(UserAgent):
+    """A user agent that ignores token messages it has already acted on.
+
+    A TOKEN for sweep ``l`` is acted on at most once; retransmitted or
+    duplicated copies are dropped on the floor.  TERMINATE is naturally
+    idempotent (acting twice is harmless), so only forwarding is guarded.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._last_acted_sweep = 0
+        self._terminated = False
+
+    def handle(self, message: Message) -> None:
+        if message.kind is MessageKind.TOKEN:
+            expected = (
+                message.sweep
+                if self.rank != 0
+                else message.sweep  # rank 0 acts on the completion of sweep l
+            )
+            if expected <= self._last_acted_sweep:
+                return  # duplicate of an already-processed token
+            self._last_acted_sweep = expected
+        elif message.kind is MessageKind.TERMINATE:
+            if self._terminated:
+                return
+            self._terminated = True
+        # A retransmission can legitimately arrive after the agent
+        # considered itself finished; squelch instead of crashing.
+        if self.finished:
+            return
+        super().handle(message)
+
+
+def run_nash_protocol_lossy(
+    system: DistributedSystem,
+    *,
+    drop: float = 0.1,
+    duplicate: float = 0.05,
+    fault_seed: int = 0,
+    init: Initialization | StrategyProfile = "proportional",
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    max_retransmissions: int = 1_000_000,
+) -> ProtocolOutcome:
+    """The NASH ring protocol over a faulty network.
+
+    Mirrors :func:`repro.distributed.runtime.run_nash_protocol` but sends
+    every message over a :class:`LossyMessageBus`; when the ring stalls
+    (every mailbox empty, protocol unfinished) the runtime retransmits
+    the last message each unfinished agent sent — at-least-once delivery,
+    made safe by :class:`DedupingAgent`.
+    """
+    m = system.n_users
+    board = ComputerBoard(system.service_rates, m)
+    bus = LossyMessageBus(
+        m, drop=drop, duplicate=duplicate, seed=fault_seed
+    )
+    agents = [
+        DedupingAgent(
+            rank=j,
+            job_rate=float(system.arrival_rates[j]),
+            board=board,
+            bus=bus,
+            tolerance=tolerance,
+            max_sweeps=max_sweeps,
+        )
+        for j in range(m)
+    ]
+
+    profile0 = initial_profile(system, init)
+    if bool(np.allclose(profile0.fractions.sum(axis=1), 1.0)):
+        times0 = system.user_response_times(profile0.fractions)
+        for j, agent in enumerate(agents):
+            board.publish(j, profile0.fractions[j] * system.arrival_rates[j])
+            agent._previous_time = float(times0[j])
+
+    # Track each agent's most recent outbound message for retransmission.
+    last_sent: dict[int, Message] = {}
+    original_send = bus.send
+
+    def tracking_send(message: Message) -> None:
+        last_sent[message.sender] = message
+        original_send(message)
+
+    bus.send = tracking_send  # type: ignore[method-assign]
+
+    agents[0].start()
+    messages = 0
+    retransmissions = 0
+    while True:
+        pending = bus.pending_ranks()
+        if pending:
+            for rank in pending:
+                agents[rank].handle(bus.recv(rank))
+                messages += 1
+            continue
+        if all(agent.finished for agent in agents):
+            break
+        # Ring stalled: a message was dropped. Retransmit the most recent
+        # outbound message of every agent that still believes it sent one.
+        if retransmissions >= max_retransmissions:
+            raise RuntimeError("retransmission budget exhausted")
+        progressed = False
+        for sender, message in sorted(last_sent.items()):
+            if not agents[message.receiver].finished or (
+                message.kind is MessageKind.TERMINATE
+            ):
+                original_send(message)
+                retransmissions += 1
+                progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            raise RuntimeError("protocol deadlocked with nothing to retransmit")
+
+    fractions = board.flows / system.arrival_rates[:, None]
+    profile = StrategyProfile(fractions)
+    norms = np.asarray(agents[0].norm_history, dtype=float)
+    converged = bool(norms.size and norms[-1] <= tolerance)
+    result = NashResult(
+        profile=profile,
+        converged=converged,
+        iterations=int(norms.size),
+        norm_history=norms,
+        user_times=system.user_response_times(profile.fractions),
+    )
+    outcome = ProtocolOutcome(
+        result=result,
+        messages_sent=messages,
+        transcript=bus.transcript,
+    )
+    return outcome

@@ -1,0 +1,53 @@
+"""Message vocabulary of the NASH distributed protocol (paper Sec. 3).
+
+The algorithm circulates a token ``(l, norm)`` around a logical ring of
+user agents: ``l`` is the sweep (iteration) counter and ``norm``
+accumulates ``|D_j^{(l)} - D_j^{(l-1)}|`` as each user updates.  When a
+full circulation keeps the norm below the acceptance tolerance, the
+initiator circulates a TERMINATE instead and every agent exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["MessageKind", "Message"]
+
+
+class MessageKind(Enum):
+    """Protocol message types."""
+
+    #: The best-reply token: "it is your turn to update".
+    TOKEN = auto()
+    #: Convergence reached; forward and stop.
+    TERMINATE = auto()
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A protocol message travelling the ring.
+
+    Attributes
+    ----------
+    kind:
+        TOKEN or TERMINATE.
+    sender, receiver:
+        User indices (ring neighbours).
+    sweep:
+        The iteration counter ``l``.
+    norm:
+        Accumulated convergence norm for the current sweep.
+    """
+
+    kind: MessageKind
+    sender: int
+    receiver: int
+    sweep: int
+    norm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sweep < 0:
+            raise ValueError("sweep counter must be nonnegative")
+        if self.norm < 0.0:
+            raise ValueError("norm must be nonnegative")

@@ -1,0 +1,73 @@
+"""In-process message bus emulating the distributed system's network.
+
+The reproduction cannot run on physical machines, so the Send/Recv calls
+of the paper's pseudocode are realized over per-agent FIFO mailboxes.
+The bus is deliberately MPI-flavoured (explicit ``send``/``recv`` with
+integer ranks, as in the mpi4py idiom): a port of the agents to real MPI
+ranks would only replace this class.
+
+The bus also keeps a transcript of every delivered message, which the
+tests use to check the protocol's message complexity (one token hop per
+user per sweep plus one terminate circulation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.distributed.messages import Message
+
+__all__ = ["MessageBus"]
+
+
+class MessageBus:
+    """FIFO mailboxes for a fixed set of agents addressed by rank."""
+
+    def __init__(self, n_agents: int, *, record_transcript: bool = True):
+        if n_agents <= 0:
+            raise ValueError("the bus needs at least one agent")
+        self._mailboxes: tuple[deque[Message], ...] = tuple(
+            deque() for _ in range(n_agents)
+        )
+        self._transcript: list[Message] = []
+        self._record = record_transcript
+
+    @property
+    def n_agents(self) -> int:
+        return len(self._mailboxes)
+
+    @property
+    def transcript(self) -> tuple[Message, ...]:
+        """All messages sent so far, in send order."""
+        return tuple(self._transcript)
+
+    def send(self, message: Message) -> None:
+        """Deposit ``message`` into the receiver's mailbox."""
+        if not 0 <= message.receiver < self.n_agents:
+            raise ValueError(f"receiver rank {message.receiver} out of range")
+        if not 0 <= message.sender < self.n_agents:
+            raise ValueError(f"sender rank {message.sender} out of range")
+        self._mailboxes[message.receiver].append(message)
+        if self._record:
+            self._transcript.append(message)
+
+    def recv(self, rank: int) -> Message:
+        """Pop the oldest pending message for ``rank``.
+
+        Raises ``LookupError`` when the mailbox is empty — agents in this
+        runtime are only scheduled when a message is pending, so an empty
+        recv indicates a protocol bug.
+        """
+        if not 0 <= rank < self.n_agents:
+            raise ValueError(f"rank {rank} out of range")
+        box = self._mailboxes[rank]
+        if not box:
+            raise LookupError(f"no pending message for rank {rank}")
+        return box.popleft()
+
+    def has_pending(self, rank: int) -> bool:
+        return bool(self._mailboxes[rank])
+
+    def pending_ranks(self) -> list[int]:
+        """Ranks with at least one queued message, in rank order."""
+        return [r for r, box in enumerate(self._mailboxes) if box]

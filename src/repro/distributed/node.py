@@ -1,0 +1,182 @@
+"""The user agent of the NASH distributed algorithm (paper Sec. 3).
+
+Each user runs autonomously: when it receives the ring token it
+
+1. *observes* the current available processing rate of every computer
+   ("obtained by inspecting the run queue of each computer" in the paper —
+   here by querying the shared :class:`ComputerBoard`, the stand-in for
+   that observation);
+2. runs the OPTIMAL algorithm on the observed rates to compute its best
+   reply, and republishes its per-computer flows;
+3. accumulates ``|D_j^{(l)} - D_j^{(l-1)}|`` into the token's norm and
+   forwards the token to the next user on the ring.
+
+The initiator (rank 0) additionally decides termination at the end of
+each full circulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.best_response import optimal_fractions
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import MessageBus
+
+__all__ = ["ComputerBoard", "UserAgent"]
+
+
+class ComputerBoard:
+    """Shared observable state of the computers.
+
+    Tracks each user's published flow on each computer so that any agent
+    can observe the *available* rate ``mu_i - sum_{k != j} flow_ki`` — the
+    distributed system's equivalent of estimating residual capacity from
+    run-queue lengths.
+    """
+
+    def __init__(self, service_rates: np.ndarray, n_users: int):
+        mu = np.asarray(service_rates, dtype=float)
+        if mu.ndim != 1 or np.any(mu <= 0.0):
+            raise ValueError("service rates must be positive")
+        if n_users <= 0:
+            raise ValueError("n_users must be positive")
+        self._mu = mu.copy()
+        self._flows = np.zeros((n_users, mu.size))
+
+    @property
+    def service_rates(self) -> np.ndarray:
+        return self._mu
+
+    @property
+    def flows(self) -> np.ndarray:
+        """(users, computers) matrix of published flows (jobs/sec)."""
+        return self._flows
+
+    def publish(self, user: int, flows: np.ndarray) -> None:
+        """User ``user`` re-publishes its per-computer flow vector."""
+        flows = np.asarray(flows, dtype=float)
+        if flows.shape != (self._mu.size,):
+            raise ValueError("flow vector must have one entry per computer")
+        if np.any(flows < 0.0):
+            raise ValueError("flows must be nonnegative")
+        self._flows[user] = flows
+
+    def available_rates(self, user: int) -> np.ndarray:
+        """Processing rate each computer can still offer ``user``."""
+        others = self._flows.sum(axis=0) - self._flows[user]
+        return self._mu - others
+
+
+class UserAgent:
+    """One selfish user executing the ring protocol."""
+
+    def __init__(
+        self,
+        rank: int,
+        job_rate: float,
+        board: ComputerBoard,
+        bus: MessageBus,
+        *,
+        tolerance: float,
+        max_sweeps: int,
+    ):
+        if job_rate <= 0.0:
+            raise ValueError("job rate must be positive")
+        self.rank = rank
+        self.job_rate = float(job_rate)
+        self._board = board
+        self._bus = bus
+        self._tolerance = tolerance
+        self._max_sweeps = max_sweeps
+        self._next_rank = (rank + 1) % bus.n_agents
+        self._previous_time = 0.0
+        #: Set once the agent has forwarded or received TERMINATE.
+        self.finished = False
+        #: Sweep norms observed by the initiator (rank 0 only).
+        self.norm_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Initiator only: kick off the first sweep by updating itself."""
+        if self.rank != 0:
+            raise RuntimeError("only rank 0 starts the protocol")
+        norm = self._update()
+        self._bus.send(
+            Message(
+                kind=MessageKind.TOKEN,
+                sender=self.rank,
+                receiver=self._next_rank,
+                sweep=1,
+                norm=norm,
+            )
+        )
+
+    def handle(self, message: Message) -> None:
+        """Process one received message (TOKEN or TERMINATE)."""
+        if self.finished:
+            raise RuntimeError(f"agent {self.rank} received a message after exit")
+        if message.kind is MessageKind.TERMINATE:
+            # Forward around the ring until it is back at the initiator.
+            self.finished = True
+            if self._next_rank != 0:
+                self._bus.send(
+                    Message(
+                        kind=MessageKind.TERMINATE,
+                        sender=self.rank,
+                        receiver=self._next_rank,
+                        sweep=message.sweep,
+                    )
+                )
+            return
+
+        if self.rank == 0:
+            # The token completed a circulation: decide termination.
+            self.norm_history.append(message.norm)
+            if message.norm <= self._tolerance or message.sweep >= self._max_sweeps:
+                self.finished = True
+                if self._next_rank != 0:
+                    self._bus.send(
+                        Message(
+                            kind=MessageKind.TERMINATE,
+                            sender=self.rank,
+                            receiver=self._next_rank,
+                            sweep=message.sweep,
+                        )
+                    )
+                return
+            norm = self._update()
+            self._bus.send(
+                Message(
+                    kind=MessageKind.TOKEN,
+                    sender=self.rank,
+                    receiver=self._next_rank,
+                    sweep=message.sweep + 1,
+                    norm=norm,
+                )
+            )
+        else:
+            norm = message.norm + self._update_delta()
+            self._bus.send(
+                Message(
+                    kind=MessageKind.TOKEN,
+                    sender=self.rank,
+                    receiver=self._next_rank,
+                    sweep=message.sweep,
+                    norm=norm,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _update(self) -> float:
+        """Initiator's update: returns the fresh norm for the new sweep."""
+        return self._update_delta()
+
+    def _update_delta(self) -> float:
+        """Observe, best-reply, publish; return ``|D_j new - D_j old|``."""
+        available = self._board.available_rates(self.rank)
+        reply = optimal_fractions(available, self.job_rate)
+        self._board.publish(self.rank, reply.fractions * self.job_rate)
+        delta = abs(reply.expected_response_time - self._previous_time)
+        self._previous_time = reply.expected_response_time
+        return delta

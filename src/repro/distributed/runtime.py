@@ -1,0 +1,122 @@
+"""Driver for the distributed NASH protocol.
+
+Builds the agents, the shared computer board and the message bus, seeds
+the chosen initialization, and pumps messages until the TERMINATE message
+has circled the ring.  The result is packaged as the same
+:class:`~repro.core.nash.NashResult` the sequential driver produces — and
+because the token ring serializes the updates in user order, the two
+drivers compute the same iterates, sweep counts and norms up to
+floating-point round-off (the board and the model sum the flows in
+different orders), a cross-check the test suite enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.core.nash import (
+    DEFAULT_MAX_SWEEPS,
+    DEFAULT_TOLERANCE,
+    Initialization,
+    NashResult,
+    initial_profile,
+)
+from repro.core.strategy import StrategyProfile
+from repro.distributed.messages import Message
+from repro.distributed.network import MessageBus
+from repro.distributed.node import ComputerBoard, UserAgent
+
+__all__ = ["ProtocolOutcome", "run_nash_protocol"]
+
+
+@dataclass(frozen=True)
+class ProtocolOutcome:
+    """A protocol run: the Nash result plus transport-level diagnostics.
+
+    Attributes
+    ----------
+    result:
+        The equilibrium outcome, identical in shape to the sequential
+        solver's.
+    messages_sent:
+        Total messages delivered on the bus (token hops + termination).
+    transcript:
+        Full ordered message log (for protocol-level assertions).
+    """
+
+    result: NashResult
+    messages_sent: int
+    transcript: tuple[Message, ...]
+
+
+def run_nash_protocol(
+    system: DistributedSystem,
+    *,
+    init: Initialization | StrategyProfile = "proportional",
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    record_transcript: bool = True,
+) -> ProtocolOutcome:
+    """Execute the NASH distributed algorithm over the message bus.
+
+    Parameters mirror :func:`repro.core.nash.compute_nash_equilibrium`.
+    """
+    m = system.n_users
+    board = ComputerBoard(system.service_rates, m)
+    bus = MessageBus(m, record_transcript=record_transcript)
+    agents = [
+        UserAgent(
+            rank=j,
+            job_rate=float(system.arrival_rates[j]),
+            board=board,
+            bus=bus,
+            tolerance=tolerance,
+            max_sweeps=max_sweeps,
+        )
+        for j in range(m)
+    ]
+
+    # Seed the initialization: publish initial flows and the matching
+    # D_j^{(0)} baselines, exactly as the sequential solver does.
+    profile0 = initial_profile(system, init)
+    feasible_start = bool(np.allclose(profile0.fractions.sum(axis=1), 1.0))
+    if feasible_start:
+        times0 = system.user_response_times(profile0.fractions)
+        for j, agent in enumerate(agents):
+            board.publish(j, profile0.fractions[j] * system.arrival_rates[j])
+            agent._previous_time = float(times0[j])
+
+    agents[0].start()
+    messages = 0
+    # The token ring is strictly sequential, so draining pending ranks in
+    # order is a faithful (and deterministic) schedule.
+    while True:
+        pending = bus.pending_ranks()
+        if not pending:
+            break
+        for rank in pending:
+            agents[rank].handle(bus.recv(rank))
+            messages += 1
+
+    if not all(agent.finished for agent in agents):  # pragma: no cover
+        raise RuntimeError("protocol stalled before termination circulated")
+
+    fractions = board.flows / system.arrival_rates[:, None]
+    profile = StrategyProfile(fractions)
+    norms = np.asarray(agents[0].norm_history, dtype=float)
+    converged = bool(norms.size and norms[-1] <= tolerance)
+    result = NashResult(
+        profile=profile,
+        converged=converged,
+        iterations=int(norms.size),
+        norm_history=norms,
+        user_times=system.user_response_times(profile.fractions),
+    )
+    return ProtocolOutcome(
+        result=result,
+        messages_sent=messages,
+        transcript=bus.transcript,
+    )

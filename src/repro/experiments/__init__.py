@@ -1,0 +1,45 @@
+"""Experiment harness — one module per paper table/figure (see DESIGN.md).
+
+=========  =================================================
+Module                         Paper artifact
+=========  =================================================
+table1                Table 1 (system configuration)
+fig2_convergence      Figure 2 (norm vs iterations)
+fig3_users            Figure 3 (iterations vs #users)
+fig4_utilization      Figure 4 (response time / fairness vs load)
+fig5_per_user         Figure 5 (per-user response times)
+fig6_heterogeneity    Figure 6 (speed skewness sweep)
+sim_validation        Sec. 4.1 methodology (simulation vs analytic)
+extensions            EXT1 (PoA, Stackelberg), ABL1/ABL2 ablations
+ext_dynamics          EXT2 (dynamic dispatch), EXT3 (NBS), ABL3/ABL4
+ext_models            EXT4 (comm delays), EXT5 (misspecification)
+ext_deployment        EXT6 (measured closed loop), ABL5 (network faults)
+=========  =================================================
+"""
+
+from repro.experiments.ascii_plot import ascii_chart, sparkline
+from repro.experiments.common import SCHEME_ORDER, ExperimentTable, run_schemes
+from repro.experiments.parallel import parallel_map, run_experiments_parallel
+from repro.experiments.report import generate_report, table_to_markdown
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    main,
+    render_chart,
+    run_experiment,
+)
+
+__all__ = [
+    "ascii_chart",
+    "sparkline",
+    "parallel_map",
+    "run_experiments_parallel",
+    "generate_report",
+    "table_to_markdown",
+    "render_chart",
+    "SCHEME_ORDER",
+    "ExperimentTable",
+    "run_schemes",
+    "EXPERIMENTS",
+    "main",
+    "run_experiment",
+]

@@ -1,0 +1,124 @@
+"""Terminal plotting for the experiment harness.
+
+The paper's figures are line plots; this reproduction runs in terminals
+and CI, so the runner renders each figure's series as an ASCII chart
+(and, for convergence curves spanning decades, on a log10 y-axis).  No
+plotting dependency is required — the CSV export exists for anyone who
+wants publication graphics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar sketch of a series (ignores non-finite entries).
+
+    >>> sparkline([1.0, 2.0, 3.0])
+    '▁▄█'
+    """
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in values:
+        if v is None or not math.isfinite(v):
+            chars.append(" ")
+            continue
+        level = 0 if span == 0.0 else int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named series as a fixed-size character chart.
+
+    Each series is drawn with its own marker (assigned in insertion
+    order); collisions print ``*``.  ``logy`` plots ``log10`` of the
+    values (non-positive points are dropped), matching the paper's
+    semi-log convergence plots.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+    markers = "ox+#@%&"
+
+    def transform(v: float | None) -> float | None:
+        if v is None or not math.isfinite(v):
+            return None
+        if logy:
+            if v <= 0.0:
+                return None
+            return math.log10(v)
+        return float(v)
+
+    points: dict[str, list[tuple[float, float]]] = {}
+    for name, ys in series.items():
+        pts = []
+        for xi, yi in zip(x, ys):
+            ti = transform(yi)
+            if ti is not None:
+                pts.append((float(xi), ti))
+        points[name] = pts
+
+    all_pts = [p for pts in points.values() for p in pts]
+    if not all_pts:
+        raise ValueError("no plottable points (all values missing/non-positive)")
+    x_lo = min(p[0] for p in all_pts)
+    x_hi = max(p[0] for p in all_pts)
+    y_lo = min(p[1] for p in all_pts)
+    y_hi = max(p[1] for p in all_pts)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(points.items()):
+        marker = markers[index % len(markers)]
+        for px, py in pts:
+            col = int((px - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((py - y_lo) / y_span * (height - 1))
+            grid[row][col] = "*" if grid[row][col] not in (" ", marker) else marker
+
+    def fmt(v: float) -> str:
+        return f"1e{v:+.1f}" if logy else f"{v:.3g}"
+
+    lines = []
+    lines.append(f"{y_label}{' (log10)' if logy else ''}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = fmt(y_hi)
+        elif row_index == height - 1:
+            label = fmt(y_lo)
+        else:
+            label = ""
+        lines.append(f"{label:>10s} |{''.join(row)}|")
+    lines.append(f"{'':>10s} +{'-' * width}+")
+    middle = max(1, width - 20)
+    lines.append(
+        f"{'':>10s}  {f'{x_lo:.3g}':<10s}"
+        f"{x_label:^{middle}s}{(f'{x_hi:.3g}'):>10s}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}"
+        for i, name in enumerate(points)
+    )
+    lines.append(f"{'':>10s}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Shared infrastructure of the experiment harness.
+
+Every experiment module regenerates one of the paper's tables or figures
+as an :class:`ExperimentTable` — named columns, one row per x-axis point —
+which renders to an aligned ASCII table (what the benchmark harness
+prints) and to CSV (for external plotting).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.core.model import DistributedSystem
+from repro.schemes import standard_schemes
+from repro.schemes.base import LoadBalancingScheme, SchemeResult
+
+__all__ = ["ExperimentTable", "run_schemes", "SCHEME_ORDER"]
+
+#: Scheme identifiers in the paper's presentation order.
+SCHEME_ORDER: tuple[str, ...] = ("NASH", "GOS", "IOS", "PS")
+
+
+@dataclass(frozen=True)
+class ExperimentTable:
+    """One reproduced artifact (a paper table or figure's data).
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id from DESIGN.md's experiment index ("F4", "T1", ...).
+    title:
+        Human-readable description including the paper artifact.
+    columns:
+        Ordered column names.
+    rows:
+        One mapping per data point; keys must be a subset of ``columns``.
+    notes:
+        Free-form provenance notes (parameters, substitutions).
+    """
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[Mapping[str, Any], ...]
+    notes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            unknown = set(row) - set(self.columns)
+            if unknown:
+                raise ValueError(f"row has unknown columns: {sorted(unknown)}")
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _formatted_cells(self) -> list[list[str]]:
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.5g}"
+            return str(value)
+
+        return [[fmt(row.get(col)) for col in self.columns] for row in self.rows]
+
+    def to_ascii(self) -> str:
+        """Aligned, human-readable table (the benches print this)."""
+        cells = self._formatted_cells()
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        header = "  ".join(col.ljust(w) for col, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV text with a header row."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.columns))
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({col: row.get(col, "") for col in self.columns})
+        return buffer.getvalue()
+
+    def save_csv(self, path) -> None:
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+
+def run_schemes(
+    system: DistributedSystem,
+    schemes: Sequence[LoadBalancingScheme] | None = None,
+) -> dict[str, SchemeResult]:
+    """Allocate with every scheme, keyed by scheme name.
+
+    Defaults to the paper's four schemes (NASH, GOS, IOS, PS).
+    """
+    chosen = tuple(schemes) if schemes is not None else standard_schemes()
+    results: dict[str, SchemeResult] = {}
+    for scheme in chosen:
+        result = scheme.allocate(system)
+        if result.scheme in results:
+            raise ValueError(f"duplicate scheme name {result.scheme!r}")
+        results[result.scheme] = result
+    return results

@@ -1,0 +1,78 @@
+"""EXT8 — truthful payments: what eliciting the truth costs.
+
+Runs the Archer-Tardos mechanism (computers as selfish one-parameter
+agents, GOS allocation, truthful payments) on the Table-1 machine park
+across demand levels, reporting the **overpayment ratio** — total
+payments over the true cost of the allocated work — and each machine
+class's profit.  The ratio quantifies the *frugality* of truthful load
+balancing: the budget premium a cluster operator pays so that machine
+owners have no incentive to misreport their speeds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentTable
+from repro.mechanism import run_mechanism
+from repro.workloads.configs import table1_service_rates
+
+__all__ = ["run_mechanism_frugality"]
+
+
+def run_mechanism_frugality(
+    *,
+    demand_fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7),
+) -> ExperimentTable:
+    """Overpayment ratio and machine profits vs placed demand.
+
+    ``demand_fractions`` are fractions of the *contestable* capacity
+    ``sum(mu) - max(mu)`` (beyond it the fastest machine is indispensable
+    and no bounded truthful payment exists — that boundary is part of the
+    result).
+    """
+    mu = table1_service_rates()
+    true_costs = 1.0 / mu
+    contestable = float(mu.sum() - mu.max())
+
+    rows = []
+    for fraction in demand_fractions:
+        demand = float(fraction) * contestable
+        outcome = run_mechanism(true_costs, demand)
+        fast = mu == mu.max()
+        rows.append(
+            {
+                "demand_fraction": float(fraction),
+                "demand_jobs_per_sec": demand,
+                "machines_used": int(np.sum(outcome.loads > 0.0)),
+                "total_payment": float(outcome.payments.sum()),
+                "true_work_cost": float((true_costs * outcome.loads).sum()),
+                "overpayment_ratio": outcome.overpayment_ratio,
+                "fast_machine_profit": float(outcome.utilities[fast].sum()),
+            }
+        )
+    return ExperimentTable(
+        experiment_id="EXT8",
+        title="Mechanism design — the cost of truthful load balancing",
+        columns=(
+            "demand_fraction",
+            "demand_jobs_per_sec",
+            "machines_used",
+            "total_payment",
+            "true_work_cost",
+            "overpayment_ratio",
+            "fast_machine_profit",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "Table-1 machine park as selfish one-parameter agents "
+            "(true cost = 1/mu per job); GOS allocation on bids; "
+            "Archer-Tardos truthful payments",
+            f"demand expressed vs contestable capacity "
+            f"{contestable:.0f} jobs/s (sum(mu) - max(mu)); beyond it the "
+            "fastest machine is a monopolist and truthful payments are "
+            "unbounded",
+        ),
+    )

@@ -1,0 +1,183 @@
+"""EXT1/ABL1/ABL2 — extensions and ablations beyond the paper's figures.
+
+* **EXT1 (price of anarchy)** — the NASH/GOS overall-time ratio across
+  utilization, quantifying how little efficiency user-optimality costs
+  (the measure of Koutsoupias & Papadimitriou cited in the paper's
+  related work), plus a Stackelberg sweep over the leader's flow share.
+* **ABL1 (distributed vs sequential)** — same equilibrium from both NASH
+  drivers, with message counts: the protocol's cost is one token hop per
+  user per sweep.
+* **ABL2 (GOS split policies)** — the same optimal aggregate loads carry
+  very different fairness depending on how they are split among users.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.nash import compute_nash_equilibrium
+from repro.distributed import run_nash_protocol
+from repro.experiments.common import ExperimentTable
+from repro.queueing.metrics import price_of_anarchy
+from repro.schemes import (
+    GlobalOptimalScheme,
+    NashScheme,
+    StackelbergScheme,
+)
+from repro.workloads.sweeps import DEFAULT_UTILIZATIONS, utilization_sweep
+
+__all__ = ["run_price_of_anarchy", "run_stackelberg", "run_driver_ablation",
+           "run_gos_split_ablation"]
+
+
+def run_price_of_anarchy(
+    *,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    n_users: int = 10,
+) -> ExperimentTable:
+    """NASH/GOS overall response time ratio across system utilization."""
+    rows = []
+    gos = GlobalOptimalScheme()
+    nash = NashScheme()
+    for rho, system in utilization_sweep(utilizations, n_users=n_users):
+        nash_time = nash.allocate(system).overall_time
+        gos_time = gos.allocate(system).overall_time
+        rows.append(
+            {
+                "utilization": rho,
+                "ert_nash": nash_time,
+                "ert_gos": gos_time,
+                "price_of_anarchy": price_of_anarchy(nash_time, gos_time),
+            }
+        )
+    return ExperimentTable(
+        experiment_id="EXT1a",
+        title="Price of anarchy of the load balancing game vs utilization",
+        columns=("utilization", "ert_nash", "ert_gos", "price_of_anarchy"),
+        rows=tuple(rows),
+        notes=("Table-1 system; PoA = D(NASH) / D(GOS) >= 1",),
+    )
+
+
+def run_stackelberg(
+    *,
+    betas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    utilization: float = 0.6,
+    n_users: int = 10,
+) -> ExperimentTable:
+    """Stackelberg overall time as the leader's flow share grows.
+
+    ``beta = 0`` reduces to the Wardrop equilibrium (IOS) and ``beta = 1``
+    to the global optimum (GOS); intermediate shares interpolate.
+    """
+    from repro.workloads.configs import paper_table1_system
+
+    system = paper_table1_system(utilization=utilization, n_users=n_users)
+    gos_time = GlobalOptimalScheme().allocate(system).overall_time
+    rows = []
+    for beta in betas:
+        result = StackelbergScheme(beta=float(beta)).allocate(system)
+        rows.append(
+            {
+                "beta": float(beta),
+                "ert_stackelberg": result.overall_time,
+                "vs_gos": result.overall_time / gos_time,
+            }
+        )
+    return ExperimentTable(
+        experiment_id="EXT1b",
+        title="Stackelberg leader share sweep (Roughgarden-style extension)",
+        columns=("beta", "ert_stackelberg", "vs_gos"),
+        rows=tuple(rows),
+        notes=(f"Table-1 system, utilization {utilization:.0%}",),
+    )
+
+
+def run_driver_ablation(
+    *,
+    utilization: float = 0.6,
+    n_users: int = 10,
+    tolerance: float = 1e-6,
+) -> ExperimentTable:
+    """ABL1: sequential solver vs message-passing protocol."""
+    from repro.workloads.configs import paper_table1_system
+
+    system = paper_table1_system(utilization=utilization, n_users=n_users)
+    rows = []
+    for init in ("zero", "proportional"):
+        sequential = compute_nash_equilibrium(
+            system, init=init, tolerance=tolerance
+        )
+        protocol = run_nash_protocol(system, init=init, tolerance=tolerance)
+        gap = float(
+            np.abs(
+                sequential.profile.fractions - protocol.result.profile.fractions
+            ).max()
+        )
+        rows.append(
+            {
+                "init": init,
+                "iterations_sequential": sequential.iterations,
+                "iterations_protocol": protocol.result.iterations,
+                "messages": protocol.messages_sent,
+                "max_profile_gap": gap,
+            }
+        )
+    return ExperimentTable(
+        experiment_id="ABL1",
+        title="Ablation — sequential driver vs distributed ring protocol",
+        columns=(
+            "init",
+            "iterations_sequential",
+            "iterations_protocol",
+            "messages",
+            "max_profile_gap",
+        ),
+        rows=tuple(rows),
+        notes=(
+            f"Table-1 system, {n_users} users, utilization {utilization:.0%}; "
+            "message count = users x sweeps + termination circulation",
+        ),
+    )
+
+
+def run_gos_split_ablation(
+    *,
+    utilization: float = 0.6,
+    n_users: int = 10,
+) -> ExperimentTable:
+    """ABL2: how the GOS per-user split policy trades fairness for nothing.
+
+    All policies achieve the same (optimal) overall time — the fairness
+    differences are free choices the central optimizer makes silently.
+    """
+    from repro.workloads.configs import paper_table1_system
+
+    system = paper_table1_system(utilization=utilization, n_users=n_users)
+    rows = []
+    for split in ("sequential", "fair", "slsqp"):
+        result = GlobalOptimalScheme(split=split).allocate(system)  # type: ignore[arg-type]
+        rows.append(
+            {
+                "split": split,
+                "overall_time": result.overall_time,
+                "fairness": result.fairness,
+                "worst_user_time": float(result.user_times.max()),
+                "best_user_time": float(result.user_times.min()),
+            }
+        )
+    return ExperimentTable(
+        experiment_id="ABL2",
+        title="Ablation — GOS per-user split policies",
+        columns=(
+            "split",
+            "overall_time",
+            "fairness",
+            "worst_user_time",
+            "best_user_time",
+        ),
+        rows=tuple(rows),
+        notes=(f"Table-1 system, utilization {utilization:.0%}",),
+    )

@@ -1,0 +1,53 @@
+"""F3 — the paper's Figure 3 (iterations to equilibrium vs number of users).
+
+Sweeps the user population of the Table-1 system from 4 to 32 users at a
+constant total arrival rate, and counts the best-reply sweeps each
+initialization needs to reach the acceptance tolerance.  The paper's
+claim: NASH_P needs fewer iterations than NASH_0 at every population
+size, and the iteration count grows with the number of users.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.nash import NashSolver
+from repro.experiments.common import ExperimentTable
+from repro.workloads.sweeps import DEFAULT_USER_COUNTS, user_count_sweep
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    user_counts: Sequence[int] = DEFAULT_USER_COUNTS,
+    utilization: float = 0.6,
+    tolerance: float = 1e-4,
+    max_sweeps: int = 2000,
+) -> ExperimentTable:
+    """Iterations to convergence per user count, for both initializations."""
+    solver = NashSolver(tolerance=tolerance, max_sweeps=max_sweeps)
+    rows = []
+    for m, system in user_count_sweep(user_counts, utilization=utilization):
+        zero = solver.solve(system, "zero")
+        prop = solver.solve(system, "proportional")
+        if not (zero.converged and prop.converged):
+            raise RuntimeError(f"best-reply iteration did not converge for m={m}")
+        rows.append(
+            {
+                "users": m,
+                "iterations_nash_0": zero.iterations,
+                "iterations_nash_p": prop.iterations,
+                "saving": 1.0 - prop.iterations / zero.iterations,
+            }
+        )
+    return ExperimentTable(
+        experiment_id="F3",
+        title="Figure 3 — iterations to equilibrium vs number of users",
+        columns=("users", "iterations_nash_0", "iterations_nash_p", "saving"),
+        rows=tuple(rows),
+        notes=(
+            f"Table-1 computers, utilization {utilization:.0%}, "
+            f"tolerance {tolerance:g}",
+        ),
+    )

@@ -1,0 +1,54 @@
+"""F4 — the paper's Figure 4 (response time and fairness vs utilization).
+
+Sweeps the Table-1 system's utilization from 10% to 90% and reports, for
+each of NASH/GOS/IOS/PS, the overall expected response time (top panel)
+and Jain's fairness index of the per-user times (bottom panel).
+
+Qualitative shape to reproduce (paper Sec. 4.2.2):
+
+* low load (10-40%): NASH, GOS and IOS nearly coincide; PS is worst;
+* medium load (~50%): NASH ~30% better than PS, within ~10% of GOS;
+* high load: IOS and PS coincide (exactly, once every computer is used)
+  and sit above GOS and NASH, which stay close together;
+* fairness: PS and IOS pinned at 1; NASH close to 1; GOS degrades
+  sharply with load.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SCHEME_ORDER, ExperimentTable, run_schemes
+from repro.workloads.sweeps import DEFAULT_UTILIZATIONS, utilization_sweep
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    n_users: int = 10,
+) -> ExperimentTable:
+    """Overall response time and fairness per scheme across utilizations."""
+    columns = ["utilization"]
+    columns += [f"ert_{name.lower()}" for name in SCHEME_ORDER]
+    columns += [f"fairness_{name.lower()}" for name in SCHEME_ORDER]
+    rows = []
+    for rho, system in utilization_sweep(utilizations, n_users=n_users):
+        results = run_schemes(system)
+        row: dict[str, object] = {"utilization": rho}
+        for name in SCHEME_ORDER:
+            row[f"ert_{name.lower()}"] = results[name].overall_time
+            row[f"fairness_{name.lower()}"] = results[name].fairness
+        rows.append(row)
+    return ExperimentTable(
+        experiment_id="F4",
+        title="Figure 4 — expected response time and fairness vs utilization",
+        columns=tuple(columns),
+        rows=tuple(rows),
+        notes=(
+            f"Table-1 system shared by {n_users} users; analytic evaluation "
+            "at each scheme's allocation (simulation cross-validation in "
+            "experiment SIM)",
+        ),
+    )

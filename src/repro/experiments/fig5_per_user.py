@@ -1,0 +1,44 @@
+"""F5 — the paper's Figure 5 (per-user expected response time at 60% load).
+
+Evaluates all four schemes on the Table-1 system at medium load and
+reports every user's expected response time.  Shape to reproduce: PS and
+IOS give all users one (higher) value; GOS spreads users widely (some far
+better, some far worse — the price of the social optimum); NASH gives
+every user (here: symmetric users) the same, near-optimal value — its
+user-optimality argument.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SCHEME_ORDER, ExperimentTable, run_schemes
+from repro.workloads.configs import paper_table1_system
+
+__all__ = ["run"]
+
+
+def run(*, utilization: float = 0.6, n_users: int = 10) -> ExperimentTable:
+    """Per-user expected response times per scheme."""
+    system = paper_table1_system(utilization=utilization, n_users=n_users)
+    results = run_schemes(system)
+    columns = ["user"] + [f"ert_{name.lower()}" for name in SCHEME_ORDER]
+    rows = []
+    for j in range(n_users):
+        row: dict[str, object] = {"user": j + 1}
+        for name in SCHEME_ORDER:
+            row[f"ert_{name.lower()}"] = float(results[name].user_times[j])
+        rows.append(row)
+    spread = {
+        name: float(results[name].user_times.max() - results[name].user_times.min())
+        for name in SCHEME_ORDER
+    }
+    return ExperimentTable(
+        experiment_id="F5",
+        title="Figure 5 — expected response time for each user (60% load)",
+        columns=tuple(columns),
+        rows=tuple(rows),
+        notes=(
+            f"Table-1 system, utilization {utilization:.0%}",
+            "max-min spread per scheme: "
+            + ", ".join(f"{k}={v:.4g}" for k, v in spread.items()),
+        ),
+    )

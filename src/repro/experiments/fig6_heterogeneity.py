@@ -1,0 +1,53 @@
+"""F6 — the paper's Figure 6 (effect of heterogeneity).
+
+Sweeps the speed skewness (fast/slow service-rate ratio) of a 16-computer
+system — 2 fast, 14 slow — from 1 (homogeneous) to 20 (highly
+heterogeneous) at constant 60% utilization, reporting each scheme's
+overall expected response time and fairness index.
+
+Shape to reproduce (paper Sec. 4.2.3): with growing skewness NASH tracks
+GOS almost exactly; IOS approaches them only at high skewness but is poor
+at low skewness; PS is poor throughout because it overloads the slow
+computers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SCHEME_ORDER, ExperimentTable, run_schemes
+from repro.workloads.sweeps import DEFAULT_SKEWNESSES, skewness_sweep
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    skewnesses: Sequence[float] = DEFAULT_SKEWNESSES,
+    utilization: float = 0.6,
+    n_users: int = 10,
+) -> ExperimentTable:
+    """Overall response time and fairness per scheme across skewness values."""
+    columns = ["skewness"]
+    columns += [f"ert_{name.lower()}" for name in SCHEME_ORDER]
+    columns += [f"fairness_{name.lower()}" for name in SCHEME_ORDER]
+    rows = []
+    for skew, system in skewness_sweep(
+        skewnesses, utilization=utilization, n_users=n_users
+    ):
+        results = run_schemes(system)
+        row: dict[str, object] = {"skewness": skew}
+        for name in SCHEME_ORDER:
+            row[f"ert_{name.lower()}"] = results[name].overall_time
+            row[f"fairness_{name.lower()}"] = results[name].fairness
+        rows.append(row)
+    return ExperimentTable(
+        experiment_id="F6",
+        title="Figure 6 — effect of heterogeneity (speed skewness sweep)",
+        columns=tuple(columns),
+        rows=tuple(rows),
+        notes=(
+            "16 computers (2 fast, 14 slow), "
+            f"{n_users} users, utilization {utilization:.0%}",
+        ),
+    )

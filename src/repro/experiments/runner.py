@@ -1,0 +1,226 @@
+"""Command-line entry point regenerating every paper artifact.
+
+``repro-experiments``            — run everything, print ASCII tables.
+``repro-experiments f4 f6``      — run a subset by experiment id.
+``repro-experiments all --csv out/`` — also write one CSV per artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    ext_deployment,
+    ext_dynamics,
+    ext_mechanism,
+    ext_models,
+    extensions,
+    fig2_convergence,
+    fig3_users,
+    fig4_utilization,
+    fig5_per_user,
+    fig6_heterogeneity,
+    sim_validation,
+    table1,
+)
+from repro.experiments.ascii_plot import ascii_chart
+from repro.experiments.common import ExperimentTable
+
+__all__ = ["EXPERIMENTS", "run_experiment", "render_chart", "main"]
+
+#: Experiment id -> zero-argument callable producing the artifact.
+EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
+    "t1": table1.run,
+    "f2": fig2_convergence.run,
+    "f3": fig3_users.run,
+    "f4": fig4_utilization.run,
+    "f5": fig5_per_user.run,
+    "f6": fig6_heterogeneity.run,
+    "sim": sim_validation.run,
+    "ext1a": extensions.run_price_of_anarchy,
+    "ext1b": extensions.run_stackelberg,
+    "abl1": extensions.run_driver_ablation,
+    "abl2": extensions.run_gos_split_ablation,
+    "abl3": ext_dynamics.run_update_order_ablation,
+    "abl4": ext_dynamics.run_noise_ablation,
+    "ext2": ext_dynamics.run_dynamic_policies,
+    "ext3": ext_dynamics.run_cooperative,
+    "ext4": ext_models.run_comm_delay,
+    "ext5": ext_models.run_misspecification,
+    "ext6": ext_deployment.run_measured_loop,
+    "ext7": ext_models.run_bursty_arrivals,
+    "ext8": ext_mechanism.run_mechanism_frugality,
+    "abl5": ext_deployment.run_fault_tolerance,
+}
+
+
+#: Chart recipes per experiment id; figures with two panels in the paper
+#: (response time + fairness) get two recipes, rendered in order.
+#: Each recipe: (x column, y columns, log y, y-axis label).
+_Recipe = tuple[str, tuple[str, ...], bool, str]
+_CHARTS: dict[str, tuple[_Recipe, ...]] = {
+    "f2": (
+        ("iteration", ("norm_nash_0", "norm_nash_p"), True, "norm"),
+    ),
+    "f3": (
+        (
+            "users",
+            ("iterations_nash_0", "iterations_nash_p"),
+            False,
+            "iterations",
+        ),
+    ),
+    "f4": (
+        (
+            "utilization",
+            ("ert_nash", "ert_gos", "ert_ios", "ert_ps"),
+            False,
+            "expected response time (s)",
+        ),
+        (
+            "utilization",
+            (
+                "fairness_nash",
+                "fairness_gos",
+                "fairness_ios",
+                "fairness_ps",
+            ),
+            False,
+            "fairness index",
+        ),
+    ),
+    "f6": (
+        (
+            "skewness",
+            ("ert_nash", "ert_gos", "ert_ios", "ert_ps"),
+            False,
+            "expected response time (s)",
+        ),
+        (
+            "skewness",
+            (
+                "fairness_nash",
+                "fairness_gos",
+                "fairness_ios",
+                "fairness_ps",
+            ),
+            False,
+            "fairness index",
+        ),
+    ),
+    "ext1a": (
+        ("utilization", ("price_of_anarchy",), False, "PoA"),
+    ),
+    "abl4": (
+        (
+            "noise",
+            ("final_regret_raw", "final_regret_smoothed"),
+            True,
+            "regret (s)",
+        ),
+    ),
+}
+
+
+def render_chart(experiment_id: str, table: ExperimentTable) -> str | None:
+    """ASCII chart(s) for experiments whose figure has line-plot form.
+
+    Two-panel paper figures (response time + fairness) render as two
+    stacked charts, separated by a blank line.
+    """
+    recipes = _CHARTS.get(experiment_id.lower())
+    if recipes is None:
+        return None
+    panels = []
+    for x_col, y_cols, logy, y_label in recipes:
+        series = {col: table.column(col) for col in y_cols}
+        try:
+            panels.append(
+                ascii_chart(
+                    table.column(x_col),
+                    series,
+                    logy=logy,
+                    x_label=x_col,
+                    y_label=y_label,
+                )
+            )
+        except ValueError:
+            continue
+    if not panels:
+        return None
+    return "\n\n".join(panels)
+
+
+def run_experiment(experiment_id: str) -> ExperimentTable:
+    """Run one experiment by its (case-insensitive) id."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key]()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (default: all); known: "
+        + ", ".join(sorted(EXPERIMENTS)),
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write <DIR>/<id>.csv per experiment",
+    )
+    parser.add_argument(
+        "--no-charts",
+        action="store_true",
+        help="suppress the ASCII charts under figure tables",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments
+    if chosen == ["all"] or chosen == []:
+        chosen = sorted(EXPERIMENTS)
+    try:
+        tables = []
+        for experiment_id in chosen:
+            started = time.perf_counter()
+            table = run_experiment(experiment_id)
+            elapsed = time.perf_counter() - started
+            tables.append((experiment_id, table, elapsed))
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    for experiment_id, table, elapsed in tables:
+        print(table.to_ascii())
+        if not args.no_charts:
+            chart = render_chart(experiment_id, table)
+            if chart is not None:
+                print()
+                print(chart)
+        print(f"({experiment_id} regenerated in {elapsed:.2f}s)")
+        print()
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"{experiment_id.lower()}.csv")
+            table.save_csv(path)
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,165 @@
+"""High-level facade over the load balancing game.
+
+:class:`LoadBalancingGame` bundles the system model, the solvers and the
+baselines behind one object so downstream code can ask the natural
+questions in one line each::
+
+    game = LoadBalancingGame.from_rates([100, 50, 20], [60, 30])
+    eq = game.nash()                      # the paper's equilibrium
+    game.price_of_anarchy()               # vs the social optimum
+    game.compare()                        # all schemes, one table
+
+Everything here delegates to the underlying modules — the facade adds no
+new semantics, only ergonomics — so library users who need control keep
+using :mod:`repro.core` and :mod:`repro.schemes` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.equilibrium import EquilibriumCertificate, best_response_regrets
+from repro.core.model import DistributedSystem
+from repro.core.nash import NashResult, NashSolver
+from repro.core.strategy import StrategyProfile
+from repro.queueing.metrics import price_of_anarchy as _poa
+from repro.schemes import (
+    CooperativeScheme,
+    GlobalOptimalScheme,
+    IndividualOptimalScheme,
+    NashScheme,
+    ProportionalScheme,
+)
+from repro.schemes.base import SchemeResult
+
+__all__ = ["LoadBalancingGame"]
+
+
+@dataclass
+class LoadBalancingGame:
+    """One distributed system, all the paper's questions.
+
+    Results of the heavier solvers are memoized per instance; create a
+    fresh game (or call :meth:`invalidate`) after changing your mind
+    about the system.
+    """
+
+    system: DistributedSystem
+    tolerance: float = 1e-8
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rates(cls, service_rates, arrival_rates, **kwargs) -> "LoadBalancingGame":
+        """Build straight from rate vectors (jobs/second)."""
+        return cls(
+            DistributedSystem(
+                service_rates=service_rates, arrival_rates=arrival_rates
+            ),
+            **kwargs,
+        )
+
+    def invalidate(self) -> None:
+        """Drop memoized solver results."""
+        self._cache.clear()
+
+    def _memo(self, key: str, compute):
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # Solutions
+    # ------------------------------------------------------------------
+    def nash(self, *, init: str = "proportional") -> NashResult:
+        """The noncooperative (Nash) equilibrium — the paper's scheme."""
+        return self._memo(
+            f"nash:{init}",
+            lambda: NashSolver(tolerance=self.tolerance).solve(
+                self.system, init  # type: ignore[arg-type]
+            ),
+        )
+
+    def nash_allocation(self) -> SchemeResult:
+        return self._memo(
+            "nash_result",
+            lambda: NashScheme(tolerance=self.tolerance).allocate(self.system),
+        )
+
+    def global_optimal(self, *, split: str = "sequential") -> SchemeResult:
+        return self._memo(
+            f"gos:{split}",
+            lambda: GlobalOptimalScheme(split=split).allocate(  # type: ignore[arg-type]
+                self.system
+            ),
+        )
+
+    def wardrop(self) -> SchemeResult:
+        """The individually-optimal (IOS / Wardrop) allocation."""
+        return self._memo(
+            "ios", lambda: IndividualOptimalScheme().allocate(self.system)
+        )
+
+    def proportional(self) -> SchemeResult:
+        return self._memo(
+            "ps", lambda: ProportionalScheme().allocate(self.system)
+        )
+
+    def bargaining(self) -> SchemeResult:
+        """The cooperative Nash Bargaining Solution (PS disagreement)."""
+        return self._memo(
+            "nbs", lambda: CooperativeScheme().allocate(self.system)
+        )
+
+    # ------------------------------------------------------------------
+    # Questions
+    # ------------------------------------------------------------------
+    def best_response(self, user: int, profile: StrategyProfile):
+        """One user's optimal reply against a profile (OPTIMAL algorithm)."""
+        from repro.core.best_response import best_response
+
+        return best_response(self.system, profile, user)
+
+    def verify(self, profile: StrategyProfile) -> EquilibriumCertificate:
+        """Constructive equilibrium certificate for any feasible profile."""
+        return best_response_regrets(self.system, profile)
+
+    def price_of_anarchy(self) -> float:
+        """D(NASH)/D(GOS) — the efficiency cost of selfishness."""
+        return _poa(
+            self.nash_allocation().overall_time,
+            self.global_optimal().overall_time,
+        )
+
+    def compare(self) -> dict[str, SchemeResult]:
+        """All five schemes' allocations, keyed by scheme name."""
+        results = [
+            self.nash_allocation(),
+            self.global_optimal(),
+            self.wardrop(),
+            self.proportional(),
+            self.bargaining(),
+        ]
+        return {result.scheme: result for result in results}
+
+    def summary(self) -> str:
+        """Human-readable comparison of all schemes."""
+        lines = [
+            f"LoadBalancingGame: {self.system.n_computers} computers, "
+            f"{self.system.n_users} users, "
+            f"utilization {self.system.system_utilization:.0%}",
+            f"{'scheme':8s} {'overall time':>14s} {'fairness':>9s} "
+            f"{'worst user':>11s}",
+        ]
+        for name, result in self.compare().items():
+            lines.append(
+                f"{name:8s} {result.overall_time:14.6f} "
+                f"{result.fairness:9.4f} "
+                f"{float(result.user_times.max()):11.6f}"
+            )
+        lines.append(f"price of anarchy: {self.price_of_anarchy():.4f}")
+        return "\n".join(lines)

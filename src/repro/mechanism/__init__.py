@@ -1,0 +1,25 @@
+"""Algorithmic mechanism design for load balancing (companion extension).
+
+Computers as selfish one-parameter agents, the GOS allocation as the
+social choice, and Archer-Tardos payments making truth-telling dominant.
+"""
+
+from repro.mechanism.archer_tardos import (
+    MechanismOutcome,
+    agent_utility,
+    allocate_for_bids,
+    run_mechanism,
+    truthful_payment,
+    work_curve,
+    work_curve_cutoff,
+)
+
+__all__ = [
+    "MechanismOutcome",
+    "agent_utility",
+    "allocate_for_bids",
+    "run_mechanism",
+    "truthful_payment",
+    "work_curve",
+    "work_curve_cutoff",
+]

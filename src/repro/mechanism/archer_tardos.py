@@ -1,0 +1,207 @@
+"""Truthful payments for load balancing (algorithmic mechanism design).
+
+The authors' companion work ("Algorithmic Mechanism Design for Load
+Balancing in Distributed Systems", Grosu & Chronopoulos, CLUSTER 2002)
+flips the strategic role: the *computers* are selfish.  Each computer
+``i`` privately knows its true cost per unit of work — here the
+processing time ``t_i = 1/mu_i`` per job — and *bids* a claimed cost.
+The mechanism allocates load by the GOS water-fill on the bid rates and
+pays each computer so that bidding the truth is a dominant strategy.
+
+The construction is the Archer-Tardos one-parameter framework:
+
+* the work curve ``w_i(b)`` — load assigned to ``i`` when it bids ``b``
+  and everyone else's bids stay fixed — is **non-increasing in the bid**
+  (a slower-claiming computer gets no more work; the water-fill
+  guarantees this), which is exactly the condition under which a
+  truthful payment exists;
+* the truthful payment is
+
+      p_i(b) = b * w_i(b) + integral_b^infinity w_i(u) du,
+
+  giving utility ``u_i(b) = p_i(b) - t_i * w_i(b)``; truth-telling
+  maximizes it for every fixed profile of other bids, and utility at
+  truth is nonnegative (voluntary participation).
+
+The integral is finite because every computer leaves the allocation's
+support at a finite bid (claim slow enough and the water-fill drops
+you); :func:`work_curve_cutoff` locates that bid and Gauss-Legendre
+quadrature integrates the smooth segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import integrate
+
+from repro.core.waterfill import sqrt_waterfill
+
+__all__ = [
+    "MechanismOutcome",
+    "allocate_for_bids",
+    "work_curve",
+    "work_curve_cutoff",
+    "truthful_payment",
+    "run_mechanism",
+    "agent_utility",
+]
+
+
+def allocate_for_bids(bids, total_demand: float) -> np.ndarray:
+    """Socially optimal loads when computer ``i`` claims cost ``bids[i]``.
+
+    Bids are processing times per job; the mechanism treats them as true
+    and runs the GOS water-fill on the implied rates ``1/bid``.
+    """
+    bids = np.asarray(bids, dtype=float)
+    if np.any(bids <= 0.0) or not np.all(np.isfinite(bids)):
+        raise ValueError("bids must be positive and finite")
+    if total_demand < 0.0:
+        raise ValueError("demand must be nonnegative")
+    rates = 1.0 / bids
+    if total_demand >= rates.sum():
+        raise ValueError("demand must be below the claimed total rate")
+    return sqrt_waterfill(rates, total_demand).loads
+
+
+def work_curve(
+    index: int, bid: float, other_bids, total_demand: float
+) -> float:
+    """Work assigned to ``index`` when it bids ``bid`` (others fixed)."""
+    bids = np.asarray(other_bids, dtype=float).copy()
+    bids[index] = bid
+    return float(allocate_for_bids(bids, total_demand)[index])
+
+
+def work_curve_cutoff(
+    index: int, other_bids, total_demand: float, *, atol: float = 1e-12
+) -> float:
+    """Smallest bid at which ``index`` receives (essentially) no work.
+
+    Exists whenever the other computers alone can absorb the demand;
+    otherwise the curve never reaches zero and ``inf`` is returned
+    (the payment integral then diverges — the computer is a monopolist
+    and no truthful bounded payment exists, which the caller rejects).
+    """
+    others = np.asarray(other_bids, dtype=float)
+    rest = np.delete(1.0 / others, index)
+    if total_demand >= rest.sum():
+        return float("inf")
+    lo = float(others[index])
+    while work_curve(index, lo, others, total_demand) <= atol:
+        lo /= 2.0  # start below any current cutoff
+        if lo < 1e-12:
+            break
+    hi = lo
+    while work_curve(index, hi, others, total_demand) > atol:
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover - guarded by the rest-sum check
+            return float("inf")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if work_curve(index, mid, others, total_demand) > atol:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * hi:
+            break
+    return hi
+
+
+def truthful_payment(
+    index: int, bids, total_demand: float
+) -> float:
+    """The Archer-Tardos payment to computer ``index`` at the given bids."""
+    bids = np.asarray(bids, dtype=float)
+    own_bid = float(bids[index])
+    work_at_bid = work_curve(index, own_bid, bids, total_demand)
+    cutoff = work_curve_cutoff(index, bids, total_demand)
+    if not np.isfinite(cutoff):
+        raise ValueError(
+            "computer is indispensable (others cannot absorb the demand); "
+            "no bounded truthful payment exists"
+        )
+    if cutoff <= own_bid:
+        return own_bid * work_at_bid  # already out of the allocation
+    tail, _err = integrate.quad(
+        lambda u: work_curve(index, u, bids, total_demand),
+        own_bid,
+        cutoff,
+        limit=200,
+    )
+    return own_bid * work_at_bid + float(tail)
+
+
+@dataclass(frozen=True)
+class MechanismOutcome:
+    """One run of the truthful load allocation mechanism.
+
+    Attributes
+    ----------
+    loads:
+        Work (jobs/sec) assigned to each computer at the submitted bids.
+    payments:
+        Payment rate to each computer.
+    utilities:
+        ``payment - true_cost * load`` per computer (true costs supplied
+        by the caller; equals the profit of each machine owner).
+    overpayment_ratio:
+        Total payments over the true cost of the allocated work — the
+        price of eliciting the truth (the frugality question).
+    """
+
+    loads: np.ndarray
+    payments: np.ndarray
+    utilities: np.ndarray
+    overpayment_ratio: float
+
+
+def agent_utility(
+    index: int, true_cost: float, bids, total_demand: float
+) -> float:
+    """Computer ``index``'s profit under the given bid profile."""
+    bids = np.asarray(bids, dtype=float)
+    payment = truthful_payment(index, bids, total_demand)
+    work = work_curve(index, float(bids[index]), bids, total_demand)
+    return payment - true_cost * work
+
+
+def run_mechanism(
+    true_costs, total_demand: float, *, bids=None
+) -> MechanismOutcome:
+    """Execute the mechanism (truthful bids unless overridden).
+
+    Parameters
+    ----------
+    true_costs:
+        ``t_i = 1/mu_i`` — each computer's private per-job processing
+        time.
+    total_demand:
+        ``Phi`` — the job flow to be placed.
+    bids:
+        Claimed costs; defaults to the truth (the dominant strategy).
+    """
+    true_costs = np.asarray(true_costs, dtype=float)
+    if bids is None:
+        bids = true_costs.copy()
+    bids = np.asarray(bids, dtype=float)
+    if bids.shape != true_costs.shape:
+        raise ValueError("bids and true costs must align")
+    loads = allocate_for_bids(bids, total_demand)
+    payments = np.array(
+        [
+            truthful_payment(i, bids, total_demand)
+            for i in range(bids.size)
+        ]
+    )
+    utilities = payments - true_costs * loads
+    true_work_cost = float((true_costs * loads).sum())
+    ratio = float(payments.sum() / true_work_cost) if true_work_cost > 0 else 1.0
+    return MechanismOutcome(
+        loads=loads,
+        payments=payments,
+        utilities=utilities,
+        overpayment_ratio=ratio,
+    )

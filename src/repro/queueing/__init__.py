@@ -1,0 +1,61 @@
+"""Queueing-theoretic substrate: M/M/1 analytics, metrics, stability."""
+
+from repro.queueing.mg1 import (
+    expected_number_in_system_mg1,
+    expected_response_time_mg1,
+    expected_waiting_time_mg1,
+)
+from repro.queueing.mm1 import (
+    expected_number_in_queue,
+    expected_number_in_system,
+    expected_response_time,
+    expected_waiting_time,
+    is_stable,
+    marginal_delay,
+    response_time_cdf,
+    response_time_quantile,
+    total_delay,
+    utilization,
+)
+from repro.queueing.metrics import (
+    fairness_index,
+    overall_response_time,
+    price_of_anarchy,
+    relative_gap,
+    speedup,
+    sweep_norm,
+)
+from repro.queueing.stability import (
+    SLACK,
+    assert_loads_stable,
+    assert_system_stable,
+    max_stable_total_rate,
+    stability_margin,
+)
+
+__all__ = [
+    "expected_number_in_system_mg1",
+    "expected_response_time_mg1",
+    "expected_waiting_time_mg1",
+    "expected_number_in_queue",
+    "expected_number_in_system",
+    "expected_response_time",
+    "expected_waiting_time",
+    "is_stable",
+    "marginal_delay",
+    "response_time_cdf",
+    "response_time_quantile",
+    "total_delay",
+    "utilization",
+    "fairness_index",
+    "overall_response_time",
+    "price_of_anarchy",
+    "relative_gap",
+    "speedup",
+    "sweep_norm",
+    "SLACK",
+    "assert_loads_stable",
+    "assert_system_stable",
+    "max_stable_total_rate",
+    "stability_margin",
+]

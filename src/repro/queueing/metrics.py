@@ -1,0 +1,110 @@
+"""Performance metrics used in the paper's evaluation (Sec. 4.1).
+
+Two headline metrics drive every table and figure:
+
+* the **expected response time**, per user (``D_j``) and overall
+  (``D = (1/Phi) * sum_j phi_j D_j``), and
+* the **fairness index** of Jain, Chiu & Hawe (DEC-TR-301, 1984),
+  ``I(D) = (sum_j D_j)^2 / (m * sum_j D_j^2)``,
+
+plus, as extensions, the price of anarchy (Koutsoupias & Papadimitriou
+1999) and convergence norms for the best-reply dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "fairness_index",
+    "overall_response_time",
+    "price_of_anarchy",
+    "speedup",
+    "sweep_norm",
+    "relative_gap",
+]
+
+
+def fairness_index(values) -> float:
+    """Jain's fairness index of a vector of per-user costs.
+
+    ``I(x) = (sum x)^2 / (m * sum x^2)``.  Equals 1 exactly when all
+    entries are equal, and ``1/m`` in the most discriminatory case (all the
+    cost concentrated on one user).  Scale invariant.
+
+    Parameters
+    ----------
+    values:
+        Per-user expected response times ``(D_1 .. D_m)``; must be
+        nonnegative with at least one strictly positive entry.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("fairness index requires a nonempty 1-D vector")
+    if np.any(x < 0.0):
+        raise ValueError("fairness index requires nonnegative values")
+    total = x.sum()
+    square_sum = float(x @ x)
+    if square_sum == 0.0:
+        raise ValueError("fairness index undefined for the all-zero vector")
+    return float(total * total / (x.size * square_sum))
+
+
+def overall_response_time(per_user_times, arrival_rates) -> float:
+    """Traffic-weighted overall expected response time.
+
+    ``D = (1 / Phi) * sum_j phi_j D_j`` — the quantity the GOS baseline
+    minimizes and the y-axis of the paper's Figures 4 and 6.
+    """
+    d = np.asarray(per_user_times, dtype=float)
+    phi = np.asarray(arrival_rates, dtype=float)
+    if d.shape != phi.shape:
+        raise ValueError("per-user times and arrival rates must align")
+    total = phi.sum()
+    if total <= 0.0:
+        raise ValueError("total arrival rate must be positive")
+    return float(d @ phi / total)
+
+
+def price_of_anarchy(nash_overall_time: float, optimal_overall_time: float) -> float:
+    """Ratio of the equilibrium overall time to the social optimum.
+
+    Always >= 1 (up to numerical tolerance); equals 1 when selfish play is
+    socially optimal.
+    """
+    if optimal_overall_time <= 0.0:
+        raise ValueError("optimal overall time must be positive")
+    if nash_overall_time < 0.0:
+        raise ValueError("nash overall time must be nonnegative")
+    return nash_overall_time / optimal_overall_time
+
+
+def speedup(baseline_time: float, improved_time: float) -> float:
+    """``baseline / improved`` — how many times faster the improved scheme is."""
+    if improved_time <= 0.0:
+        raise ValueError("improved time must be positive")
+    return baseline_time / improved_time
+
+
+def relative_gap(value: float, reference: float) -> float:
+    """Signed relative difference ``(value - reference) / reference``.
+
+    Used to express statements like "NASH is 7% above GOS at 50% load".
+    """
+    if reference == 0.0:
+        raise ValueError("reference must be nonzero")
+    return (value - reference) / reference
+
+
+def sweep_norm(previous_times, current_times) -> float:
+    """Convergence norm accumulated by one best-reply sweep.
+
+    The NASH distributed algorithm (paper Sec. 3) accumulates
+    ``norm += |D_j^{(l)} - D_j^{(l-1)}|`` as each user in the ring updates;
+    a full sweep's norm below the tolerance terminates the iteration.
+    """
+    prev = np.asarray(previous_times, dtype=float)
+    curr = np.asarray(current_times, dtype=float)
+    if prev.shape != curr.shape:
+        raise ValueError("time vectors must have identical shapes")
+    return float(np.abs(curr - prev).sum())

@@ -1,0 +1,162 @@
+"""M/M/1 queueing analytics.
+
+The paper models every computer in the distributed system as an M/M/1
+queueing system (Poisson arrivals, exponentially distributed service times,
+a single FCFS server; Kleinrock, *Queueing Systems* vol. 1).  This module
+collects the closed-form stationary quantities used throughout the
+reproduction, both for the analytic solvers (the expected response time is
+the players' cost function) and as the oracle against which the
+discrete-event simulation engine is validated.
+
+All functions are vectorized: scalar or array inputs are accepted and the
+result follows numpy broadcasting rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "utilization",
+    "expected_response_time",
+    "expected_waiting_time",
+    "expected_number_in_system",
+    "expected_number_in_queue",
+    "response_time_quantile",
+    "response_time_cdf",
+    "is_stable",
+    "marginal_delay",
+    "total_delay",
+]
+
+
+def utilization(arrival_rate, service_rate):
+    """Server utilization ``rho = lambda / mu``.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate ``lambda`` (jobs/second).
+    service_rate:
+        Exponential service rate ``mu`` (jobs/second).
+    """
+    arrival_rate = np.asarray(arrival_rate, dtype=float)
+    service_rate = np.asarray(service_rate, dtype=float)
+    if np.any(service_rate <= 0.0):
+        raise ValueError("service rate must be positive")
+    if np.any(arrival_rate < 0.0):
+        raise ValueError("arrival rate must be nonnegative")
+    return arrival_rate / service_rate
+
+
+def is_stable(arrival_rate, service_rate) -> bool | np.ndarray:
+    """Whether the queue is stable, i.e. ``lambda < mu``.
+
+    Returns a boolean (or boolean array under broadcasting).
+    """
+    arrival_rate = np.asarray(arrival_rate, dtype=float)
+    service_rate = np.asarray(service_rate, dtype=float)
+    result = arrival_rate < service_rate
+    if result.ndim == 0:
+        return bool(result)
+    return result
+
+
+def _check_stable(arrival_rate: np.ndarray, service_rate: np.ndarray) -> None:
+    if np.any(arrival_rate >= service_rate):
+        raise ValueError(
+            "unstable queue: arrival rate must be strictly below service rate"
+        )
+    if np.any(arrival_rate < 0.0):
+        raise ValueError("arrival rate must be nonnegative")
+
+
+def expected_response_time(arrival_rate, service_rate):
+    """Stationary expected response (sojourn) time ``T = 1 / (mu - lambda)``.
+
+    This is the paper's eq. (1): the cost a job pays at computer ``i`` when
+    the aggregate flow into it is ``lambda_i``.
+    """
+    arrival_rate = np.asarray(arrival_rate, dtype=float)
+    service_rate = np.asarray(service_rate, dtype=float)
+    _check_stable(arrival_rate, service_rate)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def expected_waiting_time(arrival_rate, service_rate):
+    """Stationary expected waiting time in queue ``W = rho / (mu - lambda)``."""
+    arrival_rate = np.asarray(arrival_rate, dtype=float)
+    service_rate = np.asarray(service_rate, dtype=float)
+    _check_stable(arrival_rate, service_rate)
+    return arrival_rate / (service_rate * (service_rate - arrival_rate))
+
+
+def expected_number_in_system(arrival_rate, service_rate):
+    """Stationary mean number in system ``L = rho / (1 - rho)``."""
+    rho = utilization(arrival_rate, service_rate)
+    if np.any(rho >= 1.0):
+        raise ValueError("unstable queue: utilization must be below 1")
+    return rho / (1.0 - rho)
+
+
+def expected_number_in_queue(arrival_rate, service_rate):
+    """Stationary mean queue length ``Lq = rho^2 / (1 - rho)``."""
+    rho = utilization(arrival_rate, service_rate)
+    if np.any(rho >= 1.0):
+        raise ValueError("unstable queue: utilization must be below 1")
+    return rho * rho / (1.0 - rho)
+
+
+def response_time_cdf(t, arrival_rate, service_rate):
+    """CDF of the stationary response time: ``1 - exp(-(mu - lambda) t)``.
+
+    The M/M/1 sojourn time is exponential with rate ``mu - lambda``.
+    """
+    t = np.asarray(t, dtype=float)
+    arrival_rate = np.asarray(arrival_rate, dtype=float)
+    service_rate = np.asarray(service_rate, dtype=float)
+    _check_stable(arrival_rate, service_rate)
+    if np.any(t < 0.0):
+        raise ValueError("time must be nonnegative")
+    return 1.0 - np.exp(-(service_rate - arrival_rate) * t)
+
+
+def response_time_quantile(q, arrival_rate, service_rate):
+    """Quantile of the stationary response time distribution.
+
+    Inverse of :func:`response_time_cdf`; useful for tail-latency style
+    reporting on top of the mean values the paper uses.
+    """
+    q = np.asarray(q, dtype=float)
+    if np.any((q < 0.0) | (q >= 1.0)):
+        raise ValueError("quantile level must lie in [0, 1)")
+    arrival_rate = np.asarray(arrival_rate, dtype=float)
+    service_rate = np.asarray(service_rate, dtype=float)
+    _check_stable(arrival_rate, service_rate)
+    return -np.log1p(-q) / (service_rate - arrival_rate)
+
+
+def total_delay(arrival_rate, service_rate):
+    """Aggregate delay rate ``lambda * T = lambda / (mu - lambda)``.
+
+    Summed over computers and divided by the total arrival rate this is the
+    overall expected response time minimized by the GOS baseline.
+    """
+    arrival_rate = np.asarray(arrival_rate, dtype=float)
+    service_rate = np.asarray(service_rate, dtype=float)
+    _check_stable(arrival_rate, service_rate)
+    return arrival_rate / (service_rate - arrival_rate)
+
+
+def marginal_delay(arrival_rate, service_rate):
+    """Derivative ``d/d lambda [lambda / (mu - lambda)] = mu / (mu - lambda)^2``.
+
+    The first-order (KKT) conditions of both the user's best-response
+    problem and the global optimum equalize this quantity over the support,
+    which is the basis of the water-filling solvers.
+    """
+    arrival_rate = np.asarray(arrival_rate, dtype=float)
+    service_rate = np.asarray(service_rate, dtype=float)
+    _check_stable(arrival_rate, service_rate)
+    gap = service_rate - arrival_rate
+    return service_rate / (gap * gap)

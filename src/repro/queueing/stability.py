@@ -1,0 +1,84 @@
+"""System-level stability checks.
+
+The load balancing game is well posed only while the total arrival rate is
+strictly below the aggregate processing rate (paper Sec. 2) and every
+computer's individual queue stays subcritical under the chosen strategy
+profile (constraint (iii), "stability").  These helpers centralize those
+checks so solvers, the simulation engine and the experiment harness agree
+on one definition, including the numerical slack used near the boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SLACK",
+    "assert_system_stable",
+    "assert_loads_stable",
+    "stability_margin",
+    "max_stable_total_rate",
+]
+
+#: Relative slack kept between a load and its service rate when projecting
+#: onto the stability region; also the tolerance for stability assertions.
+SLACK = 1e-9
+
+
+def assert_system_stable(service_rates, arrival_rates) -> None:
+    """Raise ``ValueError`` unless ``sum(phi) < sum(mu)``."""
+    mu = np.asarray(service_rates, dtype=float)
+    phi = np.asarray(arrival_rates, dtype=float)
+    total_mu = mu.sum()
+    total_phi = phi.sum()
+    if not total_phi < total_mu:
+        raise ValueError(
+            "total arrival rate %.6g must be strictly below the aggregate "
+            "processing rate %.6g" % (total_phi, total_mu)
+        )
+
+
+def assert_loads_stable(loads, service_rates, *, tol: float = SLACK) -> None:
+    """Raise ``ValueError`` unless ``lambda_i < mu_i`` for every computer.
+
+    A relative tolerance ``tol`` is allowed so that loads produced by
+    floating-point water-filling right at the boundary do not spuriously
+    fail.
+    """
+    lam = np.asarray(loads, dtype=float)
+    mu = np.asarray(service_rates, dtype=float)
+    if lam.shape != mu.shape:
+        raise ValueError("loads and service rates must align")
+    if np.any(lam < -tol * mu):
+        raise ValueError("negative load on some computer")
+    if np.any(lam >= mu * (1.0 - tol)):
+        worst = int(np.argmax(lam / mu))
+        raise ValueError(
+            "computer %d unstable: load %.6g vs service rate %.6g"
+            % (worst, lam[worst], mu[worst])
+        )
+
+
+def stability_margin(loads, service_rates) -> float:
+    """Smallest relative gap ``min_i (mu_i - lambda_i) / mu_i``.
+
+    Positive for stable profiles; the closer to zero, the closer some queue
+    is to saturation.
+    """
+    lam = np.asarray(loads, dtype=float)
+    mu = np.asarray(service_rates, dtype=float)
+    if lam.shape != mu.shape:
+        raise ValueError("loads and service rates must align")
+    return float(np.min((mu - lam) / mu))
+
+
+def max_stable_total_rate(service_rates, *, margin: float = 0.0) -> float:
+    """Largest total arrival rate with the given relative safety margin.
+
+    ``margin = 0.1`` returns 90% of the aggregate processing rate, the way
+    the paper expresses workloads as system utilization percentages.
+    """
+    if not 0.0 <= margin < 1.0:
+        raise ValueError("margin must lie in [0, 1)")
+    mu = np.asarray(service_rates, dtype=float)
+    return float(mu.sum() * (1.0 - margin))

@@ -1,0 +1,56 @@
+"""Static load balancing schemes: NASH and the paper's baselines."""
+
+from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
+from repro.schemes.cooperative import CooperativeScheme, nash_bargaining_profile
+from repro.schemes.global_optimal import (
+    GlobalOptimalScheme,
+    global_optimal_loads,
+    sequential_fill_split,
+    solve_gos_nlp,
+)
+from repro.schemes.individual_optimal import (
+    IndividualOptimalScheme,
+    flow_deviation_loads,
+    wardrop_loads,
+    wardrop_response_time,
+)
+from repro.schemes.nash_scheme import NashScheme
+from repro.schemes.proportional import ProportionalScheme, proportional_response_time
+from repro.schemes.stackelberg import (
+    StackelbergScheme,
+    induced_equilibrium_loads,
+    stackelberg_total_cost,
+)
+
+__all__ = [
+    "LoadBalancingScheme",
+    "SchemeResult",
+    "evaluate_profile",
+    "CooperativeScheme",
+    "nash_bargaining_profile",
+    "GlobalOptimalScheme",
+    "global_optimal_loads",
+    "sequential_fill_split",
+    "solve_gos_nlp",
+    "IndividualOptimalScheme",
+    "flow_deviation_loads",
+    "wardrop_loads",
+    "wardrop_response_time",
+    "NashScheme",
+    "ProportionalScheme",
+    "proportional_response_time",
+    "StackelbergScheme",
+    "induced_equilibrium_loads",
+    "stackelberg_total_cost",
+    "standard_schemes",
+]
+
+
+def standard_schemes() -> tuple[LoadBalancingScheme, ...]:
+    """The four schemes compared throughout the paper's Section 4."""
+    return (
+        NashScheme(),
+        GlobalOptimalScheme(),
+        IndividualOptimalScheme(),
+        ProportionalScheme(),
+    )

@@ -1,0 +1,93 @@
+"""Common interface of all static load balancing schemes (paper Sec. 4.2).
+
+Every scheme — the paper's NASH plus the three comparison baselines PS,
+GOS and IOS, and the Stackelberg extension — maps a
+:class:`~repro.core.model.DistributedSystem` to a feasible strategy
+profile.  The shared :class:`SchemeResult` carries the per-user and
+overall expected response times and the fairness index so the experiment
+harness can treat all schemes uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.queueing.metrics import fairness_index, overall_response_time
+
+__all__ = ["SchemeResult", "LoadBalancingScheme", "evaluate_profile"]
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """A scheme's allocation together with its headline metrics.
+
+    Attributes
+    ----------
+    scheme:
+        Identifier of the producing scheme ("NASH", "GOS", "IOS", "PS", ...).
+    profile:
+        The feasible strategy profile the scheme selected.
+    user_times:
+        Per-user expected response times ``D_j`` (paper Figure 5).
+    overall_time:
+        Traffic-weighted overall expected response time (Figures 4 and 6,
+        top panels).
+    fairness:
+        Jain's fairness index of ``user_times`` (Figures 4 and 6, bottom
+        panels).
+    extra:
+        Scheme-specific diagnostics (iteration counts, thresholds, ...).
+    """
+
+    scheme: str
+    profile: StrategyProfile
+    user_times: np.ndarray
+    overall_time: float
+    fairness: float
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def loads(self) -> np.ndarray | None:
+        return self.extra.get("loads")
+
+
+def evaluate_profile(
+    system: DistributedSystem,
+    profile: StrategyProfile,
+    scheme: str,
+    extra: Mapping[str, Any] | None = None,
+) -> SchemeResult:
+    """Package a feasible profile with its metrics into a SchemeResult."""
+    profile.validate(system)
+    user_times = system.user_response_times(profile.fractions)
+    merged: dict[str, Any] = {"loads": system.loads(profile.fractions)}
+    if extra:
+        merged.update(extra)
+    return SchemeResult(
+        scheme=scheme,
+        profile=profile,
+        user_times=user_times,
+        overall_time=overall_response_time(user_times, system.arrival_rates),
+        fairness=fairness_index(user_times),
+        extra=merged,
+    )
+
+
+class LoadBalancingScheme(abc.ABC):
+    """Abstract static load balancing scheme."""
+
+    #: Short identifier used in tables and figures.
+    name: str = "ABSTRACT"
+
+    @abc.abstractmethod
+    def allocate(self, system: DistributedSystem) -> SchemeResult:
+        """Compute this scheme's strategy profile for ``system``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,142 @@
+"""NBS — cooperative load balancing via the Nash Bargaining Solution.
+
+The paper's introduction taxonomizes load balancing into global,
+*cooperative* and noncooperative approaches, and cites dynamic
+noncooperative game theory (Basar & Olsder) for the cooperative case; the
+authors develop it fully in the companion paper ("Load Balancing in
+Distributed Systems: An Approach Using Cooperative Games", also IPDPS
+2002).  This module implements that third corner of the design space so
+the reproduction covers the whole taxonomy.
+
+Setup: the users are bargainers with utility ``-D_j``; the
+**disagreement point** is the expected response time each user suffers
+under the status-quo scheme (by default the oblivious proportional split,
+what a user gets with no agreement).  The Nash Bargaining Solution is the
+feasible profile maximizing the Nash product
+
+    max  prod_j (d0_j - D_j(s))     s.t.  s feasible,  D_j(s) <= d0_j
+
+equivalently ``max sum_j log(d0_j - D_j(s))`` — a concave program solved
+here with SLSQP and an analytic gradient.  The NBS is Pareto-optimal,
+individually rational (nobody does worse than the disagreement point) and
+symmetric (identical users receive identical outcomes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
+from repro.schemes.global_optimal import global_optimal_loads
+from repro.schemes.proportional import ProportionalScheme
+
+__all__ = ["CooperativeScheme", "nash_bargaining_profile"]
+
+_PENALTY = 1e12
+
+
+def nash_bargaining_profile(
+    system: DistributedSystem,
+    disagreement_times: np.ndarray,
+    *,
+    max_iterations: int = 500,
+) -> StrategyProfile:
+    """Maximize the Nash product over feasible strategy profiles.
+
+    Parameters
+    ----------
+    disagreement_times:
+        ``d0_j`` — per-user response times if bargaining fails.  Must be
+        strictly dominated by some feasible profile (the default PS
+        disagreement point always is, on heterogeneous systems).
+    """
+    m, n = system.n_users, system.n_computers
+    phi = system.arrival_rates
+    mu = system.service_rates
+    d0 = np.asarray(disagreement_times, dtype=float)
+    if d0.shape != (m,):
+        raise ValueError("disagreement point must have one entry per user")
+
+    # Interior start: the fair split of the socially optimal loads strictly
+    # dominates the PS disagreement point on heterogeneous systems.
+    start = StrategyProfile.from_loads(system, global_optimal_loads(system))
+    x0 = start.fractions.ravel()
+
+    def unpack(x: np.ndarray):
+        s = x.reshape(m, n)
+        lam = phi @ s
+        gap = mu - lam
+        return s, lam, gap
+
+    def objective(x: np.ndarray) -> float:
+        s, _lam, gap = unpack(x)
+        if np.any(gap <= 0.0):
+            return _PENALTY
+        times = s @ (1.0 / gap)
+        gains = d0 - times
+        if np.any(gains <= 0.0):
+            return _PENALTY
+        return -float(np.log(gains).sum())
+
+    def gradient(x: np.ndarray) -> np.ndarray:
+        s, _lam, gap = unpack(x)
+        if np.any(gap <= 0.0):
+            return np.zeros_like(x)
+        inv_gap = 1.0 / gap
+        times = s @ inv_gap
+        gains = d0 - times
+        if np.any(gains <= 0.0):
+            return np.zeros_like(x)
+        inv_gains = 1.0 / gains  # (m,)
+        # dD_j/ds_ki = delta_jk / gap_i + s_ji * phi_k / gap_i^2
+        # dO/ds_ki   = inv_gains_k / gap_i
+        #            + (sum_j inv_gains_j s_ji) * phi_k / gap_i^2
+        shared = (inv_gains @ s) * inv_gap * inv_gap  # (n,)
+        grad = inv_gains[:, None] * inv_gap[None, :] + phi[:, None] * shared[None, :]
+        return grad.ravel()
+
+    constraints = [
+        {
+            "type": "eq",
+            "fun": lambda x: x.reshape(m, n).sum(axis=1) - 1.0,
+            "jac": lambda x: np.repeat(np.eye(m), n, axis=1),
+        }
+    ]
+    solution = optimize.minimize(
+        objective,
+        x0,
+        jac=gradient,
+        bounds=[(0.0, 1.0)] * (m * n),
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": max_iterations, "ftol": 1e-12},
+    )
+    fractions = np.clip(solution.x.reshape(m, n), 0.0, None)
+    fractions /= fractions.sum(axis=1, keepdims=True)
+    return StrategyProfile(fractions)
+
+
+@dataclass(frozen=True)
+class CooperativeScheme(LoadBalancingScheme):
+    """Nash Bargaining Solution with a PS disagreement point."""
+
+    name: str = "NBS"
+    max_iterations: int = 500
+
+    def allocate(self, system: DistributedSystem) -> SchemeResult:
+        disagreement = ProportionalScheme().allocate(system).user_times
+        profile = nash_bargaining_profile(
+            system, disagreement, max_iterations=self.max_iterations
+        )
+        result = evaluate_profile(
+            system,
+            profile,
+            self.name,
+            extra={"disagreement_times": disagreement},
+        )
+        return result

@@ -1,0 +1,186 @@
+"""GOS — the Global Optimal Scheme baseline (Kim & Kameda 1992).
+
+GOS minimizes the *overall* expected response time
+
+    D(s) = (1/Phi) sum_i lambda_i / (mu_i - lambda_i)
+
+over all feasible profiles — the classical single-decision-maker optimum
+(Tantawi & Towsley 1985; Tang & Chanson 2000).  The optimal **aggregate**
+loads ``lambda*`` are unique and given by the same square-root water-fill
+as the paper's Theorem 2.1 with the whole system's demand; but the
+**per-user split** achieving them is not unique, and that freedom is
+exactly why GOS is unfair: the solver can hand one user the fast machines
+and another the slow ones without changing the overall mean.
+
+Three split policies are provided:
+
+* ``"sequential"`` (default) — a deterministic greedy split: computers are
+  ordered fastest-first and users consume the optimal capacities in user
+  order, so user 1 ends up on the fastest machines and the last user on
+  the slowest.  This reproduces the large per-user disparities the paper
+  shows for GOS in Figure 5, deterministically.
+* ``"fair"`` — every user splits along ``lambda*/Phi``; same overall time,
+  fairness index exactly 1.  (Used to demonstrate that GOS *could* be
+  fair; the paper's NLP solver simply is not.)
+* ``"slsqp"`` — solve the full nonlinear program over the ``(m, n)``
+  fraction matrix with SciPy's SLSQP, mirroring how the paper obtains GOS
+  ("solving the nonlinear optimization problem").  Cross-checks the
+  closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.core.waterfill import sqrt_waterfill
+from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
+
+__all__ = [
+    "GlobalOptimalScheme",
+    "global_optimal_loads",
+    "sequential_fill_split",
+    "solve_gos_nlp",
+]
+
+SplitPolicy = Literal["sequential", "fair", "slsqp"]
+
+
+def global_optimal_loads(system: DistributedSystem) -> np.ndarray:
+    """Socially optimal aggregate loads ``lambda*`` (unique).
+
+    The water-fill ``lambda*_i = max(0, mu_i - t sqrt(mu_i))`` with the
+    threshold chosen so that the loads sum to ``Phi``.
+    """
+    return sqrt_waterfill(system.service_rates, system.total_arrival_rate).loads
+
+
+def sequential_fill_split(system: DistributedSystem, loads: np.ndarray) -> np.ndarray:
+    """Deterministic unfair split of aggregate loads among users.
+
+    Computers are visited fastest-first; each user in index order consumes
+    capacity from the current computer until either its demand ``phi_j`` is
+    exhausted (next user continues on the same computer) or the computer's
+    optimal load is exhausted (the user continues on the next computer).
+    The result is a feasible ``(m, n)`` fraction matrix whose column sums
+    reproduce ``loads`` exactly.
+
+    Vectorized via interval intersection: user ``j`` owns the demand
+    interval ``[P_{j-1}, P_j)`` of the cumulative demand line and computer
+    ``i`` owns ``[L_{i-1}, L_i)`` of the cumulative (sorted) load line; the
+    amount user ``j`` places on computer ``i`` is the overlap length.
+    """
+    lam = np.asarray(loads, dtype=float)
+    if lam.shape != (system.n_computers,):
+        raise ValueError("loads must have one entry per computer")
+    order = np.argsort(-system.service_rates, kind="stable")
+    lam_sorted = lam[order]
+
+    user_edges = np.concatenate(([0.0], np.cumsum(system.arrival_rates)))
+    comp_edges = np.concatenate(([0.0], np.cumsum(lam_sorted)))
+    # Guard against round-off mismatch between the two cumulative lines.
+    comp_edges[-1] = user_edges[-1] = min(comp_edges[-1], user_edges[-1])
+
+    lo = np.maximum(user_edges[:-1, None], comp_edges[None, :-1])
+    hi = np.minimum(user_edges[1:, None], comp_edges[None, 1:])
+    overlap = np.clip(hi - lo, 0.0, None)  # (m, n_sorted) job-rate mass
+
+    fractions_sorted = overlap / system.arrival_rates[:, None]
+    fractions = np.empty_like(fractions_sorted)
+    fractions[:, order] = fractions_sorted
+    # Normalize away accumulated round-off so conservation holds exactly.
+    fractions /= fractions.sum(axis=1, keepdims=True)
+    return fractions
+
+
+def solve_gos_nlp(
+    system: DistributedSystem,
+    *,
+    start: StrategyProfile | None = None,
+    max_iterations: int = 300,
+) -> StrategyProfile:
+    """Solve the full GOS nonlinear program with SLSQP (paper's method).
+
+    Minimizes the overall expected response time over the ``(m, n)``
+    fraction matrix subject to positivity and per-user conservation; the
+    stability constraint is enforced through a barrier-style bound on the
+    per-computer load implied by the objective blowing up at saturation.
+    """
+    m, n = system.n_users, system.n_computers
+    phi = system.arrival_rates
+    mu = system.service_rates
+    total = system.total_arrival_rate
+
+    if start is None:
+        start = StrategyProfile.proportional(system)
+    x0 = start.fractions.ravel()
+
+    def objective(x: np.ndarray) -> float:
+        s = x.reshape(m, n)
+        lam = phi @ s
+        gap = mu - lam
+        if np.any(gap <= 0.0):
+            return 1e12
+        return float((lam / gap).sum() / total)
+
+    def gradient(x: np.ndarray) -> np.ndarray:
+        s = x.reshape(m, n)
+        lam = phi @ s
+        gap = mu - lam
+        if np.any(gap <= 0.0):
+            return np.zeros_like(x)
+        # d D / d s_ji = phi_j * mu_i / gap_i^2 / total
+        per_computer = mu / (gap * gap) / total
+        return (phi[:, None] * per_computer[None, :]).ravel()
+
+    constraints = [
+        {
+            "type": "eq",
+            "fun": lambda x: x.reshape(m, n).sum(axis=1) - 1.0,
+            "jac": lambda x: np.repeat(np.eye(m), n, axis=1),
+        }
+    ]
+    bounds = [(0.0, 1.0)] * (m * n)
+    solution = optimize.minimize(
+        objective,
+        x0,
+        jac=gradient,
+        bounds=bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": max_iterations, "ftol": 1e-12},
+    )
+    fractions = solution.x.reshape(m, n)
+    fractions = np.clip(fractions, 0.0, None)
+    fractions /= fractions.sum(axis=1, keepdims=True)
+    return StrategyProfile(fractions)
+
+
+@dataclass(frozen=True)
+class GlobalOptimalScheme(LoadBalancingScheme):
+    """The GOS baseline with a selectable per-user split policy."""
+
+    split: SplitPolicy = "sequential"
+    name: str = "GOS"
+
+    def allocate(self, system: DistributedSystem) -> SchemeResult:
+        loads = global_optimal_loads(system)
+        if self.split == "sequential":
+            profile = StrategyProfile(sequential_fill_split(system, loads))
+        elif self.split == "fair":
+            profile = StrategyProfile.from_loads(system, loads)
+        elif self.split == "slsqp":
+            profile = solve_gos_nlp(system)
+        else:  # pragma: no cover - guarded by Literal
+            raise ValueError(f"unknown split policy {self.split!r}")
+        return evaluate_profile(
+            system,
+            profile,
+            self.name,
+            extra={"split": self.split, "optimal_loads": loads},
+        )

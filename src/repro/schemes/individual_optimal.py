@@ -1,0 +1,128 @@
+"""IOS — the Individual Optimal Scheme baseline (Kameda et al. 1997).
+
+Under IOS every *job* (not user) optimizes its own response time, and the
+system settles at the **Wardrop equilibrium**: all computers that receive
+any traffic have equal expected response time ``tau`` and every unused
+computer would be slower even when idle.  The scheme is perfectly fair
+(every user experiences ``tau``, fairness index 1) but not optimal, and at
+high loads it coincides with PS — an identity the paper observes
+empirically in Figure 4 and which holds analytically once all computers
+carry load::
+
+    1/tau = (sum_i mu_i - Phi) / n  ==>  tau = n / ((1 - rho) sum_i mu_i)
+
+which is exactly the PS response time.
+
+Two solvers are provided: the closed-form water-fill (exact) and the
+iterative **flow deviation** procedure the paper alludes to ("an iterative
+procedure that is not very efficient"), kept both as a historical artifact
+and as an independent cross-check of the closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.core.waterfill import response_time_waterfill
+from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
+
+__all__ = [
+    "IndividualOptimalScheme",
+    "wardrop_loads",
+    "wardrop_response_time",
+    "flow_deviation_loads",
+]
+
+
+def wardrop_loads(system: DistributedSystem) -> np.ndarray:
+    """Closed-form Wardrop equilibrium aggregate loads."""
+    return response_time_waterfill(
+        system.service_rates, system.total_arrival_rate
+    ).loads
+
+
+def wardrop_response_time(system: DistributedSystem) -> float:
+    """The common response time ``tau`` of all used computers."""
+    return float(
+        response_time_waterfill(
+            system.service_rates, system.total_arrival_rate
+        ).threshold
+    )
+
+
+def flow_deviation_loads(
+    system: DistributedSystem,
+    *,
+    tolerance: float = 1e-10,
+    max_iterations: int = 100_000,
+) -> tuple[np.ndarray, int]:
+    """Wardrop loads via the flow-deviation iteration.
+
+    Repeatedly shifts a step of flow from the currently slowest used
+    computer to the currently fastest computer (a discrete analogue of
+    jobs individually defecting), with a diminishing step size
+    (Frank-Wolfe style), until the used computers' response times agree to
+    within ``tolerance``.
+
+    Returns ``(loads, iterations)``.
+    """
+    mu = system.service_rates
+    total = system.total_arrival_rate
+    # Feasible start: proportional loads keep every queue strictly stable.
+    loads = total * mu / mu.sum()
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        gap = mu - loads
+        times = 1.0 / gap
+        # Response time of the best target; idle computers count with 1/mu.
+        fastest = int(np.argmin(times))
+        used = loads > 0.0
+        if not np.any(used):  # pragma: no cover - total > 0 guarantees usage
+            break
+        slowest_used = int(np.argmax(np.where(used, times, -np.inf)))
+        spread = times[slowest_used] - times[fastest]
+        if spread <= tolerance:
+            break
+        # Pairwise equalizing step: moving delta from the slowest used
+        # computer to the fastest equalizes their response times at
+        # delta = (gap_fast - gap_slow) / 2; cap by the donor's flow.
+        step = min(
+            loads[slowest_used],
+            0.5 * (gap[fastest] - gap[slowest_used]),
+        )
+        loads[slowest_used] -= step
+        loads[fastest] += step
+    return loads, iterations
+
+
+@dataclass(frozen=True)
+class IndividualOptimalScheme(LoadBalancingScheme):
+    """The IOS baseline: Wardrop equilibrium with per-user fair split.
+
+    Parameters
+    ----------
+    method:
+        ``"closed_form"`` (default) for the exact water-fill or
+        ``"flow_deviation"`` for the paper-era iterative procedure.
+    """
+
+    method: str = "closed_form"
+    name: str = "IOS"
+
+    def allocate(self, system: DistributedSystem) -> SchemeResult:
+        extra: dict[str, object] = {"method": self.method}
+        if self.method == "closed_form":
+            loads = wardrop_loads(system)
+            extra["tau"] = wardrop_response_time(system)
+        elif self.method == "flow_deviation":
+            loads, iterations = flow_deviation_loads(system)
+            extra["iterations"] = iterations
+        else:
+            raise ValueError(f"unknown IOS method {self.method!r}")
+        profile = StrategyProfile.from_loads(system, loads)
+        return evaluate_profile(system, profile, self.name, extra=extra)

@@ -1,0 +1,56 @@
+"""NASH — the paper's noncooperative scheme behind the common interface.
+
+Wraps the best-reply iteration of :mod:`repro.core.nash` as a
+:class:`~repro.schemes.base.LoadBalancingScheme`, so the evaluation
+harness can sweep NASH next to PS, GOS and IOS.  The resulting profile is
+verified to be an epsilon-Nash equilibrium before being reported — the
+scheme's defining guarantee ("optimality of allocation for each user").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.equilibrium import best_response_regrets
+from repro.core.model import DistributedSystem
+from repro.core.nash import DEFAULT_MAX_SWEEPS, DEFAULT_TOLERANCE, NashSolver
+from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
+
+__all__ = ["NashScheme"]
+
+
+@dataclass(frozen=True)
+class NashScheme(LoadBalancingScheme):
+    """The paper's distributed noncooperative scheme.
+
+    Parameters
+    ----------
+    init:
+        ``"proportional"`` for NASH_P (default — the faster variant the
+        paper recommends) or ``"zero"`` for NASH_0.
+    tolerance, max_sweeps:
+        Forwarded to :class:`~repro.core.nash.NashSolver`.
+    """
+
+    init: Literal["zero", "proportional", "uniform"] = "proportional"
+    tolerance: float = DEFAULT_TOLERANCE
+    max_sweeps: int = DEFAULT_MAX_SWEEPS
+    name: str = "NASH"
+
+    def allocate(self, system: DistributedSystem) -> SchemeResult:
+        solver = NashSolver(tolerance=self.tolerance, max_sweeps=self.max_sweeps)
+        result = solver.solve(system, self.init)
+        certificate = best_response_regrets(system, result.profile)
+        return evaluate_profile(
+            system,
+            result.profile,
+            self.name,
+            extra={
+                "init": self.init,
+                "iterations": result.iterations,
+                "converged": result.converged,
+                "final_norm": result.final_norm,
+                "epsilon": certificate.epsilon,
+            },
+        )

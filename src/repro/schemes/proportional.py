@@ -1,0 +1,52 @@
+"""PS — the Proportional Scheme baseline (Chow & Kohler 1979).
+
+Each user allocates jobs to computers in proportion to their processing
+rates: ``s_ji = mu_i / sum_k mu_k``.  Natural, oblivious to load, and
+perfectly fair (every user sees the identical mix of computers, so the
+fairness index is exactly 1 at any load), but far from optimal: each
+computer runs at the *same* utilization ``rho``, so slow computers
+contribute response time ``1/(mu_i (1 - rho))``, which dominates the mean
+in heterogeneous systems — the paper's explanation for PS's poor showing
+in Figures 4-6.
+
+Closed forms used as test oracles::
+
+    lambda_i = Phi * mu_i / sum(mu)
+    F_i      = 1 / (mu_i * (1 - rho))
+    D_j      = n / ((1 - rho) * sum(mu))       (identical for every user)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
+
+__all__ = ["ProportionalScheme", "proportional_response_time"]
+
+
+def proportional_response_time(system: DistributedSystem) -> float:
+    """Closed-form per-user (= overall) expected response time under PS.
+
+    ``D = n / ((1 - rho) * sum_i mu_i)`` — every user experiences it.
+    """
+    rho = system.system_utilization
+    return system.n_computers / ((1.0 - rho) * system.total_processing_rate)
+
+
+@dataclass(frozen=True)
+class ProportionalScheme(LoadBalancingScheme):
+    """The PS baseline: split in proportion to processing rates."""
+
+    name: str = "PS"
+
+    def allocate(self, system: DistributedSystem) -> SchemeResult:
+        profile = StrategyProfile.proportional(system)
+        return evaluate_profile(
+            system,
+            profile,
+            self.name,
+            extra={"closed_form_time": proportional_response_time(system)},
+        )

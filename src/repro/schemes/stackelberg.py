@@ -1,0 +1,156 @@
+"""Stackelberg scheduling — the leader/follower extension.
+
+The paper's related-work section cites Roughgarden (STOC 2001), who models
+load balancing as a **Stackelberg game**: a leader controlling a fraction
+``beta`` of the total flow commits to an allocation first, anticipating
+that the remaining flow (the followers — selfish jobs) will settle at the
+Wardrop equilibrium of the *residual* system.  Computing the optimal
+leader strategy is NP-hard in general, so two strategies are provided:
+
+* ``"nlp"`` — numerically optimize the leader's loads with SLSQP
+  (exact up to the solver on these small parallel-link instances);
+* ``"aloof"`` — the trivial leader that ignores its influence and plays
+  the socially optimal split of its own flow, a natural lower bound.
+
+The induced equilibrium cost always lies between the Wardrop cost
+(``beta = 0``) and the global optimum (``beta = 1``), which the extension
+benchmark (EXT1) sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.core.waterfill import response_time_waterfill, sqrt_waterfill
+from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
+
+__all__ = ["StackelbergScheme", "induced_equilibrium_loads", "stackelberg_total_cost"]
+
+
+def induced_equilibrium_loads(
+    system: DistributedSystem, leader_loads: np.ndarray, follower_demand: float
+) -> np.ndarray:
+    """Follower (Wardrop) loads induced by a committed leader allocation.
+
+    Followers see residual capacities ``mu_i - L_i`` and equilibrate their
+    ``follower_demand`` on them; the leader's flow is already in place, so
+    follower response times are ``1/(mu_i - L_i - x_i)``.
+    """
+    residual = system.service_rates - np.asarray(leader_loads, dtype=float)
+    if follower_demand == 0.0:
+        return np.zeros_like(residual)
+    usable = residual[residual > 0.0]
+    if follower_demand >= usable.sum():
+        raise ValueError(
+            "leader allocation leaves insufficient residual capacity for "
+            "the followers"
+        )
+    return response_time_waterfill(residual, follower_demand).loads
+
+
+def stackelberg_total_cost(
+    system: DistributedSystem, leader_loads: np.ndarray, follower_demand: float
+) -> float:
+    """Overall expected response time of leader + induced follower flow."""
+    leader_loads = np.asarray(leader_loads, dtype=float)
+    try:
+        follower = induced_equilibrium_loads(
+            system, leader_loads, follower_demand
+        )
+    except ValueError:
+        return float("inf")
+    lam = leader_loads + follower
+    gap = system.service_rates - lam
+    if np.any(gap <= 0.0):
+        return float("inf")
+    return float((lam / gap).sum() / system.total_arrival_rate)
+
+
+def _optimal_leader_loads(
+    system: DistributedSystem, leader_demand: float, follower_demand: float
+) -> np.ndarray:
+    """Numerically optimize the leader's committed loads (SLSQP)."""
+    mu = system.service_rates
+    n = mu.size
+    # Start from the leader's share of the socially optimal loads.
+    total_opt = sqrt_waterfill(mu, system.total_arrival_rate).loads
+    x0 = total_opt * (leader_demand / system.total_arrival_rate)
+
+    def objective(loads: np.ndarray) -> float:
+        return stackelberg_total_cost(system, loads, follower_demand)
+
+    constraints = [
+        {"type": "eq", "fun": lambda x: x.sum() - leader_demand},
+    ]
+    # Leave room for followers on every machine the leader saturates.
+    bounds = [(0.0, float(rate) * (1.0 - 1e-9)) for rate in mu]
+    solution = optimize.minimize(
+        objective,
+        x0,
+        bounds=bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": 400, "ftol": 1e-12},
+    )
+    loads = np.clip(solution.x, 0.0, None)
+    if loads.sum() > 0.0:
+        loads *= leader_demand / loads.sum()
+    return loads
+
+
+@dataclass(frozen=True)
+class StackelbergScheme(LoadBalancingScheme):
+    """Leader/follower scheme controlling a ``beta`` fraction of the flow.
+
+    The returned profile models the leader as user 0 *pro rata*: the
+    leader's flow is spread over the users proportionally to their demand
+    (each user's traffic is split ``beta`` leader / ``1 - beta`` selfish),
+    keeping the profile shape compatible with the common interface.
+    """
+
+    beta: float = 0.5
+    strategy: Literal["nlp", "aloof"] = "nlp"
+    name: str = "STACKELBERG"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError("beta must lie in [0, 1]")
+
+    def allocate(self, system: DistributedSystem) -> SchemeResult:
+        total = system.total_arrival_rate
+        leader_demand = self.beta * total
+        follower_demand = total - leader_demand
+
+        if leader_demand == 0.0:
+            leader_loads = np.zeros(system.n_computers)
+        elif self.strategy == "aloof":
+            leader_loads = sqrt_waterfill(system.service_rates, leader_demand).loads
+        elif self.strategy == "nlp":
+            leader_loads = _optimal_leader_loads(
+                system, leader_demand, follower_demand
+            )
+        else:  # pragma: no cover - guarded by Literal
+            raise ValueError(f"unknown leader strategy {self.strategy!r}")
+
+        follower_loads = induced_equilibrium_loads(
+            system, leader_loads, follower_demand
+        )
+        loads = leader_loads + follower_loads
+        profile = StrategyProfile.from_loads(system, loads)
+        return evaluate_profile(
+            system,
+            profile,
+            self.name,
+            extra={
+                "beta": self.beta,
+                "strategy": self.strategy,
+                "leader_loads": leader_loads,
+                "follower_loads": follower_loads,
+            },
+        )

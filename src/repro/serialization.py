@@ -1,0 +1,195 @@
+"""JSON persistence for systems, profiles and results.
+
+A reproduction is only useful if its artifacts can be archived and
+compared across runs.  This module round-trips the library's core value
+types through plain JSON-compatible dictionaries:
+
+* :class:`~repro.core.model.DistributedSystem`  — rates and names;
+* :class:`~repro.core.strategy.StrategyProfile` — the fraction matrix;
+* :class:`~repro.schemes.base.SchemeResult`     — allocation + metrics
+  (scheme-specific ``extra`` diagnostics are kept when JSON-representable
+  and dropped otherwise, recorded under ``"dropped_extras"``);
+* :class:`~repro.experiments.common.ExperimentTable` — full artifacts.
+
+Floats survive exactly (JSON carries full double precision); numpy arrays
+become nested lists and come back as arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.experiments.common import ExperimentTable
+from repro.schemes.base import SchemeResult
+
+__all__ = [
+    "system_to_dict",
+    "system_from_dict",
+    "profile_to_dict",
+    "profile_from_dict",
+    "scheme_result_to_dict",
+    "scheme_result_from_dict",
+    "table_to_dict",
+    "table_from_dict",
+    "dump_json",
+    "load_json",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to a JSON-compatible value, or raise."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    raise TypeError(f"not JSON-representable: {type(value).__name__}")
+
+
+# ----------------------------------------------------------------------
+# DistributedSystem
+# ----------------------------------------------------------------------
+def system_to_dict(system: DistributedSystem) -> dict[str, Any]:
+    return {
+        "kind": "DistributedSystem",
+        "service_rates": system.service_rates.tolist(),
+        "arrival_rates": system.arrival_rates.tolist(),
+        "computer_names": list(system.computer_names),
+        "user_names": list(system.user_names),
+    }
+
+
+def system_from_dict(payload: dict[str, Any]) -> DistributedSystem:
+    if payload.get("kind") != "DistributedSystem":
+        raise ValueError("payload is not a serialized DistributedSystem")
+    return DistributedSystem(
+        service_rates=np.asarray(payload["service_rates"], dtype=float),
+        arrival_rates=np.asarray(payload["arrival_rates"], dtype=float),
+        computer_names=tuple(payload.get("computer_names", ())),
+        user_names=tuple(payload.get("user_names", ())),
+    )
+
+
+# ----------------------------------------------------------------------
+# StrategyProfile
+# ----------------------------------------------------------------------
+def profile_to_dict(profile: StrategyProfile) -> dict[str, Any]:
+    return {
+        "kind": "StrategyProfile",
+        "fractions": profile.fractions.tolist(),
+    }
+
+
+def profile_from_dict(payload: dict[str, Any]) -> StrategyProfile:
+    if payload.get("kind") != "StrategyProfile":
+        raise ValueError("payload is not a serialized StrategyProfile")
+    return StrategyProfile(np.asarray(payload["fractions"], dtype=float))
+
+
+# ----------------------------------------------------------------------
+# SchemeResult
+# ----------------------------------------------------------------------
+def scheme_result_to_dict(result: SchemeResult) -> dict[str, Any]:
+    extras: dict[str, Any] = {}
+    dropped: list[str] = []
+    for key, value in result.extra.items():
+        try:
+            extras[key] = _jsonable(value)
+        except TypeError:
+            dropped.append(key)
+    return {
+        "kind": "SchemeResult",
+        "scheme": result.scheme,
+        "profile": profile_to_dict(result.profile),
+        "user_times": result.user_times.tolist(),
+        "overall_time": float(result.overall_time),
+        "fairness": float(result.fairness),
+        "extra": extras,
+        "dropped_extras": dropped,
+    }
+
+
+def scheme_result_from_dict(payload: dict[str, Any]) -> SchemeResult:
+    if payload.get("kind") != "SchemeResult":
+        raise ValueError("payload is not a serialized SchemeResult")
+    return SchemeResult(
+        scheme=payload["scheme"],
+        profile=profile_from_dict(payload["profile"]),
+        user_times=np.asarray(payload["user_times"], dtype=float),
+        overall_time=float(payload["overall_time"]),
+        fairness=float(payload["fairness"]),
+        extra=dict(payload.get("extra", {})),
+    )
+
+
+# ----------------------------------------------------------------------
+# ExperimentTable
+# ----------------------------------------------------------------------
+def table_to_dict(table: ExperimentTable) -> dict[str, Any]:
+    return {
+        "kind": "ExperimentTable",
+        "experiment_id": table.experiment_id,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [_jsonable(dict(row)) for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def table_from_dict(payload: dict[str, Any]) -> ExperimentTable:
+    if payload.get("kind") != "ExperimentTable":
+        raise ValueError("payload is not a serialized ExperimentTable")
+    return ExperimentTable(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        columns=tuple(payload["columns"]),
+        rows=tuple(payload["rows"]),
+        notes=tuple(payload.get("notes", ())),
+    )
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+_SERIALIZERS = {
+    DistributedSystem: system_to_dict,
+    StrategyProfile: profile_to_dict,
+    SchemeResult: scheme_result_to_dict,
+    ExperimentTable: table_to_dict,
+}
+_DESERIALIZERS = {
+    "DistributedSystem": system_from_dict,
+    "StrategyProfile": profile_from_dict,
+    "SchemeResult": scheme_result_from_dict,
+    "ExperimentTable": table_from_dict,
+}
+
+
+def dump_json(obj, path) -> None:
+    """Serialize a supported object to a JSON file."""
+    serializer = _SERIALIZERS.get(type(obj))
+    if serializer is None:
+        raise TypeError(f"cannot serialize {type(obj).__name__}")
+    with open(path, "w") as handle:
+        json.dump(serializer(obj), handle, indent=2)
+
+
+def load_json(path):
+    """Load any object previously written by :func:`dump_json`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    kind = payload.get("kind")
+    deserializer = _DESERIALIZERS.get(kind)
+    if deserializer is None:
+        raise ValueError(f"unknown payload kind {kind!r}")
+    return deserializer(payload)

@@ -1,0 +1,71 @@
+"""Discrete-event simulation engine — the reproduction's Sim++ substitute."""
+
+from repro.simengine.arrivals import ArrivalProcess, MMPPArrivals, PoissonArrivals
+from repro.simengine.entities import Computer, Job, UserSource
+from repro.simengine.estimation import (
+    MeasuredBestReplyResult,
+    estimate_loads_from_queue_lengths,
+    run_measured_best_reply,
+)
+from repro.simengine.events import Event, EventKind, EventQueue
+from repro.simengine.fastpath import mm1_lindley_waits, simulate_profile_fast
+from repro.simengine.policies import (
+    DispatchPolicy,
+    JoinShortestQueue,
+    LeastExpectedDelay,
+    PowerOfTwoChoices,
+    StaticPolicy,
+)
+from repro.simengine.rng import SimulationStreams, replication_seeds
+from repro.simengine.service import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    ServiceDistribution,
+    from_scv,
+)
+from repro.simengine.simulator import (
+    LoadBalancingSimulation,
+    SimulationResult,
+    simulate_policy,
+    simulate_profile,
+)
+from repro.simengine.stats import ReplicationStats, replicate, replicate_until
+
+__all__ = [
+    "ArrivalProcess",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "Computer",
+    "Job",
+    "UserSource",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "MeasuredBestReplyResult",
+    "estimate_loads_from_queue_lengths",
+    "run_measured_best_reply",
+    "mm1_lindley_waits",
+    "simulate_profile_fast",
+    "SimulationStreams",
+    "replication_seeds",
+    "Deterministic",
+    "Erlang",
+    "Exponential",
+    "HyperExponential",
+    "ServiceDistribution",
+    "from_scv",
+    "DispatchPolicy",
+    "JoinShortestQueue",
+    "LeastExpectedDelay",
+    "PowerOfTwoChoices",
+    "StaticPolicy",
+    "LoadBalancingSimulation",
+    "SimulationResult",
+    "simulate_policy",
+    "simulate_profile",
+    "ReplicationStats",
+    "replicate",
+    "replicate_until",
+]

@@ -1,0 +1,130 @@
+"""Arrival processes for the event-driven simulator.
+
+The paper's users generate jobs as Poisson processes.  Real traffic is
+burstier, so the event engine also accepts Markov-modulated Poisson
+sources — the standard parsimonious model of bursty arrivals — to test
+how the schemes behave when the arrival model, like the service model in
+EXT5, is misspecified.
+
+* :class:`PoissonArrivals` — the paper's memoryless source;
+* :class:`MMPPArrivals` — a 2-state Markov-modulated Poisson process:
+  the source alternates between a *calm* and a *burst* state with
+  exponential sojourns, emitting Poisson arrivals at a state-dependent
+  rate.  Its long-run average rate is
+  ``(q_bc * r_calm + q_cb * r_burst) / (q_cb + q_bc)`` where ``q_cb`` /
+  ``q_bc`` are the calm->burst / burst->calm switching rates.
+
+Both expose ``next_interarrival()`` (statefully advancing the modulating
+chain where applicable) plus the stationary ``average_rate`` used to pick
+game-theoretic allocations for the *mean* traffic.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "MMPPArrivals"]
+
+
+class ArrivalProcess(abc.ABC):
+    """A stateful point process generating interarrival gaps."""
+
+    @property
+    @abc.abstractmethod
+    def average_rate(self) -> float:
+        """Long-run arrivals per second."""
+
+    @abc.abstractmethod
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        """Time until the next arrival (advances internal state)."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a constant rate (the paper's model)."""
+
+    def __init__(self, rate: float):
+        if rate <= 0.0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+
+    @property
+    def average_rate(self) -> float:
+        return self.rate
+
+    def next_interarrival(self, rng):
+        return float(rng.exponential(1.0 / self.rate))
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process.
+
+    Parameters
+    ----------
+    calm_rate, burst_rate:
+        Poisson arrival rates in the two modulating states
+        (``burst_rate >= calm_rate >= 0``; the calm state may be silent).
+    calm_to_burst, burst_to_calm:
+        Exponential switching rates of the modulating chain.
+
+    The process starts in its stationary state distribution given the
+    provided generator so short simulations are unbiased.
+    """
+
+    def __init__(
+        self,
+        calm_rate: float,
+        burst_rate: float,
+        *,
+        calm_to_burst: float,
+        burst_to_calm: float,
+    ):
+        if calm_rate < 0.0 or burst_rate <= 0.0:
+            raise ValueError("arrival rates must be nonnegative (burst positive)")
+        if burst_rate < calm_rate:
+            raise ValueError("burst rate must be at least the calm rate")
+        if calm_to_burst <= 0.0 or burst_to_calm <= 0.0:
+            raise ValueError("switching rates must be positive")
+        self.rates = (float(calm_rate), float(burst_rate))
+        self.switch = (float(calm_to_burst), float(burst_to_calm))
+        self._state: int | None = None  # 0 = calm, 1 = burst; lazily seeded
+
+    @property
+    def average_rate(self) -> float:
+        q_cb, q_bc = self.switch
+        p_calm = q_bc / (q_cb + q_bc)
+        return p_calm * self.rates[0] + (1.0 - p_calm) * self.rates[1]
+
+    @property
+    def burstiness(self) -> float:
+        """Ratio of burst to calm rate (1 degenerates to Poisson)."""
+        if self.rates[0] == 0.0:
+            return float("inf")
+        return self.rates[1] / self.rates[0]
+
+    def _seed_state(self, rng: np.random.Generator) -> None:
+        q_cb, q_bc = self.switch
+        p_calm = q_bc / (q_cb + q_bc)
+        self._state = 0 if rng.random() < p_calm else 1
+
+    def next_interarrival(self, rng):
+        if self._state is None:
+            self._seed_state(rng)
+        elapsed = 0.0
+        # Competing exponentials: next arrival vs next state switch.
+        while True:
+            state = self._state
+            rate = self.rates[state]
+            switch_rate = self.switch[state]
+            to_switch = float(rng.exponential(1.0 / switch_rate))
+            if rate <= 0.0:
+                # Silent state: only the switch can happen.
+                elapsed += to_switch
+                self._state = 1 - state
+                continue
+            to_arrival = float(rng.exponential(1.0 / rate))
+            if to_arrival <= to_switch:
+                return elapsed + to_arrival
+            elapsed += to_switch
+            self._state = 1 - state

@@ -1,0 +1,185 @@
+"""Simulation entities: jobs, FCFS computers and Poisson user sources.
+
+Mirrors the paper's simulation model (Sec. 4.1): jobs arrive at the
+system from per-user Poisson processes, are dispatched to a computer
+according to the user's strategy (independent per-job routing — the
+Bernoulli split keeps each computer's arrivals Poisson), and are "run to
+completion (i.e. no preemption) in FCFS order" on M/M/1 computers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Job", "Computer", "UserSource"]
+
+
+@dataclass(slots=True)
+class Job:
+    """One job's lifecycle timestamps."""
+
+    job_id: int
+    user: int
+    computer: int
+    arrival_time: float
+    start_time: float = float("nan")
+    completion_time: float = float("nan")
+
+    @property
+    def response_time(self) -> float:
+        """Sojourn time: completion minus arrival."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def waiting_time(self) -> float:
+        """Queueing delay before service starts."""
+        return self.start_time - self.arrival_time
+
+
+class Computer:
+    """A single FCFS run-to-completion server.
+
+    Service times are exponential by default (the paper's M/M/1 model); an
+    explicit :class:`~repro.simengine.service.ServiceDistribution` turns
+    the node into an M/G/1 (or, with non-Poisson feeding, G/G/1) server
+    for the misspecification studies.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        service_rate: float,
+        rng: np.random.Generator,
+        service_distribution=None,
+    ):
+        if service_rate <= 0.0:
+            raise ValueError("service rate must be positive")
+        if service_distribution is not None and not np.isclose(
+            service_distribution.rate, service_rate
+        ):
+            raise ValueError(
+                "service distribution rate must match the computer's rate"
+            )
+        self.index = index
+        self.service_rate = float(service_rate)
+        self.service_distribution = service_distribution
+        self._rng = rng
+        self._queue: deque[Job] = deque()
+        self._in_service: Job | None = None
+        # Aggregates for utilization accounting.
+        self.busy_time = 0.0
+        self.completed = 0
+
+    @property
+    def is_busy(self) -> bool:
+        return self._in_service is not None
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting, excluding the one in service."""
+        return len(self._queue)
+
+    @property
+    def run_queue_length(self) -> int:
+        """Jobs in system (the 'run queue' users would inspect)."""
+        return len(self._queue) + (1 if self._in_service else 0)
+
+    def draw_service_time(self) -> float:
+        if self.service_distribution is not None:
+            return float(self.service_distribution.sample(self._rng))
+        return float(self._rng.exponential(1.0 / self.service_rate))
+
+    def accept(self, job: Job, now: float) -> float | None:
+        """A job arrives.  Returns its departure time if service starts now."""
+        if self._in_service is None:
+            return self._start_service(job, now)
+        self._queue.append(job)
+        return None
+
+    def complete_current(self, now: float) -> tuple[Job, float | None]:
+        """The in-service job finishes.
+
+        Returns ``(finished_job, next_departure_time_or_None)``.
+        """
+        if self._in_service is None:
+            raise RuntimeError(f"computer {self.index} has no job in service")
+        finished = self._in_service
+        finished.completion_time = now
+        self.busy_time += now - finished.start_time
+        self.completed += 1
+        self._in_service = None
+        if self._queue:
+            nxt = self._queue.popleft()
+            return finished, self._start_service(nxt, now)
+        return finished, None
+
+    def _start_service(self, job: Job, now: float) -> float:
+        job.start_time = now
+        self._in_service = job
+        return now + self.draw_service_time()
+
+
+class UserSource:
+    """A user's Poisson job generator with per-job strategy routing."""
+
+    def __init__(
+        self,
+        index: int,
+        arrival_rate: float,
+        fractions: np.ndarray | None,
+        arrival_rng: np.random.Generator,
+        routing_rng: np.random.Generator,
+        arrival_process=None,
+    ):
+        if arrival_rate <= 0.0:
+            raise ValueError("arrival rate must be positive")
+        if arrival_process is not None and not np.isclose(
+            arrival_process.average_rate, arrival_rate
+        ):
+            raise ValueError(
+                "arrival process average rate must match the user's rate"
+            )
+        self.arrival_process = arrival_process
+        if fractions is not None:
+            fractions = np.asarray(fractions, dtype=float)
+            if fractions.ndim != 1 or fractions.size == 0:
+                raise ValueError("fractions must be a nonempty vector")
+            if np.any(fractions < 0.0) or not np.isclose(fractions.sum(), 1.0):
+                raise ValueError("fractions must be a probability vector")
+            self._cumulative = np.cumsum(fractions)
+        else:
+            # Routing is decided by a DispatchPolicy in the simulator;
+            # choose_computer() is unavailable.
+            self._cumulative = None
+        self.index = index
+        self.arrival_rate = float(arrival_rate)
+        self._arrival_rng = arrival_rng
+        self.routing_rng = routing_rng
+        self.generated = 0
+
+    def next_interarrival(self) -> float:
+        if self.arrival_process is not None:
+            return float(
+                self.arrival_process.next_interarrival(self._arrival_rng)
+            )
+        return float(self._arrival_rng.exponential(1.0 / self.arrival_rate))
+
+    def choose_computer(self) -> int:
+        """Independent per-job routing along the user's strategy.
+
+        Inverse-CDF sampling against the cached cumulative fractions;
+        Bernoulli splitting keeps every computer's arrival process Poisson
+        so the analytic M/M/1 formulas are the exact stationary targets.
+        """
+        if self._cumulative is None:
+            raise RuntimeError(
+                "this source has no static fractions; routing is decided "
+                "by the simulation's dispatch policy"
+            )
+        u = self.routing_rng.random()
+        choice = int(np.searchsorted(self._cumulative, u, side="right"))
+        self.generated += 1
+        return min(choice, self._cumulative.size - 1)

@@ -1,0 +1,108 @@
+"""Event core of the discrete-event simulation engine.
+
+The paper ran its evaluation on Sim++, a C++ event-scheduling simulation
+library.  This module is the bottom layer of the pure-Python substitute:
+a time-ordered event queue with deterministic tie-breaking (events at the
+same timestamp fire in scheduling order, so replications are exactly
+reproducible given the RNG streams).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(Enum):
+    """The event vocabulary of the load balancing simulation."""
+
+    #: A user source generates a job (and schedules the next generation).
+    JOB_ARRIVAL = auto()
+    #: A computer finishes the job at the head of its queue.
+    JOB_DEPARTURE = auto()
+    #: Periodic observation of every computer's run-queue length.
+    STATE_SAMPLE = auto()
+    #: End of the simulation horizon.
+    END_OF_SIMULATION = auto()
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """An immutable scheduled event.
+
+    Ordering is by ``(time, seq)``: the sequence number is assigned by the
+    queue at scheduling time, making simultaneous events fire FIFO.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind
+    payload: Any = field(default=None, compare=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """Binary-heap future event list.
+
+    >>> q = EventQueue()
+    >>> _ = q.schedule(2.0, EventKind.JOB_ARRIVAL)
+    >>> _ = q.schedule(1.0, EventKind.JOB_DEPARTURE)
+    >>> q.pop().kind.name
+    'JOB_DEPARTURE'
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Insert an event; scheduling into the past is a logic error."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time:.6g} before current time "
+                f"{self._now:.6g}"
+            )
+        event = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, kind: EventKind, payload: Any = None
+    ) -> Event:
+        """Insert an event ``delay`` time units from now."""
+        if delay < 0.0:
+            raise ValueError("delay must be nonnegative")
+        return self.schedule(self._now + delay, kind, payload)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def peek(self) -> Event:
+        """The earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek into empty event queue")
+        return self._heap[0]

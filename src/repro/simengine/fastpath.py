@@ -1,0 +1,181 @@
+"""Vectorized fast-path simulator (Lindley recursion).
+
+The event-driven engine in :mod:`repro.simengine.simulator` is general but
+interprets one Python-level event at a time.  For the specific workload of
+this paper — probabilistic (Bernoulli) routing onto independent FCFS M/M/1
+queues — each computer's queue evolves independently of the others, and
+its per-job waiting times obey the Lindley recursion
+
+    W_1 = 0,    W_{k+1} = max(0, W_k + S_k - A_{k+1})
+
+which has the classical prefix-minimum closed form
+
+    C_k = sum_{i<=k} (S_{i-1} - A_i)   (with C_1 = 0)
+    W_k = C_k - min_{j<=k} C_j
+
+computable with two ``cumsum``/``minimum.accumulate`` passes — no Python
+loop over jobs.  This is the numpy-vectorization idiom of the HPC guides
+applied to the whole simulation: the fast path reproduces the *same
+stationary law* as the event engine (both are exact M/M/1 samplers) and is
+two to three orders of magnitude faster, enabling the paper's multi-million
+job runs in seconds.  Tests cross-validate the two engines against each
+other and against the analytic formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.simengine.simulator import SimulationResult
+
+__all__ = ["simulate_profile_fast", "mm1_lindley_waits"]
+
+
+def mm1_lindley_waits(
+    interarrivals: np.ndarray, services: np.ndarray
+) -> np.ndarray:
+    """Per-job FCFS waiting times from interarrival and service samples.
+
+    ``interarrivals[k]`` is the gap between job ``k-1`` and job ``k``
+    (``interarrivals[0]`` is the first job's arrival time and does not
+    influence its zero wait); ``services[k]`` is job ``k``'s service
+    requirement.  Works for any distributions (the G/G/1 Lindley
+    recursion), vectorized via the prefix-minimum identity.
+    """
+    interarrivals = np.asarray(interarrivals, dtype=float)
+    services = np.asarray(services, dtype=float)
+    if interarrivals.shape != services.shape or interarrivals.ndim != 1:
+        raise ValueError("interarrivals and services must be equal-length vectors")
+    n = interarrivals.size
+    if n == 0:
+        return np.zeros(0)
+    increments = np.empty(n)
+    increments[0] = 0.0
+    np.subtract(services[:-1], interarrivals[1:], out=increments[1:])
+    path = np.cumsum(increments)
+    running_min = np.minimum.accumulate(np.minimum(path, 0.0))
+    return path - running_min
+
+
+def simulate_profile_fast(
+    system: DistributedSystem,
+    profile: StrategyProfile,
+    *,
+    horizon: float,
+    warmup: float = 0.0,
+    seed: int | np.random.SeedSequence = 0,
+    service_distributions=None,
+) -> SimulationResult:
+    """Vectorized equivalent of :func:`repro.simengine.simulator.simulate_profile`.
+
+    Exploits the independence of the computers' queues under Bernoulli
+    routing: each computer's aggregate arrival process is Poisson with
+    rate ``lambda_i``, simulated wholesale with numpy, and each counted
+    job is attributed to a user with probability proportional to the
+    user's contribution ``s_ji phi_j / lambda_i``.
+
+    The returned statistics have the same stationary distribution as the
+    event engine's (both sample exact M/M/1 dynamics) but the two are not
+    sample-path identical — they consume randomness in different orders.
+
+    ``service_distributions`` (one per computer, see
+    :mod:`repro.simengine.service`) turns each queue into M/G/1 — the
+    Lindley recursion is distribution-agnostic.
+    """
+    profile.validate(system)
+    if horizon <= 0.0:
+        raise ValueError("horizon must be positive")
+    if not 0.0 <= warmup < horizon:
+        raise ValueError("warmup must lie in [0, horizon)")
+    if service_distributions is not None and len(
+        service_distributions
+    ) != system.n_computers:
+        raise ValueError(
+            "service_distributions must have one entry per computer"
+        )
+
+    loads = system.loads(profile.fractions)
+    n_users, n_computers = system.n_users, system.n_computers
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    streams = [np.random.Generator(np.random.PCG64(s)) for s in root.spawn(n_computers)]
+
+    response_sums = np.zeros(n_users)
+    job_counts = np.zeros(n_users, dtype=np.int64)
+    computer_counts = np.zeros(n_computers, dtype=np.int64)
+    busy_time = np.zeros(n_computers)
+
+    # Per-computer mixing probabilities over users.
+    contributions = profile.fractions * system.arrival_rates[:, None]  # (m, n)
+
+    for i in range(n_computers):
+        lam = loads[i]
+        if lam <= 0.0:
+            continue
+        rng = streams[i]
+        mu = float(system.service_rates[i])
+
+        # Draw arrivals covering the horizon; extend in the (rare) case the
+        # first batch falls short.
+        expected = lam * horizon
+        batch = int(expected + 6.0 * np.sqrt(expected) + 16.0)
+        gaps = rng.exponential(1.0 / lam, size=batch)
+        arrivals = np.cumsum(gaps)
+        while arrivals[-1] < horizon:  # pragma: no cover - 6-sigma margin
+            extra = rng.exponential(1.0 / lam, size=max(batch // 4, 16))
+            arrivals = np.concatenate([arrivals, arrivals[-1] + np.cumsum(extra)])
+            gaps = np.concatenate([gaps, extra])
+        keep = arrivals <= horizon
+        arrivals = arrivals[keep]
+        gaps = gaps[keep]
+        n_jobs = arrivals.size
+        if n_jobs == 0:
+            continue
+
+        if service_distributions is not None:
+            services = np.asarray(
+                service_distributions[i].sample(rng, size=n_jobs), dtype=float
+            )
+        else:
+            services = rng.exponential(1.0 / mu, size=n_jobs)
+        waits = mm1_lindley_waits(gaps, services)
+        responses = waits + services
+        completions = arrivals + responses
+
+        counted = (arrivals >= warmup) & (completions <= horizon)
+        if not np.any(counted):
+            continue
+        resp_counted = responses[counted]
+        serv_counted = services[counted]
+        k = resp_counted.size
+
+        # Attribute counted jobs to users: categorical over contributions.
+        probs = contributions[:, i] / lam
+        cdf = np.cumsum(probs)
+        cdf[-1] = 1.0
+        users = np.searchsorted(cdf, rng.random(k), side="right")
+        np.add.at(response_sums, users, resp_counted)
+        np.add.at(job_counts, users, 1)
+        computer_counts[i] = k
+        busy_time[i] = float(serv_counted.sum())
+
+    means = np.divide(
+        response_sums,
+        job_counts,
+        out=np.full(n_users, np.nan),
+        where=job_counts > 0,
+    )
+    window = horizon - warmup
+    return SimulationResult(
+        user_mean_response_times=means,
+        user_job_counts=job_counts,
+        computer_utilizations=busy_time / window,
+        computer_job_counts=computer_counts,
+        horizon=horizon,
+        warmup=warmup,
+    )

@@ -1,0 +1,138 @@
+"""Dispatch policies for the event-driven simulator.
+
+The paper studies *static* policies: each user fixes fractions and routes
+jobs obliviously.  Its future-work section points at *dynamic* load
+balancing, where dispatch reacts to live system state.  The event engine
+(unlike the vectorized fast path, which relies on state-independent
+routing) can simulate both, so this module provides the classical dynamic
+policies as a comparison substrate:
+
+* :class:`StaticPolicy` — route per fixed fractions (the paper's setting);
+* :class:`JoinShortestQueue` — send each job to the computer with the
+  fewest jobs in system (ties broken by speed);
+* :class:`LeastExpectedDelay` — minimize ``(n_i + 1) / mu_i``, the greedy
+  estimate of the job's completion time on heterogeneous machines;
+* :class:`PowerOfTwoChoices` — sample ``d`` computers (weighted by
+  processing rate) and pick the least loaded, the classic low-information
+  compromise.
+
+These policies observe the *global* queue state at dispatch time — an
+idealization (real dispatchers see stale state) that upper-bounds what
+dynamic information can buy over the paper's static equilibrium.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.simengine.entities import Computer
+
+__all__ = [
+    "DispatchPolicy",
+    "StaticPolicy",
+    "JoinShortestQueue",
+    "LeastExpectedDelay",
+    "PowerOfTwoChoices",
+]
+
+
+class DispatchPolicy(abc.ABC):
+    """Chooses a computer for each dispatched job."""
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        user: int,
+        computers: Sequence[Computer],
+        rng: np.random.Generator,
+    ) -> int:
+        """Return the index of the computer to route the next job to."""
+
+
+class StaticPolicy(DispatchPolicy):
+    """State-oblivious routing along a fixed ``(users, computers)`` matrix."""
+
+    def __init__(self, fractions: np.ndarray):
+        fractions = np.asarray(fractions, dtype=float)
+        if fractions.ndim != 2:
+            raise ValueError("fractions must be a (users, computers) matrix")
+        if np.any(fractions < 0.0) or not np.allclose(
+            fractions.sum(axis=1), 1.0
+        ):
+            raise ValueError("every row must be a probability vector")
+        self._cumulative = np.cumsum(fractions, axis=1)
+
+    def choose(self, user, computers, rng):
+        row = self._cumulative[user]
+        choice = int(np.searchsorted(row, rng.random(), side="right"))
+        return min(choice, row.size - 1)
+
+
+class JoinShortestQueue(DispatchPolicy):
+    """Route to the computer with the fewest jobs in system.
+
+    Ties are broken toward the fastest computer (then lowest index), the
+    sensible heterogeneous refinement.
+    """
+
+    def choose(self, user, computers, rng):
+        best = 0
+        best_key = (computers[0].run_queue_length, -computers[0].service_rate)
+        for index, computer in enumerate(computers[1:], start=1):
+            key = (computer.run_queue_length, -computer.service_rate)
+            if key < best_key:
+                best, best_key = index, key
+        return best
+
+
+class LeastExpectedDelay(DispatchPolicy):
+    """Route to ``argmin (n_i + 1) / mu_i`` — greedy expected completion.
+
+    On heterogeneous systems this dominates JSQ, which ignores speed: a
+    fast machine with 2 queued jobs often beats an idle slow one.
+    """
+
+    def choose(self, user, computers, rng):
+        best = 0
+        best_delay = (computers[0].run_queue_length + 1) / computers[0].service_rate
+        for index, computer in enumerate(computers[1:], start=1):
+            delay = (computer.run_queue_length + 1) / computer.service_rate
+            if delay < best_delay:
+                best, best_delay = index, delay
+        return best
+
+
+class PowerOfTwoChoices(DispatchPolicy):
+    """Sample ``d`` candidates (rate-weighted) and take the least loaded.
+
+    Candidate sampling is weighted by processing rate so fast machines are
+    probed more often; among candidates the least-expected-delay rule is
+    applied.
+    """
+
+    def __init__(self, d: int = 2):
+        if d < 1:
+            raise ValueError("d must be at least 1")
+        self.d = d
+        self._weights: np.ndarray | None = None
+
+    def choose(self, user, computers, rng):
+        if self._weights is None or self._weights.size != len(computers):
+            rates = np.asarray([c.service_rate for c in computers])
+            self._weights = rates / rates.sum()
+        n = len(computers)
+        count = min(self.d, n)
+        candidates = rng.choice(n, size=count, replace=False, p=self._weights)
+        best = int(candidates[0])
+        best_delay = (
+            computers[best].run_queue_length + 1
+        ) / computers[best].service_rate
+        for index in candidates[1:]:
+            computer = computers[int(index)]
+            delay = (computer.run_queue_length + 1) / computer.service_rate
+            if delay < best_delay:
+                best, best_delay = int(index), delay
+        return best

@@ -1,0 +1,71 @@
+"""Independent random-number streams for reproducible simulations.
+
+The paper replicates every run "five times with different random number
+streams".  We realize that with numpy's ``SeedSequence`` spawning: a
+single root seed deterministically derives statistically independent
+child streams — one per user source (interarrival times), one per
+computer (service times), and one per user (routing choices) — and a
+further level per replication.  Any (seed, replication) pair therefore
+reproduces its run exactly, on any platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimulationStreams", "replication_seeds"]
+
+
+@dataclass(frozen=True)
+class SimulationStreams:
+    """The named RNG streams of one simulation run.
+
+    Attributes
+    ----------
+    arrivals:
+        One generator per user, driving its Poisson job generation.
+    services:
+        One generator per computer, driving exponential service times.
+    routing:
+        One generator per user, driving the per-job computer choice
+        (Bernoulli splitting of the user's stream per its strategy).
+    """
+
+    arrivals: tuple[np.random.Generator, ...]
+    services: tuple[np.random.Generator, ...]
+    routing: tuple[np.random.Generator, ...]
+
+    @classmethod
+    def from_seed(
+        cls, seed: int | np.random.SeedSequence, n_users: int, n_computers: int
+    ) -> "SimulationStreams":
+        """Derive all streams from one root seed."""
+        if n_users <= 0 or n_computers <= 0:
+            raise ValueError("stream counts must be positive")
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        children = root.spawn(2 * n_users + n_computers)
+        arrivals = tuple(
+            np.random.Generator(np.random.PCG64(s)) for s in children[:n_users]
+        )
+        services = tuple(
+            np.random.Generator(np.random.PCG64(s))
+            for s in children[n_users : n_users + n_computers]
+        )
+        routing = tuple(
+            np.random.Generator(np.random.PCG64(s))
+            for s in children[n_users + n_computers :]
+        )
+        return cls(arrivals=arrivals, services=services, routing=routing)
+
+
+def replication_seeds(seed: int, n_replications: int) -> list[np.random.SeedSequence]:
+    """Independent root seeds for each replication of an experiment."""
+    if n_replications <= 0:
+        raise ValueError("n_replications must be positive")
+    return list(np.random.SeedSequence(seed).spawn(n_replications))

@@ -1,0 +1,178 @@
+"""Service-time distributions for the simulation engines.
+
+The paper simulates exponential services (M/M/1).  Both of this
+reproduction's engines are actually G/G/1-capable — the event engine
+draws per-job service times, and the Lindley fast path accepts arbitrary
+samples — so this module provides the standard spread of distributions
+keyed by their squared coefficient of variation (``scv``):
+
+* :class:`Deterministic` — ``scv = 0`` (M/D/1, the low-variability limit);
+* :class:`Erlang` — ``scv = 1/k`` for ``k`` phases (mild variability);
+* :class:`Exponential` — ``scv = 1`` (the paper's M/M/1 assumption);
+* :class:`HyperExponential` — any ``scv > 1`` via the balanced-means
+  two-phase construction (bursty/heavy-ish job sizes).
+
+All are parameterized by the service *rate* ``mu`` (mean ``1/mu``), so a
+distribution can be swapped under a fixed allocation to study how the
+paper's conclusions survive model misspecification (experiment EXT5).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ServiceDistribution",
+    "Deterministic",
+    "Erlang",
+    "Exponential",
+    "HyperExponential",
+    "from_scv",
+]
+
+
+class ServiceDistribution(abc.ABC):
+    """A positive service-time distribution with known mean and SCV."""
+
+    #: Service rate ``mu``; the mean service time is ``1/mu``.
+    rate: float
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    @property
+    @abc.abstractmethod
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var[S] / E[S]^2``."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw one sample (``size=None``) or a vector of samples."""
+
+
+def _check_rate(rate: float) -> float:
+    if rate <= 0.0 or not math.isfinite(rate):
+        raise ValueError("service rate must be positive and finite")
+    return float(rate)
+
+
+@dataclass(frozen=True)
+class Exponential(ServiceDistribution):
+    """The paper's assumption: ``Exp(mu)``, scv = 1."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+    @property
+    def scv(self) -> float:
+        return 1.0
+
+    def sample(self, rng, size=None):
+        return rng.exponential(1.0 / self.rate, size=size)
+
+
+@dataclass(frozen=True)
+class Deterministic(ServiceDistribution):
+    """Constant service time ``1/mu``, scv = 0 (M/D/1)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+    @property
+    def scv(self) -> float:
+        return 0.0
+
+    def sample(self, rng, size=None):
+        if size is None:
+            return 1.0 / self.rate
+        return np.full(size, 1.0 / self.rate)
+
+
+@dataclass(frozen=True)
+class Erlang(ServiceDistribution):
+    """Erlang-``k``: sum of ``k`` exponentials, scv = 1/k."""
+
+    rate: float
+    k: int = 2
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if self.k < 1:
+            raise ValueError("Erlang needs at least one phase")
+
+    @property
+    def scv(self) -> float:
+        return 1.0 / self.k
+
+    def sample(self, rng, size=None):
+        return rng.gamma(self.k, 1.0 / (self.k * self.rate), size=size)
+
+
+@dataclass(frozen=True)
+class HyperExponential(ServiceDistribution):
+    """Two-phase hyperexponential with balanced means, scv > 1.
+
+    With probability ``p`` the job is drawn from ``Exp(2 p mu)`` and with
+    ``1-p`` from ``Exp(2 (1-p) mu)``, where
+    ``p = (1 + sqrt((c2-1)/(c2+1))) / 2``; this keeps the mean at
+    ``1/mu`` while hitting any requested ``c2 >= 1``.
+    """
+
+    rate: float
+    target_scv: float = 4.0
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if self.target_scv < 1.0:
+            raise ValueError(
+                "hyperexponential requires scv >= 1; use Erlang below 1"
+            )
+
+    @property
+    def scv(self) -> float:
+        return float(self.target_scv)
+
+    @property
+    def _phases(self) -> tuple[float, float, float]:
+        c2 = self.target_scv
+        p = 0.5 * (1.0 + math.sqrt((c2 - 1.0) / (c2 + 1.0)))
+        return p, 2.0 * p * self.rate, 2.0 * (1.0 - p) * self.rate
+
+    def sample(self, rng, size=None):
+        p, rate1, rate2 = self._phases
+        if size is None:
+            chosen = rate1 if rng.random() < p else rate2
+            return rng.exponential(1.0 / chosen)
+        picks = rng.random(size) < p
+        out = np.empty(size)
+        n1 = int(picks.sum())
+        out[picks] = rng.exponential(1.0 / rate1, size=n1)
+        out[~picks] = rng.exponential(1.0 / rate2, size=size - n1)
+        return out
+
+
+def from_scv(rate: float, scv: float) -> ServiceDistribution:
+    """Pick the canonical distribution for a requested SCV.
+
+    ``0`` → deterministic, ``(0, 1)`` → Erlang with the nearest phase
+    count, ``1`` → exponential, ``> 1`` → balanced hyperexponential.
+    """
+    if scv < 0.0:
+        raise ValueError("scv must be nonnegative")
+    if scv == 0.0:
+        return Deterministic(rate)
+    if scv < 1.0:
+        k = max(1, round(1.0 / scv))
+        return Erlang(rate, k=k)
+    if scv == 1.0:
+        return Exponential(rate)
+    return HyperExponential(rate, target_scv=scv)

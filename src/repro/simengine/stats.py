@@ -1,0 +1,144 @@
+"""Replication statistics (paper Sec. 4.1).
+
+"Each run was replicated five times with different random number streams
+and the results averaged over replications.  The standard error is less
+than 5% ..."  This module runs an arbitrary measurement function across
+independent replications and reports means, standard errors and Student-t
+confidence intervals, plus the paper's relative-standard-error acceptance
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.simengine.rng import replication_seeds
+
+__all__ = ["ReplicationStats", "replicate", "replicate_until"]
+
+
+@dataclass(frozen=True)
+class ReplicationStats:
+    """Aggregate of a vector-valued measurement across replications.
+
+    Attributes
+    ----------
+    samples:
+        Raw per-replication measurements, shape ``(replications, k)``.
+    mean:
+        Across-replication mean, shape ``(k,)``.
+    std_error:
+        Standard error of the mean, shape ``(k,)`` (ddof=1).
+    confidence:
+        Confidence level of :attr:`ci_low` / :attr:`ci_high`.
+    """
+
+    samples: np.ndarray
+    mean: np.ndarray
+    std_error: np.ndarray
+    ci_low: np.ndarray
+    ci_high: np.ndarray
+    confidence: float
+
+    @property
+    def n_replications(self) -> int:
+        return int(self.samples.shape[0])
+
+    @property
+    def relative_std_error(self) -> np.ndarray:
+        """Standard error as a fraction of the mean."""
+        return self.std_error / np.abs(self.mean)
+
+    def within_relative_error(self, fraction: float) -> bool:
+        """The paper's acceptance criterion (e.g. ``fraction=0.05``)."""
+        return bool(np.all(self.relative_std_error <= fraction))
+
+
+def replicate(
+    measure: Callable[[np.random.SeedSequence], np.ndarray],
+    *,
+    n_replications: int = 5,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> ReplicationStats:
+    """Run ``measure`` once per independent replication seed and aggregate.
+
+    Parameters
+    ----------
+    measure:
+        Callable mapping a replication's root ``SeedSequence`` to a 1-D
+        measurement vector (e.g. per-user mean response times).
+    n_replications:
+        Number of independent runs (the paper uses 5).
+    confidence:
+        Two-sided confidence level for the Student-t intervals.
+    """
+    if n_replications < 2:
+        raise ValueError("at least 2 replications are needed for a std error")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    rows = []
+    for child in replication_seeds(seed, n_replications):
+        row = np.asarray(measure(child), dtype=float)
+        if row.ndim != 1:
+            raise ValueError("measure must return a 1-D vector")
+        rows.append(row)
+    samples = np.vstack(rows)
+    return _aggregate(samples, confidence)
+
+
+def _aggregate(samples: np.ndarray, confidence: float) -> ReplicationStats:
+    n = samples.shape[0]
+    mean = samples.mean(axis=0)
+    std_error = samples.std(axis=0, ddof=1) / np.sqrt(n)
+    t_value = float(sps.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return ReplicationStats(
+        samples=samples,
+        mean=mean,
+        std_error=std_error,
+        ci_low=mean - t_value * std_error,
+        ci_high=mean + t_value * std_error,
+        confidence=confidence,
+    )
+
+
+def replicate_until(
+    measure: Callable[[np.random.SeedSequence], np.ndarray],
+    *,
+    target_relative_error: float = 0.05,
+    min_replications: int = 3,
+    max_replications: int = 50,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> ReplicationStats:
+    """Sequential replication: add runs until the std error target is met.
+
+    The paper fixed 5 replications and *checked* the 5% relative standard
+    error afterwards; this adaptive variant keeps replicating until the
+    target holds (or the budget runs out), which is how a practitioner
+    would guarantee the acceptance criterion rather than hope for it.
+    The returned stats use however many replications were consumed.
+    """
+    if not 2 <= min_replications <= max_replications:
+        raise ValueError(
+            "need 2 <= min_replications <= max_replications"
+        )
+    if target_relative_error <= 0.0:
+        raise ValueError("target relative error must be positive")
+    seeds = replication_seeds(seed, max_replications)
+    rows: list[np.ndarray] = []
+    for index, child in enumerate(seeds):
+        row = np.asarray(measure(child), dtype=float)
+        if row.ndim != 1:
+            raise ValueError("measure must return a 1-D vector")
+        rows.append(row)
+        if index + 1 < min_replications:
+            continue
+        stats = _aggregate(np.vstack(rows), confidence)
+        if stats.within_relative_error(target_relative_error):
+            return stats
+    return _aggregate(np.vstack(rows), confidence)

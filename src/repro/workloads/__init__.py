@@ -1,0 +1,49 @@
+"""Workload and system configuration generators (paper Sec. 4.2, Table 1)."""
+
+from repro.workloads.configs import (
+    TABLE1_BASE_RATE,
+    TABLE1_COUNTS,
+    TABLE1_RELATIVE_RATES,
+    homogeneous_system,
+    paper_table1_system,
+    random_system,
+    skewed_system,
+    table1_service_rates,
+    user_arrival_rates,
+)
+from repro.workloads.traces import (
+    diurnal_utilizations,
+    flash_crowd_utilizations,
+    random_walk_utilizations,
+    systems_from_utilizations,
+)
+from repro.workloads.sweeps import (
+    DEFAULT_SKEWNESSES,
+    DEFAULT_USER_COUNTS,
+    DEFAULT_UTILIZATIONS,
+    skewness_sweep,
+    user_count_sweep,
+    utilization_sweep,
+)
+
+__all__ = [
+    "TABLE1_BASE_RATE",
+    "TABLE1_COUNTS",
+    "TABLE1_RELATIVE_RATES",
+    "homogeneous_system",
+    "paper_table1_system",
+    "random_system",
+    "skewed_system",
+    "table1_service_rates",
+    "user_arrival_rates",
+    "DEFAULT_SKEWNESSES",
+    "DEFAULT_USER_COUNTS",
+    "DEFAULT_UTILIZATIONS",
+    "skewness_sweep",
+    "user_count_sweep",
+    "utilization_sweep",
+    "diurnal_utilizations",
+    "flash_crowd_utilizations",
+    "random_walk_utilizations",
+    "systems_from_utilizations",
+]

@@ -1,0 +1,163 @@
+"""System configurations used in the paper's evaluation (Sec. 4.2).
+
+The central configuration is **Table 1**: a heterogeneous system of 16
+computers in four speed classes shared by 10 users.  The OCR of the paper
+garbles the exact numbers; they are reconstructed here from the legible
+fragments ("16 computers with four different processing rates", "at most
+ten times faster than the slowest", relative-rate row, jobs/sec row) and
+cross-checked against the authors' journal version:
+
+=======================  ====  ====  ====  ====
+Relative processing rate    1     2     5    10
+Number of computers         6     5     3     2
+Processing rate (jobs/s)   10    20    50   100
+=======================  ====  ====  ====  ====
+
+Aggregate processing rate: 510 jobs/sec.  Section 4.2.3's heterogeneity
+study uses a second family: 16 computers, 2 fast and 14 slow, with the
+fast/slow speed ratio (the *speed skewness*) swept from 1 to 20 at
+constant 60% utilization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+
+__all__ = [
+    "TABLE1_RELATIVE_RATES",
+    "TABLE1_COUNTS",
+    "TABLE1_BASE_RATE",
+    "table1_service_rates",
+    "paper_table1_system",
+    "skewed_system",
+    "user_arrival_rates",
+    "homogeneous_system",
+    "random_system",
+]
+
+#: Table 1, row 1 — relative processing rate of each computer type.
+TABLE1_RELATIVE_RATES: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0)
+#: Table 1, row 2 — number of computers of each type.
+TABLE1_COUNTS: tuple[int, ...] = (6, 5, 3, 2)
+#: Processing rate of the slowest computer type (jobs/sec).
+TABLE1_BASE_RATE: float = 10.0
+
+
+def table1_service_rates() -> np.ndarray:
+    """The 16 per-computer service rates of Table 1 (fast machines first)."""
+    rates = [
+        relative * TABLE1_BASE_RATE
+        for relative, count in zip(TABLE1_RELATIVE_RATES, TABLE1_COUNTS)
+        for _ in range(count)
+    ]
+    return np.asarray(sorted(rates, reverse=True), dtype=float)
+
+
+def user_arrival_rates(
+    n_users: int, total_rate: float, *, pattern: str = "uniform"
+) -> np.ndarray:
+    """Split a total arrival rate among users.
+
+    Patterns
+    --------
+    ``"uniform"``
+        Every user generates the same rate (the paper's setting).
+    ``"linear"``
+        Rates proportional to ``1, 2, ..., m`` — a skewed population used
+        by the extension experiments.
+    """
+    if n_users <= 0:
+        raise ValueError("n_users must be positive")
+    if total_rate <= 0.0:
+        raise ValueError("total rate must be positive")
+    if pattern == "uniform":
+        return np.full(n_users, total_rate / n_users)
+    if pattern == "linear":
+        weights = np.arange(1, n_users + 1, dtype=float)
+        return total_rate * weights / weights.sum()
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+def paper_table1_system(
+    *,
+    utilization: float = 0.6,
+    n_users: int = 10,
+    pattern: str = "uniform",
+) -> DistributedSystem:
+    """The Table-1 system at a given utilization (default: Sec. 4.2's 60%).
+
+    ``utilization`` is ``rho = Phi / sum(mu)``, the x-axis of Figure 4.
+    """
+    mu = table1_service_rates()
+    total = utilization * mu.sum()
+    phi = user_arrival_rates(n_users, total, pattern=pattern)
+    return DistributedSystem(service_rates=mu, arrival_rates=phi)
+
+
+def skewed_system(
+    skewness: float,
+    *,
+    utilization: float = 0.6,
+    n_users: int = 10,
+    n_fast: int = 2,
+    n_slow: int = 14,
+    slow_rate: float = TABLE1_BASE_RATE,
+) -> DistributedSystem:
+    """The Sec. 4.2.3 heterogeneity family: ``n_fast`` fast + ``n_slow`` slow.
+
+    ``skewness`` is the fast/slow speed ratio (1 = homogeneous).  The
+    utilization is held constant as skewness varies, as in Figure 6.
+    """
+    if skewness < 1.0:
+        raise ValueError("speed skewness must be >= 1")
+    if n_fast <= 0 or n_slow <= 0:
+        raise ValueError("computer counts must be positive")
+    mu = np.concatenate(
+        [
+            np.full(n_fast, skewness * slow_rate),
+            np.full(n_slow, slow_rate),
+        ]
+    )
+    total = utilization * mu.sum()
+    phi = user_arrival_rates(n_users, total)
+    return DistributedSystem(service_rates=mu, arrival_rates=phi)
+
+
+def homogeneous_system(
+    *,
+    n_computers: int = 16,
+    rate: float = TABLE1_BASE_RATE,
+    utilization: float = 0.6,
+    n_users: int = 10,
+) -> DistributedSystem:
+    """All computers identical — the degenerate end of the skewness sweep."""
+    mu = np.full(n_computers, float(rate))
+    phi = user_arrival_rates(n_users, utilization * mu.sum())
+    return DistributedSystem(service_rates=mu, arrival_rates=phi)
+
+
+def random_system(
+    rng: np.random.Generator,
+    *,
+    n_computers: int = 16,
+    n_users: int = 10,
+    utilization: float = 0.6,
+    rate_range: tuple[float, float] = (10.0, 100.0),
+) -> DistributedSystem:
+    """Randomized heterogeneous system for property-based testing.
+
+    Service rates are drawn log-uniformly in ``rate_range``; user rates
+    are drawn from a Dirichlet split of the target total so the population
+    is heterogeneous too.
+    """
+    lo, hi = rate_range
+    if not 0.0 < lo <= hi:
+        raise ValueError("invalid rate range")
+    mu = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n_computers))
+    total = utilization * mu.sum()
+    shares = rng.dirichlet(np.full(n_users, 2.0))
+    phi = np.maximum(shares, 1e-3 / n_users) * total
+    phi *= total / phi.sum()
+    return DistributedSystem(service_rates=mu, arrival_rates=phi)

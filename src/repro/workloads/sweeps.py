@@ -1,0 +1,73 @@
+"""Parameter sweeps behind the paper's figures.
+
+Each generator yields ``(parameter_value, DistributedSystem)`` pairs for
+one experimental axis:
+
+* :func:`utilization_sweep` — Figure 4 (rho from 10% to 90%);
+* :func:`user_count_sweep` — Figure 3 (4 to 32 users);
+* :func:`skewness_sweep` — Figure 6 (speed skewness 1 to 20).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.workloads.configs import paper_table1_system, skewed_system
+
+__all__ = [
+    "DEFAULT_UTILIZATIONS",
+    "DEFAULT_USER_COUNTS",
+    "DEFAULT_SKEWNESSES",
+    "utilization_sweep",
+    "user_count_sweep",
+    "skewness_sweep",
+]
+
+#: Figure 4's x-axis: system utilization from 10% to 90%.
+DEFAULT_UTILIZATIONS: tuple[float, ...] = tuple(
+    round(x, 2) for x in np.arange(0.1, 0.91, 0.1)
+)
+#: Figure 3's x-axis: number of users from 4 to 32.
+DEFAULT_USER_COUNTS: tuple[int, ...] = (4, 8, 12, 16, 20, 24, 28, 32)
+#: Figure 6's x-axis: max/min speed ratio.
+DEFAULT_SKEWNESSES: tuple[float, ...] = (1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0)
+
+
+def utilization_sweep(
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    *,
+    n_users: int = 10,
+) -> Iterator[tuple[float, DistributedSystem]]:
+    """Table-1 systems across a range of system utilizations (Figure 4)."""
+    for rho in utilizations:
+        yield float(rho), paper_table1_system(utilization=float(rho), n_users=n_users)
+
+
+def user_count_sweep(
+    user_counts: Sequence[int] = DEFAULT_USER_COUNTS,
+    *,
+    utilization: float = 0.6,
+) -> Iterator[tuple[int, DistributedSystem]]:
+    """Table-1 systems with a varying user population (Figure 3).
+
+    The total arrival rate is held constant (fixed utilization); adding
+    users divides the same traffic among more selfish decision makers.
+    """
+    for m in user_counts:
+        yield int(m), paper_table1_system(utilization=utilization, n_users=int(m))
+
+
+def skewness_sweep(
+    skewnesses: Sequence[float] = DEFAULT_SKEWNESSES,
+    *,
+    utilization: float = 0.6,
+    n_users: int = 10,
+) -> Iterator[tuple[float, DistributedSystem]]:
+    """2-fast/14-slow systems across speed skewness values (Figure 6)."""
+    for skew in skewnesses:
+        yield float(skew), skewed_system(
+            float(skew), utilization=utilization, n_users=n_users
+        )

@@ -1,0 +1,125 @@
+"""Synthetic time-varying workload traces.
+
+The dynamic re-balancing driver (:mod:`repro.core.dynamics`) consumes a
+sequence of system snapshots; these generators produce the standard
+shapes of demand over time, expressed as per-epoch *system utilizations*
+applied to any base system:
+
+* :func:`diurnal_utilizations` — the smooth day/night sinusoid;
+* :func:`flash_crowd_utilizations` — a baseline with a sudden plateau
+  spike (the "slashdot" event);
+* :func:`random_walk_utilizations` — mean-reverting noisy drift
+  (Ornstein-Uhlenbeck, discretized), for stress-testing warm starts.
+
+All stay strictly inside the stable region ``(0, 1)`` by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import DistributedSystem
+from repro.workloads.configs import paper_table1_system
+
+__all__ = [
+    "diurnal_utilizations",
+    "flash_crowd_utilizations",
+    "random_walk_utilizations",
+    "systems_from_utilizations",
+]
+
+_EPS = 1e-3
+
+
+def _check_band(low: float, high: float) -> None:
+    if not 0.0 < low <= high < 1.0:
+        raise ValueError("utilization band must satisfy 0 < low <= high < 1")
+
+
+def diurnal_utilizations(
+    n_epochs: int = 24, *, low: float = 0.3, high: float = 0.85
+) -> np.ndarray:
+    """One day of sinusoidal load: trough ``low``, peak ``high``."""
+    if n_epochs < 1:
+        raise ValueError("need at least one epoch")
+    _check_band(low, high)
+    phase = np.linspace(0.0, 2.0 * np.pi, n_epochs, endpoint=False)
+    mid = 0.5 * (low + high)
+    amplitude = 0.5 * (high - low)
+    return mid + amplitude * np.sin(phase)
+
+
+def flash_crowd_utilizations(
+    n_epochs: int = 24,
+    *,
+    baseline: float = 0.4,
+    peak: float = 0.9,
+    start: int | None = None,
+    duration: int | None = None,
+) -> np.ndarray:
+    """Steady baseline with a sustained spike (defaults: middle third)."""
+    if n_epochs < 1:
+        raise ValueError("need at least one epoch")
+    _check_band(baseline, peak)
+    if start is None:
+        start = n_epochs // 3
+    if duration is None:
+        duration = max(1, n_epochs // 3)
+    if not 0 <= start < n_epochs or duration < 1:
+        raise ValueError("spike must lie inside the trace")
+    trace = np.full(n_epochs, baseline)
+    trace[start : min(n_epochs, start + duration)] = peak
+    return trace
+
+
+def random_walk_utilizations(
+    n_epochs: int = 24,
+    *,
+    mean: float = 0.6,
+    volatility: float = 0.08,
+    reversion: float = 0.3,
+    seed: int = 0,
+    low: float = 0.05,
+    high: float = 0.95,
+) -> np.ndarray:
+    """Mean-reverting noisy load (discretized Ornstein-Uhlenbeck).
+
+    ``rho_{k+1} = rho_k + reversion (mean - rho_k) + volatility xi_k``,
+    clipped to ``[low, high]``.
+    """
+    if n_epochs < 1:
+        raise ValueError("need at least one epoch")
+    _check_band(low, high)
+    if not low <= mean <= high:
+        raise ValueError("mean must lie inside the clip band")
+    if volatility < 0.0 or not 0.0 <= reversion <= 1.0:
+        raise ValueError("invalid volatility or reversion")
+    rng = np.random.default_rng(seed)
+    trace = np.empty(n_epochs)
+    level = mean
+    for k in range(n_epochs):
+        level += reversion * (mean - level) + volatility * rng.standard_normal()
+        level = float(np.clip(level, low, high))
+        trace[k] = level
+    return trace
+
+
+def systems_from_utilizations(
+    utilizations, *, n_users: int = 10, base: DistributedSystem | None = None
+) -> list[DistributedSystem]:
+    """Materialize a utilization trace into system snapshots.
+
+    ``base`` defaults to the Table-1 system; its computers are kept and
+    the user population rescaled per epoch.
+    """
+    snapshots = []
+    for rho in np.asarray(utilizations, dtype=float):
+        if not 0.0 < rho < 1.0:
+            raise ValueError("trace utilizations must lie in (0, 1)")
+        if base is None:
+            snapshots.append(
+                paper_table1_system(utilization=float(rho), n_users=n_users)
+            )
+        else:
+            snapshots.append(base.with_utilization(float(rho)))
+    return snapshots

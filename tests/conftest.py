@@ -1,0 +1,41 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.workloads.configs import paper_table1_system
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need random inputs."""
+    return np.random.default_rng(20020415)  # the paper's publication date
+
+
+@pytest.fixture
+def two_by_two() -> DistributedSystem:
+    """Minimal heterogeneous system: 2 computers, 2 users, 40% load."""
+    return DistributedSystem(service_rates=[10.0, 5.0], arrival_rates=[4.0, 2.0])
+
+
+@pytest.fixture
+def single_user() -> DistributedSystem:
+    """One user over three heterogeneous computers."""
+    return DistributedSystem(
+        service_rates=[8.0, 4.0, 2.0], arrival_rates=[5.0]
+    )
+
+
+@pytest.fixture
+def table1_medium() -> DistributedSystem:
+    """The paper's Table-1 system at the 60% medium load."""
+    return paper_table1_system(utilization=0.6)
+
+
+@pytest.fixture
+def table1_small() -> DistributedSystem:
+    """Table-1 computers with a small user population for fast solves."""
+    return paper_table1_system(utilization=0.5, n_users=4)

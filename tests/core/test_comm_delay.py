@@ -1,0 +1,185 @@
+"""Tests for the communication-delay game extension (EXT4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.best_response import optimal_fractions
+from repro.core.comm_delay import (
+    DelayedGame,
+    DelayedNashSolver,
+    delayed_best_response,
+)
+from repro.core.nash import compute_nash_equilibrium
+from repro.core.strategy import StrategyProfile
+from repro.workloads.configs import paper_table1_system
+
+
+def delayed_cost(available, delays, fractions, job_rate):
+    x = np.asarray(fractions) * job_rate
+    used = x > 0
+    queueing = (np.asarray(fractions)[used] / (available[used] - x[used])).sum()
+    shipping = float((np.asarray(fractions) * delays).sum())
+    return float(queueing) + shipping
+
+
+class TestDelayedBestResponse:
+    def test_zero_delay_reduces_to_optimal(self):
+        a = np.array([20.0, 10.0, 5.0])
+        with_delay = delayed_best_response(a, np.zeros(3), 12.0)
+        plain = optimal_fractions(a, 12.0).fractions
+        np.testing.assert_allclose(with_delay, plain, atol=1e-10)
+
+    def test_fractions_form_distribution(self):
+        a = np.array([15.0, 8.0, 4.0])
+        t = np.array([0.0, 0.1, 0.3])
+        f = delayed_best_response(a, t, 10.0)
+        assert f.sum() == pytest.approx(1.0)
+        assert np.all(f >= 0.0)
+
+    def test_result_stable(self):
+        a = np.array([15.0, 8.0, 4.0])
+        t = np.array([0.05, 0.0, 0.2])
+        f = delayed_best_response(a, t, 12.0)
+        assert np.all(f * 12.0 < a)
+
+    def test_delay_repels_traffic(self):
+        a = np.array([10.0, 10.0])
+        no_delay = delayed_best_response(a, np.zeros(2), 8.0)
+        assert no_delay[0] == pytest.approx(0.5)
+        penalized = delayed_best_response(a, np.array([0.5, 0.0]), 8.0)
+        assert penalized[0] < 0.5
+
+    def test_huge_delay_excludes_computer(self):
+        a = np.array([10.0, 10.0])
+        f = delayed_best_response(a, np.array([1e6, 0.0]), 4.0)
+        assert f[0] == 0.0
+        assert f[1] == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy import optimize
+
+        a = np.array([14.0, 9.0, 5.0])
+        t = np.array([0.02, 0.08, 0.0])
+        rate = 10.0
+
+        def objective(s):
+            s = np.clip(s, 1e-15, None)
+            return delayed_cost(a, t, s, rate)
+
+        solution = optimize.minimize(
+            objective,
+            x0=np.full(3, 1.0 / 3.0),
+            bounds=[(0.0, min(1.0, ai / rate * (1 - 1e-9))) for ai in a],
+            constraints=[{"type": "eq", "fun": lambda s: s.sum() - 1.0}],
+            method="SLSQP",
+            options={"ftol": 1e-14, "maxiter": 500},
+        )
+        mine = delayed_best_response(a, t, rate)
+        assert delayed_cost(a, t, mine, rate) <= solution.fun + 1e-8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delayed_best_response([10.0], [0.0, 0.0], 1.0)
+        with pytest.raises(ValueError):
+            delayed_best_response([10.0], [0.0], 0.0)
+        with pytest.raises(ValueError):
+            delayed_best_response([1.0], [0.0], 2.0)
+
+    @given(
+        st.lists(st.floats(1.0, 50.0), min_size=2, max_size=6),
+        st.lists(st.floats(0.0, 0.5), min_size=2, max_size=6),
+        st.floats(0.1, 0.8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_beats_uniform_generically(self, rates, delays, frac):
+        n = min(len(rates), len(delays))
+        a = np.asarray(rates[:n])
+        t = np.asarray(delays[:n])
+        job_rate = frac * a.sum()
+        best = delayed_best_response(a, t, job_rate)
+        uniform = np.full(n, 1.0 / n)
+        if np.all(uniform * job_rate < a):
+            assert delayed_cost(a, t, best, job_rate) <= (
+                delayed_cost(a, t, uniform, job_rate) + 1e-9
+            )
+
+
+class TestDelayedGame:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return paper_table1_system(utilization=0.6, n_users=4)
+
+    def test_delay_broadcasting(self, system):
+        game = DelayedGame(system, np.full(system.n_computers, 0.1))
+        assert game.delays.shape == (4, 16)
+
+    def test_delay_validation(self, system):
+        with pytest.raises(ValueError):
+            DelayedGame(system, np.full((2, 16), 0.1))
+        with pytest.raises(ValueError):
+            DelayedGame(system, np.full((4, 16), -0.1))
+
+    def test_zero_delay_game_matches_plain_nash(self, system):
+        game = DelayedGame(system, np.zeros((4, 16)))
+        delayed = DelayedNashSolver(tolerance=1e-9).solve(game)
+        plain = compute_nash_equilibrium(system, tolerance=1e-9)
+        np.testing.assert_allclose(
+            delayed.user_costs, plain.user_times, rtol=1e-6
+        )
+
+    def test_converges_with_random_delays(self, system, rng):
+        delays = rng.uniform(0.0, 0.05, size=(4, 16))
+        game = DelayedGame(system, delays)
+        result = DelayedNashSolver().solve(game)
+        assert result.converged
+        result.profile.validate(system)
+
+    def test_equilibrium_no_profitable_deviation(self, system, rng):
+        delays = rng.uniform(0.0, 0.03, size=(4, 16))
+        game = DelayedGame(system, delays)
+        result = DelayedNashSolver(tolerance=1e-10).solve(game)
+        for j in range(4):
+            available = system.available_rates(result.profile.fractions, j)
+            reply = delayed_best_response(
+                available, delays[j], float(system.arrival_rates[j])
+            )
+            cost_now = result.user_costs[j]
+            cost_reply = delayed_cost(
+                available, delays[j], reply, float(system.arrival_rates[j])
+            )
+            assert cost_now <= cost_reply + 1e-6
+
+    def test_uniform_delay_shifts_costs_uniformly(self, system):
+        """A constant delay added everywhere cannot change the equilibrium
+        routing — only everyone's cost, by exactly that delay."""
+        base = DelayedNashSolver(tolerance=1e-9).solve(
+            DelayedGame(system, np.zeros((4, 16)))
+        )
+        shifted = DelayedNashSolver(tolerance=1e-9).solve(
+            DelayedGame(system, np.full((4, 16), 0.25))
+        )
+        np.testing.assert_allclose(
+            shifted.user_costs, base.user_costs + 0.25, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            shifted.profile.fractions, base.profile.fractions, atol=1e-6
+        )
+
+    def test_overall_cost_weighted(self, system):
+        game = DelayedGame(system, np.full((4, 16), 0.1))
+        profile = StrategyProfile.proportional(system)
+        expected = float(
+            game.user_costs(profile) @ system.arrival_rates
+            / system.total_arrival_rate
+        )
+        assert game.overall_cost(profile) == pytest.approx(expected)
+
+    def test_solver_validation(self):
+        with pytest.raises(ValueError):
+            DelayedNashSolver(tolerance=0.0)
+        with pytest.raises(ValueError):
+            DelayedNashSolver(max_sweeps=0)

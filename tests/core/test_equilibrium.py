@@ -1,0 +1,76 @@
+"""Tests for equilibrium verification (paper Def. 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import (
+    best_response_regrets,
+    is_nash_equilibrium,
+    verify_equilibrium,
+)
+from repro.core.nash import compute_nash_equilibrium
+from repro.core.strategy import StrategyProfile
+
+
+class TestCertificates:
+    def test_equilibrium_has_tiny_regret(self, table1_small):
+        result = compute_nash_equilibrium(table1_small, tolerance=1e-10)
+        cert = best_response_regrets(table1_small, result.profile)
+        assert cert.epsilon <= 1e-7
+        assert np.all(cert.regrets >= -1e-12)
+
+    def test_proportional_profile_has_positive_regret(self, table1_small):
+        profile = StrategyProfile.proportional(table1_small)
+        cert = best_response_regrets(table1_small, profile)
+        assert cert.epsilon > 1e-3
+
+    def test_regret_components_consistent(self, table1_small):
+        profile = StrategyProfile.proportional(table1_small)
+        cert = best_response_regrets(table1_small, profile)
+        np.testing.assert_allclose(
+            cert.regrets, cert.user_times - cert.best_response_times
+        )
+
+    def test_best_response_times_are_lower_bounds(self, table1_small):
+        profile = StrategyProfile.proportional(table1_small)
+        cert = best_response_regrets(table1_small, profile)
+        assert np.all(cert.best_response_times <= cert.user_times + 1e-12)
+
+    def test_is_equilibrium_threshold(self, table1_small):
+        profile = StrategyProfile.proportional(table1_small)
+        cert = best_response_regrets(table1_small, profile)
+        assert cert.is_equilibrium(cert.epsilon + 1e-12)
+        assert not cert.is_equilibrium(cert.epsilon / 2.0)
+
+    def test_requires_feasible_profile(self, table1_small):
+        with pytest.raises(ValueError):
+            best_response_regrets(
+                table1_small,
+                StrategyProfile.zeros(
+                    table1_small.n_users, table1_small.n_computers
+                ),
+            )
+
+
+class TestVerifyHelpers:
+    def test_verify_passes_on_equilibrium(self, table1_small):
+        result = compute_nash_equilibrium(table1_small, tolerance=1e-10)
+        cert = verify_equilibrium(table1_small, result.profile, tol=1e-6)
+        assert cert.epsilon <= 1e-6
+
+    def test_verify_raises_with_user_index(self, table1_small):
+        profile = StrategyProfile.proportional(table1_small)
+        with pytest.raises(ValueError, match="user"):
+            verify_equilibrium(table1_small, profile, tol=1e-9)
+
+    def test_predicate_forms(self, table1_small):
+        result = compute_nash_equilibrium(table1_small, tolerance=1e-10)
+        assert is_nash_equilibrium(table1_small, result.profile, tol=1e-6)
+        proportional = StrategyProfile.proportional(table1_small)
+        assert not is_nash_equilibrium(table1_small, proportional, tol=1e-9)
+
+    def test_single_user_optimum_is_equilibrium(self, single_user):
+        result = compute_nash_equilibrium(single_user)
+        assert is_nash_equilibrium(single_user, result.profile, tol=1e-9)

@@ -1,0 +1,147 @@
+"""Property-based tests of the equilibrium's structural properties.
+
+These pin down comparative statics the paper implies but never states:
+more capacity helps, more load hurts, equilibria are unique and
+initialization-independent, and the equilibrium inherits the scaling
+invariance of the M/M/1 model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import DistributedSystem
+from repro.core.nash import compute_nash_equilibrium
+
+
+def solve(system):
+    result = compute_nash_equilibrium(system, tolerance=1e-9, max_sweeps=3000)
+    assert result.converged
+    return result
+
+
+def random_instances():
+    """Hypothesis strategy: (service rates, user rates) with slack."""
+    return st.tuples(
+        st.lists(st.floats(2.0, 80.0), min_size=2, max_size=6),
+        st.lists(st.floats(0.5, 5.0), min_size=1, max_size=4),
+    ).filter(lambda case: sum(case[1]) < 0.9 * sum(case[0]))
+
+
+class TestComparativeStatics:
+    @given(random_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_adding_a_computer_never_hurts_anyone(self, case):
+        mu, phi = case
+        before = solve(DistributedSystem(service_rates=mu, arrival_rates=phi))
+        extended = DistributedSystem(
+            service_rates=list(mu) + [max(mu)], arrival_rates=phi
+        )
+        after = solve(extended)
+        assert np.all(after.user_times <= before.user_times + 1e-6)
+
+    @given(random_instances(), st.floats(1.1, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_speeding_up_a_computer_never_hurts_overall(self, case, factor):
+        mu, phi = case
+        slow = DistributedSystem(service_rates=mu, arrival_rates=phi)
+        fast_rates = list(mu)
+        fast_rates[0] *= factor
+        fast = DistributedSystem(service_rates=fast_rates, arrival_rates=phi)
+        time_slow = slow.overall_response_time(solve(slow).profile.fractions)
+        time_fast = fast.overall_response_time(solve(fast).profile.fractions)
+        assert time_fast <= time_slow + 1e-6
+
+    @given(random_instances(), st.floats(1.05, 1.5))
+    @settings(max_examples=40, deadline=None)
+    def test_more_load_never_helps(self, case, factor):
+        mu, phi = case
+        light = DistributedSystem(service_rates=mu, arrival_rates=phi)
+        heavier_rates = [p * factor for p in phi]
+        if sum(heavier_rates) >= 0.98 * sum(mu):
+            return
+        heavy = DistributedSystem(
+            service_rates=mu, arrival_rates=heavier_rates
+        )
+        time_light = light.overall_response_time(
+            solve(light).profile.fractions
+        )
+        time_heavy = heavy.overall_response_time(
+            solve(heavy).profile.fractions
+        )
+        assert time_heavy >= time_light - 1e-6
+
+    @given(random_instances(), st.floats(0.5, 4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_time_scaling_invariance(self, case, scale):
+        """Scaling all rates by c divides every equilibrium time by c and
+        leaves the strategy profile unchanged — seconds vs milliseconds
+        cannot matter."""
+        mu, phi = case
+        base = DistributedSystem(service_rates=mu, arrival_rates=phi)
+        scaled = DistributedSystem(
+            service_rates=[m * scale for m in mu],
+            arrival_rates=[p * scale for p in phi],
+        )
+        result_base = solve(base)
+        result_scaled = solve(scaled)
+        np.testing.assert_allclose(
+            result_scaled.user_times,
+            result_base.user_times / scale,
+            rtol=1e-4,
+        )
+        # Strategies match more loosely than costs: the cost landscape is
+        # flat near the equilibrium, so the stopping iterate wanders more
+        # than the value it achieves.
+        np.testing.assert_allclose(
+            result_scaled.profile.fractions,
+            result_base.profile.fractions,
+            atol=1e-3,
+        )
+
+
+class TestUniqueness:
+    @given(random_instances(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_equilibrium_unique_across_inits(self, case, seed):
+        """Orda et al.'s uniqueness theorem, checked constructively: zero,
+        proportional and a random feasible initialization all land on the
+        same user times."""
+        mu, phi = case
+        system = DistributedSystem(service_rates=mu, arrival_rates=phi)
+        from repro.core.strategy import StrategyProfile
+
+        rng = np.random.default_rng(seed)
+        raw = rng.dirichlet(np.ones(len(mu)), size=len(phi))
+        random_init = StrategyProfile(raw)
+        targets = [solve(system).user_times]
+        for init in ("zero", random_init):
+            result = compute_nash_equilibrium(
+                system, init=init, tolerance=1e-9, max_sweeps=3000
+            )
+            if not result.converged:
+                continue
+            targets.append(result.user_times)
+        for times in targets[1:]:
+            np.testing.assert_allclose(times, targets[0], rtol=1e-4)
+
+
+class TestSymmetry:
+    @given(
+        st.lists(st.floats(2.0, 50.0), min_size=2, max_size=5),
+        st.floats(0.5, 4.0),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_users_identical_times(self, mu, per_user, m):
+        if per_user * m >= 0.9 * sum(mu):
+            return
+        system = DistributedSystem(
+            service_rates=mu, arrival_rates=[per_user] * m
+        )
+        result = solve(system)
+        spread = result.user_times.max() - result.user_times.min()
+        assert spread <= 1e-5 * result.user_times.mean() + 1e-9

@@ -1,0 +1,179 @@
+"""Unit tests for the distributed system model (paper Sec. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+
+
+class TestConstruction:
+    def test_basic_shapes(self, two_by_two):
+        assert two_by_two.n_computers == 2
+        assert two_by_two.n_users == 2
+
+    def test_rates_are_copied_and_readonly(self):
+        mu = np.array([10.0, 5.0])
+        phi = np.array([3.0])
+        system = DistributedSystem(service_rates=mu, arrival_rates=phi)
+        mu[0] = 999.0
+        assert system.service_rates[0] == 10.0
+        with pytest.raises(ValueError):
+            system.service_rates[0] = 1.0
+
+    def test_accepts_lists(self):
+        system = DistributedSystem(service_rates=[1.0, 2.0], arrival_rates=[0.5])
+        assert system.total_processing_rate == 3.0
+
+    def test_rejects_nonpositive_service_rate(self):
+        with pytest.raises(ValueError, match="service_rates"):
+            DistributedSystem(service_rates=[10.0, 0.0], arrival_rates=[1.0])
+
+    def test_rejects_negative_arrival_rate(self):
+        with pytest.raises(ValueError, match="arrival_rates"):
+            DistributedSystem(service_rates=[10.0], arrival_rates=[-1.0])
+
+    def test_rejects_empty_computers(self):
+        with pytest.raises(ValueError):
+            DistributedSystem(service_rates=[], arrival_rates=[1.0])
+
+    def test_rejects_empty_users(self):
+        with pytest.raises(ValueError):
+            DistributedSystem(service_rates=[10.0], arrival_rates=[])
+
+    def test_rejects_nan_rates(self):
+        with pytest.raises(ValueError):
+            DistributedSystem(service_rates=[np.nan], arrival_rates=[1.0])
+
+    def test_rejects_2d_rates(self):
+        with pytest.raises(ValueError):
+            DistributedSystem(
+                service_rates=[[10.0, 5.0]], arrival_rates=[1.0]
+            )
+
+    def test_rejects_overloaded_system(self):
+        with pytest.raises(ValueError, match="arrival rate"):
+            DistributedSystem(service_rates=[1.0, 1.0], arrival_rates=[2.5])
+
+    def test_rejects_exactly_critical_system(self):
+        with pytest.raises(ValueError):
+            DistributedSystem(service_rates=[1.0, 1.0], arrival_rates=[2.0])
+
+    def test_default_names_generated(self, two_by_two):
+        assert two_by_two.computer_names == ("computer-0", "computer-1")
+        assert two_by_two.user_names == ("user-0", "user-1")
+
+    def test_custom_names_validated(self):
+        with pytest.raises(ValueError, match="computer_names"):
+            DistributedSystem(
+                service_rates=[10.0, 5.0],
+                arrival_rates=[1.0],
+                computer_names=("only-one",),
+            )
+
+
+class TestAggregates:
+    def test_total_rates(self, two_by_two):
+        assert two_by_two.total_processing_rate == 15.0
+        assert two_by_two.total_arrival_rate == 6.0
+
+    def test_system_utilization(self, two_by_two):
+        assert two_by_two.system_utilization == pytest.approx(0.4)
+
+    def test_speed_skewness(self, two_by_two):
+        assert two_by_two.speed_skewness == pytest.approx(2.0)
+
+    def test_speed_skewness_homogeneous(self):
+        system = DistributedSystem(
+            service_rates=[3.0, 3.0, 3.0], arrival_rates=[1.0]
+        )
+        assert system.speed_skewness == 1.0
+
+
+class TestProfileQuantities:
+    def test_loads_linear_in_fractions(self, two_by_two):
+        s = np.array([[1.0, 0.0], [0.0, 1.0]])
+        lam = two_by_two.loads(s)
+        np.testing.assert_allclose(lam, [4.0, 2.0])
+
+    def test_loads_shape_check(self, two_by_two):
+        with pytest.raises(ValueError, match="shape"):
+            two_by_two.loads(np.ones((3, 2)))
+
+    def test_response_times_match_mm1(self, two_by_two):
+        s = np.array([[0.5, 0.5], [0.5, 0.5]])
+        lam = two_by_two.loads(s)
+        expected = 1.0 / (two_by_two.service_rates - lam)
+        np.testing.assert_allclose(two_by_two.response_times(s), expected)
+
+    def test_response_times_reject_unstable(self, two_by_two):
+        # Push all 6 jobs/sec to the 5 jobs/sec computer.
+        s = np.array([[0.0, 1.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="stability"):
+            two_by_two.response_times(s)
+
+    def test_user_response_times_weighted_sum(self, two_by_two):
+        s = np.array([[1.0, 0.0], [0.5, 0.5]])
+        f = two_by_two.response_times(s)
+        d = two_by_two.user_response_times(s)
+        np.testing.assert_allclose(d, s @ f)
+
+    def test_overall_time_is_traffic_weighted_mean(self, two_by_two):
+        s = np.array([[0.7, 0.3], [0.2, 0.8]])
+        d = two_by_two.user_response_times(s)
+        phi = two_by_two.arrival_rates
+        expected = (d @ phi) / phi.sum()
+        assert two_by_two.overall_response_time(s) == pytest.approx(expected)
+
+    def test_available_rates_subtract_only_others(self, two_by_two):
+        s = np.array([[1.0, 0.0], [0.0, 1.0]])
+        a0 = two_by_two.available_rates(s, 0)
+        # User 0 sees mu minus user 1's flow (2 jobs/s on computer 1).
+        np.testing.assert_allclose(a0, [10.0, 3.0])
+        a1 = two_by_two.available_rates(s, 1)
+        np.testing.assert_allclose(a1, [6.0, 5.0])
+
+    def test_available_rates_bad_user(self, two_by_two):
+        s = np.zeros((2, 2))
+        with pytest.raises(IndexError):
+            two_by_two.available_rates(s, 5)
+
+    def test_subsystem_seen_by(self, two_by_two):
+        s = np.array([[1.0, 0.0], [0.0, 1.0]])
+        available, phi = two_by_two.subsystem_seen_by(s, 1)
+        np.testing.assert_allclose(available, [6.0, 5.0])
+        assert phi == 2.0
+
+
+class TestDerivedSystems:
+    def test_with_utilization_rescales(self, two_by_two):
+        scaled = two_by_two.with_utilization(0.8)
+        assert scaled.system_utilization == pytest.approx(0.8)
+        # Relative user shares preserved (4:2).
+        ratio = scaled.arrival_rates[0] / scaled.arrival_rates[1]
+        assert ratio == pytest.approx(2.0)
+
+    def test_with_utilization_bounds(self, two_by_two):
+        with pytest.raises(ValueError):
+            two_by_two.with_utilization(0.0)
+        with pytest.raises(ValueError):
+            two_by_two.with_utilization(1.0)
+
+    def test_with_users_swaps_population(self, two_by_two):
+        other = two_by_two.with_users([1.0, 2.0, 3.0])
+        assert other.n_users == 3
+        np.testing.assert_array_equal(other.service_rates, two_by_two.service_rates)
+
+    def test_immutable_dataclass(self, two_by_two):
+        with pytest.raises(AttributeError):
+            two_by_two.service_rates = np.array([1.0])
+
+
+class TestConsistencyWithStrategyProfile:
+    def test_proportional_profile_equalizes_utilization(self, table1_medium):
+        profile = StrategyProfile.proportional(table1_medium)
+        lam = table1_medium.loads(profile.fractions)
+        rho = lam / table1_medium.service_rates
+        np.testing.assert_allclose(rho, table1_medium.system_utilization)

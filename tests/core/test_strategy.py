@@ -1,0 +1,206 @@
+"""Unit tests for strategy profiles and feasibility (paper Sec. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+
+
+class TestConstruction:
+    def test_copies_input(self):
+        raw = np.array([[0.5, 0.5]])
+        profile = StrategyProfile(raw)
+        raw[0, 0] = 9.0
+        assert profile.fractions[0, 0] == 0.5
+
+    def test_readonly(self):
+        profile = StrategyProfile(np.array([[0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            profile.fractions[0, 0] = 1.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StrategyProfile(np.array([0.5, 0.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StrategyProfile(np.empty((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            StrategyProfile(np.array([[np.nan, 1.0]]))
+
+    def test_shapes(self):
+        profile = StrategyProfile(np.zeros((3, 4)))
+        assert profile.n_users == 3
+        assert profile.n_computers == 4
+
+
+class TestConstructors:
+    def test_zeros_is_all_zero(self):
+        profile = StrategyProfile.zeros(2, 3)
+        assert profile.fractions.sum() == 0.0
+
+    def test_zeros_violates_conservation(self):
+        assert not StrategyProfile.zeros(2, 3).satisfies_conservation()
+
+    def test_uniform_rows_sum_to_one(self):
+        profile = StrategyProfile.uniform(4, 5)
+        np.testing.assert_allclose(profile.fractions.sum(axis=1), 1.0)
+        assert np.all(profile.fractions == 0.2)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            StrategyProfile.zeros(0, 3)
+        with pytest.raises(ValueError):
+            StrategyProfile.uniform(3, 0)
+
+    def test_proportional_matches_rates(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        np.testing.assert_allclose(profile.fractions[0], [10 / 15, 5 / 15])
+        np.testing.assert_allclose(profile.fractions[0], profile.fractions[1])
+
+    def test_from_loads_fair_split(self, two_by_two):
+        loads = np.array([4.0, 2.0])
+        profile = StrategyProfile.from_loads(two_by_two, loads)
+        np.testing.assert_allclose(
+            two_by_two.loads(profile.fractions), loads
+        )
+        # Every user uses identical fractions.
+        np.testing.assert_allclose(profile.fractions[0], profile.fractions[1])
+
+    def test_from_loads_rejects_wrong_total(self, two_by_two):
+        with pytest.raises(ValueError, match="sum"):
+            StrategyProfile.from_loads(two_by_two, np.array([1.0, 1.0]))
+
+    def test_from_loads_rejects_negative(self, two_by_two):
+        with pytest.raises(ValueError, match="nonnegative"):
+            StrategyProfile.from_loads(two_by_two, np.array([7.0, -1.0]))
+
+    def test_from_loads_rejects_bad_shape(self, two_by_two):
+        with pytest.raises(ValueError, match="one entry"):
+            StrategyProfile.from_loads(two_by_two, np.array([6.0]))
+
+
+class TestFeasibility:
+    def test_uniform_feasible_when_stable(self, two_by_two):
+        profile = StrategyProfile.uniform(2, 2)
+        assert profile.is_feasible(two_by_two)
+        profile.validate(two_by_two)  # must not raise
+
+    def test_positivity_violation_detected(self, two_by_two):
+        profile = StrategyProfile(np.array([[1.5, -0.5], [0.5, 0.5]]))
+        assert not profile.satisfies_positivity()
+        with pytest.raises(ValueError, match="positivity"):
+            profile.validate(two_by_two)
+
+    def test_conservation_violation_detected(self, two_by_two):
+        profile = StrategyProfile(np.array([[0.4, 0.4], [0.5, 0.5]]))
+        assert not profile.satisfies_conservation()
+        with pytest.raises(ValueError, match="conservation"):
+            profile.validate(two_by_two)
+
+    def test_stability_violation_detected(self):
+        system = DistributedSystem(
+            service_rates=[10.0, 2.0], arrival_rates=[4.0, 4.0]
+        )
+        # All traffic on the slow computer: 8 > 2.
+        profile = StrategyProfile(np.array([[0.0, 1.0], [0.0, 1.0]]))
+        assert not profile.satisfies_stability(system)
+        with pytest.raises(ValueError, match="stability"):
+            profile.validate(system)
+
+    def test_validate_shape_mismatch(self, two_by_two):
+        profile = StrategyProfile.uniform(3, 2)
+        with pytest.raises(ValueError, match="shape"):
+            profile.validate(two_by_two)
+
+    def test_tolerance_respected(self):
+        profile = StrategyProfile(np.array([[0.5 + 1e-10, 0.5 - 1e-10]]))
+        assert profile.satisfies_conservation()
+
+
+class TestUpdatesAndAccess:
+    def test_with_user_strategy_functional(self):
+        base = StrategyProfile.uniform(2, 2)
+        updated = base.with_user_strategy(0, [1.0, 0.0])
+        assert base.fractions[0, 0] == 0.5  # unchanged
+        assert updated.fractions[0, 0] == 1.0
+        assert updated.fractions[1, 0] == 0.5  # other rows preserved
+
+    def test_with_user_strategy_shape_check(self):
+        base = StrategyProfile.uniform(2, 2)
+        with pytest.raises(ValueError):
+            base.with_user_strategy(0, [1.0, 0.0, 0.0])
+
+    def test_user_strategy_view(self):
+        profile = StrategyProfile(np.array([[0.3, 0.7], [1.0, 0.0]]))
+        np.testing.assert_allclose(profile.user_strategy(1), [1.0, 0.0])
+
+    def test_support(self):
+        profile = StrategyProfile(np.array([[0.3, 0.0, 0.7]]))
+        np.testing.assert_array_equal(profile.support(0), [0, 2])
+
+    def test_distance_l1(self):
+        a = StrategyProfile(np.array([[1.0, 0.0]]))
+        b = StrategyProfile(np.array([[0.0, 1.0]]))
+        assert a.distance_to(b) == pytest.approx(2.0)
+
+    def test_distance_shape_mismatch(self):
+        a = StrategyProfile.uniform(1, 2)
+        b = StrategyProfile.uniform(2, 2)
+        with pytest.raises(ValueError):
+            a.distance_to(b)
+
+    def test_equality_and_hash(self):
+        a = StrategyProfile(np.array([[0.5, 0.5]]))
+        b = StrategyProfile(np.array([[0.5, 0.5]]))
+        c = StrategyProfile(np.array([[0.4, 0.6]]))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a profile"
+
+
+class TestPropertyBased:
+    @given(
+        fractions=hnp.arrays(
+            dtype=float,
+            shape=st.tuples(
+                st.integers(1, 5), st.integers(1, 6)
+            ),
+            elements=st.floats(0.0, 1.0),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_row_normalized_matrices_conserve(self, fractions):
+        sums = fractions.sum(axis=1)
+        # Only rows with positive mass can be normalized.
+        if np.any(sums <= 0.0):
+            return
+        profile = StrategyProfile(fractions / sums[:, None])
+        assert profile.satisfies_conservation()
+        assert profile.satisfies_positivity()
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_distance_is_a_metric_on_samples(self, data):
+        shape = (2, 3)
+        def draw_profile():
+            raw = data.draw(
+                hnp.arrays(
+                    dtype=float, shape=shape, elements=st.floats(0.01, 1.0)
+                )
+            )
+            return StrategyProfile(raw / raw.sum(axis=1, keepdims=True))
+
+        a, b, c = draw_profile(), draw_profile(), draw_profile()
+        assert a.distance_to(a) == 0.0
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-12

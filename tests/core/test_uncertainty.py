@@ -1,0 +1,88 @@
+"""Tests for best-reply dynamics under observation noise (ABL4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.uncertainty import NoisyNashSolver
+from repro.workloads.configs import paper_table1_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_table1_system(utilization=0.6, n_users=4)
+
+
+class TestConfiguration:
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            NoisyNashSolver(noise=-0.1)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            NoisyNashSolver(smoothing=0.0)
+        with pytest.raises(ValueError):
+            NoisyNashSolver(smoothing=1.5)
+
+    def test_rejects_bad_sweeps(self):
+        with pytest.raises(ValueError):
+            NoisyNashSolver(sweeps=0)
+
+    def test_rejects_infeasible_start(self, system):
+        with pytest.raises(ValueError, match="feasible"):
+            NoisyNashSolver(sweeps=2).solve(system, init="zero")
+
+
+class TestZeroNoiseLimit:
+    def test_recovers_exact_dynamics(self, system):
+        result = NoisyNashSolver(noise=0.0, sweeps=30, seed=1).solve(system)
+        assert result.mean_final_regret < 1e-6
+        assert result.projections == 0
+
+    def test_profile_feasible(self, system):
+        result = NoisyNashSolver(noise=0.0, sweeps=10).solve(system)
+        result.profile.validate(system)
+
+
+class TestNoisyBehaviour:
+    def test_profile_stays_feasible_under_noise(self, system):
+        for seed in range(3):
+            result = NoisyNashSolver(
+                noise=0.25, sweeps=25, seed=seed
+            ).solve(system)
+            result.profile.validate(system)
+
+    def test_regret_plateau_scales_with_noise(self, system):
+        regrets = [
+            NoisyNashSolver(noise=noise, sweeps=30, seed=5)
+            .solve(system)
+            .mean_final_regret
+            for noise in (0.0, 0.05, 0.2)
+        ]
+        assert regrets[0] < regrets[1] < regrets[2]
+
+    def test_small_noise_small_neighbourhood(self, system):
+        result = NoisyNashSolver(noise=0.05, sweeps=30, seed=2).solve(system)
+        # Regret plateau well under the equilibrium times (~0.06 s).
+        assert result.mean_final_regret < 0.01
+
+    def test_smoothing_shrinks_the_neighbourhood(self, system):
+        raw = NoisyNashSolver(noise=0.2, smoothing=1.0, sweeps=40, seed=5)
+        ema = NoisyNashSolver(noise=0.2, smoothing=0.3, sweeps=40, seed=5)
+        assert (
+            ema.solve(system).mean_final_regret
+            < raw.solve(system).mean_final_regret
+        )
+
+    def test_deterministic_given_seed(self, system):
+        a = NoisyNashSolver(noise=0.1, sweeps=10, seed=9).solve(system)
+        b = NoisyNashSolver(noise=0.1, sweeps=10, seed=9).solve(system)
+        np.testing.assert_array_equal(
+            a.profile.fractions, b.profile.fractions
+        )
+        np.testing.assert_array_equal(a.regret_history, b.regret_history)
+
+    def test_history_length(self, system):
+        result = NoisyNashSolver(noise=0.1, sweeps=17).solve(system)
+        assert result.regret_history.size == 17

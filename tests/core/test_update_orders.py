@@ -1,0 +1,72 @@
+"""Tests for best-reply update schedules (ABL3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import is_nash_equilibrium
+from repro.core.nash import NashSolver
+from repro.workloads.configs import paper_table1_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_table1_system(utilization=0.6, n_users=6)
+
+
+class TestOrders:
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            NashSolver(order="chaotic")  # type: ignore[arg-type]
+
+    def test_roundrobin_is_default(self):
+        assert NashSolver().order == "roundrobin"
+
+    def test_random_order_converges_to_same_equilibrium(self, system):
+        rr = NashSolver(tolerance=1e-9).solve(system)
+        rand = NashSolver(tolerance=1e-9, order="random", seed=3).solve(system)
+        assert rand.converged
+        np.testing.assert_allclose(
+            rr.user_times, rand.user_times, rtol=1e-5
+        )
+        assert is_nash_equilibrium(system, rand.profile, tol=1e-5)
+
+    def test_random_order_seed_dependence(self, system):
+        a = NashSolver(tolerance=1e-6, order="random", seed=1).solve(system)
+        b = NashSolver(tolerance=1e-6, order="random", seed=2).solve(system)
+        # Different schedules, same equilibrium.
+        np.testing.assert_allclose(a.user_times, b.user_times, rtol=1e-4)
+
+    def test_random_order_reproducible(self, system):
+        a = NashSolver(tolerance=1e-6, order="random", seed=4).solve(system)
+        b = NashSolver(tolerance=1e-6, order="random", seed=4).solve(system)
+        assert a.iterations == b.iterations
+        np.testing.assert_array_equal(
+            a.profile.fractions, b.profile.fractions
+        )
+
+    def test_simultaneous_oscillates_on_many_users(self):
+        """Jacobi updates herd onto the fast computers and never settle —
+        why the paper's algorithm serializes updates round-robin."""
+        crowded = paper_table1_system(utilization=0.6, n_users=10)
+        result = NashSolver(
+            order="simultaneous", tolerance=1e-6, max_sweeps=200
+        ).solve(crowded)
+        assert not result.converged
+        # The oscillation has a persistent norm floor.
+        assert result.norm_history[-1] > 1e-3
+
+    def test_simultaneous_fine_for_single_user(self, single_user):
+        result = NashSolver(order="simultaneous", tolerance=1e-9).solve(
+            single_user
+        )
+        assert result.converged
+
+    def test_simultaneous_failure_reports_inf_times(self):
+        crowded = paper_table1_system(utilization=0.9, n_users=10)
+        result = NashSolver(
+            order="simultaneous", tolerance=1e-9, max_sweeps=50
+        ).solve(crowded)
+        if not np.all(np.isfinite(result.user_times)):
+            assert not result.converged

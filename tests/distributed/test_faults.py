@@ -1,0 +1,139 @@
+"""Failure-injection tests for the distributed protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nash import compute_nash_equilibrium
+from repro.distributed.faults import LossyMessageBus, run_nash_protocol_lossy
+from repro.distributed.messages import Message, MessageKind
+from repro.workloads.configs import paper_table1_system
+
+
+def token(sender, receiver, sweep=1):
+    return Message(
+        kind=MessageKind.TOKEN, sender=sender, receiver=receiver, sweep=sweep
+    )
+
+
+class TestLossyMessageBus:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossyMessageBus(2, drop=1.0)
+        with pytest.raises(ValueError):
+            LossyMessageBus(2, duplicate=-0.1)
+
+    def test_zero_faults_is_reliable(self):
+        bus = LossyMessageBus(2, drop=0.0, duplicate=0.0)
+        for sweep in range(1, 50):
+            bus.send(token(0, 1, sweep))
+        count = 0
+        while bus.has_pending(1):
+            bus.recv(1)
+            count += 1
+        assert count == 49
+        assert bus.dropped == 0 and bus.duplicated == 0
+
+    def test_drop_rate_approximate(self):
+        bus = LossyMessageBus(2, drop=0.3, seed=1)
+        n = 5000
+        for sweep in range(1, n + 1):
+            bus.send(token(0, 1, sweep))
+        assert bus.dropped == pytest.approx(0.3 * n, rel=0.1)
+
+    def test_duplication_enqueues_twice(self):
+        bus = LossyMessageBus(2, duplicate=0.5, seed=2)
+        n = 2000
+        for sweep in range(1, n + 1):
+            bus.send(token(0, 1, sweep))
+        delivered = 0
+        while bus.has_pending(1):
+            bus.recv(1)
+            delivered += 1
+        assert delivered == n + bus.duplicated
+        assert bus.duplicated == pytest.approx(0.5 * n, rel=0.15)
+
+    def test_fault_stream_reproducible(self):
+        a = LossyMessageBus(2, drop=0.2, seed=7)
+        b = LossyMessageBus(2, drop=0.2, seed=7)
+        for sweep in range(1, 100):
+            a.send(token(0, 1, sweep))
+            b.send(token(0, 1, sweep))
+        assert a.dropped == b.dropped
+
+
+class TestLossyProtocol:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return paper_table1_system(utilization=0.5, n_users=4)
+
+    @pytest.fixture(scope="class")
+    def lossless(self, system):
+        return compute_nash_equilibrium(system, tolerance=1e-6)
+
+    def test_no_faults_matches_reliable_protocol(self, system, lossless):
+        outcome = run_nash_protocol_lossy(
+            system, drop=0.0, duplicate=0.0
+        )
+        assert outcome.result.iterations == lossless.iterations
+        np.testing.assert_allclose(
+            outcome.result.profile.fractions,
+            lossless.profile.fractions,
+            atol=1e-10,
+        )
+
+    @pytest.mark.parametrize("fault_seed", [0, 1, 2])
+    def test_converges_despite_drops(self, system, lossless, fault_seed):
+        outcome = run_nash_protocol_lossy(
+            system, drop=0.2, duplicate=0.0, fault_seed=fault_seed
+        )
+        assert outcome.result.converged
+        np.testing.assert_allclose(
+            outcome.result.user_times, lossless.user_times, rtol=1e-5
+        )
+
+    def test_converges_despite_duplicates(self, system, lossless):
+        outcome = run_nash_protocol_lossy(
+            system, drop=0.0, duplicate=0.3, fault_seed=3
+        )
+        assert outcome.result.converged
+        np.testing.assert_allclose(
+            outcome.result.user_times, lossless.user_times, rtol=1e-5
+        )
+
+    def test_converges_with_both_fault_types(self, system, lossless):
+        outcome = run_nash_protocol_lossy(
+            system, drop=0.15, duplicate=0.15, fault_seed=4
+        )
+        assert outcome.result.converged
+        np.testing.assert_allclose(
+            outcome.result.user_times, lossless.user_times, rtol=1e-5
+        )
+
+    def test_faults_cost_messages_not_correctness(self, system):
+        clean = run_nash_protocol_lossy(
+            system, drop=0.0, duplicate=0.0
+        )
+        faulty = run_nash_protocol_lossy(
+            system, drop=0.2, duplicate=0.1, fault_seed=5
+        )
+        # Same equilibrium, more traffic.
+        assert faulty.messages_sent > clean.messages_sent
+        np.testing.assert_allclose(
+            faulty.result.user_times, clean.result.user_times, rtol=1e-5
+        )
+
+    def test_deterministic_replay(self, system):
+        a = run_nash_protocol_lossy(system, drop=0.2, fault_seed=6)
+        b = run_nash_protocol_lossy(system, drop=0.2, fault_seed=6)
+        assert a.messages_sent == b.messages_sent
+        np.testing.assert_array_equal(
+            a.result.profile.fractions, b.result.profile.fractions
+        )
+
+    def test_retransmission_budget_enforced(self, system):
+        with pytest.raises(RuntimeError, match="budget"):
+            run_nash_protocol_lossy(
+                system, drop=0.5, fault_seed=7, max_retransmissions=1
+            )

@@ -1,0 +1,85 @@
+"""Unit tests for the message bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import MessageBus
+
+
+def token(sender, receiver, sweep=1, norm=0.0):
+    return Message(
+        kind=MessageKind.TOKEN,
+        sender=sender,
+        receiver=receiver,
+        sweep=sweep,
+        norm=norm,
+    )
+
+
+class TestMessage:
+    def test_rejects_negative_sweep(self):
+        with pytest.raises(ValueError):
+            Message(kind=MessageKind.TOKEN, sender=0, receiver=1, sweep=-1)
+
+    def test_rejects_negative_norm(self):
+        with pytest.raises(ValueError):
+            Message(
+                kind=MessageKind.TOKEN, sender=0, receiver=1, sweep=1, norm=-0.5
+            )
+
+
+class TestMessageBus:
+    def test_send_recv_roundtrip(self):
+        bus = MessageBus(2)
+        msg = token(0, 1)
+        bus.send(msg)
+        assert bus.recv(1) is msg
+
+    def test_fifo_per_mailbox(self):
+        bus = MessageBus(2)
+        first = token(0, 1, sweep=1)
+        second = token(0, 1, sweep=2)
+        bus.send(first)
+        bus.send(second)
+        assert bus.recv(1) is first
+        assert bus.recv(1) is second
+
+    def test_recv_empty_raises(self):
+        bus = MessageBus(2)
+        with pytest.raises(LookupError):
+            bus.recv(0)
+
+    def test_rank_validation(self):
+        bus = MessageBus(2)
+        with pytest.raises(ValueError):
+            bus.send(token(0, 5))
+        with pytest.raises(ValueError):
+            bus.send(token(7, 0))
+        with pytest.raises(ValueError):
+            bus.recv(9)
+
+    def test_has_pending_and_pending_ranks(self):
+        bus = MessageBus(3)
+        assert bus.pending_ranks() == []
+        bus.send(token(0, 2))
+        assert bus.has_pending(2)
+        assert not bus.has_pending(1)
+        assert bus.pending_ranks() == [2]
+
+    def test_transcript_records_in_order(self):
+        bus = MessageBus(3)
+        a, b = token(0, 1), token(1, 2)
+        bus.send(a)
+        bus.send(b)
+        assert bus.transcript == (a, b)
+
+    def test_transcript_can_be_disabled(self):
+        bus = MessageBus(2, record_transcript=False)
+        bus.send(token(0, 1))
+        assert bus.transcript == ()
+
+    def test_needs_agents(self):
+        with pytest.raises(ValueError):
+            MessageBus(0)

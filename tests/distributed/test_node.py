@@ -1,0 +1,76 @@
+"""Unit tests for the computer board and user agents."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.network import MessageBus
+from repro.distributed.node import ComputerBoard, UserAgent
+
+
+class TestComputerBoard:
+    def test_initial_flows_zero(self):
+        board = ComputerBoard(np.array([10.0, 5.0]), n_users=2)
+        np.testing.assert_array_equal(board.flows, 0.0)
+
+    def test_available_rates_exclude_own_flow(self):
+        board = ComputerBoard(np.array([10.0, 5.0]), n_users=2)
+        board.publish(0, np.array([4.0, 0.0]))
+        board.publish(1, np.array([0.0, 2.0]))
+        np.testing.assert_allclose(board.available_rates(0), [10.0, 3.0])
+        np.testing.assert_allclose(board.available_rates(1), [6.0, 5.0])
+
+    def test_republish_overwrites(self):
+        board = ComputerBoard(np.array([10.0]), n_users=1)
+        board.publish(0, np.array([3.0]))
+        board.publish(0, np.array([1.0]))
+        np.testing.assert_allclose(board.flows[0], [1.0])
+
+    def test_publish_validation(self):
+        board = ComputerBoard(np.array([10.0, 5.0]), n_users=1)
+        with pytest.raises(ValueError):
+            board.publish(0, np.array([1.0]))
+        with pytest.raises(ValueError):
+            board.publish(0, np.array([-1.0, 0.0]))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ComputerBoard(np.array([0.0]), n_users=1)
+        with pytest.raises(ValueError):
+            ComputerBoard(np.array([1.0]), n_users=0)
+
+
+class TestUserAgent:
+    def make_agent(self, rank=0, n_agents=2):
+        board = ComputerBoard(np.array([10.0, 5.0]), n_users=n_agents)
+        bus = MessageBus(n_agents)
+        agent = UserAgent(
+            rank=rank,
+            job_rate=2.0,
+            board=board,
+            bus=bus,
+            tolerance=1e-6,
+            max_sweeps=100,
+        )
+        return agent, board, bus
+
+    def test_rejects_bad_rate(self):
+        board = ComputerBoard(np.array([10.0]), n_users=1)
+        bus = MessageBus(1)
+        with pytest.raises(ValueError):
+            UserAgent(0, 0.0, board, bus, tolerance=1e-6, max_sweeps=10)
+
+    def test_only_initiator_starts(self):
+        agent, _, _ = self.make_agent(rank=1)
+        with pytest.raises(RuntimeError):
+            agent.start()
+
+    def test_start_publishes_and_forwards(self):
+        agent, board, bus = self.make_agent(rank=0)
+        agent.start()
+        # The agent placed its flow and sent the token to rank 1.
+        assert board.flows[0].sum() == pytest.approx(2.0)
+        message = bus.recv(1)
+        assert message.sweep == 1
+        assert message.norm > 0.0

@@ -1,0 +1,103 @@
+"""Integration tests: the ring protocol vs the sequential NASH solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import is_nash_equilibrium
+from repro.core.nash import compute_nash_equilibrium
+from repro.distributed.messages import MessageKind
+from repro.distributed.runtime import run_nash_protocol
+from repro.workloads.configs import paper_table1_system
+
+
+class TestProtocolEquivalence:
+    @pytest.mark.parametrize("init", ["zero", "proportional"])
+    def test_matches_sequential_driver(self, table1_small, init):
+        sequential = compute_nash_equilibrium(table1_small, init=init)
+        protocol = run_nash_protocol(table1_small, init=init)
+        assert protocol.result.iterations == sequential.iterations
+        assert protocol.result.converged == sequential.converged
+        np.testing.assert_allclose(
+            protocol.result.profile.fractions,
+            sequential.profile.fractions,
+            atol=1e-10,
+        )
+        np.testing.assert_allclose(
+            protocol.result.norm_history,
+            sequential.norm_history,
+            atol=1e-10,
+        )
+
+    def test_result_is_equilibrium(self, table1_small):
+        protocol = run_nash_protocol(table1_small, tolerance=1e-9)
+        assert is_nash_equilibrium(
+            table1_small, protocol.result.profile, tol=1e-5
+        )
+
+    def test_profile_feasible(self, table1_small):
+        protocol = run_nash_protocol(table1_small)
+        protocol.result.profile.validate(table1_small)
+
+
+class TestProtocolMechanics:
+    def test_message_complexity(self, table1_small):
+        """One token hop per user per sweep, plus m-1 terminate hops."""
+        protocol = run_nash_protocol(table1_small)
+        m = table1_small.n_users
+        sweeps = protocol.result.iterations
+        assert protocol.messages_sent == m * sweeps + (m - 1)
+
+    def test_transcript_token_then_terminate(self, table1_small):
+        protocol = run_nash_protocol(table1_small)
+        kinds = [msg.kind for msg in protocol.transcript]
+        first_terminate = kinds.index(MessageKind.TERMINATE)
+        assert all(k is MessageKind.TOKEN for k in kinds[:first_terminate])
+        assert all(
+            k is MessageKind.TERMINATE for k in kinds[first_terminate:]
+        )
+
+    def test_token_travels_the_ring(self, table1_small):
+        protocol = run_nash_protocol(table1_small)
+        m = table1_small.n_users
+        hops = [
+            (msg.sender, msg.receiver)
+            for msg in protocol.transcript
+            if msg.kind is MessageKind.TOKEN
+        ]
+        for sender, receiver in hops:
+            assert receiver == (sender + 1) % m
+
+    def test_norm_nonincreasing_tail(self, table1_small):
+        protocol = run_nash_protocol(table1_small, tolerance=1e-8)
+        norms = protocol.result.norm_history
+        # After the initial transient the norm decays monotonically.
+        tail = norms[2:]
+        assert np.all(np.diff(tail) <= 1e-12)
+
+    def test_sweep_budget(self, table1_small):
+        protocol = run_nash_protocol(
+            table1_small, tolerance=1e-15, max_sweeps=4
+        )
+        assert not protocol.result.converged
+        assert protocol.result.iterations == 4
+
+    def test_single_user_protocol(self):
+        system = paper_table1_system(utilization=0.4, n_users=1)
+        protocol = run_nash_protocol(system)
+        assert protocol.result.converged
+        protocol.result.profile.validate(system)
+
+    def test_two_user_protocol(self):
+        system = paper_table1_system(utilization=0.5, n_users=2)
+        protocol = run_nash_protocol(system, tolerance=1e-8)
+        assert protocol.result.converged
+        assert is_nash_equilibrium(
+            system, protocol.result.profile, tol=1e-4
+        )
+
+    def test_transcript_disabled(self, table1_small):
+        protocol = run_nash_protocol(table1_small, record_transcript=False)
+        assert protocol.transcript == ()
+        assert protocol.messages_sent > 0

@@ -1,0 +1,223 @@
+"""Integration tests: every paper artifact regenerates with the right shape.
+
+Each test runs the experiment (at reduced scale where the default would be
+slow) and asserts the *qualitative* claims the paper makes about it — the
+reproduction criterion of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    extensions,
+    fig2_convergence,
+    fig3_users,
+    fig4_utilization,
+    fig5_per_user,
+    fig6_heterogeneity,
+    sim_validation,
+    table1,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+class TestTable1:
+    def test_structure(self):
+        artifact = table1.run()
+        assert artifact.experiment_id == "T1"
+        assert artifact.column("number_of_computers") == [6, 5, 3, 2]
+        assert artifact.column("processing_rate_jobs_per_sec") == [
+            10.0,
+            20.0,
+            50.0,
+            100.0,
+        ]
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return fig2_convergence.run(tolerance=1e-6, max_sweeps=200)
+
+    def test_norms_decrease(self, artifact):
+        for col in ("norm_nash_0", "norm_nash_p"):
+            norms = [v for v in artifact.column(col) if v is not None]
+            assert norms[-1] < 1e-5
+            assert norms[0] > norms[-1]
+
+    def test_nash_p_converges_no_slower(self, artifact):
+        n0 = [v for v in artifact.column("norm_nash_0") if v is not None]
+        np_ = [v for v in artifact.column("norm_nash_p") if v is not None]
+        assert len(np_) <= len(n0)
+
+    def test_nash_p_starts_closer(self, artifact):
+        n0 = artifact.column("norm_nash_0")
+        np_ = artifact.column("norm_nash_p")
+        assert np_[0] < n0[0]
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return fig3_users.run(user_counts=(4, 8, 16), tolerance=1e-3)
+
+    def test_nash_p_fewer_iterations_everywhere(self, artifact):
+        zero = artifact.column("iterations_nash_0")
+        prop = artifact.column("iterations_nash_p")
+        assert all(p <= z for p, z in zip(prop, zero))
+
+    def test_iterations_grow_with_users(self, artifact):
+        zero = artifact.column("iterations_nash_0")
+        assert zero == sorted(zero)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return fig4_utilization.run(utilizations=(0.1, 0.3, 0.5, 0.7, 0.9))
+
+    def test_gos_always_best(self, artifact):
+        for row in artifact.rows:
+            for name in ("ert_nash", "ert_ios", "ert_ps"):
+                assert row[name] >= row["ert_gos"] - 1e-12
+
+    def test_nash_tracks_gos(self, artifact):
+        for row in artifact.rows:
+            assert row["ert_nash"] <= 1.25 * row["ert_gos"]
+
+    def test_ios_equals_ps_at_high_load(self, artifact):
+        last = artifact.rows[-1]
+        assert last["ert_ios"] == pytest.approx(last["ert_ps"], rel=1e-9)
+
+    def test_fairness_panel(self, artifact):
+        for row in artifact.rows:
+            assert row["fairness_ps"] == pytest.approx(1.0)
+            assert row["fairness_ios"] == pytest.approx(1.0)
+            assert row["fairness_nash"] > 0.999
+        first, last = artifact.rows[0], artifact.rows[-1]
+        assert last["fairness_gos"] < first["fairness_gos"]
+
+    def test_times_grow_with_load(self, artifact):
+        nash = artifact.column("ert_nash")
+        assert nash == sorted(nash)
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return fig5_per_user.run()
+
+    def test_ps_ios_flat_across_users(self, artifact):
+        for col in ("ert_ps", "ert_ios"):
+            values = artifact.column(col)
+            assert max(values) - min(values) < 1e-9
+
+    def test_gos_spreads_users(self, artifact):
+        values = artifact.column("ert_gos")
+        assert max(values) > 1.5 * min(values)
+
+    def test_nash_below_ios_and_ps_for_every_user(self, artifact):
+        for row in artifact.rows:
+            assert row["ert_nash"] <= row["ert_ios"] + 1e-9
+            assert row["ert_nash"] <= row["ert_ps"] + 1e-9
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return fig6_heterogeneity.run(skewnesses=(1.0, 4.0, 12.0, 20.0))
+
+    def test_homogeneous_point_all_equal(self, artifact):
+        row = artifact.rows[0]
+        trio = [row["ert_nash"], row["ert_gos"], row["ert_ios"], row["ert_ps"]]
+        np.testing.assert_allclose(trio, trio[0], rtol=1e-6)
+
+    def test_nash_approaches_gos_with_skewness(self, artifact):
+        last = artifact.rows[-1]
+        assert last["ert_nash"] <= 1.05 * last["ert_gos"]
+
+    def test_ps_falls_behind_with_skewness(self, artifact):
+        last = artifact.rows[-1]
+        assert last["ert_ps"] > 1.5 * last["ert_nash"]
+
+    def test_ios_catches_up_at_high_skewness(self, artifact):
+        # At skewness 1 all schemes tie, so compare mid vs high skewness:
+        # IOS lags GOS at moderate heterogeneity and closes the gap later.
+        mid, last = artifact.rows[1], artifact.rows[-1]
+        gap_mid = mid["ert_ios"] / mid["ert_gos"]
+        gap_last = last["ert_ios"] / last["ert_gos"]
+        assert gap_last < gap_mid
+
+
+class TestSimValidation:
+    def test_within_paper_error_budget(self):
+        artifact = sim_validation.run(
+            horizon=800.0, warmup=80.0, n_replications=3
+        )
+        for row in artifact.rows:
+            assert row["rel_error"] < 0.05
+
+
+class TestExtensions:
+    def test_poa_at_least_one(self):
+        artifact = extensions.run_price_of_anarchy(
+            utilizations=(0.3, 0.6, 0.9)
+        )
+        for row in artifact.rows:
+            assert row["price_of_anarchy"] >= 1.0 - 1e-9
+
+    def test_stackelberg_monotone(self):
+        artifact = extensions.run_stackelberg(betas=(0.0, 0.5, 1.0))
+        times = artifact.column("ert_stackelberg")
+        assert times[0] + 1e-9 >= times[1] >= times[2] - 1e-9
+
+    def test_driver_ablation_consistency(self):
+        artifact = extensions.run_driver_ablation()
+        for row in artifact.rows:
+            assert row["iterations_sequential"] == row["iterations_protocol"]
+            assert row["max_profile_gap"] < 1e-9
+
+    def test_gos_split_ablation(self):
+        artifact = extensions.run_gos_split_ablation()
+        times = artifact.column("overall_time")
+        np.testing.assert_allclose(times, times[0], rtol=1e-4)
+        by_split = {row["split"]: row["fairness"] for row in artifact.rows}
+        assert by_split["fair"] == pytest.approx(1.0)
+        assert by_split["sequential"] < by_split["fair"]
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "t1",
+            "f2",
+            "f3",
+            "f4",
+            "f5",
+            "f6",
+            "sim",
+            "ext1a",
+            "ext1b",
+            "ext2",
+            "ext3",
+            "ext4",
+            "ext5",
+            "ext6",
+            "ext7",
+            "ext8",
+            "abl5",
+            "abl1",
+            "abl2",
+            "abl3",
+            "abl4",
+        }
+
+    def test_run_experiment_by_id(self):
+        artifact = run_experiment("T1")
+        assert artifact.experiment_id == "T1"
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope")

@@ -1,0 +1,78 @@
+"""Tests for the terminal chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([1.0, 2.0, 3.0]) == "▁▄█"
+
+    def test_constant_series(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert line == "▁▁▁"
+
+    def test_missing_values_become_blanks(self):
+        line = sparkline([1.0, None, 3.0])
+        assert line[1] == " "
+        assert len(line) == 3
+
+    def test_empty_and_all_missing(self):
+        assert sparkline([]) == ""
+        assert sparkline([None, None]) == ""
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            [0, 1, 2, 3],
+            {"up": [1, 2, 3, 4], "down": [4, 3, 2, 1]},
+        )
+        assert "o = up" in chart
+        assert "x = down" in chart
+        assert "o" in chart
+        assert "x" in chart
+
+    def test_dimensions(self):
+        chart = ascii_chart(
+            [0, 1], {"s": [1, 2]}, width=20, height=6
+        )
+        body_rows = [l for l in chart.splitlines() if l.endswith("|")]
+        assert len(body_rows) == 6
+        assert all(len(l.split("|")[1]) == 20 for l in body_rows)
+
+    def test_log_scale_drops_nonpositive(self):
+        chart = ascii_chart(
+            [0, 1, 2],
+            {"norm": [1.0, 0.0, 0.01]},
+            logy=True,
+        )
+        assert "log10" in chart
+
+    def test_log_scale_all_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="plottable"):
+            ascii_chart([0, 1], {"s": [0.0, -1.0]}, logy=True)
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {})
+
+    def test_requires_minimum_size(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"s": [1, 2]}, width=4)
+
+    def test_missing_points_tolerated(self):
+        chart = ascii_chart(
+            [0, 1, 2],
+            {"a": [1.0, None, 3.0], "b": [2.0, 2.5, None]},
+        )
+        assert "a" in chart and "b" in chart
+
+    def test_collision_marker(self):
+        chart = ascii_chart(
+            [0, 1], {"a": [1.0, 2.0], "b": [1.0, 2.0]}, width=10, height=5
+        )
+        assert "*" in chart

@@ -1,0 +1,76 @@
+"""Tests for the experiment table infrastructure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentTable, run_schemes
+
+
+def make_table():
+    return ExperimentTable(
+        experiment_id="X",
+        title="demo",
+        columns=("a", "b"),
+        rows=({"a": 1, "b": 2.5}, {"a": 3}),
+        notes=("hello",),
+    )
+
+
+class TestExperimentTable:
+    def test_column_access(self):
+        table = make_table()
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2.5, None]
+
+    def test_column_unknown(self):
+        with pytest.raises(KeyError):
+            make_table().column("zzz")
+
+    def test_unknown_row_keys_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentTable(
+                experiment_id="X",
+                title="demo",
+                columns=("a",),
+                rows=({"a": 1, "oops": 2},),
+            )
+
+    def test_ascii_rendering(self):
+        text = make_table().to_ascii()
+        assert "== X: demo ==" in text
+        assert "note: hello" in text
+        assert "2.5" in text
+        assert "-" in text  # missing cell placeholder
+
+    def test_csv_rendering(self):
+        csv_text = make_table().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "3,"
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        make_table().save_csv(path)
+        assert path.read_text().startswith("a,b")
+
+
+class TestRunSchemes:
+    def test_default_schemes(self, table1_small):
+        results = run_schemes(table1_small)
+        assert set(results) == {"NASH", "GOS", "IOS", "PS"}
+
+    def test_explicit_schemes(self, table1_small):
+        from repro.schemes import ProportionalScheme
+
+        results = run_schemes(table1_small, [ProportionalScheme()])
+        assert set(results) == {"PS"}
+
+    def test_duplicate_schemes_rejected(self, table1_small):
+        from repro.schemes import ProportionalScheme
+
+        with pytest.raises(ValueError):
+            run_schemes(
+                table1_small, [ProportionalScheme(), ProportionalScheme()]
+            )

@@ -1,0 +1,71 @@
+"""Integration tests for the deployment experiments (EXT6/ABL5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_deployment
+
+
+class TestMeasuredLoop:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return ext_deployment.run_measured_loop(
+            n_users=4, windows=(40.0, 160.0), cycles=4
+        )
+
+    def test_regret_small_relative_to_times(self, artifact):
+        for row in artifact.rows:
+            assert row["relative_to_equilibrium_time"] < 0.25
+
+    def test_longer_windows_tighter_loop(self, artifact):
+        regrets = artifact.column("mean_tail_regret")
+        assert regrets[-1] < regrets[0]
+
+    def test_estimate_errors_reported(self, artifact):
+        for row in artifact.rows:
+            assert 0.0 <= row["mean_load_estimate_error"] < 0.5
+
+
+class TestFaultTolerance:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return ext_deployment.run_fault_tolerance(
+            n_users=4, fault_levels=((0.0, 0.0), (0.25, 0.1))
+        )
+
+    def test_always_converges(self, artifact):
+        assert all(artifact.column("converged"))
+
+    def test_equilibrium_unaffected(self, artifact):
+        for row in artifact.rows:
+            assert row["max_time_gap_vs_lossless"] < 1e-9
+
+    def test_faults_cost_messages(self, artifact):
+        messages = artifact.column("messages")
+        assert messages[-1] > messages[0]
+        assert artifact.rows[0]["message_overhead"] == 0.0
+        assert artifact.rows[-1]["message_overhead"] > 0.0
+
+
+class TestMechanismFrugality:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        from repro.experiments import ext_mechanism
+
+        return ext_mechanism.run_mechanism_frugality(
+            demand_fractions=(0.2, 0.6)
+        )
+
+    def test_overpayment_above_one_and_growing(self, artifact):
+        ratios = artifact.column("overpayment_ratio")
+        assert all(r >= 1.0 for r in ratios)
+        assert ratios[-1] > ratios[0]
+
+    def test_more_demand_more_machines(self, artifact):
+        used = artifact.column("machines_used")
+        assert used[-1] > used[0]
+
+    def test_fast_machines_profit(self, artifact):
+        for row in artifact.rows:
+            assert row["fast_machine_profit"] > 0.0

@@ -1,0 +1,96 @@
+"""Integration tests for the dynamics extensions (EXT2/EXT3, ABL3/ABL4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_dynamics
+
+
+class TestDynamicPolicies:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return ext_dynamics.run_dynamic_policies(horizon=150.0, warmup=15.0)
+
+    def test_all_policies_present(self, artifact):
+        names = artifact.column("policy")
+        assert len(names) == 5
+        assert any("NASH" in n for n in names)
+        assert any("JSQ" in n for n in names)
+
+    def test_dynamic_beats_static(self, artifact):
+        by_name = {
+            row["policy"]: row["mean_response_time"] for row in artifact.rows
+        }
+        assert by_name["JSQ (dynamic)"] < by_name["NASH (static)"]
+        assert by_name["LED (dynamic)"] < by_name["NASH (static)"]
+
+    def test_nash_beats_ps_in_simulation(self, artifact):
+        by_name = {
+            row["policy"]: row["mean_response_time"] for row in artifact.rows
+        }
+        assert by_name["NASH (static)"] < by_name["PS (static)"]
+
+    def test_comparable_job_counts(self, artifact):
+        jobs = artifact.column("jobs")
+        assert max(jobs) - min(jobs) < 0.05 * max(jobs)
+
+
+class TestUpdateOrderAblation:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return ext_dynamics.run_update_order_ablation(max_sweeps=150)
+
+    def test_serialized_orders_converge(self, artifact):
+        by_order = {row["order"]: row for row in artifact.rows}
+        assert by_order["roundrobin"]["converged"]
+        assert by_order["random"]["converged"]
+
+    def test_simultaneous_oscillates(self, artifact):
+        by_order = {row["order"]: row for row in artifact.rows}
+        assert not by_order["simultaneous"]["converged"]
+        assert by_order["simultaneous"]["final_norm"] > 1e-3
+
+
+class TestNoiseAblation:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return ext_dynamics.run_noise_ablation(
+            noises=(0.0, 0.1, 0.3), sweeps=25
+        )
+
+    def test_regret_grows_with_noise(self, artifact):
+        raw = artifact.column("final_regret_raw")
+        assert raw[0] < raw[1] < raw[2]
+
+    def test_smoothing_helps_at_high_noise(self, artifact):
+        last = artifact.rows[-1]
+        assert last["final_regret_smoothed"] < last["final_regret_raw"]
+
+    def test_zero_noise_converges(self, artifact):
+        first = artifact.rows[0]
+        assert first["final_regret_raw"] < 1e-5
+
+
+class TestCooperative:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return ext_dynamics.run_cooperative(n_users=4)
+
+    def test_all_schemes_present(self, artifact):
+        assert artifact.column("scheme") == ["NASH", "NBS", "GOS", "IOS", "PS"]
+
+    def test_nbs_fair_and_at_most_nash(self, artifact):
+        by_scheme = {row["scheme"]: row for row in artifact.rows}
+        assert by_scheme["NBS"]["fairness"] == pytest.approx(1.0, abs=1e-6)
+        assert (
+            by_scheme["NBS"]["overall_time"]
+            <= by_scheme["NASH"]["overall_time"] + 1e-9
+        )
+
+    def test_nbs_dominates_disagreement(self, artifact):
+        by_scheme = {row["scheme"]: row for row in artifact.rows}
+        assert (
+            by_scheme["NBS"]["worst_user_time"]
+            <= by_scheme["PS"]["worst_user_time"] + 1e-9
+        )

@@ -1,0 +1,58 @@
+"""Tests for the parallel sweep executor."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.parallel import (
+    default_workers,
+    parallel_map,
+    run_experiments_parallel,
+)
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], n_workers=1) == [1, 4, 9]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(square, [5], n_workers=8) == [25]
+
+    def test_parallel_path_preserves_order(self):
+        result = parallel_map(square, list(range(20)), n_workers=2)
+        assert result == [x * x for x in range(20)]
+
+    def test_empty_input(self):
+        assert parallel_map(square, [], n_workers=4) == []
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1], n_workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+        assert default_workers() <= (os.cpu_count() or 2)
+
+
+class TestParallelExperiments:
+    def test_runs_fast_experiments(self):
+        results = run_experiments_parallel(["t1", "f5"], n_workers=2)
+        assert set(results) == {"t1", "f5"}
+        assert results["t1"].experiment_id == "T1"
+        assert results["f5"].experiment_id == "F5"
+
+    def test_serial_equivalent(self):
+        parallel = run_experiments_parallel(["t1"], n_workers=1)
+        assert parallel["t1"].rows == run_experiments_parallel(
+            ["t1"], n_workers=2
+        )["t1"].rows
+
+    def test_unknown_id_rejected_before_dispatch(self):
+        with pytest.raises(KeyError, match="unknown"):
+            run_experiments_parallel(["t1", "nope"])

@@ -1,0 +1,68 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.report import generate_report, table_to_markdown
+
+
+class TestTableToMarkdown:
+    def test_structure(self):
+        text = table_to_markdown(table1.run())
+        lines = text.splitlines()
+        assert lines[0].startswith("## T1")
+        header = next(l for l in lines if l.startswith("| relative"))
+        assert header.count("|") == 4  # 3 columns
+        assert any(l.startswith("|---") for l in lines)
+
+    def test_notes_italicized(self):
+        text = table_to_markdown(table1.run())
+        assert "*aggregate processing rate" in text
+
+    def test_missing_cells_dashed(self):
+        from repro.experiments.common import ExperimentTable
+
+        table = ExperimentTable(
+            experiment_id="X",
+            title="demo",
+            columns=("a", "b"),
+            rows=({"a": 1},),
+        )
+        assert "| 1 | - |" in table_to_markdown(table)
+
+    def test_float_formatting(self):
+        from repro.experiments.common import ExperimentTable
+
+        table = ExperimentTable(
+            experiment_id="X",
+            title="demo",
+            columns=("v",),
+            rows=({"v": 0.123456789},),
+        )
+        assert "0.123457" in table_to_markdown(table)
+
+
+class TestGenerateReport:
+    def test_runs_selected_experiments(self):
+        text = generate_report(["t1", "f5"])
+        assert "# Measured results" in text
+        assert "## T1" in text
+        assert "## F5" in text
+        assert "wall time" in text
+
+    def test_accepts_precomputed_tables(self):
+        artifact = table1.run()
+        text = generate_report(tables={"t1": artifact})
+        assert "## T1" in text
+        assert "experiments: t1" in text
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            generate_report(["nope"])
+
+    def test_environment_stamp_present(self):
+        text = generate_report(["t1"])
+        assert "python" in text
+        assert "numpy" in text

@@ -1,0 +1,59 @@
+"""Tests for the CLI runner and its chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig3_users, table1
+from repro.experiments.runner import main, render_chart
+
+
+class TestRenderChart:
+    def test_figure3_has_chart(self):
+        artifact = fig3_users.run(user_counts=(4, 8), tolerance=1e-2)
+        chart = render_chart("f3", artifact)
+        assert chart is not None
+        assert "iterations_nash_0" in chart
+
+    def test_table_artifacts_have_no_chart(self):
+        assert render_chart("t1", table1.run()) is None
+
+    def test_case_insensitive(self):
+        artifact = fig3_users.run(user_counts=(4, 8), tolerance=1e-2)
+        assert render_chart("F3", artifact) is not None
+
+    def test_log_chart_for_convergence(self):
+        from repro.experiments import fig2_convergence
+
+        artifact = fig2_convergence.run(tolerance=1e-3, max_sweeps=50)
+        chart = render_chart("f2", artifact)
+        assert chart is not None
+        assert "log10" in chart
+
+
+class TestCli:
+    def test_runs_with_chart(self, capsys):
+        assert main(["f5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_no_charts_flag(self, capsys):
+        assert main(["f3", "--no-charts"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "iterations" in out
+        # The chart legend marker line must be absent.
+        assert "o = iterations_nash_0" not in out
+
+    def test_chart_printed_by_default(self, capsys):
+        assert main(["f3"]) == 0
+        out = capsys.readouterr().out
+        assert "o = iterations_nash_0" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(["f5", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "f5.csv").read_text().startswith("user,")
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["zzz"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

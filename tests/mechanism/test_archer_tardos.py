@@ -1,0 +1,140 @@
+"""Tests for the truthful load allocation mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanism import (
+    agent_utility,
+    allocate_for_bids,
+    run_mechanism,
+    truthful_payment,
+    work_curve,
+    work_curve_cutoff,
+)
+
+MU = np.array([100.0, 50.0, 20.0, 10.0])
+COSTS = 1.0 / MU
+DEMAND = 60.0  # below sum(mu) - max(mu): nobody is indispensable
+
+
+class TestAllocation:
+    def test_matches_gos_waterfill(self):
+        from repro.core.waterfill import sqrt_waterfill
+
+        loads = allocate_for_bids(COSTS, DEMAND)
+        expected = sqrt_waterfill(MU, DEMAND).loads
+        np.testing.assert_allclose(loads, expected, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocate_for_bids([-1.0, 0.1], 1.0)
+        with pytest.raises(ValueError):
+            allocate_for_bids([1.0, 1.0], 3.0)
+        with pytest.raises(ValueError):
+            allocate_for_bids([1.0], -1.0)
+
+    def test_work_curve_monotone_in_bid(self):
+        """The Archer-Tardos prerequisite: claiming slower never earns
+        more work."""
+        bids = np.linspace(0.5 * COSTS[0], 20 * COSTS[0], 40)
+        works = [work_curve(0, b, COSTS, DEMAND) for b in bids]
+        assert all(a >= b - 1e-9 for a, b in zip(works, works[1:]))
+
+    def test_cutoff_brackets_support_exit(self):
+        cutoff = work_curve_cutoff(0, COSTS, DEMAND)
+        assert work_curve(0, cutoff * 1.01, COSTS, DEMAND) <= 1e-9
+        assert work_curve(0, cutoff * 0.99, COSTS, DEMAND) > 0.0
+
+    def test_cutoff_infinite_for_monopolist(self):
+        # Demand that the others cannot absorb without computer 0.
+        assert work_curve_cutoff(0, COSTS, 100.0) == float("inf")
+
+    def test_monopolist_payment_rejected(self):
+        with pytest.raises(ValueError, match="indispensable"):
+            truthful_payment(0, COSTS, 100.0)
+
+
+class TestTruthfulness:
+    def test_truth_dominates_fixed_deviations(self):
+        for index in range(MU.size):
+            truth = agent_utility(index, COSTS[index], COSTS, DEMAND)
+            for factor in (0.5, 0.8, 1.25, 2.0, 5.0):
+                bids = COSTS.copy()
+                bids[index] *= factor
+                lie = agent_utility(index, COSTS[index], bids, DEMAND)
+                assert lie <= truth + 1e-7
+
+    @given(
+        st.integers(0, 3),
+        st.floats(0.3, 6.0),
+        st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_truth_dominates_generically(self, index, factor, load_frac):
+        demand = load_frac * (MU.sum() - MU.max()) * 0.95
+        truth = agent_utility(index, COSTS[index], COSTS, demand)
+        bids = COSTS.copy()
+        bids[index] *= factor
+        lie = agent_utility(index, COSTS[index], bids, demand)
+        assert lie <= truth + 1e-6
+
+    def test_voluntary_participation(self):
+        outcome = run_mechanism(COSTS, DEMAND)
+        assert np.all(outcome.utilities >= -1e-9)
+
+    def test_truth_dominates_under_others_lies(self):
+        """Dominant strategy: truth is best even when others lie.
+
+        Lies are kept moderate (x0.7..x1.5) and the demand low enough
+        that no computer becomes indispensable under the *claimed* rates
+        (otherwise the payment is unbounded by construction).
+        """
+        rng = np.random.default_rng(5)
+        demand = 30.0
+        for _ in range(5):
+            others = COSTS * rng.uniform(0.7, 1.5, size=COSTS.size)
+            for index in range(COSTS.size):
+                base = others.copy()
+                base[index] = COSTS[index]
+                truth = agent_utility(index, COSTS[index], base, demand)
+                lie_bids = base.copy()
+                lie_bids[index] *= rng.uniform(0.7, 1.5)
+                lie = agent_utility(index, COSTS[index], lie_bids, demand)
+                assert lie <= truth + 1e-6
+
+
+class TestMechanismOutcome:
+    def test_loads_conserve_demand(self):
+        outcome = run_mechanism(COSTS, DEMAND)
+        assert outcome.loads.sum() == pytest.approx(DEMAND)
+
+    def test_unallocated_computers_unpaid(self):
+        outcome = run_mechanism(COSTS, DEMAND)
+        idle = outcome.loads == 0.0
+        np.testing.assert_array_equal(outcome.payments[idle], 0.0)
+
+    def test_payments_cover_costs(self):
+        outcome = run_mechanism(COSTS, DEMAND)
+        busy = outcome.loads > 0.0
+        assert np.all(
+            outcome.payments[busy] >= COSTS[busy] * outcome.loads[busy] - 1e-9
+        )
+
+    def test_overpayment_ratio_above_one(self):
+        outcome = run_mechanism(COSTS, DEMAND)
+        assert outcome.overpayment_ratio >= 1.0
+
+    def test_lying_changes_allocation(self):
+        bids = COSTS.copy()
+        bids[0] *= 3.0  # fastest machine claims to be slow
+        lied = run_mechanism(COSTS, DEMAND, bids=bids)
+        honest = run_mechanism(COSTS, DEMAND)
+        assert lied.loads[0] < honest.loads[0]
+
+    def test_bid_shape_validated(self):
+        with pytest.raises(ValueError):
+            run_mechanism(COSTS, DEMAND, bids=COSTS[:2])

@@ -1,0 +1,134 @@
+"""Unit tests for the performance metrics (paper Sec. 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.metrics import (
+    fairness_index,
+    overall_response_time,
+    price_of_anarchy,
+    relative_gap,
+    speedup,
+    sweep_norm,
+)
+
+
+class TestFairnessIndex:
+    def test_equal_times_is_one(self):
+        assert fairness_index([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_single_user_is_one(self):
+        assert fairness_index([3.0]) == pytest.approx(1.0)
+
+    def test_fully_concentrated_is_one_over_m(self):
+        assert fairness_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+        assert fairness_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
+
+    def test_scale_invariance(self):
+        values = [0.2, 0.9, 0.4]
+        assert fairness_index(values) == pytest.approx(
+            fairness_index([10 * v for v in values])
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fairness_index([1.0, -0.1])
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            fairness_index([])
+        with pytest.raises(ValueError):
+            fairness_index([[1.0, 2.0]])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            fairness_index([0.0, 0.0])
+
+    @given(
+        st.lists(st.floats(0.001, 100.0), min_size=1, max_size=20)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_generic(self, values):
+        index = fairness_index(values)
+        m = len(values)
+        assert 1.0 / m - 1e-12 <= index <= 1.0 + 1e-12
+
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=2, max_size=10),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixing_toward_mean_never_decreases(self, values, blend):
+        """Moving every value toward the mean is majorization-fairer."""
+        x = np.asarray(values)
+        mixed = (1 - blend) * x + blend * x.mean()
+        assert fairness_index(mixed) >= fairness_index(x) - 1e-9
+
+
+class TestOverallResponseTime:
+    def test_uniform_weights_give_mean(self):
+        assert overall_response_time([1.0, 3.0], [2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_weighting(self):
+        # Heavier user dominates.
+        value = overall_response_time([1.0, 3.0], [9.0, 1.0])
+        assert value == pytest.approx(0.9 * 1.0 + 0.1 * 3.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            overall_response_time([1.0], [1.0, 2.0])
+
+    def test_zero_total_rate(self):
+        with pytest.raises(ValueError):
+            overall_response_time([1.0], [0.0])
+
+
+class TestRatios:
+    def test_price_of_anarchy(self):
+        assert price_of_anarchy(1.2, 1.0) == pytest.approx(1.2)
+
+    def test_price_of_anarchy_bad_inputs(self):
+        with pytest.raises(ValueError):
+            price_of_anarchy(1.0, 0.0)
+        with pytest.raises(ValueError):
+            price_of_anarchy(-1.0, 1.0)
+
+    def test_speedup(self):
+        assert speedup(4.0, 2.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_relative_gap(self):
+        assert relative_gap(1.07, 1.0) == pytest.approx(0.07)
+        assert relative_gap(0.7, 1.0) == pytest.approx(-0.3)
+        with pytest.raises(ValueError):
+            relative_gap(1.0, 0.0)
+
+
+class TestSweepNorm:
+    def test_zero_for_identical(self):
+        assert sweep_norm([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_accumulates_absolute_changes(self):
+        assert sweep_norm([1.0, 2.0], [1.5, 1.0]) == pytest.approx(1.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sweep_norm([1.0], [1.0, 2.0])
+
+    @given(
+        st.lists(st.floats(-10, 10), min_size=1, max_size=8),
+        st.lists(st.floats(-10, 10), min_size=1, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_generic(self, a, b):
+        n = min(len(a), len(b))
+        x, y = a[:n], b[:n]
+        assert sweep_norm(x, y) == pytest.approx(sweep_norm(y, x))

@@ -1,0 +1,66 @@
+"""Tests for the M/G/1 Pollaczek-Khinchine analytics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing.mg1 import (
+    expected_number_in_system_mg1,
+    expected_response_time_mg1,
+    expected_waiting_time_mg1,
+)
+from repro.queueing.mm1 import expected_response_time, expected_waiting_time
+
+
+class TestPollaczekKhinchine:
+    def test_scv_one_is_mm1(self):
+        assert expected_response_time_mg1(3.0, 5.0, scv=1.0) == pytest.approx(
+            expected_response_time(3.0, 5.0)
+        )
+        assert expected_waiting_time_mg1(3.0, 5.0, scv=1.0) == pytest.approx(
+            expected_waiting_time(3.0, 5.0)
+        )
+
+    def test_md1_halves_the_wait(self):
+        """The classic M/D/1 result: half the M/M/1 queueing delay."""
+        mm1_wait = expected_waiting_time(3.0, 5.0)
+        md1_wait = expected_waiting_time_mg1(3.0, 5.0, scv=0.0)
+        assert md1_wait == pytest.approx(mm1_wait / 2.0)
+
+    def test_wait_linear_in_scv(self):
+        waits = [
+            expected_waiting_time_mg1(2.0, 4.0, scv=c2) for c2 in (0.0, 1.0, 2.0)
+        ]
+        assert waits[1] - waits[0] == pytest.approx(waits[2] - waits[1])
+
+    def test_response_is_service_plus_wait(self):
+        t = expected_response_time_mg1(2.0, 4.0, scv=3.0)
+        w = expected_waiting_time_mg1(2.0, 4.0, scv=3.0)
+        assert t == pytest.approx(0.25 + w)
+
+    def test_littles_law(self):
+        lam, mu, c2 = 3.0, 7.0, 2.5
+        left = expected_number_in_system_mg1(lam, mu, c2)
+        right = lam * expected_response_time_mg1(lam, mu, c2)
+        assert left == pytest.approx(right)
+
+    def test_idle_server_any_scv(self):
+        assert expected_response_time_mg1(0.0, 4.0, scv=9.0) == pytest.approx(
+            0.25
+        )
+
+    def test_vectorized(self):
+        t = expected_response_time_mg1([1.0, 2.0], [4.0, 4.0], scv=0.0)
+        assert t.shape == (2,)
+        assert t[0] < t[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_response_time_mg1(4.0, 4.0)
+        with pytest.raises(ValueError):
+            expected_response_time_mg1(1.0, -1.0)
+        with pytest.raises(ValueError):
+            expected_response_time_mg1(1.0, 2.0, scv=-0.5)
+        with pytest.raises(ValueError):
+            expected_response_time_mg1(-1.0, 2.0)

@@ -1,0 +1,143 @@
+"""Unit tests for M/M/1 analytics (paper eq. 1 and Sec. 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import mm1
+
+
+class TestUtilization:
+    def test_scalar(self):
+        assert mm1.utilization(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_vectorized(self):
+        rho = mm1.utilization([1.0, 2.0], [4.0, 4.0])
+        np.testing.assert_allclose(rho, [0.25, 0.5])
+
+    def test_rejects_zero_service(self):
+        with pytest.raises(ValueError):
+            mm1.utilization(1.0, 0.0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            mm1.utilization(-1.0, 1.0)
+
+
+class TestStability:
+    def test_stable(self):
+        assert mm1.is_stable(3.0, 4.0) is True
+
+    def test_unstable(self):
+        assert mm1.is_stable(4.0, 4.0) is False
+
+    def test_vector(self):
+        np.testing.assert_array_equal(
+            mm1.is_stable([1.0, 5.0], [4.0, 4.0]), [True, False]
+        )
+
+
+class TestMeans:
+    def test_response_time(self):
+        assert mm1.expected_response_time(3.0, 4.0) == pytest.approx(1.0)
+
+    def test_response_time_idle_server(self):
+        assert mm1.expected_response_time(0.0, 4.0) == pytest.approx(0.25)
+
+    def test_response_time_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mm1.expected_response_time(4.0, 4.0)
+
+    def test_waiting_plus_service_is_response(self):
+        lam, mu = 2.0, 5.0
+        w = mm1.expected_waiting_time(lam, mu)
+        assert w + 1.0 / mu == pytest.approx(
+            mm1.expected_response_time(lam, mu)
+        )
+
+    def test_littles_law_system(self):
+        lam, mu = 3.0, 7.0
+        left = mm1.expected_number_in_system(lam, mu)
+        right = lam * mm1.expected_response_time(lam, mu)
+        assert left == pytest.approx(right)
+
+    def test_littles_law_queue(self):
+        lam, mu = 3.0, 7.0
+        left = mm1.expected_number_in_queue(lam, mu)
+        right = lam * mm1.expected_waiting_time(lam, mu)
+        assert left == pytest.approx(right)
+
+    def test_number_in_system_blows_up_near_saturation(self):
+        low = mm1.expected_number_in_system(0.5, 1.0)
+        high = mm1.expected_number_in_system(0.99, 1.0)
+        assert high > 50 * low
+
+    def test_unstable_number_rejected(self):
+        with pytest.raises(ValueError):
+            mm1.expected_number_in_system(1.0, 1.0)
+        with pytest.raises(ValueError):
+            mm1.expected_number_in_queue(2.0, 1.0)
+
+
+class TestDistribution:
+    def test_cdf_at_zero(self):
+        assert mm1.response_time_cdf(0.0, 1.0, 3.0) == pytest.approx(0.0)
+
+    def test_cdf_monotone(self):
+        ts = np.linspace(0.0, 5.0, 50)
+        cdf = mm1.response_time_cdf(ts, 1.0, 3.0)
+        assert np.all(np.diff(cdf) > 0.0)
+        assert cdf[-1] < 1.0
+
+    def test_cdf_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            mm1.response_time_cdf(-1.0, 1.0, 3.0)
+
+    def test_quantile_inverts_cdf(self):
+        q = 0.9
+        t = mm1.response_time_quantile(q, 2.0, 5.0)
+        assert mm1.response_time_cdf(t, 2.0, 5.0) == pytest.approx(q)
+
+    def test_median_smaller_than_mean(self):
+        # Exponential distributions are right-skewed.
+        median = mm1.response_time_quantile(0.5, 2.0, 5.0)
+        mean = mm1.expected_response_time(2.0, 5.0)
+        assert median < mean
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            mm1.response_time_quantile(1.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            mm1.response_time_quantile(-0.1, 1.0, 2.0)
+
+
+class TestDelayFunctions:
+    def test_total_delay(self):
+        assert mm1.total_delay(3.0, 4.0) == pytest.approx(3.0)
+
+    def test_marginal_delay_is_derivative(self):
+        lam, mu, h = 2.0, 6.0, 1e-6
+        numeric = (mm1.total_delay(lam + h, mu) - mm1.total_delay(lam - h, mu)) / (
+            2 * h
+        )
+        assert mm1.marginal_delay(lam, mu) == pytest.approx(numeric, rel=1e-5)
+
+    def test_marginal_delay_increasing_in_load(self):
+        loads = np.linspace(0.0, 0.9, 10)
+        marginals = mm1.marginal_delay(loads, 1.0)
+        assert np.all(np.diff(marginals) > 0.0)
+
+    @given(
+        st.floats(0.01, 50.0),
+        st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_response_time_scaling_invariance(self, mu, rho):
+        """T(c*lambda, c*mu) = T(lambda, mu)/c for any speedup c."""
+        lam = rho * mu
+        base = mm1.expected_response_time(lam, mu)
+        scaled = mm1.expected_response_time(3.0 * lam, 3.0 * mu)
+        assert scaled == pytest.approx(base / 3.0, rel=1e-9)

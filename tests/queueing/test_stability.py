@@ -1,0 +1,68 @@
+"""Unit tests for stability checks (paper Sec. 2, constraint iii)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing.stability import (
+    assert_loads_stable,
+    assert_system_stable,
+    max_stable_total_rate,
+    stability_margin,
+)
+
+
+class TestSystemStability:
+    def test_accepts_stable(self):
+        assert_system_stable([5.0, 5.0], [3.0, 3.0])
+
+    def test_rejects_critical(self):
+        with pytest.raises(ValueError):
+            assert_system_stable([5.0], [5.0])
+
+    def test_rejects_overloaded(self):
+        with pytest.raises(ValueError, match="aggregate"):
+            assert_system_stable([5.0], [6.0])
+
+
+class TestLoadStability:
+    def test_accepts_subcritical(self):
+        assert_loads_stable([1.0, 2.0], [5.0, 5.0])
+
+    def test_rejects_saturated(self):
+        with pytest.raises(ValueError, match="unstable"):
+            assert_loads_stable([5.0, 1.0], [5.0, 5.0])
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError, match="negative"):
+            assert_loads_stable([-0.1, 1.0], [5.0, 5.0])
+
+    def test_boundary_slack_tolerated(self):
+        # Tiny negative round-off must not trip the check.
+        assert_loads_stable([-1e-15, 1.0], [5.0, 5.0])
+
+    def test_reports_worst_computer(self):
+        with pytest.raises(ValueError, match="computer 1"):
+            assert_loads_stable([1.0, 4.9999999999], [5.0, 5.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            assert_loads_stable([1.0], [5.0, 5.0])
+
+
+class TestMargins:
+    def test_margin_value(self):
+        margin = stability_margin([1.0, 4.0], [2.0, 5.0])
+        assert margin == pytest.approx(0.2)  # computer 1: (5-4)/5
+
+    def test_margin_negative_when_overloaded(self):
+        assert stability_margin([6.0], [5.0]) < 0.0
+
+    def test_max_stable_total_rate(self):
+        assert max_stable_total_rate([3.0, 7.0]) == pytest.approx(10.0)
+        assert max_stable_total_rate([3.0, 7.0], margin=0.1) == pytest.approx(9.0)
+
+    def test_max_stable_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            max_stable_total_rate([1.0], margin=1.0)

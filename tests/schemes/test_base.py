@@ -1,0 +1,54 @@
+"""Tests for the common scheme interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import StrategyProfile
+from repro.schemes import standard_schemes
+from repro.schemes.base import evaluate_profile
+
+
+class TestEvaluateProfile:
+    def test_metrics_consistent(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        result = evaluate_profile(two_by_two, profile, "TEST")
+        np.testing.assert_allclose(
+            result.user_times, two_by_two.user_response_times(profile.fractions)
+        )
+        assert result.overall_time == pytest.approx(
+            two_by_two.overall_response_time(profile.fractions)
+        )
+        assert result.scheme == "TEST"
+
+    def test_loads_exposed(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        result = evaluate_profile(two_by_two, profile, "TEST")
+        np.testing.assert_allclose(
+            result.loads, two_by_two.loads(profile.fractions)
+        )
+
+    def test_extra_merged(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        result = evaluate_profile(
+            two_by_two, profile, "TEST", extra={"answer": 42}
+        )
+        assert result.extra["answer"] == 42
+        assert "loads" in result.extra
+
+    def test_infeasible_rejected(self, two_by_two):
+        profile = StrategyProfile.zeros(2, 2)
+        with pytest.raises(ValueError):
+            evaluate_profile(two_by_two, profile, "TEST")
+
+
+class TestStandardSchemes:
+    def test_four_paper_schemes(self):
+        names = [s.name for s in standard_schemes()]
+        assert names == ["NASH", "GOS", "IOS", "PS"]
+
+    def test_fresh_instances_each_call(self):
+        a = standard_schemes()
+        b = standard_schemes()
+        assert a is not b

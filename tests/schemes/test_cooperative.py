@@ -1,0 +1,91 @@
+"""Tests for the cooperative Nash Bargaining Solution scheme (EXT3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.schemes.cooperative import CooperativeScheme, nash_bargaining_profile
+from repro.schemes.global_optimal import GlobalOptimalScheme
+from repro.schemes.proportional import ProportionalScheme
+from repro.workloads.configs import paper_table1_system
+
+
+@pytest.fixture(scope="module")
+def symmetric_system():
+    return paper_table1_system(utilization=0.6, n_users=4)
+
+
+@pytest.fixture(scope="module")
+def asymmetric_system():
+    return DistributedSystem(
+        service_rates=[100.0, 50.0, 20.0, 20.0],
+        arrival_rates=[70.0, 20.0, 10.0],
+    )
+
+
+class TestNashBargaining:
+    def test_individually_rational(self, symmetric_system):
+        ps_times = ProportionalScheme().allocate(symmetric_system).user_times
+        result = CooperativeScheme().allocate(symmetric_system)
+        assert np.all(result.user_times <= ps_times + 1e-9)
+
+    def test_individually_rational_asymmetric(self, asymmetric_system):
+        ps_times = ProportionalScheme().allocate(asymmetric_system).user_times
+        result = CooperativeScheme().allocate(asymmetric_system)
+        assert np.all(result.user_times <= ps_times + 1e-9)
+
+    def test_symmetric_users_equal_times(self, symmetric_system):
+        result = CooperativeScheme().allocate(symmetric_system)
+        spread = result.user_times.max() - result.user_times.min()
+        assert spread < 1e-6
+        assert result.fairness == pytest.approx(1.0, abs=1e-9)
+
+    def test_symmetric_case_matches_fair_global_optimum(self, symmetric_system):
+        """With identical users the NBS maximizes total gain fairly, which
+        is exactly the fair split of the GOS loads."""
+        nbs = CooperativeScheme().allocate(symmetric_system)
+        gos = GlobalOptimalScheme(split="fair").allocate(symmetric_system)
+        assert nbs.overall_time == pytest.approx(gos.overall_time, rel=1e-6)
+
+    def test_overall_time_bounded_by_gos_and_ps(self, asymmetric_system):
+        nbs = CooperativeScheme().allocate(asymmetric_system)
+        gos = GlobalOptimalScheme(split="fair").allocate(asymmetric_system)
+        ps = ProportionalScheme().allocate(asymmetric_system)
+        assert gos.overall_time - 1e-9 <= nbs.overall_time <= ps.overall_time
+
+    def test_bargaining_beats_disagreement_product(self, asymmetric_system):
+        """The NBS Nash product dominates any ad-hoc feasible profile's."""
+        ps_times = ProportionalScheme().allocate(asymmetric_system).user_times
+        nbs = CooperativeScheme().allocate(asymmetric_system)
+        nbs_product = np.prod(ps_times - nbs.user_times)
+
+        gos = GlobalOptimalScheme(split="fair").allocate(asymmetric_system)
+        gains = ps_times - gos.user_times
+        if np.all(gains > 0.0):
+            assert nbs_product >= np.prod(gains) * (1.0 - 1e-6)
+
+    def test_profile_feasible(self, asymmetric_system):
+        result = CooperativeScheme().allocate(asymmetric_system)
+        result.profile.validate(asymmetric_system)
+
+    def test_disagreement_point_recorded(self, symmetric_system):
+        result = CooperativeScheme().allocate(symmetric_system)
+        ps_times = ProportionalScheme().allocate(symmetric_system).user_times
+        np.testing.assert_allclose(
+            result.extra["disagreement_times"], ps_times
+        )
+
+    def test_scheme_name(self, symmetric_system):
+        assert CooperativeScheme().allocate(symmetric_system).scheme == "NBS"
+
+    def test_bad_disagreement_shape(self, symmetric_system):
+        with pytest.raises(ValueError):
+            nash_bargaining_profile(symmetric_system, np.array([1.0]))
+
+    def test_heavy_user_concedes(self, asymmetric_system):
+        """Bargaining trades: the heavy user runs slower than light users
+        (its jobs congest everyone), unlike the egalitarian fair-GOS."""
+        result = CooperativeScheme().allocate(asymmetric_system)
+        assert result.user_times[0] > result.user_times[-1]

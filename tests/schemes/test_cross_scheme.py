@@ -1,0 +1,152 @@
+"""Integration tests comparing schemes — the paper's Sec. 4 claims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing.metrics import price_of_anarchy
+from repro.schemes import (
+    GlobalOptimalScheme,
+    IndividualOptimalScheme,
+    NashScheme,
+    ProportionalScheme,
+    standard_schemes,
+)
+from repro.workloads.configs import paper_table1_system, random_system, skewed_system
+
+
+def all_results(system):
+    return {s.name: s.allocate(system) for s in standard_schemes()}
+
+
+class TestOrderings:
+    @pytest.mark.parametrize("rho", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_gos_lower_bounds_everyone(self, rho):
+        system = paper_table1_system(utilization=rho)
+        results = all_results(system)
+        gos = results["GOS"].overall_time
+        for name in ("NASH", "IOS", "PS"):
+            assert results[name].overall_time >= gos - 1e-9
+
+    @pytest.mark.parametrize("rho", [0.2, 0.4, 0.6, 0.8])
+    def test_nash_no_worse_than_wardrop_or_ps(self, rho):
+        """Finite selfish users beat infinitesimal selfish jobs and the
+        oblivious proportional split on the paper's configurations."""
+        system = paper_table1_system(utilization=rho)
+        results = all_results(system)
+        assert results["NASH"].overall_time <= results["IOS"].overall_time + 1e-9
+        assert results["NASH"].overall_time <= results["PS"].overall_time + 1e-9
+
+    def test_nash_close_to_gos_at_medium_load(self):
+        """Paper: at 50% load NASH is within ~10% of GOS and ~30% better
+        than PS."""
+        system = paper_table1_system(utilization=0.5)
+        results = all_results(system)
+        nash, gos, ps = (
+            results["NASH"].overall_time,
+            results["GOS"].overall_time,
+            results["PS"].overall_time,
+        )
+        assert (nash - gos) / gos < 0.15
+        assert (ps - nash) / ps > 0.2
+
+    def test_ios_equals_ps_at_high_load(self):
+        system = paper_table1_system(utilization=0.9)
+        results = all_results(system)
+        assert results["IOS"].overall_time == pytest.approx(
+            results["PS"].overall_time, rel=1e-9
+        )
+
+    def test_ios_beats_ps_at_low_load(self):
+        system = paper_table1_system(utilization=0.15)
+        results = all_results(system)
+        assert results["IOS"].overall_time < results["PS"].overall_time
+
+    def test_low_load_all_but_ps_similar(self):
+        """Paper: at 10-40% load NASH/GOS/IOS nearly coincide, PS lags."""
+        system = paper_table1_system(utilization=0.2)
+        results = all_results(system)
+        trio = [results[n].overall_time for n in ("NASH", "GOS", "IOS")]
+        spread = (max(trio) - min(trio)) / min(trio)
+        assert spread < 0.15
+        assert results["PS"].overall_time > max(trio) * 1.2
+
+
+class TestFairness:
+    @pytest.mark.parametrize("rho", [0.2, 0.5, 0.8])
+    def test_ps_and_ios_fairness_one(self, rho):
+        system = paper_table1_system(utilization=rho)
+        results = all_results(system)
+        assert results["PS"].fairness == pytest.approx(1.0)
+        assert results["IOS"].fairness == pytest.approx(1.0)
+
+    def test_nash_fairness_near_one(self):
+        system = paper_table1_system(utilization=0.6)
+        assert NashScheme().allocate(system).fairness > 0.999
+
+    def test_gos_fairness_degrades_with_load(self):
+        lo = GlobalOptimalScheme().allocate(paper_table1_system(utilization=0.3))
+        hi = GlobalOptimalScheme().allocate(paper_table1_system(utilization=0.9))
+        assert hi.fairness < lo.fairness
+
+    def test_gos_sequential_split_unfair_at_high_load(self):
+        result = GlobalOptimalScheme().allocate(
+            paper_table1_system(utilization=0.9)
+        )
+        assert result.fairness < 0.9
+
+
+class TestHeterogeneity:
+    def test_homogeneous_system_all_reasonable_schemes_tie(self):
+        """At skewness 1 every computer is identical, so PS, IOS, GOS (fair)
+        and NASH all put the same load everywhere."""
+        system = skewed_system(1.0, utilization=0.6)
+        results = all_results(system)
+        times = [results[n].overall_time for n in ("NASH", "GOS", "IOS", "PS")]
+        np.testing.assert_allclose(times, times[0], rtol=1e-6)
+
+    def test_nash_tracks_gos_at_high_skewness(self):
+        system = skewed_system(20.0, utilization=0.6)
+        results = all_results(system)
+        gap = (
+            results["NASH"].overall_time - results["GOS"].overall_time
+        ) / results["GOS"].overall_time
+        assert gap < 0.05
+
+    def test_ps_poor_under_heterogeneity(self):
+        system = skewed_system(16.0, utilization=0.6)
+        results = all_results(system)
+        assert results["PS"].overall_time > 1.5 * results["NASH"].overall_time
+
+
+class TestPriceOfAnarchy:
+    @pytest.mark.parametrize("rho", [0.2, 0.5, 0.8])
+    def test_poa_at_least_one(self, rho):
+        system = paper_table1_system(utilization=rho)
+        results = all_results(system)
+        poa = price_of_anarchy(
+            results["NASH"].overall_time, results["GOS"].overall_time
+        )
+        assert poa >= 1.0 - 1e-9
+
+    def test_poa_modest_on_paper_configs(self):
+        system = paper_table1_system(utilization=0.6)
+        results = all_results(system)
+        poa = price_of_anarchy(
+            results["NASH"].overall_time, results["GOS"].overall_time
+        )
+        assert poa < 1.25
+
+
+class TestRandomSystems:
+    def test_orderings_hold_on_random_instances(self, rng):
+        for _ in range(5):
+            system = random_system(rng, n_computers=6, n_users=4)
+            results = all_results(system)
+            gos = results["GOS"].overall_time
+            assert results["NASH"].overall_time >= gos - 1e-9
+            assert results["IOS"].overall_time >= gos - 1e-9
+            assert results["PS"].overall_time >= gos - 1e-9
+            assert results["PS"].fairness == pytest.approx(1.0)
+            assert results["IOS"].fairness == pytest.approx(1.0)

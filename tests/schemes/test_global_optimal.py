@@ -1,0 +1,138 @@
+"""Tests for the GOS baseline (Kim & Kameda / Tantawi & Towsley)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategy import StrategyProfile
+from repro.queueing.metrics import overall_response_time
+from repro.schemes.global_optimal import (
+    GlobalOptimalScheme,
+    global_optimal_loads,
+    sequential_fill_split,
+    solve_gos_nlp,
+)
+from repro.workloads.configs import paper_table1_system
+
+
+class TestOptimalLoads:
+    def test_loads_sum_to_total(self, table1_medium):
+        loads = global_optimal_loads(table1_medium)
+        assert loads.sum() == pytest.approx(table1_medium.total_arrival_rate)
+
+    def test_loads_stable(self, table1_medium):
+        loads = global_optimal_loads(table1_medium)
+        assert np.all(loads < table1_medium.service_rates)
+
+    def test_slow_computers_idle_at_low_load(self):
+        system = paper_table1_system(utilization=0.1)
+        loads = global_optimal_loads(system)
+        mu = system.service_rates
+        # At 10% load the slowest class (10 jobs/s) should get nothing.
+        assert np.all(loads[mu == mu.min()] == 0.0)
+
+    def test_all_computers_used_at_high_load(self):
+        system = paper_table1_system(utilization=0.9)
+        loads = global_optimal_loads(system)
+        assert np.all(loads > 0.0)
+
+    def test_beats_random_aggregate_allocations(self, table1_medium, rng):
+        loads = global_optimal_loads(table1_medium)
+        mu = table1_medium.service_rates
+        total = table1_medium.total_arrival_rate
+        optimal = (loads / (mu - loads)).sum()
+        for _ in range(200):
+            x = rng.dirichlet(np.ones(mu.size)) * total
+            if np.any(x >= mu):
+                continue
+            assert (x / (mu - x)).sum() >= optimal - 1e-9
+
+
+class TestSequentialSplit:
+    def test_column_sums_reproduce_loads(self, table1_medium):
+        loads = global_optimal_loads(table1_medium)
+        fractions = sequential_fill_split(table1_medium, loads)
+        reproduced = table1_medium.loads(fractions)
+        np.testing.assert_allclose(reproduced, loads, atol=1e-8)
+
+    def test_rows_are_distributions(self, table1_medium):
+        loads = global_optimal_loads(table1_medium)
+        fractions = sequential_fill_split(table1_medium, loads)
+        np.testing.assert_allclose(fractions.sum(axis=1), 1.0)
+        assert np.all(fractions >= 0.0)
+
+    def test_first_user_gets_fastest_machines(self, table1_medium):
+        loads = global_optimal_loads(table1_medium)
+        fractions = sequential_fill_split(table1_medium, loads)
+        times = table1_medium.user_response_times(fractions)
+        # User order tracks machine speed order: user 1 strictly better
+        # than the last user at medium load.
+        assert times[0] < times[-1]
+        # And times are nondecreasing in user index by construction.
+        assert np.all(np.diff(times) >= -1e-9)
+
+    def test_shape_validation(self, table1_medium):
+        with pytest.raises(ValueError):
+            sequential_fill_split(table1_medium, np.array([1.0]))
+
+
+class TestSchemeVariants:
+    def test_all_splits_achieve_same_overall_time(self, table1_medium):
+        results = {
+            split: GlobalOptimalScheme(split=split).allocate(table1_medium)
+            for split in ("sequential", "fair", "slsqp")
+        }
+        times = [r.overall_time for r in results.values()]
+        np.testing.assert_allclose(times, times[0], rtol=1e-5)
+
+    def test_fair_split_fairness_one(self, table1_medium):
+        result = GlobalOptimalScheme(split="fair").allocate(table1_medium)
+        assert result.fairness == pytest.approx(1.0)
+
+    def test_sequential_split_unfair_at_medium_load(self, table1_medium):
+        result = GlobalOptimalScheme().allocate(table1_medium)
+        assert result.fairness < 0.95
+
+    def test_gos_is_global_minimum(self, table1_medium, rng):
+        gos = GlobalOptimalScheme().allocate(table1_medium)
+        m, n = table1_medium.n_users, table1_medium.n_computers
+        for _ in range(100):
+            raw = rng.dirichlet(np.ones(n), size=m)
+            profile = StrategyProfile(raw)
+            if not profile.satisfies_stability(table1_medium):
+                continue
+            candidate = overall_response_time(
+                table1_medium.user_response_times(raw),
+                table1_medium.arrival_rates,
+            )
+            assert candidate >= gos.overall_time - 1e-9
+
+    def test_nlp_matches_closed_form(self, table1_small):
+        profile = solve_gos_nlp(table1_small)
+        nlp_time = table1_small.overall_response_time(profile.fractions)
+        closed = GlobalOptimalScheme(split="fair").allocate(table1_small)
+        assert nlp_time == pytest.approx(closed.overall_time, rel=1e-4)
+
+    def test_unknown_split_rejected(self, table1_medium):
+        with pytest.raises(ValueError):
+            GlobalOptimalScheme(split="bogus").allocate(table1_medium)  # type: ignore[arg-type]
+
+    def test_scheme_name_and_extras(self, table1_medium):
+        result = GlobalOptimalScheme().allocate(table1_medium)
+        assert result.scheme == "GOS"
+        assert "optimal_loads" in result.extra
+        assert result.extra["split"] == "sequential"
+
+    @given(st.floats(0.1, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_overall_time_increases_with_load(self, rho):
+        lo = GlobalOptimalScheme(split="fair").allocate(
+            paper_table1_system(utilization=rho * 0.5)
+        )
+        hi = GlobalOptimalScheme(split="fair").allocate(
+            paper_table1_system(utilization=rho * 0.5 + 0.45)
+        )
+        assert lo.overall_time < hi.overall_time

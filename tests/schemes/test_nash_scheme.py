@@ -1,0 +1,55 @@
+"""Tests for the NASH scheme wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import is_nash_equilibrium
+from repro.schemes.nash_scheme import NashScheme
+
+
+class TestNashScheme:
+    def test_allocation_is_equilibrium(self, table1_medium):
+        result = NashScheme(tolerance=1e-9).allocate(table1_medium)
+        assert is_nash_equilibrium(table1_medium, result.profile, tol=1e-5)
+
+    def test_epsilon_reported(self, table1_medium):
+        result = NashScheme(tolerance=1e-9).allocate(table1_medium)
+        assert result.extra["epsilon"] <= 1e-5
+
+    def test_converged_flag(self, table1_medium):
+        result = NashScheme().allocate(table1_medium)
+        assert result.extra["converged"]
+        assert result.extra["iterations"] > 0
+
+    def test_init_variants_agree(self, table1_small):
+        zero = NashScheme(init="zero", tolerance=1e-9).allocate(table1_small)
+        prop = NashScheme(init="proportional", tolerance=1e-9).allocate(
+            table1_small
+        )
+        np.testing.assert_allclose(
+            zero.user_times, prop.user_times, rtol=1e-5
+        )
+
+    def test_symmetric_users_near_equal_times(self, table1_medium):
+        """Identical users get (numerically) identical equilibrium costs."""
+        result = NashScheme(tolerance=1e-9).allocate(table1_medium)
+        spread = result.user_times.max() - result.user_times.min()
+        assert spread < 1e-4 * result.user_times.mean()
+
+    def test_fairness_close_to_one(self, table1_medium):
+        result = NashScheme().allocate(table1_medium)
+        assert result.fairness > 0.999
+
+    def test_scheme_name(self, table1_medium):
+        assert NashScheme().allocate(table1_medium).scheme == "NASH"
+
+    def test_profile_feasible(self, table1_medium):
+        result = NashScheme().allocate(table1_medium)
+        result.profile.validate(table1_medium)
+
+    def test_loads_recorded(self, table1_medium):
+        result = NashScheme().allocate(table1_medium)
+        loads = result.extra["loads"]
+        assert loads.sum() == pytest.approx(table1_medium.total_arrival_rate)

@@ -1,0 +1,64 @@
+"""Tests for the PS baseline (Chow & Kohler)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schemes.proportional import (
+    ProportionalScheme,
+    proportional_response_time,
+)
+from repro.workloads.configs import paper_table1_system
+
+
+class TestProportionalScheme:
+    def test_profile_rows_proportional_to_rates(self, table1_medium):
+        result = ProportionalScheme().allocate(table1_medium)
+        mu = table1_medium.service_rates
+        expected = mu / mu.sum()
+        for row in result.profile.fractions:
+            np.testing.assert_allclose(row, expected)
+
+    def test_every_computer_same_utilization(self, table1_medium):
+        result = ProportionalScheme().allocate(table1_medium)
+        loads = table1_medium.loads(result.profile.fractions)
+        rho = loads / table1_medium.service_rates
+        np.testing.assert_allclose(rho, table1_medium.system_utilization)
+
+    def test_fairness_exactly_one(self, table1_medium):
+        result = ProportionalScheme().allocate(table1_medium)
+        assert result.fairness == pytest.approx(1.0)
+
+    def test_closed_form_matches_evaluation(self, table1_medium):
+        result = ProportionalScheme().allocate(table1_medium)
+        closed = proportional_response_time(table1_medium)
+        np.testing.assert_allclose(result.user_times, closed)
+        assert result.overall_time == pytest.approx(closed)
+        assert result.extra["closed_form_time"] == pytest.approx(closed)
+
+    def test_closed_form_value(self):
+        system = paper_table1_system(utilization=0.5)
+        # n / ((1 - rho) sum(mu)) = 16 / (0.5 * 510)
+        assert proportional_response_time(system) == pytest.approx(16 / 255.0)
+
+    def test_independent_of_user_count(self):
+        a = paper_table1_system(utilization=0.6, n_users=4)
+        b = paper_table1_system(utilization=0.6, n_users=25)
+        assert proportional_response_time(a) == pytest.approx(
+            proportional_response_time(b)
+        )
+
+    def test_time_increases_with_load(self):
+        times = [
+            proportional_response_time(paper_table1_system(utilization=rho))
+            for rho in (0.2, 0.5, 0.8)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_scheme_name(self, table1_medium):
+        assert ProportionalScheme().allocate(table1_medium).scheme == "PS"
+
+    def test_profile_feasible(self, table1_medium):
+        result = ProportionalScheme().allocate(table1_medium)
+        result.profile.validate(table1_medium)

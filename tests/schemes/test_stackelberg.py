@@ -1,0 +1,101 @@
+"""Tests for the Stackelberg extension scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schemes.global_optimal import GlobalOptimalScheme
+from repro.schemes.individual_optimal import IndividualOptimalScheme
+from repro.schemes.stackelberg import (
+    StackelbergScheme,
+    induced_equilibrium_loads,
+    stackelberg_total_cost,
+)
+from repro.workloads.configs import paper_table1_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_table1_system(utilization=0.6, n_users=10)
+
+
+class TestInducedEquilibrium:
+    def test_followers_conserve_demand(self, system):
+        leader = np.zeros(system.n_computers)
+        follower = induced_equilibrium_loads(system, leader, 100.0)
+        assert follower.sum() == pytest.approx(100.0)
+
+    def test_zero_followers(self, system):
+        leader = np.zeros(system.n_computers)
+        follower = induced_equilibrium_loads(system, leader, 0.0)
+        assert follower.sum() == 0.0
+
+    def test_leader_presence_repels_followers(self, system):
+        follower_demand = 0.5 * system.total_arrival_rate
+        idle = induced_equilibrium_loads(
+            system, np.zeros(system.n_computers), follower_demand
+        )
+        # Leader saturating the fastest computer pushes followers away.
+        leader = np.zeros(system.n_computers)
+        fastest = int(np.argmax(system.service_rates))
+        leader[fastest] = 0.9 * system.service_rates[fastest]
+        crowded = induced_equilibrium_loads(system, leader, follower_demand)
+        assert crowded[fastest] < idle[fastest]
+
+    def test_total_cost_infinite_when_saturated(self, system):
+        leader = system.service_rates.copy()  # saturate everything
+        assert stackelberg_total_cost(
+            system, leader, 1.0
+        ) == float("inf")
+
+
+class TestScheme:
+    def test_beta_zero_is_wardrop(self, system):
+        result = StackelbergScheme(beta=0.0).allocate(system)
+        ios = IndividualOptimalScheme().allocate(system)
+        assert result.overall_time == pytest.approx(ios.overall_time, rel=1e-6)
+
+    def test_beta_one_is_global_optimum(self, system):
+        result = StackelbergScheme(beta=1.0).allocate(system)
+        gos = GlobalOptimalScheme(split="fair").allocate(system)
+        assert result.overall_time == pytest.approx(gos.overall_time, rel=1e-4)
+
+    def test_cost_between_extremes(self, system):
+        gos = GlobalOptimalScheme(split="fair").allocate(system).overall_time
+        ios = IndividualOptimalScheme().allocate(system).overall_time
+        mid = StackelbergScheme(beta=0.5).allocate(system).overall_time
+        assert gos - 1e-9 <= mid <= ios + 1e-9
+
+    def test_more_leadership_never_hurts(self, system):
+        times = [
+            StackelbergScheme(beta=b).allocate(system).overall_time
+            for b in (0.0, 0.5, 1.0)
+        ]
+        assert times[0] + 1e-9 >= times[1] >= times[2] - 1e-9
+
+    def test_aloof_no_better_than_nlp(self, system):
+        nlp = StackelbergScheme(beta=0.5, strategy="nlp").allocate(system)
+        aloof = StackelbergScheme(beta=0.5, strategy="aloof").allocate(system)
+        assert nlp.overall_time <= aloof.overall_time + 1e-6
+
+    def test_beta_validated(self):
+        with pytest.raises(ValueError):
+            StackelbergScheme(beta=1.5)
+        with pytest.raises(ValueError):
+            StackelbergScheme(beta=-0.1)
+
+    def test_profile_feasible(self, system):
+        result = StackelbergScheme(beta=0.3).allocate(system)
+        result.profile.validate(system)
+
+    def test_extras_recorded(self, system):
+        result = StackelbergScheme(beta=0.3).allocate(system)
+        leader = result.extra["leader_loads"]
+        follower = result.extra["follower_loads"]
+        assert leader.sum() == pytest.approx(
+            0.3 * system.total_arrival_rate, rel=1e-6
+        )
+        assert (leader + follower).sum() == pytest.approx(
+            system.total_arrival_rate, rel=1e-9
+        )

@@ -1,0 +1,144 @@
+"""Tests for arrival processes (Poisson and MMPP burst sources)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.simengine.arrivals import MMPPArrivals, PoissonArrivals
+from repro.simengine.simulator import LoadBalancingSimulation
+
+
+def mean_rate(process, n=100_000, seed=0):
+    rng = np.random.default_rng(seed)
+    total = sum(process.next_interarrival(rng) for _ in range(n))
+    return n / total
+
+
+class TestPoissonArrivals:
+    def test_average_rate(self):
+        assert PoissonArrivals(3.0).average_rate == 3.0
+
+    def test_empirical_rate(self):
+        assert mean_rate(PoissonArrivals(4.0), n=50_000) == pytest.approx(
+            4.0, rel=0.02
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestMMPPArrivals:
+    def make(self, calm=1.0, burst=9.0, q_cb=0.5, q_bc=0.5):
+        return MMPPArrivals(
+            calm, burst, calm_to_burst=q_cb, burst_to_calm=q_bc
+        )
+
+    def test_average_rate_formula(self):
+        # Equal switching -> half time in each state -> mean = (1+9)/2.
+        assert self.make().average_rate == pytest.approx(5.0)
+
+    def test_asymmetric_stationary_weights(self):
+        process = self.make(q_cb=1.0, q_bc=3.0)  # 75% calm
+        assert process.average_rate == pytest.approx(0.75 * 1.0 + 0.25 * 9.0)
+
+    def test_empirical_rate(self):
+        assert mean_rate(self.make(), n=100_000) == pytest.approx(
+            5.0, rel=0.05
+        )
+
+    def test_burstier_than_poisson(self):
+        """Interarrival scv above 1 — the burstiness fingerprint."""
+        rng = np.random.default_rng(1)
+        process = self.make(calm=0.5, burst=20.0, q_cb=0.2, q_bc=0.2)
+        gaps = np.array(
+            [process.next_interarrival(rng) for _ in range(100_000)]
+        )
+        scv = gaps.var() / gaps.mean() ** 2
+        assert scv > 1.5
+
+    def test_silent_calm_state(self):
+        process = MMPPArrivals(
+            0.0, 10.0, calm_to_burst=1.0, burst_to_calm=1.0
+        )
+        assert process.average_rate == pytest.approx(5.0)
+        assert mean_rate(process, n=30_000, seed=2) == pytest.approx(
+            5.0, rel=0.1
+        )
+        assert process.burstiness == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPArrivals(5.0, 1.0, calm_to_burst=1.0, burst_to_calm=1.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(1.0, 5.0, calm_to_burst=0.0, burst_to_calm=1.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(-1.0, 5.0, calm_to_burst=1.0, burst_to_calm=1.0)
+
+
+class TestBurstySimulation:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return DistributedSystem(
+            service_rates=[10.0, 5.0], arrival_rates=[6.0]
+        )
+
+    def test_rate_mismatch_rejected(self, system):
+        profile = StrategyProfile.proportional(system)
+        with pytest.raises(ValueError, match="average rate"):
+            LoadBalancingSimulation(
+                system,
+                profile,
+                horizon=10.0,
+                arrival_processes=[PoissonArrivals(4.0)],
+            )
+
+    def test_count_validated(self, system):
+        profile = StrategyProfile.proportional(system)
+        with pytest.raises(ValueError, match="one entry per user"):
+            LoadBalancingSimulation(
+                system,
+                profile,
+                horizon=10.0,
+                arrival_processes=[PoissonArrivals(6.0), PoissonArrivals(6.0)],
+            )
+
+    def test_total_jobs_match_average_rate(self, system):
+        profile = StrategyProfile.proportional(system)
+        process = MMPPArrivals(
+            2.0, 10.0, calm_to_burst=0.5, burst_to_calm=0.5
+        )
+        assert process.average_rate == pytest.approx(6.0)
+        result = LoadBalancingSimulation(
+            system,
+            profile,
+            horizon=2000.0,
+            seed=3,
+            arrival_processes=[process],
+        ).run()
+        assert result.total_jobs == pytest.approx(12_000, rel=0.1)
+
+    def test_burstiness_inflates_latency(self, system):
+        """Same mean rate, bursty arrivals -> strictly worse latency than
+        the Poisson (M/M/1) prediction the game is optimized for."""
+        profile = StrategyProfile.proportional(system)
+        poisson = LoadBalancingSimulation(
+            system, profile, horizon=4000.0, warmup=200.0, seed=4
+        ).run()
+        bursty = LoadBalancingSimulation(
+            system,
+            profile,
+            horizon=4000.0,
+            warmup=200.0,
+            seed=4,
+            arrival_processes=[
+                MMPPArrivals(1.0, 26.0, calm_to_burst=0.25, burst_to_calm=1.0)
+            ],
+        ).run()
+        assert (
+            bursty.overall_mean_response_time()
+            > 1.2 * poisson.overall_mean_response_time()
+        )

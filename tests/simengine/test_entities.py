@@ -1,0 +1,122 @@
+"""Unit tests for simulation entities (jobs, computers, user sources)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simengine.entities import Computer, Job, UserSource
+
+
+def make_computer(rate=2.0, seed=0):
+    return Computer(0, rate, np.random.default_rng(seed))
+
+
+class TestJob:
+    def test_lifecycle_metrics(self):
+        job = Job(job_id=1, user=0, computer=2, arrival_time=1.0)
+        job.start_time = 1.5
+        job.completion_time = 3.0
+        assert job.waiting_time == pytest.approx(0.5)
+        assert job.response_time == pytest.approx(2.0)
+
+
+class TestComputer:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            make_computer(rate=0.0)
+
+    def test_idle_accept_starts_service(self):
+        c = make_computer()
+        job = Job(0, 0, 0, arrival_time=1.0)
+        departure = c.accept(job, now=1.0)
+        assert departure is not None and departure > 1.0
+        assert c.is_busy
+        assert job.start_time == 1.0
+
+    def test_busy_accept_enqueues(self):
+        c = make_computer()
+        first = Job(0, 0, 0, arrival_time=0.0)
+        second = Job(1, 0, 0, arrival_time=0.5)
+        c.accept(first, now=0.0)
+        assert c.accept(second, now=0.5) is None
+        assert c.queue_length == 1
+        assert c.run_queue_length == 2
+
+    def test_fcfs_order(self):
+        c = make_computer()
+        jobs = [Job(i, 0, 0, arrival_time=float(i) * 0.1) for i in range(3)]
+        now = 0.0
+        departure = c.accept(jobs[0], now)
+        c.accept(jobs[1], 0.1)
+        c.accept(jobs[2], 0.2)
+        finished_order = []
+        while departure is not None:
+            finished, departure = c.complete_current(departure)
+            finished_order.append(finished.job_id)
+        assert finished_order == [0, 1, 2]
+
+    def test_complete_counts_and_busy_time(self):
+        c = make_computer()
+        job = Job(0, 0, 0, arrival_time=0.0)
+        departure = c.accept(job, 0.0)
+        finished, nxt = c.complete_current(departure)
+        assert finished is job
+        assert nxt is None
+        assert c.completed == 1
+        assert c.busy_time == pytest.approx(departure)
+
+    def test_complete_idle_raises(self):
+        with pytest.raises(RuntimeError):
+            make_computer().complete_current(1.0)
+
+    def test_service_times_exponential(self):
+        c = make_computer(rate=4.0, seed=42)
+        samples = np.array([c.draw_service_time() for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(0.25, rel=0.05)
+        # Memorylessness fingerprint: std == mean for the exponential.
+        assert samples.std() == pytest.approx(samples.mean(), rel=0.05)
+
+
+class TestUserSource:
+    def make(self, fractions, seed=1, rate=3.0):
+        rng = np.random.default_rng(seed)
+        return UserSource(
+            0,
+            rate,
+            np.asarray(fractions),
+            arrival_rng=np.random.default_rng(seed),
+            routing_rng=np.random.default_rng(seed + 1),
+        )
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            self.make([1.0], rate=0.0)
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            self.make([0.4, 0.4])
+        with pytest.raises(ValueError):
+            self.make([1.5, -0.5])
+
+    def test_interarrivals_exponential(self):
+        source = self.make([1.0], rate=5.0)
+        gaps = np.array([source.next_interarrival() for _ in range(20_000)])
+        assert gaps.mean() == pytest.approx(0.2, rel=0.05)
+
+    def test_routing_follows_fractions(self):
+        source = self.make([0.7, 0.1, 0.2])
+        choices = np.array([source.choose_computer() for _ in range(30_000)])
+        freq = np.bincount(choices, minlength=3) / choices.size
+        np.testing.assert_allclose(freq, [0.7, 0.1, 0.2], atol=0.01)
+
+    def test_zero_fraction_never_chosen(self):
+        source = self.make([0.5, 0.0, 0.5])
+        choices = {source.choose_computer() for _ in range(5_000)}
+        assert 1 not in choices
+
+    def test_generated_counter(self):
+        source = self.make([1.0])
+        for _ in range(7):
+            source.choose_computer()
+        assert source.generated == 7

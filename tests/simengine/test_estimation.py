@@ -1,0 +1,132 @@
+"""Tests for run-queue estimation and the measured best-reply loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import StrategyProfile
+from repro.simengine.estimation import (
+    estimate_loads_from_queue_lengths,
+    run_measured_best_reply,
+)
+from repro.simengine.simulator import LoadBalancingSimulation
+from repro.workloads.configs import paper_table1_system
+
+
+class TestLoadEstimator:
+    def test_inverts_occupancy_law(self):
+        # E[N] = rho/(1-rho); at rho = 0.5, N = 1.
+        lam = estimate_loads_from_queue_lengths([1.0], [10.0])
+        assert lam[0] == pytest.approx(5.0)
+
+    def test_idle_queue_zero_load(self):
+        lam = estimate_loads_from_queue_lengths([0.0], [10.0])
+        assert lam[0] == 0.0
+
+    def test_always_stable(self):
+        # Even absurdly long queues map strictly inside the stable region.
+        lam = estimate_loads_from_queue_lengths([1e6], [10.0])
+        assert lam[0] < 10.0
+
+    def test_monotone_in_queue_length(self):
+        lams = estimate_loads_from_queue_lengths(
+            [0.5, 1.0, 4.0], [10.0, 10.0, 10.0]
+        )
+        assert lams[0] < lams[1] < lams[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_loads_from_queue_lengths([1.0], [10.0, 20.0])
+        with pytest.raises(ValueError):
+            estimate_loads_from_queue_lengths([-1.0], [10.0])
+
+
+class TestQueueSampling:
+    def test_samples_recorded(self):
+        system = paper_table1_system(utilization=0.6, n_users=4)
+        profile = StrategyProfile.proportional(system)
+        result = LoadBalancingSimulation(
+            system, profile, horizon=50.0, warmup=5.0, seed=1,
+            sample_interval=0.5,
+        ).run()
+        samples = result.queue_length_samples
+        assert samples.shape[1] == system.n_computers
+        assert samples.shape[0] == pytest.approx(90, abs=3)
+        assert np.all(samples >= 0)
+
+    def test_no_sampling_by_default(self):
+        system = paper_table1_system(utilization=0.5, n_users=2)
+        profile = StrategyProfile.proportional(system)
+        result = LoadBalancingSimulation(
+            system, profile, horizon=20.0, seed=1
+        ).run()
+        assert result.queue_length_samples.shape == (0, system.n_computers)
+        with pytest.raises(ValueError, match="sample"):
+            result.mean_queue_lengths()
+
+    def test_sample_interval_validated(self):
+        system = paper_table1_system(utilization=0.5, n_users=2)
+        profile = StrategyProfile.proportional(system)
+        with pytest.raises(ValueError):
+            LoadBalancingSimulation(
+                system, profile, horizon=10.0, sample_interval=0.0
+            )
+
+    def test_mean_queue_lengths_estimate_loads(self):
+        """End to end: sampled occupancies invert to the true loads."""
+        system = paper_table1_system(utilization=0.6, n_users=4)
+        profile = StrategyProfile.proportional(system)
+        result = LoadBalancingSimulation(
+            system, profile, horizon=600.0, warmup=60.0, seed=2,
+            sample_interval=0.5,
+        ).run()
+        estimated = estimate_loads_from_queue_lengths(
+            result.mean_queue_lengths(), system.service_rates
+        )
+        true_loads = system.loads(profile.fractions)
+        # Aggregate within a few percent.
+        assert estimated.sum() == pytest.approx(true_loads.sum(), rel=0.05)
+
+
+class TestMeasuredBestReply:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return paper_table1_system(utilization=0.6, n_users=4)
+
+    @pytest.fixture(scope="class")
+    def outcome(self, system):
+        return run_measured_best_reply(
+            system, cycles=5, measurement_window=80.0, seed=3
+        )
+
+    def test_profile_feasible(self, system, outcome):
+        outcome.profile.validate(system)
+
+    def test_settles_near_equilibrium(self, outcome):
+        # Regret within a few percent of the ~0.06 s equilibrium times.
+        assert outcome.final_regret < 0.01
+
+    def test_history_lengths(self, outcome):
+        assert outcome.regret_history.size == 5
+        assert outcome.load_estimate_errors.size == 5
+
+    def test_estimates_reasonably_accurate(self, outcome):
+        assert np.all(outcome.load_estimate_errors < 0.2)
+
+    def test_deterministic(self, system):
+        a = run_measured_best_reply(
+            system, cycles=2, measurement_window=40.0, seed=9
+        )
+        b = run_measured_best_reply(
+            system, cycles=2, measurement_window=40.0, seed=9
+        )
+        np.testing.assert_array_equal(
+            a.profile.fractions, b.profile.fractions
+        )
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            run_measured_best_reply(system, cycles=0)
+        with pytest.raises(ValueError, match="feasible"):
+            run_measured_best_reply(system, cycles=1, init="zero")

@@ -1,0 +1,94 @@
+"""Unit tests for the event queue core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simengine.events import Event, EventKind, EventQueue
+
+
+class TestEventOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.schedule(3.0, EventKind.JOB_ARRIVAL)
+        q.schedule(1.0, EventKind.JOB_DEPARTURE)
+        q.schedule(2.0, EventKind.JOB_ARRIVAL)
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.JOB_DEPARTURE,
+            EventKind.JOB_ARRIVAL,
+            EventKind.JOB_ARRIVAL,
+        ]
+
+    def test_fifo_tie_breaking(self):
+        q = EventQueue()
+        first = q.schedule(1.0, EventKind.JOB_ARRIVAL, payload="first")
+        second = q.schedule(1.0, EventKind.JOB_ARRIVAL, payload="second")
+        assert first.seq < second.seq
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_event_comparison(self):
+        a = Event(time=1.0, seq=0, kind=EventKind.JOB_ARRIVAL)
+        b = Event(time=1.0, seq=1, kind=EventKind.JOB_ARRIVAL)
+        c = Event(time=2.0, seq=0, kind=EventKind.JOB_ARRIVAL)
+        assert a < b < c
+
+
+class TestClock:
+    def test_now_advances_on_pop(self):
+        q = EventQueue()
+        q.schedule(5.0, EventKind.JOB_ARRIVAL)
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 5.0
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        q.schedule(2.0, EventKind.JOB_ARRIVAL)
+        q.pop()
+        event = q.schedule_after(1.5, EventKind.JOB_DEPARTURE)
+        assert event.time == pytest.approx(3.5)
+
+    def test_schedule_after_rejects_negative(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule_after(-1.0, EventKind.JOB_ARRIVAL)
+
+    def test_cannot_schedule_into_past(self):
+        q = EventQueue()
+        q.schedule(5.0, EventKind.JOB_ARRIVAL)
+        q.pop()
+        with pytest.raises(ValueError, match="before current time"):
+            q.schedule(4.0, EventKind.JOB_DEPARTURE)
+
+    def test_same_time_as_now_allowed(self):
+        q = EventQueue()
+        q.schedule(5.0, EventKind.JOB_ARRIVAL)
+        q.pop()
+        q.schedule(5.0, EventKind.JOB_DEPARTURE)  # must not raise
+
+
+class TestContainer:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.schedule(1.0, EventKind.JOB_ARRIVAL)
+        assert q
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek(self):
+        q = EventQueue()
+        q.schedule(2.0, EventKind.JOB_ARRIVAL)
+        q.schedule(1.0, EventKind.JOB_DEPARTURE)
+        assert q.peek().time == 1.0
+        assert len(q) == 2  # peek does not consume
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek()

@@ -1,0 +1,137 @@
+"""Tests for the vectorized Lindley fast-path simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.queueing.mm1 import expected_response_time
+from repro.simengine.fastpath import mm1_lindley_waits, simulate_profile_fast
+from repro.simengine.simulator import simulate_profile
+
+
+def reference_lindley(interarrivals, services):
+    """Plain-loop Lindley recursion as an oracle."""
+    waits = np.zeros(len(services))
+    for k in range(1, len(services)):
+        waits[k] = max(0.0, waits[k - 1] + services[k - 1] - interarrivals[k])
+    return waits
+
+
+class TestLindleyRecursion:
+    def test_matches_loop_reference(self, rng):
+        gaps = rng.exponential(0.5, size=500)
+        services = rng.exponential(0.3, size=500)
+        np.testing.assert_allclose(
+            mm1_lindley_waits(gaps, services),
+            reference_lindley(gaps, services),
+            atol=1e-12,
+        )
+
+    def test_no_wait_when_arrivals_sparse(self):
+        gaps = np.full(10, 100.0)
+        services = np.full(10, 0.1)
+        waits = mm1_lindley_waits(gaps, services)
+        np.testing.assert_array_equal(waits, 0.0)
+
+    def test_queue_builds_when_overloaded(self):
+        gaps = np.full(50, 0.1)
+        services = np.full(50, 0.2)
+        waits = mm1_lindley_waits(gaps, services)
+        # Deterministic D/D/1 with rho=2: wait grows by 0.1 per job.
+        np.testing.assert_allclose(waits, 0.1 * np.arange(50), atol=1e-12)
+
+    def test_first_job_never_waits(self, rng):
+        gaps = rng.exponential(1.0, size=20)
+        services = rng.exponential(1.0, size=20)
+        assert mm1_lindley_waits(gaps, services)[0] == 0.0
+
+    def test_empty_input(self):
+        assert mm1_lindley_waits(np.array([]), np.array([])).size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mm1_lindley_waits(np.zeros(3), np.zeros(4))
+
+
+class TestFastSimulator:
+    def test_single_queue_matches_theory(self):
+        system = DistributedSystem(service_rates=[5.0], arrival_rates=[3.0])
+        profile = StrategyProfile(np.array([[1.0]]))
+        result = simulate_profile_fast(
+            system, profile, horizon=20_000.0, warmup=1000.0, seed=1
+        )
+        theory = expected_response_time(3.0, 5.0)
+        assert result.user_mean_response_times[0] == pytest.approx(
+            theory, rel=0.05
+        )
+
+    def test_agrees_with_event_engine(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        fast = simulate_profile_fast(
+            two_by_two, profile, horizon=20_000.0, warmup=1000.0, seed=2
+        )
+        slow = simulate_profile(
+            two_by_two, profile, horizon=4000.0, warmup=400.0, seed=2
+        )
+        np.testing.assert_allclose(
+            fast.user_mean_response_times,
+            slow.user_mean_response_times,
+            rtol=0.08,
+        )
+
+    def test_matches_analytic_on_table1(self, table1_medium):
+        profile = StrategyProfile.proportional(table1_medium)
+        analytic = table1_medium.user_response_times(profile.fractions)
+        result = simulate_profile_fast(
+            table1_medium, profile, horizon=2000.0, warmup=200.0, seed=3
+        )
+        np.testing.assert_allclose(
+            result.user_mean_response_times, analytic, rtol=0.05
+        )
+
+    def test_deterministic(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        a = simulate_profile_fast(two_by_two, profile, horizon=500.0, seed=4)
+        b = simulate_profile_fast(two_by_two, profile, horizon=500.0, seed=4)
+        np.testing.assert_array_equal(
+            a.user_mean_response_times, b.user_mean_response_times
+        )
+
+    def test_unused_computer_empty(self, two_by_two):
+        profile = StrategyProfile(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        result = simulate_profile_fast(
+            two_by_two, profile, horizon=200.0, seed=5
+        )
+        assert result.computer_job_counts[1] == 0
+
+    def test_user_attribution_proportional(self):
+        # User 0 sends twice user 1's traffic to the single computer.
+        system = DistributedSystem(
+            service_rates=[10.0], arrival_rates=[4.0, 2.0]
+        )
+        profile = StrategyProfile(np.array([[1.0], [1.0]]))
+        result = simulate_profile_fast(
+            system, profile, horizon=5000.0, seed=6
+        )
+        ratio = result.user_job_counts[0] / result.user_job_counts[1]
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_utilization_estimate(self):
+        system = DistributedSystem(service_rates=[5.0], arrival_rates=[2.0])
+        profile = StrategyProfile(np.array([[1.0]]))
+        result = simulate_profile_fast(
+            system, profile, horizon=10_000.0, seed=7
+        )
+        assert result.computer_utilizations[0] == pytest.approx(0.4, abs=0.02)
+
+    def test_rejects_bad_parameters(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        with pytest.raises(ValueError):
+            simulate_profile_fast(two_by_two, profile, horizon=-1.0)
+        with pytest.raises(ValueError):
+            simulate_profile_fast(
+                two_by_two, profile, horizon=1.0, warmup=2.0
+            )

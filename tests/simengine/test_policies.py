@@ -1,0 +1,186 @@
+"""Tests for the dynamic dispatch policies (EXT2 substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.simengine.entities import Computer, Job
+from repro.simengine.policies import (
+    JoinShortestQueue,
+    LeastExpectedDelay,
+    PowerOfTwoChoices,
+    StaticPolicy,
+)
+from repro.simengine.simulator import simulate_policy, simulate_profile
+from repro.workloads.configs import paper_table1_system
+
+
+def computers(rates, occupancy=None, seed=0):
+    """Computers with forced run-queue occupancy for policy unit tests."""
+    rng = np.random.default_rng(seed)
+    machines = [Computer(i, float(r), rng) for i, r in enumerate(rates)]
+    if occupancy:
+        for index, count in enumerate(occupancy):
+            for k in range(count):
+                machines[index].accept(
+                    Job(job_id=100 * index + k, user=0, computer=index,
+                        arrival_time=0.0),
+                    now=0.0,
+                )
+    return machines
+
+
+class TestStaticPolicy:
+    def test_matches_fraction_frequencies(self):
+        policy = StaticPolicy(np.array([[0.8, 0.2]]))
+        rng = np.random.default_rng(0)
+        machines = computers([1.0, 1.0])
+        picks = np.array(
+            [policy.choose(0, machines, rng) for _ in range(20_000)]
+        )
+        assert np.mean(picks == 0) == pytest.approx(0.8, abs=0.01)
+
+    def test_validates_rows(self):
+        with pytest.raises(ValueError):
+            StaticPolicy(np.array([[0.5, 0.4]]))
+        with pytest.raises(ValueError):
+            StaticPolicy(np.array([0.5, 0.5]))
+
+
+class TestJoinShortestQueue:
+    def test_picks_emptiest(self):
+        machines = computers([1.0, 1.0, 1.0], occupancy=[2, 0, 1])
+        policy = JoinShortestQueue()
+        rng = np.random.default_rng(0)
+        assert policy.choose(0, machines, rng) == 1
+
+    def test_speed_tie_break(self):
+        machines = computers([1.0, 5.0], occupancy=[1, 1])
+        policy = JoinShortestQueue()
+        rng = np.random.default_rng(0)
+        assert policy.choose(0, machines, rng) == 1
+
+
+class TestLeastExpectedDelay:
+    def test_prefers_fast_busy_over_slow_idle(self):
+        # (2+1)/10 = 0.3 < (0+1)/1 = 1.0
+        machines = computers([10.0, 1.0], occupancy=[2, 0])
+        policy = LeastExpectedDelay()
+        rng = np.random.default_rng(0)
+        assert policy.choose(0, machines, rng) == 0
+
+    def test_prefers_idle_when_rates_equal(self):
+        machines = computers([2.0, 2.0], occupancy=[3, 1])
+        policy = LeastExpectedDelay()
+        rng = np.random.default_rng(0)
+        assert policy.choose(0, machines, rng) == 1
+
+
+class TestPowerOfTwoChoices:
+    def test_validates_d(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoChoices(d=0)
+
+    def test_d_one_is_rate_weighted_random(self):
+        machines = computers([9.0, 1.0])
+        policy = PowerOfTwoChoices(d=1)
+        rng = np.random.default_rng(1)
+        picks = np.array(
+            [policy.choose(0, machines, rng) for _ in range(10_000)]
+        )
+        assert np.mean(picks == 0) == pytest.approx(0.9, abs=0.02)
+
+    def test_candidate_subset_respected(self):
+        machines = computers([1.0, 1.0, 1.0], occupancy=[0, 5, 5])
+        policy = PowerOfTwoChoices(d=3)  # examines all -> picks the idle one
+        rng = np.random.default_rng(2)
+        assert policy.choose(0, machines, rng) == 0
+
+
+class TestPolicySimulation:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return paper_table1_system(utilization=0.6, n_users=4)
+
+    def test_requires_exactly_one_of_profile_policy(self, system):
+        from repro.simengine.simulator import LoadBalancingSimulation
+
+        with pytest.raises(ValueError, match="exactly one"):
+            LoadBalancingSimulation(system, horizon=10.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            LoadBalancingSimulation(
+                system,
+                StrategyProfile.proportional(system),
+                policy=JoinShortestQueue(),
+                horizon=10.0,
+            )
+
+    def test_dynamic_beats_static_proportional(self, system):
+        static = simulate_profile(
+            system,
+            StrategyProfile.proportional(system),
+            horizon=300.0,
+            warmup=30.0,
+            seed=4,
+        )
+        for policy in (JoinShortestQueue(), LeastExpectedDelay()):
+            dynamic = simulate_policy(
+                system, policy, horizon=300.0, warmup=30.0, seed=4
+            )
+            assert (
+                dynamic.overall_mean_response_time()
+                < static.overall_mean_response_time()
+            )
+
+    def test_all_jobs_accounted(self, system):
+        result = simulate_policy(
+            system, JoinShortestQueue(), horizon=100.0, seed=5
+        )
+        assert result.total_jobs == result.computer_job_counts.sum()
+
+    def test_deterministic(self, system):
+        a = simulate_policy(
+            system, LeastExpectedDelay(), horizon=100.0, seed=6
+        )
+        b = simulate_policy(
+            system, LeastExpectedDelay(), horizon=100.0, seed=6
+        )
+        np.testing.assert_array_equal(
+            a.user_mean_response_times, b.user_mean_response_times
+        )
+
+    def test_static_policy_equivalent_to_profile_path(self, system):
+        profile = StrategyProfile.proportional(system)
+        via_profile = simulate_profile(
+            system, profile, horizon=150.0, seed=7
+        )
+        via_policy = simulate_policy(
+            system, StaticPolicy(profile.fractions), horizon=150.0, seed=7
+        )
+        np.testing.assert_array_equal(
+            via_profile.user_mean_response_times,
+            via_policy.user_mean_response_times,
+        )
+
+    def test_jsq_on_homogeneous_two_servers(self):
+        """Sanity: JSQ on 2 identical M/M/1 servers beats Bernoulli split."""
+        system = DistributedSystem(
+            service_rates=[5.0, 5.0], arrival_rates=[6.0]
+        )
+        static = simulate_profile(
+            system,
+            StrategyProfile(np.array([[0.5, 0.5]])),
+            horizon=2000.0,
+            warmup=200.0,
+            seed=8,
+        )
+        jsq = simulate_policy(
+            system, JoinShortestQueue(), horizon=2000.0, warmup=200.0, seed=8
+        )
+        assert (
+            jsq.overall_mean_response_time()
+            < static.overall_mean_response_time()
+        )

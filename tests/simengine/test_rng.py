@@ -1,0 +1,62 @@
+"""Unit tests for RNG stream management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simengine.rng import SimulationStreams, replication_seeds
+
+
+class TestSimulationStreams:
+    def test_counts(self):
+        streams = SimulationStreams.from_seed(0, n_users=3, n_computers=5)
+        assert len(streams.arrivals) == 3
+        assert len(streams.services) == 5
+        assert len(streams.routing) == 3
+
+    def test_deterministic_given_seed(self):
+        a = SimulationStreams.from_seed(7, 2, 2)
+        b = SimulationStreams.from_seed(7, 2, 2)
+        assert a.arrivals[0].random() == b.arrivals[0].random()
+        assert a.services[1].random() == b.services[1].random()
+
+    def test_different_seeds_differ(self):
+        a = SimulationStreams.from_seed(1, 2, 2)
+        b = SimulationStreams.from_seed(2, 2, 2)
+        assert a.arrivals[0].random() != b.arrivals[0].random()
+
+    def test_streams_mutually_independent_draws(self):
+        streams = SimulationStreams.from_seed(3, 2, 2)
+        # Distinct spawned children never produce identical sequences.
+        x = streams.arrivals[0].random(4)
+        y = streams.arrivals[1].random(4)
+        assert not np.allclose(x, y)
+
+    def test_accepts_seed_sequence(self):
+        seq = np.random.SeedSequence(11)
+        streams = SimulationStreams.from_seed(seq, 1, 1)
+        again = SimulationStreams.from_seed(np.random.SeedSequence(11), 1, 1)
+        assert streams.arrivals[0].random() == again.arrivals[0].random()
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            SimulationStreams.from_seed(0, 0, 1)
+
+
+class TestReplicationSeeds:
+    def test_count_and_determinism(self):
+        seeds = replication_seeds(5, 4)
+        assert len(seeds) == 4
+        again = replication_seeds(5, 4)
+        for a, b in zip(seeds, again):
+            assert a.generate_state(2).tolist() == b.generate_state(2).tolist()
+
+    def test_children_distinct(self):
+        seeds = replication_seeds(5, 3)
+        states = [tuple(s.generate_state(2)) for s in seeds]
+        assert len(set(states)) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            replication_seeds(0, 0)

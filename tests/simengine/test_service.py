@@ -1,0 +1,151 @@
+"""Tests for the service-time distribution substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.queueing.mg1 import expected_response_time_mg1
+from repro.simengine.fastpath import simulate_profile_fast
+from repro.simengine.service import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    from_scv,
+)
+from repro.simengine.simulator import simulate_profile
+
+
+def empirical_moments(dist, n=60_000, seed=0):
+    rng = np.random.default_rng(seed)
+    samples = np.asarray(dist.sample(rng, size=n))
+    mean = samples.mean()
+    scv = samples.var() / mean**2
+    return mean, scv
+
+
+class TestDistributions:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(4.0),
+            Deterministic(4.0),
+            Erlang(4.0, k=3),
+            HyperExponential(4.0, target_scv=5.0),
+        ],
+        ids=["exp", "det", "erlang", "h2"],
+    )
+    def test_mean_and_scv_match_declaration(self, dist):
+        mean, scv = empirical_moments(dist)
+        assert mean == pytest.approx(dist.mean, rel=0.03)
+        assert scv == pytest.approx(dist.scv, abs=max(0.05, 0.1 * dist.scv))
+
+    def test_scalar_sampling(self):
+        rng = np.random.default_rng(1)
+        for dist in (Exponential(2.0), Deterministic(2.0), Erlang(2.0),
+                     HyperExponential(2.0)):
+            value = dist.sample(rng)
+            assert np.isscalar(value) or np.ndim(value) == 0
+            assert float(value) > 0.0
+
+    def test_samples_positive(self):
+        rng = np.random.default_rng(2)
+        for dist in (Erlang(3.0, k=5), HyperExponential(3.0, target_scv=10.0)):
+            assert np.all(np.asarray(dist.sample(rng, size=1000)) > 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Erlang(1.0, k=0)
+        with pytest.raises(ValueError):
+            HyperExponential(1.0, target_scv=0.5)
+
+    def test_from_scv_dispatch(self):
+        assert isinstance(from_scv(1.0, 0.0), Deterministic)
+        assert isinstance(from_scv(1.0, 0.25), Erlang)
+        assert from_scv(1.0, 0.25).k == 4
+        assert isinstance(from_scv(1.0, 1.0), Exponential)
+        assert isinstance(from_scv(1.0, 3.0), HyperExponential)
+        with pytest.raises(ValueError):
+            from_scv(1.0, -1.0)
+
+    def test_from_scv_preserves_rate(self):
+        for scv in (0.0, 0.5, 1.0, 4.0):
+            assert from_scv(7.0, scv).mean == pytest.approx(1.0 / 7.0)
+
+
+class TestMG1Simulation:
+    @pytest.fixture(scope="class")
+    def single_queue(self):
+        return DistributedSystem(service_rates=[5.0], arrival_rates=[3.0])
+
+    @pytest.mark.parametrize("scv", [0.0, 0.5, 4.0])
+    def test_fastpath_matches_pk(self, single_queue, scv):
+        profile = StrategyProfile(np.array([[1.0]]))
+        result = simulate_profile_fast(
+            single_queue,
+            profile,
+            horizon=30_000.0,
+            warmup=1000.0,
+            seed=3,
+            service_distributions=[from_scv(5.0, scv)],
+        )
+        pk = expected_response_time_mg1(3.0, 5.0, scv=scv)
+        assert result.user_mean_response_times[0] == pytest.approx(
+            pk, rel=0.06
+        )
+
+    def test_event_engine_matches_pk_md1(self, single_queue):
+        profile = StrategyProfile(np.array([[1.0]]))
+        result = simulate_profile(
+            single_queue,
+            profile,
+            horizon=4000.0,
+            warmup=400.0,
+            seed=4,
+            service_distributions=[Deterministic(5.0)],
+        )
+        pk = expected_response_time_mg1(3.0, 5.0, scv=0.0)
+        assert result.user_mean_response_times[0] == pytest.approx(
+            pk, rel=0.08
+        )
+
+    def test_distribution_count_validated(self, single_queue):
+        profile = StrategyProfile(np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            simulate_profile_fast(
+                single_queue,
+                profile,
+                horizon=10.0,
+                service_distributions=[Deterministic(5.0), Deterministic(5.0)],
+            )
+
+    def test_distribution_rate_must_match_computer(self, single_queue):
+        from repro.simengine.entities import Computer
+
+        with pytest.raises(ValueError, match="rate"):
+            Computer(
+                0,
+                5.0,
+                np.random.default_rng(0),
+                service_distribution=Deterministic(3.0),
+            )
+
+    def test_higher_scv_higher_latency(self, single_queue):
+        profile = StrategyProfile(np.array([[1.0]]))
+        times = []
+        for scv in (0.0, 1.0, 4.0):
+            result = simulate_profile_fast(
+                single_queue,
+                profile,
+                horizon=20_000.0,
+                warmup=500.0,
+                seed=5,
+                service_distributions=[from_scv(5.0, scv)],
+            )
+            times.append(result.user_mean_response_times[0])
+        assert times[0] < times[1] < times[2]

@@ -1,0 +1,121 @@
+"""Integration tests for the event-driven simulator against M/M/1 theory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.queueing.mm1 import expected_response_time
+from repro.simengine.simulator import LoadBalancingSimulation, simulate_profile
+
+
+def single_queue_system(lam=3.0, mu=5.0):
+    return DistributedSystem(service_rates=[mu], arrival_rates=[lam])
+
+
+class TestValidation:
+    def test_rejects_infeasible_profile(self, two_by_two):
+        profile = StrategyProfile.zeros(2, 2)
+        with pytest.raises(ValueError):
+            simulate_profile(two_by_two, profile, horizon=10.0)
+
+    def test_rejects_bad_horizon(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        with pytest.raises(ValueError):
+            simulate_profile(two_by_two, profile, horizon=0.0)
+
+    def test_rejects_bad_warmup(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        with pytest.raises(ValueError):
+            simulate_profile(two_by_two, profile, horizon=10.0, warmup=10.0)
+
+
+class TestSingleQueueTheory:
+    def test_mm1_mean_response_time(self):
+        system = single_queue_system(lam=3.0, mu=5.0)
+        profile = StrategyProfile(np.array([[1.0]]))
+        result = simulate_profile(
+            system, profile, horizon=4000.0, warmup=400.0, seed=1
+        )
+        theory = expected_response_time(3.0, 5.0)
+        assert result.user_mean_response_times[0] == pytest.approx(
+            theory, rel=0.05
+        )
+
+    def test_utilization_estimate(self):
+        system = single_queue_system(lam=2.0, mu=5.0)
+        profile = StrategyProfile(np.array([[1.0]]))
+        result = simulate_profile(
+            system, profile, horizon=3000.0, warmup=300.0, seed=2
+        )
+        assert result.computer_utilizations[0] == pytest.approx(0.4, abs=0.03)
+
+    def test_job_count_near_expectation(self):
+        system = single_queue_system(lam=4.0, mu=9.0)
+        profile = StrategyProfile(np.array([[1.0]]))
+        result = simulate_profile(
+            system, profile, horizon=1000.0, warmup=0.0, seed=3
+        )
+        assert result.total_jobs == pytest.approx(4000, rel=0.1)
+
+
+class TestMultiQueue:
+    def test_per_user_times_match_analytic(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        analytic = two_by_two.user_response_times(profile.fractions)
+        result = simulate_profile(
+            two_by_two, profile, horizon=5000.0, warmup=500.0, seed=4
+        )
+        np.testing.assert_allclose(
+            result.user_mean_response_times, analytic, rtol=0.06
+        )
+
+    def test_unused_computer_receives_nothing(self, two_by_two):
+        profile = StrategyProfile(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        result = simulate_profile(
+            two_by_two, profile, horizon=100.0, seed=5
+        )
+        assert result.computer_job_counts[1] == 0
+
+    def test_determinism(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        a = simulate_profile(two_by_two, profile, horizon=200.0, seed=9)
+        b = simulate_profile(two_by_two, profile, horizon=200.0, seed=9)
+        np.testing.assert_array_equal(
+            a.user_mean_response_times, b.user_mean_response_times
+        )
+        np.testing.assert_array_equal(a.user_job_counts, b.user_job_counts)
+
+    def test_seed_changes_sample_path(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        a = simulate_profile(two_by_two, profile, horizon=200.0, seed=1)
+        b = simulate_profile(two_by_two, profile, horizon=200.0, seed=2)
+        assert not np.array_equal(a.user_job_counts, b.user_job_counts)
+
+    def test_warmup_discards_jobs(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        full = simulate_profile(two_by_two, profile, horizon=500.0, seed=6)
+        trimmed = simulate_profile(
+            two_by_two, profile, horizon=500.0, warmup=250.0, seed=6
+        )
+        assert trimmed.total_jobs < full.total_jobs
+
+    def test_overall_mean_weighted(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        result = simulate_profile(
+            two_by_two, profile, horizon=500.0, seed=7
+        )
+        manual = (
+            result.user_mean_response_times * result.user_job_counts
+        ).sum() / result.user_job_counts.sum()
+        assert result.overall_mean_response_time() == pytest.approx(manual)
+
+    def test_simulation_object_reusable_state_isolated(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        sim = LoadBalancingSimulation(
+            two_by_two, profile, horizon=100.0, seed=8
+        )
+        result = sim.run()
+        assert result.total_jobs > 0

@@ -1,0 +1,165 @@
+"""Tests for replication statistics (paper Sec. 4.1 methodology)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simengine.stats import replicate
+
+
+class TestReplicate:
+    def test_shapes(self):
+        stats = replicate(
+            lambda seq: np.random.Generator(np.random.PCG64(seq)).normal(
+                10.0, 1.0, size=3
+            ),
+            n_replications=5,
+            seed=1,
+        )
+        assert stats.samples.shape == (5, 3)
+        assert stats.mean.shape == (3,)
+        assert stats.n_replications == 5
+
+    def test_deterministic(self):
+        def measure(seq):
+            return np.random.Generator(np.random.PCG64(seq)).normal(size=2)
+
+        a = replicate(measure, n_replications=3, seed=7)
+        b = replicate(measure, n_replications=3, seed=7)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_constant_measurement_zero_error(self):
+        stats = replicate(
+            lambda seq: np.array([2.0, 4.0]), n_replications=4, seed=0
+        )
+        np.testing.assert_array_equal(stats.std_error, 0.0)
+        np.testing.assert_array_equal(stats.mean, [2.0, 4.0])
+        assert stats.within_relative_error(0.0)
+
+    def test_confidence_interval_brackets_mean(self):
+        stats = replicate(
+            lambda seq: np.random.Generator(np.random.PCG64(seq)).normal(
+                5.0, 0.5, size=1
+            ),
+            n_replications=10,
+            seed=3,
+        )
+        assert stats.ci_low[0] <= stats.mean[0] <= stats.ci_high[0]
+
+    def test_wider_interval_at_higher_confidence(self):
+        def measure(seq):
+            return np.random.Generator(np.random.PCG64(seq)).normal(size=1)
+
+        narrow = replicate(measure, n_replications=6, seed=5, confidence=0.8)
+        wide = replicate(measure, n_replications=6, seed=5, confidence=0.99)
+        narrow_width = narrow.ci_high[0] - narrow.ci_low[0]
+        wide_width = wide.ci_high[0] - wide.ci_low[0]
+        assert wide_width > narrow_width
+
+    def test_relative_error_criterion(self):
+        stats = replicate(
+            lambda seq: np.random.Generator(np.random.PCG64(seq)).normal(
+                100.0, 1.0, size=1
+            ),
+            n_replications=5,
+            seed=4,
+        )
+        assert stats.within_relative_error(0.05)
+        assert not stats.within_relative_error(1e-9)
+
+    def test_requires_two_replications(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seq: np.array([1.0]), n_replications=1)
+
+    def test_requires_valid_confidence(self):
+        with pytest.raises(ValueError):
+            replicate(
+                lambda seq: np.array([1.0]), n_replications=3, confidence=1.0
+            )
+
+    def test_requires_1d_measurement(self):
+        with pytest.raises(ValueError):
+            replicate(
+                lambda seq: np.zeros((2, 2)), n_replications=3, seed=0
+            )
+
+    def test_std_error_shrinks_with_replications(self):
+        def measure(seq):
+            return np.random.Generator(np.random.PCG64(seq)).normal(size=1)
+
+        few = replicate(measure, n_replications=4, seed=6)
+        many = replicate(measure, n_replications=64, seed=6)
+        assert many.std_error[0] < few.std_error[0]
+
+
+class TestReplicateUntil:
+    @staticmethod
+    def noisy_measure(scale):
+        def measure(seq):
+            rng = np.random.Generator(np.random.PCG64(seq))
+            return rng.normal(100.0, scale, size=2)
+
+        return measure
+
+    def test_stops_at_min_when_precise(self):
+        from repro.simengine.stats import replicate_until
+
+        stats = replicate_until(
+            self.noisy_measure(0.01),
+            target_relative_error=0.05,
+            min_replications=3,
+            max_replications=30,
+            seed=1,
+        )
+        assert stats.n_replications == 3
+        assert stats.within_relative_error(0.05)
+
+    def test_keeps_adding_when_noisy(self):
+        from repro.simengine.stats import replicate_until
+
+        loose = replicate_until(
+            self.noisy_measure(30.0),
+            target_relative_error=0.02,
+            min_replications=3,
+            max_replications=40,
+            seed=2,
+        )
+        assert loose.n_replications > 3
+
+    def test_budget_cap_respected(self):
+        from repro.simengine.stats import replicate_until
+
+        stats = replicate_until(
+            self.noisy_measure(500.0),
+            target_relative_error=1e-6,
+            min_replications=2,
+            max_replications=5,
+            seed=3,
+        )
+        assert stats.n_replications == 5
+
+    def test_validation(self):
+        from repro.simengine.stats import replicate_until
+
+        with pytest.raises(ValueError):
+            replicate_until(self.noisy_measure(1.0), min_replications=1)
+        with pytest.raises(ValueError):
+            replicate_until(
+                self.noisy_measure(1.0), target_relative_error=0.0
+            )
+
+    def test_deterministic_prefix(self):
+        """The adaptive run's replications are a prefix of the fixed run's."""
+        from repro.simengine.stats import replicate, replicate_until
+
+        fixed = replicate(self.noisy_measure(5.0), n_replications=10, seed=4)
+        adaptive = replicate_until(
+            self.noisy_measure(5.0),
+            target_relative_error=0.05,
+            min_replications=3,
+            max_replications=10,
+            seed=4,
+        )
+        k = adaptive.n_replications
+        np.testing.assert_array_equal(adaptive.samples, fixed.samples[:k])

@@ -1,0 +1,30 @@
+"""Run the docstring examples of the public modules as tests."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.model
+import repro.core.nash
+import repro.experiments.ascii_plot
+import repro.queueing.mg1
+import repro.simengine.events
+
+MODULES = [
+    repro.core.model,
+    repro.core.nash,
+    repro.experiments.ascii_plot,
+    repro.queueing.mg1,
+    repro.simengine.events,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module has no doctest examples"

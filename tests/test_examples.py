@@ -1,0 +1,74 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run in the unit suite (the simulation-heavy ones
+are exercised indirectly through their underlying modules); each is
+imported from ``examples/`` and its ``main()`` executed with captured
+output, asserting the narrative landmarks it promises.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "NASH converged" in out
+        assert "verified" in out
+        for scheme in ("NASH", "GOS", "IOS", "PS"):
+            assert scheme in out
+
+    def test_multi_tenant_cluster(self, capsys):
+        load_example("multi_tenant_cluster").main()
+        out = capsys.readouterr().out
+        assert "tenants with an incentive to defect" in out
+        assert "Nash equilibrium" in out
+        assert "conclusion" in out
+
+    def test_distributed_protocol_demo(self, capsys):
+        load_example("distributed_protocol_demo").main()
+        out = capsys.readouterr().out
+        assert "protocol trace" in out
+        assert "TERMINATE" in out
+        assert "converged: True" in out
+
+    def test_all_examples_importable(self):
+        """Every example file at least parses and imports."""
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            spec = importlib.util.spec_from_file_location(
+                f"import_check_{path.stem}", path
+            )
+            module = importlib.util.module_from_spec(spec)
+            # Import executes top-level code only (all examples guard
+            # main() behind __main__).
+            spec.loader.exec_module(module)
+            assert hasattr(module, "main")
+
+    def test_example_inventory_matches_readme(self):
+        names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        assert names == {
+            "quickstart",
+            "multi_tenant_cluster",
+            "heterogeneity_planning",
+            "distributed_protocol_demo",
+            "dynamic_rebalancing",
+            "closed_loop_deployment",
+            "robustness_study",
+        }

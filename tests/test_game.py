@@ -1,0 +1,83 @@
+"""Tests for the LoadBalancingGame facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import StrategyProfile
+from repro.game import LoadBalancingGame
+
+
+@pytest.fixture(scope="module")
+def game():
+    return LoadBalancingGame.from_rates(
+        [100.0, 50.0, 20.0, 20.0], [60.0, 30.0, 10.0]
+    )
+
+
+class TestConstruction:
+    def test_from_rates(self, game):
+        assert game.system.n_computers == 4
+        assert game.system.n_users == 3
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            LoadBalancingGame.from_rates([1.0], [5.0])
+
+
+class TestSolutions:
+    def test_nash_converges_and_verifies(self, game):
+        result = game.nash()
+        assert result.converged
+        cert = game.verify(result.profile)
+        assert cert.epsilon < 1e-5
+
+    def test_all_schemes_present_in_compare(self, game):
+        results = game.compare()
+        assert set(results) == {"NASH", "GOS", "IOS", "PS", "NBS"}
+
+    def test_scheme_orderings(self, game):
+        results = game.compare()
+        gos = results["GOS"].overall_time
+        for name in ("NASH", "IOS", "PS", "NBS"):
+            assert results[name].overall_time >= gos - 1e-9
+
+    def test_price_of_anarchy_at_least_one(self, game):
+        assert game.price_of_anarchy() >= 1.0 - 1e-9
+
+    def test_best_response_delegation(self, game):
+        profile = StrategyProfile.proportional(game.system)
+        reply = game.best_response(0, profile)
+        assert reply.fractions.sum() == pytest.approx(1.0)
+
+
+class TestCaching:
+    def test_memoized_identity(self, game):
+        assert game.nash() is game.nash()
+        assert game.global_optimal() is game.global_optimal()
+
+    def test_invalidate_clears(self):
+        local = LoadBalancingGame.from_rates([10.0, 5.0], [4.0])
+        first = local.nash()
+        local.invalidate()
+        assert local.nash() is not first
+        np.testing.assert_allclose(
+            local.nash().user_times, first.user_times
+        )
+
+    def test_init_variants_cached_separately(self, game):
+        prop = game.nash(init="proportional")
+        zero = game.nash(init="zero")
+        assert prop is not zero
+        np.testing.assert_allclose(
+            prop.user_times, zero.user_times, rtol=1e-5
+        )
+
+
+class TestSummary:
+    def test_summary_contains_all_schemes(self, game):
+        text = game.summary()
+        for name in ("NASH", "GOS", "IOS", "PS", "NBS"):
+            assert name in text
+        assert "price of anarchy" in text

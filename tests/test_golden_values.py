@@ -1,0 +1,140 @@
+"""Golden-value regression tests.
+
+These pin the exact numbers recorded in EXPERIMENTS.md so that future
+refactors cannot silently change what the reproduction reports.  All
+values are analytic (deterministic), so equality is asserted to many
+digits; if an intentional algorithm change moves one, update both the
+test and EXPERIMENTS.md together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nash import compute_nash_equilibrium
+from repro.schemes import (
+    GlobalOptimalScheme,
+    IndividualOptimalScheme,
+    NashScheme,
+    ProportionalScheme,
+)
+from repro.workloads import paper_table1_system, skewed_system, table1_service_rates
+
+
+class TestTable1Constants:
+    def test_aggregate_rate(self):
+        assert table1_service_rates().sum() == 510.0
+
+    def test_rate_multiset(self):
+        rates = sorted(table1_service_rates())
+        assert rates == [10.0] * 6 + [20.0] * 5 + [50.0] * 3 + [100.0] * 2
+
+
+class TestFigure4Goldens:
+    """The analytic overall times reported in EXPERIMENTS.md."""
+
+    CASES = {
+        # rho: (nash, gos, ios, ps)
+        0.1: (0.013423, 0.013423, 0.013423, 0.034858),
+        0.5: (0.046075, 0.042047, 0.051282, 0.062745),
+        0.9: (0.262270, 0.256230, 0.313725, 0.313725),
+    }
+
+    @pytest.mark.parametrize("rho", sorted(CASES))
+    def test_overall_times(self, rho):
+        system = paper_table1_system(utilization=rho)
+        expected_nash, expected_gos, expected_ios, expected_ps = self.CASES[rho]
+        assert NashScheme().allocate(system).overall_time == pytest.approx(
+            expected_nash, abs=1e-5
+        )
+        assert GlobalOptimalScheme().allocate(
+            system
+        ).overall_time == pytest.approx(expected_gos, abs=2e-6)
+        assert IndividualOptimalScheme().allocate(
+            system
+        ).overall_time == pytest.approx(expected_ios, abs=2e-6)
+        assert ProportionalScheme().allocate(
+            system
+        ).overall_time == pytest.approx(expected_ps, abs=2e-6)
+
+    def test_ps_closed_form_exact(self):
+        # n / ((1-rho) * sum(mu)) at rho=0.5: 16/255.
+        system = paper_table1_system(utilization=0.5)
+        assert ProportionalScheme().allocate(
+            system
+        ).overall_time == pytest.approx(16.0 / 255.0, rel=1e-12)
+
+    def test_ios_equals_ps_at_90(self):
+        system = paper_table1_system(utilization=0.9)
+        ios = IndividualOptimalScheme().allocate(system).overall_time
+        ps = ProportionalScheme().allocate(system).overall_time
+        assert ios == pytest.approx(ps, rel=1e-12)
+
+
+class TestConvergenceGoldens:
+    def test_figure2_iteration_counts(self):
+        """NASH_0 = 74 and NASH_P = 69 sweeps at tolerance 1e-6."""
+        system = paper_table1_system(utilization=0.6)
+        zero = compute_nash_equilibrium(system, init="zero", tolerance=1e-6)
+        prop = compute_nash_equilibrium(
+            system, init="proportional", tolerance=1e-6
+        )
+        assert zero.iterations == 74
+        assert prop.iterations == 69
+
+    def test_figure3_endpoint_counts(self):
+        """4 users: 15/12; 32 users: 207/178 (tolerance 1e-4)."""
+        small = paper_table1_system(utilization=0.6, n_users=4)
+        large = paper_table1_system(utilization=0.6, n_users=32)
+        assert (
+            compute_nash_equilibrium(
+                small, init="zero", tolerance=1e-4
+            ).iterations
+            == 15
+        )
+        assert (
+            compute_nash_equilibrium(
+                small, init="proportional", tolerance=1e-4
+            ).iterations
+            == 12
+        )
+        assert (
+            compute_nash_equilibrium(
+                large, init="zero", tolerance=1e-4, max_sweeps=1000
+            ).iterations
+            == 207
+        )
+        assert (
+            compute_nash_equilibrium(
+                large, init="proportional", tolerance=1e-4, max_sweeps=1000
+            ).iterations
+            == 178
+        )
+
+
+class TestFigure6Goldens:
+    def test_homogeneous_point(self):
+        system = skewed_system(1.0, utilization=0.6)
+        # 16 computers at 10 jobs/s, 60% load: 16/(0.4*160) = 0.25.
+        assert ProportionalScheme().allocate(
+            system
+        ).overall_time == pytest.approx(0.25, rel=1e-12)
+
+    def test_skew20_values(self):
+        system = skewed_system(20.0, utilization=0.6)
+        nash = NashScheme().allocate(system).overall_time
+        gos = GlobalOptimalScheme().allocate(system).overall_time
+        ps = ProportionalScheme().allocate(system).overall_time
+        assert nash == pytest.approx(0.026316, abs=2e-6)
+        assert gos == pytest.approx(0.025840, abs=2e-6)
+        assert ps == pytest.approx(0.074074, abs=2e-6)
+
+
+class TestEquilibriumGolden:
+    def test_nash_user_time_at_60(self):
+        """Every (symmetric) user's equilibrium time at the paper's
+        flagship operating point."""
+        system = paper_table1_system(utilization=0.6)
+        result = compute_nash_equilibrium(system, tolerance=1e-10)
+        np.testing.assert_allclose(result.user_times, 0.0626943, atol=1e-6)

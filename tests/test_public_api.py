@@ -1,0 +1,72 @@
+"""Smoke tests of the top-level public API (the README quickstart)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_flow(self):
+        system = repro.paper_table1_system(utilization=0.6)
+        result = repro.compute_nash_equilibrium(system)
+        assert result.converged
+        cert = repro.verify_equilibrium(system, result.profile, tol=1e-4)
+        assert cert.epsilon <= 1e-4
+
+    def test_scheme_comparison_flow(self):
+        system = repro.paper_table1_system(utilization=0.5, n_users=4)
+        results = {s.name: s.allocate(system) for s in repro.standard_schemes()}
+        assert results["GOS"].overall_time <= results["PS"].overall_time
+        assert repro.price_of_anarchy(
+            results["NASH"].overall_time, results["GOS"].overall_time
+        ) >= 1.0 - 1e-9
+
+    def test_custom_system_flow(self):
+        system = repro.DistributedSystem(
+            service_rates=[30.0, 15.0, 5.0],
+            arrival_rates=[10.0, 8.0],
+        )
+        reply = repro.best_response(
+            system, repro.StrategyProfile.zeros(2, 3), 0
+        )
+        assert reply.fractions.sum() == pytest.approx(1.0)
+
+    def test_fairness_helper(self):
+        assert repro.fairness_index([1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_overall_response_helper(self):
+        value = repro.overall_response_time([1.0, 2.0], [1.0, 1.0])
+        assert value == pytest.approx(1.5)
+
+    def test_cli_entry_point_importable(self):
+        from repro.experiments.runner import main
+
+        assert callable(main)
+
+    def test_cli_runs_table1(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["t1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_cli_writes_csv(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["t1", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "t1.csv").exists()
+
+    def test_cli_unknown_experiment(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["bogus"]) == 2

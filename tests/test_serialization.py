@@ -1,0 +1,105 @@
+"""Round-trip tests for JSON persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import StrategyProfile
+from repro.experiments import table1
+from repro.schemes import NashScheme
+from repro.serialization import (
+    dump_json,
+    load_json,
+    profile_from_dict,
+    profile_to_dict,
+    scheme_result_from_dict,
+    scheme_result_to_dict,
+    system_from_dict,
+    system_to_dict,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.workloads import paper_table1_system
+
+
+class TestSystemRoundTrip:
+    def test_exact_rates(self, table1_medium):
+        clone = system_from_dict(system_to_dict(table1_medium))
+        np.testing.assert_array_equal(
+            clone.service_rates, table1_medium.service_rates
+        )
+        np.testing.assert_array_equal(
+            clone.arrival_rates, table1_medium.arrival_rates
+        )
+        assert clone.computer_names == table1_medium.computer_names
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            system_from_dict({"kind": "Other"})
+
+
+class TestProfileRoundTrip:
+    def test_exact_fractions(self, table1_medium):
+        profile = StrategyProfile.proportional(table1_medium)
+        clone = profile_from_dict(profile_to_dict(profile))
+        np.testing.assert_array_equal(clone.fractions, profile.fractions)
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            profile_from_dict({"kind": "Other"})
+
+
+class TestSchemeResultRoundTrip:
+    def test_metrics_preserved(self, table1_small):
+        result = NashScheme().allocate(table1_small)
+        clone = scheme_result_from_dict(scheme_result_to_dict(result))
+        assert clone.scheme == "NASH"
+        assert clone.overall_time == result.overall_time
+        assert clone.fairness == result.fairness
+        np.testing.assert_array_equal(clone.user_times, result.user_times)
+        np.testing.assert_array_equal(
+            clone.profile.fractions, result.profile.fractions
+        )
+
+    def test_extras_serialized(self, table1_small):
+        result = NashScheme().allocate(table1_small)
+        payload = scheme_result_to_dict(result)
+        assert payload["extra"]["converged"] is True
+        assert payload["dropped_extras"] == []
+
+
+class TestTableRoundTrip:
+    def test_table1(self):
+        artifact = table1.run()
+        clone = table_from_dict(table_to_dict(artifact))
+        assert clone.experiment_id == artifact.experiment_id
+        assert clone.columns == artifact.columns
+        assert list(clone.rows) == [dict(r) for r in artifact.rows]
+        assert clone.to_ascii() == artifact.to_ascii()
+
+
+class TestFileHelpers:
+    def test_dump_and_load_system(self, tmp_path, table1_small):
+        path = tmp_path / "system.json"
+        dump_json(table1_small, path)
+        clone = load_json(path)
+        np.testing.assert_array_equal(
+            clone.service_rates, table1_small.service_rates
+        )
+
+    def test_dump_and_load_table(self, tmp_path):
+        path = tmp_path / "t1.json"
+        dump_json(table1.run(), path)
+        clone = load_json(path)
+        assert clone.experiment_id == "T1"
+
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            dump_json(object(), tmp_path / "bad.json")
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text('{"kind": "Alien"}')
+        with pytest.raises(ValueError):
+            load_json(path)

@@ -1,0 +1,125 @@
+"""Tests for system configuration generators (Table 1, skewness family)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.configs import (
+    TABLE1_BASE_RATE,
+    TABLE1_COUNTS,
+    TABLE1_RELATIVE_RATES,
+    homogeneous_system,
+    paper_table1_system,
+    random_system,
+    skewed_system,
+    table1_service_rates,
+    user_arrival_rates,
+)
+
+
+class TestTable1:
+    def test_sixteen_computers(self):
+        assert table1_service_rates().size == 16
+
+    def test_four_types_with_counts(self):
+        rates = table1_service_rates()
+        for relative, count in zip(TABLE1_RELATIVE_RATES, TABLE1_COUNTS):
+            assert np.sum(rates == relative * TABLE1_BASE_RATE) == count
+
+    def test_aggregate_rate(self):
+        assert table1_service_rates().sum() == pytest.approx(510.0)
+
+    def test_max_ten_times_slowest(self):
+        rates = table1_service_rates()
+        assert rates.max() / rates.min() == pytest.approx(10.0)
+
+    def test_sorted_fastest_first(self):
+        rates = table1_service_rates()
+        assert np.all(np.diff(rates) <= 0.0)
+
+    def test_system_utilization_honoured(self):
+        for rho in (0.1, 0.6, 0.9):
+            system = paper_table1_system(utilization=rho)
+            assert system.system_utilization == pytest.approx(rho)
+
+    def test_default_ten_users_uniform(self):
+        system = paper_table1_system()
+        assert system.n_users == 10
+        np.testing.assert_allclose(
+            system.arrival_rates, system.arrival_rates[0]
+        )
+
+    def test_linear_pattern(self):
+        system = paper_table1_system(n_users=4, pattern="linear")
+        phi = system.arrival_rates
+        np.testing.assert_allclose(phi / phi[0], [1.0, 2.0, 3.0, 4.0])
+
+
+class TestUserArrivalRates:
+    def test_uniform_sums(self):
+        phi = user_arrival_rates(8, 100.0)
+        assert phi.sum() == pytest.approx(100.0)
+        np.testing.assert_allclose(phi, 12.5)
+
+    def test_linear_sums(self):
+        phi = user_arrival_rates(5, 30.0, pattern="linear")
+        assert phi.sum() == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            user_arrival_rates(0, 1.0)
+        with pytest.raises(ValueError):
+            user_arrival_rates(3, 0.0)
+        with pytest.raises(ValueError):
+            user_arrival_rates(3, 1.0, pattern="exotic")
+
+
+class TestSkewedSystems:
+    def test_counts(self):
+        system = skewed_system(4.0)
+        assert system.n_computers == 16
+        mu = system.service_rates
+        assert np.sum(mu == 40.0) == 2
+        assert np.sum(mu == 10.0) == 14
+
+    def test_skewness_reported(self):
+        system = skewed_system(12.0)
+        assert system.speed_skewness == pytest.approx(12.0)
+
+    def test_homogeneous_limit(self):
+        system = skewed_system(1.0)
+        assert system.speed_skewness == 1.0
+
+    def test_constant_utilization(self):
+        for skew in (1.0, 5.0, 20.0):
+            system = skewed_system(skew, utilization=0.6)
+            assert system.system_utilization == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            skewed_system(0.5)
+        with pytest.raises(ValueError):
+            skewed_system(2.0, n_fast=0)
+
+
+class TestOtherGenerators:
+    def test_homogeneous_system(self):
+        system = homogeneous_system(n_computers=4, rate=7.0, utilization=0.5)
+        np.testing.assert_allclose(system.service_rates, 7.0)
+        assert system.system_utilization == pytest.approx(0.5)
+
+    def test_random_system_valid(self, rng):
+        for _ in range(10):
+            system = random_system(rng)
+            assert system.n_computers == 16
+            assert system.n_users == 10
+            assert 0.0 < system.system_utilization < 1.0
+
+    def test_random_system_utilization(self, rng):
+        system = random_system(rng, utilization=0.35)
+        assert system.system_utilization == pytest.approx(0.35, rel=1e-6)
+
+    def test_random_system_range_validated(self, rng):
+        with pytest.raises(ValueError):
+            random_system(rng, rate_range=(0.0, 1.0))

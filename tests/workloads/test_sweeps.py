@@ -1,0 +1,63 @@
+"""Tests for the experiment sweep generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.sweeps import (
+    DEFAULT_SKEWNESSES,
+    DEFAULT_USER_COUNTS,
+    DEFAULT_UTILIZATIONS,
+    skewness_sweep,
+    user_count_sweep,
+    utilization_sweep,
+)
+
+
+class TestDefaults:
+    def test_utilization_range(self):
+        assert DEFAULT_UTILIZATIONS[0] == pytest.approx(0.1)
+        assert DEFAULT_UTILIZATIONS[-1] == pytest.approx(0.9)
+        assert len(DEFAULT_UTILIZATIONS) == 9
+
+    def test_user_counts_four_to_thirty_two(self):
+        assert DEFAULT_USER_COUNTS[0] == 4
+        assert DEFAULT_USER_COUNTS[-1] == 32
+
+    def test_skewness_one_to_twenty(self):
+        assert DEFAULT_SKEWNESSES[0] == 1.0
+        assert DEFAULT_SKEWNESSES[-1] == 20.0
+
+
+class TestUtilizationSweep:
+    def test_yields_parameter_and_system(self):
+        points = list(utilization_sweep([0.2, 0.7]))
+        assert [rho for rho, _ in points] == [0.2, 0.7]
+        for rho, system in points:
+            assert system.system_utilization == pytest.approx(rho)
+
+    def test_user_count_forwarded(self):
+        _, system = next(iter(utilization_sweep([0.3], n_users=6)))
+        assert system.n_users == 6
+
+
+class TestUserCountSweep:
+    def test_total_rate_constant(self):
+        systems = [s for _, s in user_count_sweep([4, 16], utilization=0.6)]
+        assert systems[0].total_arrival_rate == pytest.approx(
+            systems[1].total_arrival_rate
+        )
+
+    def test_counts_honoured(self):
+        for m, system in user_count_sweep([3, 9]):
+            assert system.n_users == m
+
+
+class TestSkewnessSweep:
+    def test_skewness_honoured(self):
+        for skew, system in skewness_sweep([2.0, 8.0]):
+            assert system.speed_skewness == pytest.approx(skew)
+
+    def test_utilization_held_constant(self):
+        for _, system in skewness_sweep([1.0, 10.0, 20.0], utilization=0.6):
+            assert system.system_utilization == pytest.approx(0.6)

@@ -1,0 +1,113 @@
+"""Tests for the synthetic workload trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import run_dynamic_balancing
+from repro.workloads.configs import paper_table1_system
+from repro.workloads.traces import (
+    diurnal_utilizations,
+    flash_crowd_utilizations,
+    random_walk_utilizations,
+    systems_from_utilizations,
+)
+
+
+class TestDiurnal:
+    def test_band_respected(self):
+        trace = diurnal_utilizations(48, low=0.3, high=0.85)
+        assert trace.min() >= 0.3 - 1e-12
+        assert trace.max() <= 0.85 + 1e-12
+
+    def test_hits_both_extremes(self):
+        trace = diurnal_utilizations(360, low=0.2, high=0.8)
+        assert trace.max() == pytest.approx(0.8, abs=1e-3)
+        assert trace.min() == pytest.approx(0.2, abs=1e-3)
+
+    def test_length(self):
+        assert diurnal_utilizations(7).size == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_utilizations(0)
+        with pytest.raises(ValueError):
+            diurnal_utilizations(5, low=0.9, high=0.5)
+        with pytest.raises(ValueError):
+            diurnal_utilizations(5, low=0.2, high=1.0)
+
+
+class TestFlashCrowd:
+    def test_default_spike_in_middle_third(self):
+        trace = flash_crowd_utilizations(24, baseline=0.4, peak=0.9)
+        assert trace[0] == 0.4
+        assert trace[8] == 0.9
+        assert trace[-1] == 0.4
+
+    def test_custom_spike(self):
+        trace = flash_crowd_utilizations(
+            10, baseline=0.3, peak=0.8, start=7, duration=5
+        )
+        # Spike truncated at the trace end.
+        np.testing.assert_array_equal(trace[7:], 0.8)
+        np.testing.assert_array_equal(trace[:7], 0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd_utilizations(5, start=9)
+        with pytest.raises(ValueError):
+            flash_crowd_utilizations(5, duration=0)
+
+
+class TestRandomWalk:
+    def test_band_and_determinism(self):
+        a = random_walk_utilizations(50, seed=3)
+        b = random_walk_utilizations(50, seed=3)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0.05 and a.max() <= 0.95
+
+    def test_mean_reversion(self):
+        trace = random_walk_utilizations(
+            2000, mean=0.6, volatility=0.05, reversion=0.5, seed=1
+        )
+        assert trace.mean() == pytest.approx(0.6, abs=0.02)
+
+    def test_different_seeds_differ(self):
+        a = random_walk_utilizations(20, seed=1)
+        b = random_walk_utilizations(20, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_walk_utilizations(5, mean=0.99)
+        with pytest.raises(ValueError):
+            random_walk_utilizations(5, volatility=-0.1)
+
+
+class TestMaterialization:
+    def test_table1_default(self):
+        systems = systems_from_utilizations([0.3, 0.7])
+        assert len(systems) == 2
+        assert systems[0].system_utilization == pytest.approx(0.3)
+        assert systems[1].system_utilization == pytest.approx(0.7)
+
+    def test_custom_base(self):
+        base = paper_table1_system(utilization=0.5, n_users=4)
+        systems = systems_from_utilizations([0.2], base=base)
+        assert systems[0].n_users == 4
+        assert systems[0].system_utilization == pytest.approx(0.2)
+
+    def test_rejects_out_of_band(self):
+        with pytest.raises(ValueError):
+            systems_from_utilizations([1.2])
+
+    def test_end_to_end_with_dynamics(self):
+        """Trace -> snapshots -> converged dynamic re-balancing."""
+        trace = flash_crowd_utilizations(4, baseline=0.4, peak=0.8)
+        systems = systems_from_utilizations(trace, n_users=4)
+        outcome = run_dynamic_balancing(systems)
+        assert outcome.all_converged
+        times = outcome.user_time_trajectory.mean(axis=1)
+        # The flash crowd epochs are visibly slower.
+        assert times[1] > 2.0 * times[0]
