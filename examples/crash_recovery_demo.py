@@ -1,0 +1,160 @@
+"""Crash recovery demo — the NASH protocol surviving a dying cluster.
+
+The distributed token-ring protocol of the paper assumes every user
+process and every computer stays up.  This example drops that assumption
+and walks through the recovery machinery layer by layer:
+
+1. **agent crash + restart** — a user process dies mid-protocol (losing
+   its volatile state and mailbox), the heartbeat detector suspects it,
+   and on restart it is restored from a checkpoint; the ring heals by
+   retransmission and still reaches the Nash equilibrium;
+2. **computer failure** — a machine drops out for good; survivors
+   re-project their strategies onto the live computers and converge to
+   the *degraded* equilibrium, bit-comparable to a from-scratch solve on
+   the surviving set;
+3. **capacity exhaustion** — enough failures that the offered load no
+   longer fits; instead of hanging, the run raises a typed
+   ``CapacityExhausted`` with the stability diagnostics;
+4. **what the failure costs** — the event-driven simulator measures
+   response times through a server outage, comparing a profile that
+   keeps routing to the dead machine against the degraded rebalance.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CapacityExhausted, degraded_equilibrium, paper_table1_system
+from repro.core.degradation import embed_profile, project_profile
+from repro.core.strategy import StrategyProfile
+from repro.distributed import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    run_nash_protocol_resilient,
+)
+from repro.simengine import ServerOutage, simulate_profile
+
+TOL = 1e-8
+
+
+def survive_agent_crash(system) -> None:
+    print("1. agent crash and checkpoint restart (lossy network on top)")
+    clean = run_nash_protocol_resilient(system, tolerance=TOL)
+    schedule = FaultSchedule(
+        [
+            FaultEvent(12, FaultKind.AGENT_CRASH, 2),
+            FaultEvent(24, FaultKind.AGENT_RESTART, 2),
+        ]
+    )
+    chaotic = run_nash_protocol_resilient(
+        system, schedule, drop=0.2, duplicate=0.1, fault_seed=5,
+        tolerance=TOL,
+    )
+    gap = np.abs(
+        chaotic.result.profile.fractions - clean.result.profile.fractions
+    ).max()
+    print(f"   clean run:   {clean.result.iterations} sweeps, "
+          f"{clean.messages_sent} messages")
+    print(f"   chaotic run: {chaotic.result.iterations} sweeps, "
+          f"{chaotic.messages_sent} messages "
+          f"({chaotic.retransmissions} retransmitted, "
+          f"{chaotic.messages_lost_to_crash} lost to the crash)")
+    print(f"   suspicions={chaotic.suspicions} "
+          f"checkpoint_restores={chaotic.checkpoint_restores}")
+    print(f"   profile gap to the fault-free equilibrium: {gap:.2e}")
+    print("   -> the crash costs messages and sweeps, not equilibrium "
+          "quality.\n")
+
+
+def survive_computer_failure(system) -> None:
+    print("2. permanent computer failure -> degraded equilibrium")
+    schedule = FaultSchedule(
+        [FaultEvent(15, FaultKind.COMPUTER_DOWN, 4)]
+    )
+    outcome = run_nash_protocol_resilient(system, schedule, tolerance=TOL)
+    reference = degraded_equilibrium(
+        system, outcome.online_mask, tolerance=TOL
+    )
+    gap = np.abs(
+        outcome.result.profile.fractions - reference.profile.fractions
+    ).max()
+    online = int(np.sum(outcome.online_mask))
+    print(f"   computer 4 (rate "
+          f"{system.service_rates[4]:.0f} jobs/s) failed mid-run;"
+          f" {online}/{system.n_computers} computers survive")
+    print(f"   protocol profile vs from-scratch degraded solve: "
+          f"gap = {gap:.2e}")
+    print(f"   flow routed to the dead computer: "
+          f"{outcome.result.profile.fractions[:, 4].max():.1e}")
+    print("   -> survivors re-converge onto the live computers alone.\n")
+
+
+def hit_capacity_wall(system) -> None:
+    print("3. too many failures -> typed CapacityExhausted")
+    schedule = FaultSchedule(
+        [
+            FaultEvent(8, FaultKind.COMPUTER_DOWN, 0),
+            FaultEvent(12, FaultKind.COMPUTER_DOWN, 1),
+            FaultEvent(16, FaultKind.COMPUTER_DOWN, 2),
+        ]
+    )
+    try:
+        run_nash_protocol_resilient(system, schedule, tolerance=TOL)
+    except CapacityExhausted as exc:
+        print(f"   {exc}")
+        print(f"   offered={exc.total_arrival_rate:.0f} jobs/s  "
+              f"surviving capacity={exc.surviving_capacity:.0f} jobs/s  "
+              f"deficit={exc.deficit:.0f} jobs/s")
+        print("   -> the run fails fast with diagnostics instead of "
+              "looping forever.\n")
+    else:
+        raise SystemExit("expected CapacityExhausted")
+
+
+def measure_outage_cost(system) -> None:
+    print("4. simulated cost of an outage (computer 4 down 300s..700s)")
+    full = degraded_equilibrium(
+        system, np.ones(system.n_computers, dtype=bool), tolerance=TOL
+    )
+    mask = np.ones(system.n_computers, dtype=bool)
+    mask[4] = False
+    rebalanced = StrategyProfile(
+        project_profile(full.profile.fractions, mask)
+    )
+    outage = [ServerOutage(4, 300.0, 700.0)]
+    stubborn = simulate_profile(
+        system, full.profile, horizon=1000.0, warmup=100.0, seed=11,
+        outages=outage,
+    )
+    adapted = simulate_profile(
+        system, rebalanced, horizon=1000.0, warmup=100.0, seed=11,
+        outages=outage,
+    )
+    print(f"   keep routing to the dead machine: "
+          f"{stubborn.overall_mean_response_time():.4f} s mean response")
+    print(f"   degraded re-projection:           "
+          f"{adapted.overall_mean_response_time():.4f} s mean response")
+    print(f"   measured downtime: "
+          f"{stubborn.computer_downtime[4]:.0f} s of the "
+          f"{stubborn.horizon - stubborn.warmup:.0f} s window")
+    print("   -> rebalancing around the outage is the difference between "
+          "a blip and a pile-up.\n")
+
+
+def main() -> None:
+    system = paper_table1_system(utilization=0.6, n_users=6)
+    print("Crash-fault tolerance for the distributed NASH protocol")
+    print(f"(Table-1 system: {system.n_computers} computers, "
+          f"{system.n_users} users, total load "
+          f"{system.arrival_rates.sum():.0f} jobs/s)\n")
+    survive_agent_crash(system)
+    survive_computer_failure(system)
+    hit_capacity_wall(system)
+    measure_outage_cost(system)
+
+
+if __name__ == "__main__":
+    main()

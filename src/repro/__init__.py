@@ -47,6 +47,7 @@ Subpackages
 
 from repro.core import (
     BestResponse,
+    CapacityExhausted,
     DistributedSystem,
     EquilibriumCertificate,
     NashResult,
@@ -55,6 +56,7 @@ from repro.core import (
     best_response,
     best_response_regrets,
     compute_nash_equilibrium,
+    degraded_equilibrium,
     is_nash_equilibrium,
     optimal_fractions,
     run_dynamic_balancing,
@@ -86,6 +88,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BestResponse",
+    "CapacityExhausted",
     "DistributedSystem",
     "EquilibriumCertificate",
     "NashResult",
@@ -94,6 +97,7 @@ __all__ = [
     "best_response",
     "best_response_regrets",
     "compute_nash_equilibrium",
+    "degraded_equilibrium",
     "is_nash_equilibrium",
     "optimal_fractions",
     "run_dynamic_balancing",

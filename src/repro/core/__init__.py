@@ -12,6 +12,13 @@ from repro.core.best_response import (
     best_response_value,
     optimal_fractions,
 )
+from repro.core.degradation import (
+    CapacityExhausted,
+    degraded_equilibrium,
+    embed_profile,
+    project_profile,
+    surviving_subsystem,
+)
 from repro.core.dynamics import (
     DynamicsResult,
     EpisodeResult,
@@ -49,6 +56,11 @@ __all__ = [
     "best_response",
     "best_response_value",
     "optimal_fractions",
+    "CapacityExhausted",
+    "degraded_equilibrium",
+    "embed_profile",
+    "project_profile",
+    "surviving_subsystem",
     "DynamicsResult",
     "EpisodeResult",
     "run_dynamic_balancing",

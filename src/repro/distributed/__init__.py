@@ -5,8 +5,27 @@ distributed system: FIFO mailboxes (:class:`MessageBus`), a shared
 observable computer state (:class:`ComputerBoard`), and selfish
 :class:`UserAgent` processes circulating the best-reply token around a
 logical ring.
+
+Robustness is layered: :mod:`repro.distributed.faults` survives a lossy
+network (drops/duplicates), and :mod:`repro.distributed.chaos` survives a
+crashy *system* — agents dying and restarting from checkpoints, and
+computers failing out from under the game.
 """
 
+from repro.distributed.chaos import (
+    CrashyMessageBus,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    ResilientAgent,
+    ResilientOutcome,
+    run_nash_protocol_resilient,
+)
+from repro.distributed.checkpoint import AgentCheckpoint, CheckpointStore
+from repro.distributed.failure_detector import (
+    ExponentialBackoff,
+    HeartbeatFailureDetector,
+)
 from repro.distributed.faults import (
     DedupingAgent,
     LossyMessageBus,
@@ -18,9 +37,20 @@ from repro.distributed.node import ComputerBoard, UserAgent
 from repro.distributed.runtime import ProtocolOutcome, run_nash_protocol
 
 __all__ = [
+    "AgentCheckpoint",
+    "CheckpointStore",
+    "CrashyMessageBus",
     "DedupingAgent",
+    "ExponentialBackoff",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "HeartbeatFailureDetector",
     "LossyMessageBus",
+    "ResilientAgent",
+    "ResilientOutcome",
     "run_nash_protocol_lossy",
+    "run_nash_protocol_resilient",
     "Message",
     "MessageKind",
     "MessageBus",

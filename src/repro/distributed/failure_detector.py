@@ -1,0 +1,90 @@
+"""Heartbeat failure detection and retransmission backoff.
+
+The supervisor of the resilient protocol cannot peek at the fault
+schedule — like a real cluster manager it only *observes*: live agents
+heartbeat every supervisor step, and an agent whose heartbeat is older
+than ``suspect_after`` steps becomes *suspected*.  Suspicion gates
+recovery: retransmissions to a suspected agent are suppressed (they
+would be dropped on the floor anyway) until its heartbeat resumes, at
+which point the supervisor retries immediately.
+
+:class:`ExponentialBackoff` paces the stall-triggered retransmissions:
+the first retry fires after ``base`` stalled steps, then the interval
+doubles up to ``cap`` — the standard capped exponential schedule that
+keeps a lossy-but-alive ring cheap to heal without hammering a dead one.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HeartbeatFailureDetector", "ExponentialBackoff"]
+
+
+class HeartbeatFailureDetector:
+    """Timeout-based failure detector over per-step heartbeats.
+
+    Parameters
+    ----------
+    suspect_after:
+        Number of silent steps after which an agent is suspected dead.
+    """
+
+    def __init__(self, suspect_after: int = 3):
+        if suspect_after < 1:
+            raise ValueError("suspect_after must be at least 1 step")
+        self.suspect_after = int(suspect_after)
+        self._last_beat: dict[int, int] = {}
+        self._suspected: set[int] = set()
+        #: Cumulative count of (rank, onset) suspicion events.
+        self.suspicions = 0
+
+    def beat(self, rank: int, step: int) -> None:
+        """Record a heartbeat from ``rank`` at ``step``.
+
+        A heartbeat from a suspected agent clears the suspicion — the
+        in-process analogue of a process rejoining after restart.
+        """
+        self._last_beat[rank] = step
+        self._suspected.discard(rank)
+
+    def check(self, step: int) -> frozenset[int]:
+        """Update and return the currently suspected ranks."""
+        for rank, beat in self._last_beat.items():
+            if rank in self._suspected:
+                continue
+            if step - beat > self.suspect_after:
+                self._suspected.add(rank)
+                self.suspicions += 1
+        return frozenset(self._suspected)
+
+    def is_suspected(self, rank: int) -> bool:
+        return rank in self._suspected
+
+
+class ExponentialBackoff:
+    """Capped exponential retry schedule (in supervisor steps).
+
+    >>> backoff = ExponentialBackoff(base=1, cap=8)
+    >>> [backoff.advance() for _ in range(5)]
+    [1, 2, 4, 8, 8]
+    >>> backoff.reset(); backoff.current
+    1
+    """
+
+    def __init__(self, base: int = 1, cap: int = 16):
+        if base < 1:
+            raise ValueError("backoff base must be at least 1")
+        if cap < base:
+            raise ValueError("backoff cap must be >= base")
+        self.base = int(base)
+        self.cap = int(cap)
+        self.current = self.base
+
+    def advance(self) -> int:
+        """Return the current delay and double it (up to the cap)."""
+        delay = self.current
+        self.current = min(self.cap, self.current * 2)
+        return delay
+
+    def reset(self) -> None:
+        """Progress observed: restart the schedule from ``base``."""
+        self.current = self.base

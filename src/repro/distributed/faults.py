@@ -6,8 +6,8 @@ a drop/duplicate-injecting bus plus the two mechanisms that make the
 paper's token-ring protocol survive it:
 
 * **sender-side retransmission** — the runtime keeps each agent's last
-  outbound message and re-sends it when the ring stalls (the in-process
-  analogue of a retransmission timeout);
+  outbound message (via the bus's outbox hook) and re-sends it when the
+  ring stalls (the in-process analogue of a retransmission timeout);
 * **receiver-side deduplication** — TOKEN messages carry ``(sweep,
   sender)``; an agent that already acted on a given token ignores
   duplicates, making the retransmission at-least-once semantics safe.
@@ -16,6 +16,9 @@ Determinism is preserved: faults are driven by a seeded generator, so a
 given ``(seed, drop, duplicate)`` configuration replays exactly.  The
 fault-tolerance experiment shows the protocol reaches the *same*
 equilibrium as the lossless run, paying only extra messages.
+
+Crash faults (agents dying and restarting, computers going offline) are
+the next layer up: see :mod:`repro.distributed.chaos`.
 """
 
 from __future__ import annotations
@@ -74,15 +77,15 @@ class LossyMessageBus(MessageBus):
         self.dropped = 0
         self.duplicated = 0
 
-    def send(self, message: Message) -> None:
+    def _deliver(self, message: Message) -> None:
         roll = self._fault_rng.random()
         if roll < self.drop:
             self.dropped += 1
             return
-        super().send(message)
+        super()._deliver(message)
         if self._fault_rng.random() < self.duplicate:
             self.duplicated += 1
-            super().send(message)
+            super()._deliver(message)
 
 
 class DedupingAgent(UserAgent):
@@ -100,14 +103,9 @@ class DedupingAgent(UserAgent):
 
     def handle(self, message: Message) -> None:
         if message.kind is MessageKind.TOKEN:
-            expected = (
-                message.sweep
-                if self.rank != 0
-                else message.sweep  # rank 0 acts on the completion of sweep l
-            )
-            if expected <= self._last_acted_sweep:
+            if message.sweep <= self._last_acted_sweep:
                 return  # duplicate of an already-processed token
-            self._last_acted_sweep = expected
+            self._last_acted_sweep = message.sweep
         elif message.kind is MessageKind.TERMINATE:
             if self._terminated:
                 return
@@ -163,14 +161,10 @@ def run_nash_protocol_lossy(
             agent._previous_time = float(times0[j])
 
     # Track each agent's most recent outbound message for retransmission.
+    # The outbox hook fires before the lossy transport rolls the dice, so
+    # dropped messages are tracked too — the sender believes it sent.
     last_sent: dict[int, Message] = {}
-    original_send = bus.send
-
-    def tracking_send(message: Message) -> None:
-        last_sent[message.sender] = message
-        original_send(message)
-
-    bus.send = tracking_send  # type: ignore[method-assign]
+    bus.add_outbox_hook(lambda message: last_sent.__setitem__(message.sender, message))
 
     agents[0].start()
     messages = 0
@@ -185,15 +179,15 @@ def run_nash_protocol_lossy(
         if all(agent.finished for agent in agents):
             break
         # Ring stalled: a message was dropped. Retransmit the most recent
-        # outbound message of every agent that still believes it sent one.
+        # outbound message of every agent whose successor still needs it.
+        # (A finished receiver already has everything it will ever act
+        # on — retransmitting TERMINATE to it would only burn messages.)
         if retransmissions >= max_retransmissions:
             raise RuntimeError("retransmission budget exhausted")
         progressed = False
         for sender, message in sorted(last_sent.items()):
-            if not agents[message.receiver].finished or (
-                message.kind is MessageKind.TERMINATE
-            ):
-                original_send(message)
+            if not agents[message.receiver].finished:
+                bus.resend(message)
                 retransmissions += 1
                 progressed = True
         if not progressed:  # pragma: no cover - defensive
@@ -214,5 +208,6 @@ def run_nash_protocol_lossy(
         result=result,
         messages_sent=messages,
         transcript=bus.transcript,
+        retransmissions=retransmissions,
     )
     return outcome

@@ -9,13 +9,25 @@ ranks would only replace this class.
 The bus also keeps a transcript of every delivered message, which the
 tests use to check the protocol's message complexity (one token hop per
 user per sweep plus one terminate circulation).
+
+Two extension points support the fault-tolerance layers:
+
+* **outbox hooks** (:meth:`MessageBus.add_outbox_hook`) observe every
+  *first-class* send before the network touches it — the supervisor's
+  write-ahead outbox log, fed even when the faulty transport then drops
+  the message.  Retransmissions go through :meth:`MessageBus.resend`,
+  which bypasses the hooks (a retry is not a new send).
+* **delivery override** (:meth:`MessageBus._deliver`) — fault-injecting
+  buses subclass the delivery step (drop, duplicate, crash-drop) without
+  touching the send bookkeeping.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
-from repro.distributed.messages import Message
+from repro.distributed.messages import Message, MessageKind
 
 __all__ = ["MessageBus"]
 
@@ -31,6 +43,7 @@ class MessageBus:
         )
         self._transcript: list[Message] = []
         self._record = record_transcript
+        self._outbox_hooks: list[Callable[[Message], None]] = []
 
     @property
     def n_agents(self) -> int:
@@ -41,12 +54,41 @@ class MessageBus:
         """All messages sent so far, in send order."""
         return tuple(self._transcript)
 
-    def send(self, message: Message) -> None:
-        """Deposit ``message`` into the receiver's mailbox."""
+    def add_outbox_hook(self, hook: Callable[[Message], None]) -> None:
+        """Observe every first-class ``send`` before delivery is attempted.
+
+        Hooks fire even when a faulty transport subsequently drops the
+        message — the sender *believes* it sent — which is exactly what a
+        retransmission log needs.  ``resend`` does not fire hooks.
+        """
+        if not callable(hook):
+            raise TypeError("outbox hook must be callable")
+        self._outbox_hooks.append(hook)
+
+    def _validate(self, message: Message) -> None:
         if not 0 <= message.receiver < self.n_agents:
             raise ValueError(f"receiver rank {message.receiver} out of range")
         if not 0 <= message.sender < self.n_agents:
             raise ValueError(f"sender rank {message.sender} out of range")
+
+    def send(self, message: Message) -> None:
+        """Deposit ``message`` into the receiver's mailbox."""
+        self._validate(message)
+        for hook in self._outbox_hooks:
+            hook(message)
+        self._deliver(message)
+
+    def resend(self, message: Message) -> None:
+        """Retransmit ``message`` without re-notifying the outbox hooks.
+
+        The retry rides the same (possibly faulty) delivery path as the
+        original, so a retransmission can itself be dropped and retried.
+        """
+        self._validate(message)
+        self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        """Transport step — subclasses inject faults here."""
         self._mailboxes[message.receiver].append(message)
         if self._record:
             self._transcript.append(message)
@@ -71,3 +113,26 @@ class MessageBus:
     def pending_ranks(self) -> list[int]:
         """Ranks with at least one queued message, in rank order."""
         return [r for r, box in enumerate(self._mailboxes) if box]
+
+    def clear_mailbox(self, rank: int) -> int:
+        """Discard everything queued for ``rank`` (a crashed process loses
+        its in-flight messages).  Returns the number discarded."""
+        if not 0 <= rank < self.n_agents:
+            raise ValueError(f"rank {rank} out of range")
+        lost = len(self._mailboxes[rank])
+        self._mailboxes[rank].clear()
+        return lost
+
+    def purge(self, kind: MessageKind) -> int:
+        """Remove every queued message of ``kind`` from every mailbox.
+
+        Used by the supervisor to cancel a stale TERMINATE wave when the
+        ring is reopened after a topology change.  Returns the count.
+        """
+        purged = 0
+        for box in self._mailboxes:
+            keep = [msg for msg in box if msg.kind is not kind]
+            purged += len(box) - len(keep)
+            box.clear()
+            box.extend(keep)
+        return purged

@@ -33,6 +33,12 @@ class ComputerBoard:
     can observe the *available* rate ``mu_i - sum_{k != j} flow_ki`` — the
     distributed system's equivalent of estimating residual capacity from
     run-queue lengths.
+
+    The board also carries the *online mask*: a computer taken offline by
+    a failure advertises zero available rate, so every subsequent best
+    reply routes around it (the OPTIMAL water-fill treats nonpositive
+    rates as unavailable).  Bringing it back online simply restores its
+    advertised capacity.
     """
 
     def __init__(self, service_rates: np.ndarray, n_users: int):
@@ -43,10 +49,26 @@ class ComputerBoard:
             raise ValueError("n_users must be positive")
         self._mu = mu.copy()
         self._flows = np.zeros((n_users, mu.size))
+        self._online = np.ones(mu.size, dtype=bool)
 
     @property
     def service_rates(self) -> np.ndarray:
         return self._mu
+
+    @property
+    def online_mask(self) -> np.ndarray:
+        """Boolean mask of the computers currently online (a copy)."""
+        return self._online.copy()
+
+    @property
+    def n_online(self) -> int:
+        return int(self._online.sum())
+
+    def set_computer_online(self, computer: int, online: bool = True) -> None:
+        """Mark one computer as online/offline for every observer."""
+        if not 0 <= computer < self._mu.size:
+            raise ValueError(f"computer index {computer} out of range")
+        self._online[computer] = bool(online)
 
     @property
     def flows(self) -> np.ndarray:
@@ -63,9 +85,13 @@ class ComputerBoard:
         self._flows[user] = flows
 
     def available_rates(self, user: int) -> np.ndarray:
-        """Processing rate each computer can still offer ``user``."""
+        """Processing rate each computer can still offer ``user``.
+
+        Offline computers advertise zero, which the OPTIMAL water-fill
+        interprets as "unavailable" — best replies never route to them.
+        """
         others = self._flows.sum(axis=0) - self._flows[user]
-        return self._mu - others
+        return np.where(self._online, self._mu - others, 0.0)
 
 
 class UserAgent:
@@ -133,7 +159,7 @@ class UserAgent:
         if self.rank == 0:
             # The token completed a circulation: decide termination.
             self.norm_history.append(message.norm)
-            if message.norm <= self._tolerance or message.sweep >= self._max_sweeps:
+            if self._should_terminate(message):
                 self.finished = True
                 if self._next_rank != 0:
                     self._bus.send(
@@ -168,6 +194,14 @@ class UserAgent:
             )
 
     # ------------------------------------------------------------------
+    def _should_terminate(self, message: Message) -> bool:
+        """Initiator's acceptance test on a completed circulation.
+
+        Extracted so resilient agents can harden it (e.g. refuse to
+        accept a norm measured partly before a topology change).
+        """
+        return message.norm <= self._tolerance or message.sweep >= self._max_sweeps
+
     def _update(self) -> float:
         """Initiator's update: returns the fresh norm for the new sweep."""
         return self._update_delta()

@@ -45,11 +45,17 @@ class ProtocolOutcome:
         Total messages delivered on the bus (token hops + termination).
     transcript:
         Full ordered message log (for protocol-level assertions).
+    retransmissions:
+        Messages re-sent by the stall-recovery path (always zero on the
+        reliable bus; the fault-tolerant drivers report their retries
+        here so the overhead accounting is one subtraction away from
+        ``messages_sent``).
     """
 
     result: NashResult
     messages_sent: int
     transcript: tuple[Message, ...]
+    retransmissions: int = 0
 
 
 def run_nash_protocol(

@@ -14,6 +14,7 @@ import time
 from typing import Callable
 
 from repro.experiments import (
+    ext_crash_recovery,
     ext_deployment,
     ext_dynamics,
     ext_mechanism,
@@ -55,6 +56,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "ext7": ext_models.run_bursty_arrivals,
     "ext8": ext_mechanism.run_mechanism_frugality,
     "abl5": ext_deployment.run_fault_tolerance,
+    "ext9": ext_crash_recovery.run_crash_recovery,
 }
 
 

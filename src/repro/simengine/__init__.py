@@ -16,6 +16,7 @@ from repro.simengine.policies import (
     PowerOfTwoChoices,
     StaticPolicy,
 )
+from repro.simengine.outages import ServerOutage
 from repro.simengine.rng import SimulationStreams, replication_seeds
 from repro.simengine.service import (
     Deterministic,
@@ -48,6 +49,7 @@ __all__ = [
     "run_measured_best_reply",
     "mm1_lindley_waits",
     "simulate_profile_fast",
+    "ServerOutage",
     "SimulationStreams",
     "replication_seeds",
     "Deterministic",

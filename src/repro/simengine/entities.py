@@ -72,6 +72,12 @@ class Computer:
         # Aggregates for utilization accounting.
         self.busy_time = 0.0
         self.completed = 0
+        #: True while the server is crashed (accepts but does not serve).
+        self.down = False
+        #: Bumped on every suspend; scheduled departures carry the epoch
+        #: they were issued under, so stale ones can be recognized and
+        #: skipped after a crash invalidates them.
+        self.epoch = 0
 
     @property
     def is_busy(self) -> bool:
@@ -93,8 +99,11 @@ class Computer:
         return float(self._rng.exponential(1.0 / self.service_rate))
 
     def accept(self, job: Job, now: float) -> float | None:
-        """A job arrives.  Returns its departure time if service starts now."""
-        if self._in_service is None:
+        """A job arrives.  Returns its departure time if service starts now.
+
+        A down server still accepts — the job simply queues until the
+        server resumes (the crash model drops no work)."""
+        if self._in_service is None and not self.down:
             return self._start_service(job, now)
         self._queue.append(job)
         return None
@@ -120,6 +129,34 @@ class Computer:
         job.start_time = now
         self._in_service = job
         return now + self.draw_service_time()
+
+    def suspend(self, now: float) -> None:
+        """The server crashes.
+
+        The job in service (if any) loses its progress and returns to the
+        head of the queue to be re-executed from scratch on resume; its
+        aborted partial service is not counted as busy time.  Bumping the
+        epoch invalidates the departure event scheduled for it.
+        """
+        if self.down:
+            raise RuntimeError(f"computer {self.index} is already down")
+        self.down = True
+        self.epoch += 1
+        if self._in_service is not None:
+            interrupted = self._in_service
+            interrupted.start_time = float("nan")
+            self._in_service = None
+            self._queue.appendleft(interrupted)
+
+    def resume(self, now: float) -> float | None:
+        """The server comes back.  Returns the head job's departure time
+        (a fresh service draw) if the queue is nonempty."""
+        if not self.down:
+            raise RuntimeError(f"computer {self.index} is not down")
+        self.down = False
+        if self._queue:
+            return self._start_service(self._queue.popleft(), now)
+        return None
 
 
 class UserSource:

@@ -27,6 +27,10 @@ class EventKind(Enum):
     JOB_DEPARTURE = auto()
     #: Periodic observation of every computer's run-queue length.
     STATE_SAMPLE = auto()
+    #: A computer crashes: service stops, queued jobs wait in place.
+    SERVER_DOWN = auto()
+    #: A crashed computer comes back and resumes serving its queue.
+    SERVER_UP = auto()
     #: End of the simulation horizon.
     END_OF_SIMULATION = auto()
 

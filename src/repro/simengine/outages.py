@@ -1,0 +1,48 @@
+"""Server outage windows for the event-driven simulator.
+
+The chaos layer of the distributed runtime
+(:mod:`repro.distributed.chaos`) degrades the *game* when a computer
+fails; this module is the matching knob on the *measurement* side: a
+:class:`ServerOutage` takes a simulated computer out of service for a
+time window, so the response-time cost of a failure (and of the degraded
+re-balanced profile) can be observed rather than derived.
+
+Outage semantics follow the crash model: the job in service when the
+server goes down loses its progress and is re-executed from scratch on
+resume (its earlier partial service is not counted as busy time), and
+jobs arriving during the outage queue up behind it — nothing is dropped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ServerOutage"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerOutage:
+    """One computer's off-line window ``[start, end)`` in simulated time.
+
+    ``end`` may be ``math.inf`` for a permanent failure.  Windows for the
+    same computer must not overlap (the simulator validates this).
+    """
+
+    computer: int
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.computer < 0:
+            raise ValueError("computer index must be nonnegative")
+        if not 0.0 <= self.start < self.end:
+            raise ValueError("outage needs 0 <= start < end")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlap(self, lo: float, hi: float) -> float:
+        """Length of this outage's intersection with ``[lo, hi]``."""
+        return max(0.0, min(self.end, hi) - max(self.start, lo))

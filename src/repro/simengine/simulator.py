@@ -18,6 +18,7 @@ from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
 from repro.simengine.entities import Computer, Job, UserSource
 from repro.simengine.events import EventKind, EventQueue
+from repro.simengine.outages import ServerOutage
 from repro.simengine.policies import DispatchPolicy, StaticPolicy
 from repro.simengine.rng import SimulationStreams
 
@@ -58,6 +59,9 @@ class SimulationResult:
     #: Periodic run-queue observations, shape (samples, computers);
     #: empty unless the simulation was configured with a sample interval.
     queue_length_samples: np.ndarray = None  # type: ignore[assignment]
+    #: Per-computer off-line time within the counted (post-warm-up)
+    #: window; all zeros unless the run was configured with outages.
+    computer_downtime: np.ndarray = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.queue_length_samples is None:
@@ -65,6 +69,12 @@ class SimulationResult:
                 self,
                 "queue_length_samples",
                 np.zeros((0, self.computer_utilizations.size), dtype=np.int64),
+            )
+        if self.computer_downtime is None:
+            object.__setattr__(
+                self,
+                "computer_downtime",
+                np.zeros(self.computer_utilizations.size),
             )
 
     @property
@@ -117,6 +127,11 @@ class LoadBalancingSimulation:
         Optional per-computer service-time distributions (see
         :mod:`repro.simengine.service`); defaults to exponential at each
         computer's rate — the paper's M/M/1 model.
+    outages:
+        Optional :class:`~repro.simengine.outages.ServerOutage` windows
+        during which a computer crashes (the interrupted job restarts
+        from scratch on resume; arrivals queue, nothing is dropped).
+        Windows for the same computer must not overlap.
     """
 
     def __init__(
@@ -131,6 +146,7 @@ class LoadBalancingSimulation:
         service_distributions=None,
         sample_interval: float | None = None,
         arrival_processes=None,
+        outages: tuple[ServerOutage, ...] | list[ServerOutage] | None = None,
     ):
         if (profile is None) == (policy is None):
             raise ValueError("provide exactly one of profile or policy")
@@ -155,6 +171,21 @@ class LoadBalancingSimulation:
             raise ValueError(
                 "service_distributions must have one entry per computer"
             )
+        self.outages = tuple(outages) if outages is not None else ()
+        per_computer: dict[int, list[ServerOutage]] = {}
+        for outage in self.outages:
+            if not 0 <= outage.computer < system.n_computers:
+                raise ValueError(
+                    f"outage computer index {outage.computer} out of range"
+                )
+            per_computer.setdefault(outage.computer, []).append(outage)
+        for computer, windows in per_computer.items():
+            windows.sort(key=lambda o: o.start)
+            for earlier, later in zip(windows, windows[1:]):
+                if later.start < earlier.end:
+                    raise ValueError(
+                        f"overlapping outage windows for computer {computer}"
+                    )
         self.system = system
         self.profile = profile
         self.policy = policy
@@ -212,6 +243,15 @@ class LoadBalancingSimulation:
             queue.schedule(
                 self.warmup + self.sample_interval, EventKind.STATE_SAMPLE
             )
+        for outage in self.outages:
+            if outage.start < self.horizon:
+                queue.schedule(
+                    outage.start, EventKind.SERVER_DOWN, outage.computer
+                )
+                if np.isfinite(outage.end) and outage.end < self.horizon:
+                    queue.schedule(
+                        outage.end, EventKind.SERVER_UP, outage.computer
+                    )
         queue.schedule(self.horizon, EventKind.END_OF_SIMULATION)
 
         while queue:
@@ -239,28 +279,45 @@ class LoadBalancingSimulation:
                     arrival_time=now,
                 )
                 next_job_id += 1
-                departure = self._computers[computer_index].accept(job, now)
+                computer = self._computers[computer_index]
+                departure = computer.accept(job, now)
                 if departure is not None:
                     queue.schedule(
-                        departure, EventKind.JOB_DEPARTURE, computer_index
+                        departure,
+                        EventKind.JOB_DEPARTURE,
+                        (computer_index, computer.epoch),
                     )
                 queue.schedule_after(
                     source.next_interarrival(), EventKind.JOB_ARRIVAL, source
                 )
             elif event.kind is EventKind.JOB_DEPARTURE:
-                computer_index = event.payload
-                finished, next_departure = self._computers[
-                    computer_index
-                ].complete_current(now)
+                computer_index, epoch = event.payload
+                computer = self._computers[computer_index]
+                if epoch != computer.epoch:
+                    continue  # departure of a job the crash interrupted
+                finished, next_departure = computer.complete_current(now)
                 if next_departure is not None:
                     queue.schedule(
-                        next_departure, EventKind.JOB_DEPARTURE, computer_index
+                        next_departure,
+                        EventKind.JOB_DEPARTURE,
+                        (computer_index, computer.epoch),
                     )
                 if finished.arrival_time >= self.warmup:
                     response_sums[finished.user] += finished.response_time
                     job_counts[finished.user] += 1
                     computer_counts[computer_index] += 1
                     busy_time[computer_index] += now - finished.start_time
+            elif event.kind is EventKind.SERVER_DOWN:
+                self._computers[event.payload].suspend(now)
+            elif event.kind is EventKind.SERVER_UP:
+                computer = self._computers[event.payload]
+                departure = computer.resume(now)
+                if departure is not None:
+                    queue.schedule(
+                        departure,
+                        EventKind.JOB_DEPARTURE,
+                        (event.payload, computer.epoch),
+                    )
 
         means = np.divide(
             response_sums,
@@ -269,6 +326,11 @@ class LoadBalancingSimulation:
             where=job_counts > 0,
         )
         window = self.horizon - self.warmup
+        downtime = np.zeros(n_computers)
+        for outage in self.outages:
+            downtime[outage.computer] += outage.overlap(
+                self.warmup, self.horizon
+            )
         return SimulationResult(
             user_mean_response_times=means,
             user_job_counts=job_counts,
@@ -279,6 +341,7 @@ class LoadBalancingSimulation:
             queue_length_samples=np.asarray(queue_samples, dtype=np.int64).reshape(
                 len(queue_samples), n_computers
             ),
+            computer_downtime=downtime,
         )
 
 
@@ -292,6 +355,7 @@ def simulate_profile(
     service_distributions=None,
     arrival_processes=None,
     sample_interval: float | None = None,
+    outages=None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate a static strategy profile."""
     return LoadBalancingSimulation(
@@ -303,6 +367,7 @@ def simulate_profile(
         service_distributions=service_distributions,
         arrival_processes=arrival_processes,
         sample_interval=sample_interval,
+        outages=outages,
     ).run()
 
 
@@ -316,6 +381,7 @@ def simulate_policy(
     service_distributions=None,
     arrival_processes=None,
     sample_interval: float | None = None,
+    outages=None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate a dynamic dispatch policy."""
     return LoadBalancingSimulation(
@@ -327,4 +393,5 @@ def simulate_policy(
         service_distributions=service_distributions,
         arrival_processes=arrival_processes,
         sample_interval=sample_interval,
+        outages=outages,
     ).run()

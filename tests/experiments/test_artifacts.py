@@ -207,6 +207,7 @@ class TestRunner:
             "ext6",
             "ext7",
             "ext8",
+            "ext9",
             "abl5",
             "abl1",
             "abl2",

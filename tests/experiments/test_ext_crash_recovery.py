@@ -1,0 +1,36 @@
+"""EXT9 artifact: crash-fault tolerance experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ext_crash_recovery import run_crash_recovery
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return run_crash_recovery(n_users=4, seeds=(0, 1))
+
+
+class TestCrashRecoveryArtifact:
+    def test_structure(self, artifact):
+        assert artifact.experiment_id == "EXT9"
+        assert len(artifact.rows) == 3  # baseline + 2 seeds
+        assert "profile_gap" in artifact.columns
+
+    def test_every_run_converges(self, artifact):
+        assert all(artifact.column("converged"))
+
+    def test_degraded_equilibrium_guarantee(self, artifact):
+        assert all(gap <= 1e-6 for gap in artifact.column("profile_gap"))
+
+    def test_faulty_rows_record_recovery(self, artifact):
+        for row in artifact.rows[1:]:
+            assert row["crashes"] == 1
+            assert row["restarts"] == 1
+            assert row["failed_computer"] != ""
+
+    def test_faults_cost_messages(self, artifact):
+        baseline = artifact.rows[0]["messages"]
+        for row in artifact.rows[1:]:
+            assert row["messages"] > baseline

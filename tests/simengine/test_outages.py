@@ -1,0 +1,159 @@
+"""Server-outage tests for the event-driven simulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.core.nash import compute_nash_equilibrium
+from repro.simengine import ServerOutage, simulate_profile
+
+
+@pytest.fixture(scope="module")
+def system():
+    return DistributedSystem(
+        service_rates=np.array([20.0, 15.0, 10.0]),
+        arrival_rates=np.array([10.0, 8.0]),
+    )
+
+
+@pytest.fixture(scope="module")
+def profile(system):
+    return compute_nash_equilibrium(system).profile
+
+
+class TestServerOutage:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="start < end"):
+            ServerOutage(0, 10.0, 10.0)
+        with pytest.raises(ValueError, match="start < end"):
+            ServerOutage(0, -1.0, 10.0)
+        with pytest.raises(ValueError, match="nonnegative"):
+            ServerOutage(-1, 0.0, 10.0)
+
+    def test_permanent_by_default(self):
+        outage = ServerOutage(2, 100.0)
+        assert outage.end == math.inf
+        assert outage.duration == math.inf
+
+    def test_overlap(self):
+        outage = ServerOutage(0, 100.0, 300.0)
+        assert outage.overlap(0.0, 1000.0) == 200.0
+        assert outage.overlap(200.0, 1000.0) == 100.0
+        assert outage.overlap(400.0, 1000.0) == 0.0
+
+
+class TestSimulatedOutages:
+    def test_no_outages_unchanged(self, system, profile):
+        baseline = simulate_profile(
+            system, profile, horizon=500.0, warmup=50.0, seed=3
+        )
+        explicit = simulate_profile(
+            system, profile, horizon=500.0, warmup=50.0, seed=3, outages=[]
+        )
+        np.testing.assert_array_equal(
+            baseline.user_mean_response_times,
+            explicit.user_mean_response_times,
+        )
+        assert np.all(explicit.computer_downtime == 0.0)
+
+    def test_outage_degrades_response_times(self, system, profile):
+        clean = simulate_profile(
+            system, profile, horizon=1500.0, warmup=150.0, seed=7
+        )
+        hit = simulate_profile(
+            system,
+            profile,
+            horizon=1500.0,
+            warmup=150.0,
+            seed=7,
+            outages=[ServerOutage(0, 400.0, 800.0)],
+        )
+        assert (
+            hit.overall_mean_response_time()
+            > clean.overall_mean_response_time()
+        )
+        assert hit.computer_downtime[0] == pytest.approx(400.0)
+        # No jobs are dropped: the same arrival stream is generated.
+        assert hit.total_jobs <= clean.total_jobs  # some may finish late
+
+    def test_no_completions_during_outage_window(self, system, profile):
+        result = simulate_profile(
+            system,
+            profile,
+            horizon=1000.0,
+            warmup=0.0,
+            seed=5,
+            outages=[ServerOutage(1, 200.0, 900.0)],
+        )
+        # Computer 1 is down 70% of the horizon: its busy fraction
+        # cannot exceed the time it was actually up.
+        assert result.computer_utilizations[1] < 0.35
+
+    def test_permanent_outage(self, system, profile):
+        result = simulate_profile(
+            system,
+            profile,
+            horizon=1000.0,
+            warmup=100.0,
+            seed=9,
+            outages=[ServerOutage(2, 300.0)],
+        )
+        assert result.computer_downtime[2] == pytest.approx(700.0)
+
+    def test_overlapping_windows_rejected(self, system, profile):
+        with pytest.raises(ValueError, match="overlapping"):
+            simulate_profile(
+                system,
+                profile,
+                horizon=100.0,
+                outages=[
+                    ServerOutage(0, 10.0, 50.0),
+                    ServerOutage(0, 40.0, 60.0),
+                ],
+            )
+
+    def test_out_of_range_computer_rejected(self, system, profile):
+        with pytest.raises(ValueError, match="out of range"):
+            simulate_profile(
+                system,
+                profile,
+                horizon=100.0,
+                outages=[ServerOutage(3, 10.0, 50.0)],
+            )
+
+    def test_sequential_windows_allowed(self, system, profile):
+        result = simulate_profile(
+            system,
+            profile,
+            horizon=1000.0,
+            warmup=0.0,
+            seed=2,
+            outages=[
+                ServerOutage(0, 100.0, 200.0),
+                ServerOutage(0, 500.0, 650.0),
+            ],
+        )
+        assert result.computer_downtime[0] == pytest.approx(250.0)
+
+    def test_interrupted_job_restarts_and_completes(self, system):
+        # Route everything from one slow user to one computer, crash it
+        # mid-service, and check work still completes after resume.
+        single = DistributedSystem(
+            service_rates=np.array([5.0]),
+            arrival_rates=np.array([2.0]),
+        )
+        eq = compute_nash_equilibrium(single)
+        result = simulate_profile(
+            single,
+            eq.profile,
+            horizon=400.0,
+            warmup=0.0,
+            seed=1,
+            outages=[ServerOutage(0, 100.0, 150.0)],
+        )
+        assert result.total_jobs > 0
+        assert np.isfinite(result.user_mean_response_times).all()

@@ -6,15 +6,19 @@ import doctest
 
 import pytest
 
+import repro.core.degradation
 import repro.core.model
 import repro.core.nash
+import repro.distributed.failure_detector
 import repro.experiments.ascii_plot
 import repro.queueing.mg1
 import repro.simengine.events
 
 MODULES = [
+    repro.core.degradation,
     repro.core.model,
     repro.core.nash,
+    repro.distributed.failure_detector,
     repro.experiments.ascii_plot,
     repro.queueing.mg1,
     repro.simengine.events,

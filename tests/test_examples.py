@@ -49,6 +49,15 @@ class TestFastExamples:
         assert "TERMINATE" in out
         assert "converged: True" in out
 
+    def test_crash_recovery_demo(self, capsys):
+        load_example("crash_recovery_demo").main()
+        out = capsys.readouterr().out
+        assert "agent crash and checkpoint restart" in out
+        assert "degraded equilibrium" in out
+        assert "CapacityExhausted" in out
+        assert "fails fast" in out
+        assert "rebalancing around the outage" in out
+
     def test_all_examples_importable(self):
         """Every example file at least parses and imports."""
         for path in sorted(EXAMPLES_DIR.glob("*.py")):
@@ -71,4 +80,5 @@ class TestFastExamples:
             "dynamic_rebalancing",
             "closed_loop_deployment",
             "robustness_study",
+            "crash_recovery_demo",
         }
