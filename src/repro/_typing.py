@@ -1,0 +1,25 @@
+"""Shared static-typing aliases.
+
+Kept in one tiny module so the strictly-typed packages
+(:mod:`repro.queueing`, :mod:`repro.game`, :mod:`repro.schemes`) spell
+array types consistently: ``FloatArray`` is the concrete ``float64``
+array every numeric routine in this codebase produces, as opposed to the
+bare ``np.ndarray`` (which erases the dtype and fails
+``mypy --strict``'s ``disallow_any_generics``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["ArrayLike", "BoolArray", "FloatArray"]
+
+#: Anything ``np.asarray(..., dtype=float)`` accepts.
+ArrayLike = npt.ArrayLike
+
+#: A concrete ``float64`` numpy array.
+FloatArray = npt.NDArray[np.float64]
+
+#: A boolean mask array.
+BoolArray = npt.NDArray[np.bool_]

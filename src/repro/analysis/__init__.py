@@ -1,0 +1,53 @@
+"""Project-specific static analysis (``repro-lint``).
+
+The numerical core (M/M/1 formulas, simplex-constrained strategies,
+stability conditions from paper eq. 1-2) and the distributed protocol
+layer both carry invariants that Python will not enforce: experiments
+must be replayable from a seed, float comparisons on rates and response
+times must be tolerance-based, response-time arithmetic must flow
+through the audited :mod:`repro.queueing` formulas, every
+:class:`~repro.distributed.messages.MessageKind` must be dispatched by
+every protocol handler, and simulated code must never read the wall
+clock.  Violating any of these compiles, imports, and silently corrupts
+a 10k-agent run.
+
+This package is an AST-based lint engine encoding those invariants as
+rules:
+
+========  ============================================================
+R001      no unseeded / module-level RNG (``random.*``, ``np.random.*``)
+R002      no ``==`` / ``!=`` on float values — use tolerance helpers
+R003      no ad-hoc ``1/(mu - lambda)`` outside :mod:`repro.queueing`
+R004      every ``MessageKind`` dispatched in every protocol handler
+R005      no wall-clock reads or bare ``except`` in sim/protocol code
+========  ============================================================
+
+Use the ``repro-lint`` console script (or ``python -m repro.analysis``)
+to run it; suppress a deliberate violation with an inline
+``# reprolint: allow=R00X reason`` comment on (or directly above) the
+offending line.
+"""
+
+from repro.analysis.cli import main
+from repro.analysis.context import ProjectContext
+from repro.analysis.engine import lint_paths, lint_sources
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, all_rules, get_rule, register, selected_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.source import SourceFile
+
+__all__ = [
+    "Finding",
+    "ProjectContext",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_sources",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+    "selected_rules",
+]

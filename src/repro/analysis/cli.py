@@ -1,0 +1,89 @@
+"""The ``repro-lint`` command-line interface.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors (unknown rule codes, missing paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-specific static analysis enforcing the model's "
+            "invariants (seeded RNG, tolerance-based float comparison, "
+            "audited M/M/1 formulas, exhaustive message handling, "
+            "sim-clock discipline)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.rationale}")
+        return 0
+
+    try:
+        findings = lint_paths(
+            args.paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings))
+    return 1 if findings else 0

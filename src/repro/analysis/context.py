@@ -1,0 +1,93 @@
+"""Cross-file facts shared by all rules in one lint run.
+
+The engine parses every file before any rule runs and lets the context
+collect project-level facts.  Today that is the member list of every
+``Enum`` class defined anywhere in the run — R004 needs the
+:class:`~repro.distributed.messages.MessageKind` vocabulary to check
+handler exhaustiveness even when the handler lives in a different file
+than the enum.
+
+When a run does not include the defining file (e.g. linting
+``node.py`` alone), :meth:`ProjectContext.enum_members` falls back to
+parsing a ``messages.py`` sibling of the requesting file, so partial
+runs stay exhaustive for the protocol package.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.source import SourceFile
+
+__all__ = ["ProjectContext"]
+
+
+def _is_enum_base(base: ast.expr) -> bool:
+    name = base.attr if isinstance(base, ast.Attribute) else None
+    if isinstance(base, ast.Name):
+        name = base.id
+    return name in {"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"}
+
+
+def _enum_member_names(node: ast.ClassDef) -> tuple[str, ...]:
+    members: list[str] = []
+    for statement in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                members.append(target.id)
+    return tuple(members)
+
+
+class ProjectContext:
+    """Facts collected across every file of one lint run."""
+
+    def __init__(self) -> None:
+        self._enums: dict[str, tuple[str, ...]] = {}
+        self._sibling_cache: dict[str, dict[str, tuple[str, ...]]] = {}
+
+    def collect(self, source: SourceFile) -> None:
+        """First-pass visit: record every enum class defined in ``source``."""
+        self._enums.update(self._enums_in(source.tree))
+
+    @staticmethod
+    def _enums_in(tree: ast.Module) -> dict[str, tuple[str, ...]]:
+        found: dict[str, tuple[str, ...]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and any(
+                _is_enum_base(base) for base in node.bases
+            ):
+                found[node.name] = _enum_member_names(node)
+        return found
+
+    def enum_members(
+        self, name: str, *, near: SourceFile | None = None
+    ) -> tuple[str, ...] | None:
+        """Member names of enum ``name``, or ``None`` if unknown.
+
+        ``near`` enables the ``messages.py`` sibling fallback for runs
+        that did not include the enum's defining file.
+        """
+        members = self._enums.get(name)
+        if members is not None or near is None:
+            return members
+        sibling = Path(near.path).parent / "messages.py"
+        key = str(sibling)
+        if key not in self._sibling_cache:
+            enums: dict[str, tuple[str, ...]] = {}
+            if sibling.is_file() and sibling.name != near.filename:
+                try:
+                    tree = ast.parse(
+                        sibling.read_text(encoding="utf-8"), filename=key
+                    )
+                except (SyntaxError, OSError):  # pragma: no cover - defensive
+                    tree = None
+                if tree is not None:
+                    enums = self._enums_in(tree)
+            self._sibling_cache[key] = enums
+        return self._sibling_cache[key].get(name)

@@ -1,0 +1,107 @@
+"""The lint driver: discover, parse, collect context, run rules.
+
+Two-pass architecture: every file is parsed first and offered to the
+:class:`~repro.analysis.context.ProjectContext` (so cross-file rules
+like R004 see the whole run), then every selected rule visits every
+file.  Suppressed findings are filtered at the end, keeping rules free
+of suppression logic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import PARSE_ERROR, Finding
+from repro.analysis.registry import selected_rules
+from repro.analysis.source import SourceFile
+
+__all__ = ["discover_files", "lint_paths", "lint_sources"]
+
+#: Directory names never descended into during discovery.
+_SKIPPED_DIRS = {
+    ".git",
+    ".hg",
+    "__pycache__",
+    ".mypy_cache",
+    ".pytest_cache",
+    ".ruff_cache",
+    "build",
+    "dist",
+    ".venv",
+    "venv",
+    ".eggs",
+}
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    found: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIPPED_DIRS for part in candidate.parts):
+                    found.setdefault(candidate, None)
+        elif path.suffix == ".py" or path.is_file():
+            found.setdefault(path, None)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def lint_sources(
+    sources: Iterable[SourceFile],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the selected rules over already-parsed sources.
+
+    The entry point for fixture-style tests: build sources with
+    :meth:`SourceFile.from_text` under any synthetic path and lint them
+    as one run (cross-file context included).
+    """
+    sources = list(sources)
+    rules = selected_rules(select, ignore)
+    context = ProjectContext()
+    for source in sources:
+        context.collect(source)
+    findings: list[Finding] = []
+    for source in sources:
+        for rule in rules:
+            for finding in rule.check(source, context):
+                if not source.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    return sorted(findings, key=lambda finding: finding.sort_key)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Discover, parse and lint ``paths`` (files and/or directories).
+
+    Unparseable files are reported as :data:`PARSE_ERROR` findings —
+    a broken file must fail the gate, not silently skip every rule.
+    """
+    sources: list[SourceFile] = []
+    errors: list[Finding] = []
+    for path in discover_files(paths):
+        try:
+            sources.append(SourceFile.from_path(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=str(path),
+                    line=int(exc.lineno or 1),
+                    col=int(exc.offset or 0),
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            )
+    findings = lint_sources(sources, select=select, ignore=ignore)
+    return sorted(findings + errors, key=lambda finding: finding.sort_key)

@@ -1,0 +1,47 @@
+"""The unit of lint output: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+__all__ = ["Finding", "PARSE_ERROR"]
+
+#: Pseudo-rule code used for files the engine cannot parse.  Parse
+#: failures are reported as findings (they fail the lint run) but are
+#: not suppressible and have no registered rule behind them.
+PARSE_ERROR = "E000"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One violation: which rule fired, where, and why.
+
+    Attributes
+    ----------
+    rule:
+        The rule code (``"R001"`` .. ``"R005"``, or :data:`PARSE_ERROR`).
+    path:
+        Path of the offending file, as given to the engine.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable explanation with the suggested fix.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def render(self) -> str:
+        """The classic compiler-style one-liner."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

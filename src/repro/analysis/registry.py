@@ -1,0 +1,93 @@
+"""Rule interface and registry.
+
+Rules are small classes registered with the :func:`register` decorator;
+the engine instantiates the registry once and runs every selected rule
+over every parsed file.  Each rule carries its code, a short name used
+in ``--list-rules`` output, and the invariant it protects (surfaced in
+documentation and error messages).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "selected_rules"]
+
+
+class Rule(abc.ABC):
+    """One enforceable invariant."""
+
+    #: Stable identifier ("R001"); also the suppression token.
+    code: str = "R000"
+    #: Short kebab-case name for listings.
+    name: str = "abstract"
+    #: One-sentence statement of the invariant the rule protects.
+    rationale: str = ""
+
+    @abc.abstractmethod
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``source``."""
+
+    def finding(self, source: SourceFile, line: int, col: int, message: str) -> Finding:
+        return Finding(
+            rule=self.code, path=source.path, line=line, col=col, message=message
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(code={self.code!r})"
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = cls()
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package populates the registry exactly once.
+    from repro.analysis import rules  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    _ensure_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(f"unknown rule code {code!r}") from None
+
+
+def selected_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """The rule set for one run: ``select`` whitelist minus ``ignore``.
+
+    Unknown codes raise ``KeyError`` so typos fail loudly instead of
+    silently disabling a gate.
+    """
+    rules = all_rules()
+    if select is not None:
+        wanted = list(select)
+        rules = [get_rule(code) for code in sorted(set(wanted))]
+    if ignore is not None:
+        dropped = {get_rule(code).code for code in ignore}
+        rules = [rule for rule in rules if rule.code not in dropped]
+    return rules

@@ -1,0 +1,36 @@
+"""Render lint findings for humans (text) and tooling (JSON)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.finding import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Compiler-style report: one line per finding plus a summary."""
+    if not findings:
+        return "repro-lint: clean"
+    lines = [finding.render() for finding in findings]
+    counts = Counter(finding.rule for finding in findings)
+    breakdown = ", ".join(
+        f"{code}: {count}" for code, count in sorted(counts.items())
+    )
+    plural = "s" if len(findings) != 1 else ""
+    lines.append(f"repro-lint: {len(findings)} finding{plural} ({breakdown})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable schema, sorted findings)."""
+    payload = {
+        "tool": "repro-lint",
+        "version": 1,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,17 @@
+"""Rule implementations; importing this package populates the registry."""
+
+from repro.analysis.rules import (  # noqa: F401
+    r001_rng,
+    r002_float_eq,
+    r003_mm1,
+    r004_messages,
+    r005_simtime,
+)
+
+__all__ = [
+    "r001_rng",
+    "r002_float_eq",
+    "r003_mm1",
+    "r004_messages",
+    "r005_simtime",
+]

@@ -1,0 +1,53 @@
+"""Static resolution of dotted module references.
+
+Rules that police module-level calls (R001: ``np.random.*`` / stdlib
+``random``; R005: ``time.time`` / ``datetime.now``) need to know what a
+name refers to.  :class:`ImportMap` records every binding the file's
+import statements create and resolves attribute chains back to fully
+qualified dotted paths::
+
+    import numpy as np          ->  resolve(np.random.rand) == "numpy.random.rand"
+    from time import monotonic  ->  resolve(monotonic) == "time.monotonic"
+    from datetime import datetime -> resolve(datetime.now) == "datetime.datetime.now"
+
+Purely syntactic: rebinding an imported name later in the file is not
+modelled, which is the usual (and here acceptable) lint trade-off.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap"]
+
+
+class ImportMap:
+    """Name -> dotted-module bindings created by a file's imports."""
+
+    def __init__(self, tree: ast.Module):
+        self._bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._bindings[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the top name.
+                        top = alias.name.split(".", 1)[0]
+                        self._bindings[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never hit stdlib/numpy
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted path of an attribute chain, or ``None`` if unbound."""
+        if isinstance(node, ast.Name):
+            return self._bindings.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None

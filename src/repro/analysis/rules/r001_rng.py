@@ -1,0 +1,140 @@
+"""R001 — no unseeded or module-level randomness.
+
+The paper replicates every run "five times with different random number
+streams"; the reproduction realizes that with ``numpy.random.Generator``
+streams spawned from explicit seeds via ``SeedSequence``
+(:mod:`repro.simengine.rng`).  The chaos layer's replayability — the
+property that makes distributed selfish load balancing analyzable at
+all — additionally depends on fault schedules being a pure function of
+their seed.  One call to the module-level ``np.random.*`` state or the
+stdlib ``random`` module silently breaks both: results stop being a
+function of the recorded seed.
+
+Flags
+-----
+* any import or call of the stdlib ``random`` module;
+* calls to legacy module-level ``numpy.random`` functions
+  (``np.random.seed``, ``np.random.rand``, ``np.random.normal``, ...);
+* unseeded generator construction: ``np.random.default_rng()`` (or with
+  an explicit ``None`` seed) and zero-argument bit generators.
+
+Allowed
+-------
+Seeded construction anywhere (``np.random.default_rng(seed)``,
+``np.random.Generator(np.random.PCG64(seq))``, ``SeedSequence`` use),
+and everything inside the audited helper :mod:`repro.simengine.rng`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._imports import ImportMap
+from repro.analysis.source import SourceFile
+
+__all__ = ["UnseededRandomness"]
+
+#: Constructors of the explicit-seed plumbing; allowed when given a seed.
+_SEEDED_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    if call.keywords:
+        return False
+    if not call.args:
+        return True
+    return len(call.args) == 1 and (
+        isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+    )
+
+
+@register
+class UnseededRandomness(Rule):
+    code = "R001"
+    name = "no-unseeded-rng"
+    rationale = (
+        "experiments and chaos schedules must replay bit-for-bit from an "
+        "explicit seed; all randomness flows through seeded "
+        "numpy.random.Generator streams"
+    )
+
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if source.in_package("simengine") and source.filename == "rng.py":
+            return  # the audited seed-plumbing helper itself
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".", 1)[0] == "random":
+                        yield self.finding(
+                            source,
+                            node.lineno,
+                            node.col_offset,
+                            "stdlib random module is banned: draw from a "
+                            "seeded numpy.random.Generator instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is not None and not node.level and (
+                    node.module.split(".", 1)[0] == "random"
+                ):
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        node.col_offset,
+                        "stdlib random module is banned: draw from a "
+                        "seeded numpy.random.Generator instead",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(source, imports, node)
+
+    def _check_call(
+        self, source: SourceFile, imports: ImportMap, call: ast.Call
+    ) -> Iterator[Finding]:
+        dotted = imports.resolve(call.func)
+        if dotted is None:
+            return
+        if dotted.startswith("random."):
+            yield self.finding(
+                source,
+                call.lineno,
+                call.col_offset,
+                f"call to stdlib {dotted}(): use a seeded "
+                "numpy.random.Generator passed in by the caller",
+            )
+            return
+        if not dotted.startswith("numpy.random."):
+            return
+        attr = dotted.removeprefix("numpy.random.").split(".", 1)[0]
+        if attr in _SEEDED_CONSTRUCTORS:
+            if _is_unseeded(call):
+                yield self.finding(
+                    source,
+                    call.lineno,
+                    call.col_offset,
+                    f"unseeded numpy.random.{attr}(): pass an explicit "
+                    "seed or SeedSequence so the run is replayable",
+                )
+        else:
+            yield self.finding(
+                source,
+                call.lineno,
+                call.col_offset,
+                f"module-level numpy.random.{attr}() uses hidden global "
+                "state: draw from an explicit numpy.random.Generator",
+            )

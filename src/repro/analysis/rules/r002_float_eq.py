@@ -1,0 +1,86 @@
+"""R002 — no exact equality on float values.
+
+Rates, strategy fractions and response times are all computed through
+floating-point water-fills, matrix products and optimizers; comparing
+them with ``==``/``!=`` encodes an invariant ("this value is exactly
+0.4") that round-off silently falsifies.  The paper's quantities make
+this worse: a strategy simplex constraint that sums to ``1.0 - 1e-17``
+is feasible, a norm that reaches ``0.0 + 1e-17`` has converged.  Use
+:func:`repro.tolerances.close` / :func:`repro.tolerances.is_zero` (or
+``math.isclose`` directly) for computed values.
+
+Exact comparison *is* occasionally right — a sentinel that was assigned
+(never computed), e.g. ``demand == 0.0`` short-circuits before any
+arithmetic.  Mark those deliberately::
+
+    if demand == 0.0:  # reprolint: allow=R002 exact-sentinel
+
+``assert`` statements are exempt: the test suite asserts exact values
+on purpose when pinning deterministic results (golden values, replay
+equality), and weakening those oracles would hide regressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+__all__ = ["FloatEquality"]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class _CompareCollector(ast.NodeVisitor):
+    """Collect ==/!= comparisons against float literals, skipping asserts."""
+
+    def __init__(self) -> None:
+        self.hits: list[tuple[int, int]] = []
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        return  # deliberate exact oracles; do not descend
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                _is_float_literal(operands[index])
+                or _is_float_literal(operands[index + 1])
+            ):
+                self.hits.append((node.lineno, node.col_offset))
+                break
+        self.generic_visit(node)
+
+
+@register
+class FloatEquality(Rule):
+    code = "R002"
+    name = "no-float-equality"
+    rationale = (
+        "rates, fractions and response times are floating-point; exact "
+        "==/!= breaks under round-off — compare with repro.tolerances"
+    )
+
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        collector = _CompareCollector()
+        collector.visit(source.tree)
+        for line, col in collector.hits:
+            yield self.finding(
+                source,
+                line,
+                col,
+                "exact ==/!= against a float literal: use "
+                "repro.tolerances.close/is_zero (or math.isclose); for a "
+                "genuine assigned sentinel add "
+                "'# reprolint: allow=R002 exact-sentinel'",
+            )

@@ -1,0 +1,127 @@
+"""R003 — no ad-hoc M/M/1 response-time arithmetic outside ``repro.queueing``.
+
+The cost everything in this codebase optimizes is the M/M/1 stationary
+response time ``1/(mu - lambda)`` (paper eq. 1) and its derived forms
+``lambda/(mu - lambda)`` (total delay) and ``mu/(mu - lambda)^2``
+(marginal delay).  Re-deriving those inline is how stability bugs ship:
+the inline version skips the ``lambda < mu`` check, silently returning
+a *negative* "response time" for an overloaded queue that then looks
+excellent to a minimizer.  :mod:`repro.queueing.mm1` carries the
+audited, stability-checked implementations — everyone else calls them.
+
+Detection is structural: a division whose denominator is a rate gap —
+either literally ``(something_rate - load)`` (a subtraction mentioning
+rate-flavoured identifiers) or a conventional gap alias (``gap``,
+``residual``, or any name assigned from such a subtraction in the same
+file).  Division by plain rates (``1.0 / rate``, mean service times) is
+deliberately not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+__all__ = ["AdHocResponseTime"]
+
+#: Identifier tokens that mark an expression as rate-flavoured.
+_RATE_TOKENS = {
+    "mu",
+    "mus",
+    "rate",
+    "rates",
+    "lam",
+    "lambda",
+    "lambdas",
+    "phi",
+    "capacity",
+    "capacities",
+    "load",
+    "loads",
+    "available",
+}
+
+#: Names that conventionally hold ``mu - lambda`` in this codebase.
+_GAP_NAMES = {"gap", "gaps", "inv_gap", "residual", "residuals"}
+
+
+def _identifiers(node: ast.expr) -> Iterator[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+def _is_rate_flavoured(node: ast.expr) -> bool:
+    for identifier in _identifiers(node):
+        if _RATE_TOKENS.intersection(identifier.lower().split("_")):
+            return True
+    return False
+
+
+def _is_gap_subtraction(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Sub)
+        and _is_rate_flavoured(node)
+    )
+
+
+@register
+class AdHocResponseTime(Rule):
+    code = "R003"
+    name = "no-adhoc-mm1"
+    rationale = (
+        "M/M/1 response-time formulas live in repro.queueing where "
+        "stability (lambda < mu) is checked; inline 1/(mu - lambda) "
+        "skips the check and goes negative past saturation"
+    )
+
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if source.in_package("queueing"):
+            return  # the audited implementations themselves
+        aliases = self._gap_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):
+                continue
+            denominator = node.right
+            if isinstance(denominator, ast.UnaryOp) and isinstance(
+                denominator.op, (ast.USub, ast.UAdd)
+            ):
+                denominator = denominator.operand
+            offending = _is_gap_subtraction(denominator) or (
+                isinstance(denominator, ast.Name)
+                and (denominator.id in _GAP_NAMES or denominator.id in aliases)
+            )
+            if offending:
+                yield self.finding(
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    "ad-hoc M/M/1 expression (division by a rate gap): "
+                    "call the audited repro.queueing helpers "
+                    "(expected_response_time / total_delay / "
+                    "marginal_delay) instead",
+                )
+
+    @staticmethod
+    def _gap_aliases(tree: ast.Module) -> frozenset[str]:
+        """Names assigned from a rate-gap subtraction anywhere in the file."""
+        aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_gap_subtraction(node.value)
+            ):
+                aliases.add(node.targets[0].id)
+        return frozenset(aliases)

@@ -1,0 +1,110 @@
+"""R004 — message handlers must dispatch every ``MessageKind`` member.
+
+The distributed NASH protocol is a token ring: correctness arguments in
+:mod:`repro.distributed` are case analyses over the message kinds a node
+can receive.  When a new kind is added to
+:class:`repro.distributed.messages.MessageKind`, every handler that
+branches on kinds must say what it does with it — an implicit "anything
+else falls through to the else branch" is exactly how a TERMINATE gets
+processed as if it were a TOKEN after the enum grows.
+
+A *handler* here is any function named ``handle`` or ``handle_*`` whose
+body mentions ``MessageKind``.  Dispatching a member means *comparing*
+against it (``kind is MessageKind.TOKEN``, ``==``, membership in a
+literal tuple/set, or a ``match`` case) — merely constructing a message
+of that kind does not count.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+__all__ = ["MessageExhaustiveness"]
+
+_ENUM_NAME = "MessageKind"
+
+
+def _kind_member(node: ast.expr) -> str | None:
+    """``MessageKind.X`` -> ``"X"``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == _ENUM_NAME
+    ):
+        return node.attr
+    return None
+
+
+def _dispatched_members(handler: ast.AST) -> set[str]:
+    dispatched: set[str] = set()
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                left, right = operands[index], operands[index + 1]
+                if isinstance(op, (ast.Is, ast.IsNot, ast.Eq, ast.NotEq)):
+                    for side in (left, right):
+                        member = _kind_member(side)
+                        if member is not None:
+                            dispatched.add(member)
+                elif isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+                    right, (ast.Tuple, ast.List, ast.Set)
+                ):
+                    for element in right.elts:
+                        member = _kind_member(element)
+                        if member is not None:
+                            dispatched.add(member)
+        elif isinstance(node, ast.MatchValue):
+            member = _kind_member(node.value)
+            if member is not None:
+                dispatched.add(member)
+    return dispatched
+
+
+def _mentions_enum(handler: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == _ENUM_NAME
+        for node in ast.walk(handler)
+    )
+
+
+@register
+class MessageExhaustiveness(Rule):
+    code = "R004"
+    name = "exhaustive-message-dispatch"
+    rationale = (
+        "protocol safety arguments are case analyses over MessageKind; a "
+        "handler that dispatches some kinds implicitly mishandles any "
+        "kind added later"
+    )
+
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        required = context.enum_members(_ENUM_NAME, near=source)
+        if not required:
+            return  # enum definition not in scope of this run
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not (node.name == "handle" or node.name.startswith("handle_")):
+                continue
+            if not _mentions_enum(node):
+                continue
+            missing = sorted(set(required) - _dispatched_members(node))
+            if missing:
+                yield self.finding(
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    f"handler '{node.name}' does not dispatch "
+                    f"MessageKind member(s) {', '.join(missing)}: compare "
+                    "against every kind explicitly (and raise on the "
+                    "unreachable else)",
+                )

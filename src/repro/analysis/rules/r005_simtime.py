@@ -1,0 +1,77 @@
+"""R005 — simulation/distributed code keeps sim-time and typed errors.
+
+The event-driven engine and the NASH token-ring protocol both advance a
+*virtual* clock: results are a pure function of (model, seed), which is
+what lets a chaos run replay bit-for-bit and lets CI compare golden
+values across machines.  Reading the wall clock (``time.time``,
+``datetime.now``, ``perf_counter`` used for logic) re-introduces the
+host machine as a hidden input.  Similarly, a bare ``except:`` in these
+paths swallows the typed protocol errors (and ``KeyboardInterrupt``)
+that the fault-tolerance layer relies on observing.
+
+Scope: files under ``simengine`` or ``distributed`` package directories.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._imports import ImportMap
+from repro.analysis.source import SourceFile
+
+__all__ = ["SimClockDiscipline"]
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class SimClockDiscipline(Rule):
+    code = "R005"
+    name = "sim-clock-discipline"
+    rationale = (
+        "simengine/distributed results must be a pure function of "
+        "(model, seed); wall-clock reads and bare excepts make runs "
+        "machine-dependent and swallow typed protocol errors"
+    )
+
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if not source.in_package("simengine", "distributed"):
+            return
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                dotted = imports.resolve(node.func)
+                if dotted in _WALL_CLOCK:
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        node.col_offset,
+                        f"wall-clock read {dotted}(): simulation logic "
+                        "must use the virtual sim clock so runs replay "
+                        "deterministically",
+                    )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    "bare 'except:' swallows typed protocol errors and "
+                    "KeyboardInterrupt: catch the specific exception",
+                )

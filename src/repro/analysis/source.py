@@ -1,0 +1,99 @@
+"""Parsed source files and per-line suppression comments.
+
+A :class:`SourceFile` bundles everything a rule needs to inspect one
+file: the AST, the raw lines, the path decomposed into parts (rules
+scope themselves by path component — e.g. R005 only applies inside
+``simengine``/``distributed``), and the suppression table parsed from
+``# reprolint: allow=R00X`` comments.
+
+Suppression grammar::
+
+    # reprolint: allow=R002 exact-sentinel
+    # reprolint: allow=R001,R003 any free-text reason
+
+A suppression comment covers the line it sits on; a comment that is
+alone on its line additionally covers the next line, so multi-line
+statements can be suppressed from above.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SourceFile", "parse_suppressions"]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*allow=([A-Za-z0-9,]+)")
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule codes suppressed there."""
+    table: dict[int, set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+        table.setdefault(number, set()).update(codes)
+        if line.lstrip().startswith("#"):
+            # Standalone comment: also covers the statement below it.
+            table.setdefault(number + 1, set()).update(codes)
+    return {number: frozenset(codes) for number, codes in table.items()}
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed Python file, ready for rule checks."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+    parts: tuple[str, ...]
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, text: str, path: str | Path) -> "SourceFile":
+        """Parse ``text`` as the contents of ``path``.
+
+        Raises
+        ------
+        SyntaxError
+            If the text is not valid Python; the engine converts this
+            into a :data:`~repro.analysis.finding.PARSE_ERROR` finding.
+        """
+        path = Path(path)
+        tree = ast.parse(text, filename=str(path))
+        lines = text.splitlines()
+        return cls(
+            path=str(path),
+            text=text,
+            tree=tree,
+            lines=tuple(lines),
+            parts=path.parts,
+            suppressions=parse_suppressions(lines),
+        )
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "SourceFile":
+        return cls.from_text(Path(path).read_text(encoding="utf-8"), path)
+
+    # ------------------------------------------------------------------
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Is rule ``code`` suppressed on (or just above) ``line``?"""
+        return code in self.suppressions.get(line, frozenset())
+
+    def in_package(self, *names: str) -> bool:
+        """Does any path component match one of ``names``?
+
+        Rules use path components rather than importable module names so
+        they behave identically on the installed package, the ``src``
+        tree, and synthetic fixture paths in tests.
+        """
+        return any(part in names for part in self.parts)
+
+    @property
+    def filename(self) -> str:
+        return self.parts[-1] if self.parts else self.path

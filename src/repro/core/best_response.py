@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
 from repro.core.waterfill import WaterfillResult, sqrt_waterfill
+from repro.queueing.mm1 import expected_response_time as mm1_response_time
 
 __all__ = [
     "BestResponse",
@@ -80,8 +81,8 @@ def optimal_fractions(available_rates, job_rate: float) -> BestResponse:
         raise ValueError("job rate must be strictly positive")
     fill: WaterfillResult = sqrt_waterfill(a, job_rate)
     fractions = fill.loads / job_rate
-    gap = a[fill.support] - fill.loads[fill.support]
-    d_j = float(fractions[fill.support] @ (1.0 / gap))
+    times = mm1_response_time(fill.loads[fill.support], a[fill.support])
+    d_j = float(fractions[fill.support] @ times)
     return BestResponse(
         fractions=fractions,
         expected_response_time=d_j,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.queueing.mm1 import expected_response_time, total_delay
 from repro.queueing.stability import assert_system_stable
 
 __all__ = ["DistributedSystem"]
@@ -132,10 +133,9 @@ class DistributedSystem:
     def response_times(self, fractions: np.ndarray) -> np.ndarray:
         """Per-computer expected response time ``F_i = 1/(mu_i - lambda_i)``."""
         lam = self.loads(fractions)
-        gap = self.service_rates - lam
-        if np.any(gap <= 0.0):
+        if np.any(self.service_rates - lam <= 0.0):
             raise ValueError("strategy profile violates per-computer stability")
-        return 1.0 / gap
+        return expected_response_time(lam, self.service_rates)
 
     def user_response_times(self, fractions: np.ndarray) -> np.ndarray:
         """Per-user expected response time ``D_j = sum_i s_ji F_i`` (eq. 2)."""
@@ -145,10 +145,10 @@ class DistributedSystem:
     def overall_response_time(self, fractions: np.ndarray) -> float:
         """Traffic-weighted mean response time ``(1/Phi) sum_i lambda_i F_i``."""
         lam = self.loads(fractions)
-        gap = self.service_rates - lam
-        if np.any(gap <= 0.0):
+        if np.any(self.service_rates - lam <= 0.0):
             raise ValueError("strategy profile violates per-computer stability")
-        return float((lam / gap).sum() / self.total_arrival_rate)
+        return float(total_delay(lam, self.service_rates).sum()
+                     / self.total_arrival_rate)
 
     def available_rates(self, fractions: np.ndarray, user: int) -> np.ndarray:
         """Processing rate left for ``user`` once everyone else is placed.

@@ -86,7 +86,7 @@ def sqrt_waterfill(capacities, demand: float) -> WaterfillResult:
     """
     a = _validate_inputs(capacities, demand)
     loads = np.zeros_like(a)
-    if demand == 0.0:
+    if demand == 0.0:  # reprolint: allow=R002 exact-sentinel
         return WaterfillResult(loads=loads, threshold=float("inf"),
                                support=np.array([], dtype=np.intp))
 
@@ -141,7 +141,7 @@ def response_time_waterfill(capacities, demand: float) -> WaterfillResult:
     """
     a = _validate_inputs(capacities, demand)
     loads = np.zeros_like(a)
-    if demand == 0.0:
+    if demand == 0.0:  # reprolint: allow=R002 exact-sentinel
         return WaterfillResult(loads=loads, threshold=float("inf"),
                                support=np.array([], dtype=np.intp))
 

@@ -139,23 +139,32 @@ class UserAgent:
         )
 
     def handle(self, message: Message) -> None:
-        """Process one received message (TOKEN or TERMINATE)."""
+        """Process one received message, dispatching on its kind."""
         if self.finished:
             raise RuntimeError(f"agent {self.rank} received a message after exit")
         if message.kind is MessageKind.TERMINATE:
-            # Forward around the ring until it is back at the initiator.
-            self.finished = True
-            if self._next_rank != 0:
-                self._bus.send(
-                    Message(
-                        kind=MessageKind.TERMINATE,
-                        sender=self.rank,
-                        receiver=self._next_rank,
-                        sweep=message.sweep,
-                    )
-                )
-            return
+            self._handle_terminate(message)
+        elif message.kind is MessageKind.TOKEN:
+            self._handle_token(message)
+        else:  # pragma: no cover - unreachable until MessageKind grows
+            raise ValueError(
+                f"agent {self.rank} has no dispatch for {message.kind!r}"
+            )
 
+    def _handle_terminate(self, message: Message) -> None:
+        # Forward around the ring until it is back at the initiator.
+        self.finished = True
+        if self._next_rank != 0:
+            self._bus.send(
+                Message(
+                    kind=MessageKind.TERMINATE,
+                    sender=self.rank,
+                    receiver=self._next_rank,
+                    sweep=message.sweep,
+                )
+            )
+
+    def _handle_token(self, message: Message) -> None:
         if self.rank == 0:
             # The token completed a circulation: decide termination.
             self.norm_history.append(message.norm)

@@ -33,6 +33,7 @@ def sparkline(values: Sequence[float]) -> str:
         if v is None or not math.isfinite(v):
             chars.append(" ")
             continue
+        # reprolint: allow=R002 exact-sentinel (flat series guard, not a tolerance)
         level = 0 if span == 0.0 else int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
         chars.append(_SPARK_LEVELS[level])
     return "".join(chars)

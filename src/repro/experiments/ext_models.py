@@ -39,6 +39,7 @@ from repro.simengine.arrivals import MMPPArrivals, PoissonArrivals
 from repro.simengine.fastpath import simulate_profile_fast
 from repro.simengine.service import from_scv
 from repro.simengine.simulator import simulate_profile
+from repro.tolerances import close
 from repro.workloads.configs import paper_table1_system
 
 __all__ = ["run_comm_delay", "run_misspecification", "run_bursty_arrivals"]
@@ -202,7 +203,7 @@ def run_bursty_arrivals(
     def sources(ratio: float):
         processes = []
         for phi in system.arrival_rates:
-            if ratio == 1.0:
+            if close(ratio, 1.0):
                 processes.append(PoissonArrivals(float(phi)))
             else:
                 # Equal phase sojourns: average = (calm + burst)/2 = phi.

@@ -17,9 +17,11 @@ using :mod:`repro.core` and :mod:`repro.schemes` directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, TypeVar, cast
 
 import numpy as np
 
+from repro._typing import ArrayLike
 from repro.core.equilibrium import EquilibriumCertificate, best_response_regrets
 from repro.core.model import DistributedSystem
 from repro.core.nash import NashResult, NashSolver
@@ -34,7 +36,12 @@ from repro.schemes import (
 )
 from repro.schemes.base import SchemeResult
 
+if TYPE_CHECKING:
+    from repro.core.best_response import BestResponse
+
 __all__ = ["LoadBalancingGame"]
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -48,17 +55,23 @@ class LoadBalancingGame:
 
     system: DistributedSystem
     tolerance: float = 1e-8
-    _cache: dict = field(default_factory=dict, repr=False)
+    _cache: dict[str, Any] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_rates(cls, service_rates, arrival_rates, **kwargs) -> "LoadBalancingGame":
+    def from_rates(
+        cls,
+        service_rates: ArrayLike,
+        arrival_rates: ArrayLike,
+        **kwargs: Any,
+    ) -> "LoadBalancingGame":
         """Build straight from rate vectors (jobs/second)."""
         return cls(
             DistributedSystem(
-                service_rates=service_rates, arrival_rates=arrival_rates
+                service_rates=np.asarray(service_rates, dtype=float),
+                arrival_rates=np.asarray(arrival_rates, dtype=float),
             ),
             **kwargs,
         )
@@ -67,10 +80,10 @@ class LoadBalancingGame:
         """Drop memoized solver results."""
         self._cache.clear()
 
-    def _memo(self, key: str, compute):
+    def _memo(self, key: str, compute: Callable[[], _T]) -> _T:
         if key not in self._cache:
             self._cache[key] = compute()
-        return self._cache[key]
+        return cast(_T, self._cache[key])
 
     # ------------------------------------------------------------------
     # Solutions
@@ -118,7 +131,7 @@ class LoadBalancingGame:
     # ------------------------------------------------------------------
     # Questions
     # ------------------------------------------------------------------
-    def best_response(self, user: int, profile: StrategyProfile):
+    def best_response(self, user: int, profile: StrategyProfile) -> "BestResponse":
         """One user's optimal reply against a profile (OPTIMAL algorithm)."""
         from repro.core.best_response import best_response
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import ArrayLike, FloatArray
+
 __all__ = [
     "fairness_index",
     "overall_response_time",
@@ -25,7 +27,7 @@ __all__ = [
 ]
 
 
-def fairness_index(values) -> float:
+def fairness_index(values: ArrayLike) -> float:
     """Jain's fairness index of a vector of per-user costs.
 
     ``I(x) = (sum x)^2 / (m * sum x^2)``.  Equals 1 exactly when all
@@ -38,26 +40,28 @@ def fairness_index(values) -> float:
         Per-user expected response times ``(D_1 .. D_m)``; must be
         nonnegative with at least one strictly positive entry.
     """
-    x = np.asarray(values, dtype=float)
+    x: FloatArray = np.asarray(values, dtype=float)
     if x.ndim != 1 or x.size == 0:
         raise ValueError("fairness index requires a nonempty 1-D vector")
     if np.any(x < 0.0):
         raise ValueError("fairness index requires nonnegative values")
     total = x.sum()
     square_sum = float(x @ x)
-    if square_sum == 0.0:
+    if square_sum == 0.0:  # reprolint: allow=R002 exact-sentinel
         raise ValueError("fairness index undefined for the all-zero vector")
     return float(total * total / (x.size * square_sum))
 
 
-def overall_response_time(per_user_times, arrival_rates) -> float:
+def overall_response_time(
+    per_user_times: ArrayLike, arrival_rates: ArrayLike
+) -> float:
     """Traffic-weighted overall expected response time.
 
     ``D = (1 / Phi) * sum_j phi_j D_j`` — the quantity the GOS baseline
     minimizes and the y-axis of the paper's Figures 4 and 6.
     """
-    d = np.asarray(per_user_times, dtype=float)
-    phi = np.asarray(arrival_rates, dtype=float)
+    d: FloatArray = np.asarray(per_user_times, dtype=float)
+    phi: FloatArray = np.asarray(arrival_rates, dtype=float)
     if d.shape != phi.shape:
         raise ValueError("per-user times and arrival rates must align")
     total = phi.sum()
@@ -91,20 +95,20 @@ def relative_gap(value: float, reference: float) -> float:
 
     Used to express statements like "NASH is 7% above GOS at 50% load".
     """
-    if reference == 0.0:
+    if reference == 0.0:  # reprolint: allow=R002 exact-sentinel
         raise ValueError("reference must be nonzero")
     return (value - reference) / reference
 
 
-def sweep_norm(previous_times, current_times) -> float:
+def sweep_norm(previous_times: ArrayLike, current_times: ArrayLike) -> float:
     """Convergence norm accumulated by one best-reply sweep.
 
     The NASH distributed algorithm (paper Sec. 3) accumulates
     ``norm += |D_j^{(l)} - D_j^{(l-1)}|`` as each user in the ring updates;
     a full sweep's norm below the tolerance terminates the iteration.
     """
-    prev = np.asarray(previous_times, dtype=float)
-    curr = np.asarray(current_times, dtype=float)
+    prev: FloatArray = np.asarray(previous_times, dtype=float)
+    curr: FloatArray = np.asarray(current_times, dtype=float)
     if prev.shape != curr.shape:
         raise ValueError("time vectors must have identical shapes")
     return float(np.abs(curr - prev).sum())

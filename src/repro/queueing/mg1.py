@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.queueing.mm1 import expected_response_time as _mm1_response
+from repro._typing import ArrayLike, FloatArray
 
 __all__ = [
     "expected_waiting_time_mg1",
@@ -33,10 +33,12 @@ __all__ = [
 mm1_scv: float = 1.0
 
 
-def _validate(arrival_rate, service_rate, scv):
-    lam = np.asarray(arrival_rate, dtype=float)
-    mu = np.asarray(service_rate, dtype=float)
-    c2 = np.asarray(scv, dtype=float)
+def _validate(
+    arrival_rate: ArrayLike, service_rate: ArrayLike, scv: ArrayLike
+) -> tuple[FloatArray, FloatArray, FloatArray]:
+    lam: FloatArray = np.asarray(arrival_rate, dtype=float)
+    mu: FloatArray = np.asarray(service_rate, dtype=float)
+    c2: FloatArray = np.asarray(scv, dtype=float)
     if np.any(mu <= 0.0):
         raise ValueError("service rate must be positive")
     if np.any(lam < 0.0):
@@ -48,27 +50,37 @@ def _validate(arrival_rate, service_rate, scv):
     return lam, mu, c2
 
 
-def expected_waiting_time_mg1(arrival_rate, service_rate, scv=mm1_scv):
+def expected_waiting_time_mg1(
+    arrival_rate: ArrayLike, service_rate: ArrayLike, scv: ArrayLike = mm1_scv
+) -> FloatArray:
     """P-K mean waiting time ``rho (1 + scv) / (2 mu (1 - rho))``."""
     lam, mu, c2 = _validate(arrival_rate, service_rate, scv)
-    rho = lam / mu
-    return rho * (1.0 + c2) / (2.0 * mu * (1.0 - rho))
+    rho: FloatArray = lam / mu
+    result: FloatArray = rho * (1.0 + c2) / (2.0 * mu * (1.0 - rho))
+    return result
 
 
-def expected_response_time_mg1(arrival_rate, service_rate, scv=mm1_scv):
+def expected_response_time_mg1(
+    arrival_rate: ArrayLike, service_rate: ArrayLike, scv: ArrayLike = mm1_scv
+) -> float | FloatArray:
     """P-K mean response time ``1/mu + W``.
 
     >>> expected_response_time_mg1(3.0, 5.0, scv=1.0)  # M/M/1 limit
     0.5
     """
     lam, mu, c2 = _validate(arrival_rate, service_rate, scv)
-    result = 1.0 / mu + expected_waiting_time_mg1(lam, mu, c2)
+    result: FloatArray = 1.0 / mu + expected_waiting_time_mg1(lam, mu, c2)
     if result.ndim == 0:
         return float(result)
     return result
 
 
-def expected_number_in_system_mg1(arrival_rate, service_rate, scv=mm1_scv):
+def expected_number_in_system_mg1(
+    arrival_rate: ArrayLike, service_rate: ArrayLike, scv: ArrayLike = mm1_scv
+) -> FloatArray:
     """Little's law applied to the P-K response time."""
     lam, _mu, _c2 = _validate(arrival_rate, service_rate, scv)
-    return lam * expected_response_time_mg1(arrival_rate, service_rate, scv)
+    result: FloatArray = lam * expected_response_time_mg1(
+        arrival_rate, service_rate, scv
+    )
+    return result

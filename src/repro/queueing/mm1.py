@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import ArrayLike, BoolArray, FloatArray
+
 __all__ = [
     "utilization",
     "expected_response_time",
@@ -30,7 +32,7 @@ __all__ = [
 ]
 
 
-def utilization(arrival_rate, service_rate):
+def utilization(arrival_rate: ArrayLike, service_rate: ArrayLike) -> FloatArray:
     """Server utilization ``rho = lambda / mu``.
 
     Parameters
@@ -40,29 +42,30 @@ def utilization(arrival_rate, service_rate):
     service_rate:
         Exponential service rate ``mu`` (jobs/second).
     """
-    arrival_rate = np.asarray(arrival_rate, dtype=float)
-    service_rate = np.asarray(service_rate, dtype=float)
-    if np.any(service_rate <= 0.0):
+    lam: FloatArray = np.asarray(arrival_rate, dtype=float)
+    mu: FloatArray = np.asarray(service_rate, dtype=float)
+    if np.any(mu <= 0.0):
         raise ValueError("service rate must be positive")
-    if np.any(arrival_rate < 0.0):
+    if np.any(lam < 0.0):
         raise ValueError("arrival rate must be nonnegative")
-    return arrival_rate / service_rate
+    rho: FloatArray = lam / mu
+    return rho
 
 
-def is_stable(arrival_rate, service_rate) -> bool | np.ndarray:
+def is_stable(arrival_rate: ArrayLike, service_rate: ArrayLike) -> bool | BoolArray:
     """Whether the queue is stable, i.e. ``lambda < mu``.
 
     Returns a boolean (or boolean array under broadcasting).
     """
-    arrival_rate = np.asarray(arrival_rate, dtype=float)
-    service_rate = np.asarray(service_rate, dtype=float)
-    result = arrival_rate < service_rate
+    lam: FloatArray = np.asarray(arrival_rate, dtype=float)
+    mu: FloatArray = np.asarray(service_rate, dtype=float)
+    result: BoolArray = lam < mu
     if result.ndim == 0:
         return bool(result)
     return result
 
 
-def _check_stable(arrival_rate: np.ndarray, service_rate: np.ndarray) -> None:
+def _check_stable(arrival_rate: FloatArray, service_rate: FloatArray) -> None:
     if np.any(arrival_rate >= service_rate):
         raise ValueError(
             "unstable queue: arrival rate must be strictly below service rate"
@@ -71,92 +74,112 @@ def _check_stable(arrival_rate: np.ndarray, service_rate: np.ndarray) -> None:
         raise ValueError("arrival rate must be nonnegative")
 
 
-def expected_response_time(arrival_rate, service_rate):
+def expected_response_time(
+    arrival_rate: ArrayLike, service_rate: ArrayLike
+) -> FloatArray:
     """Stationary expected response (sojourn) time ``T = 1 / (mu - lambda)``.
 
     This is the paper's eq. (1): the cost a job pays at computer ``i`` when
     the aggregate flow into it is ``lambda_i``.
     """
-    arrival_rate = np.asarray(arrival_rate, dtype=float)
-    service_rate = np.asarray(service_rate, dtype=float)
-    _check_stable(arrival_rate, service_rate)
-    return 1.0 / (service_rate - arrival_rate)
+    lam: FloatArray = np.asarray(arrival_rate, dtype=float)
+    mu: FloatArray = np.asarray(service_rate, dtype=float)
+    _check_stable(lam, mu)
+    result: FloatArray = 1.0 / (mu - lam)
+    return result
 
 
-def expected_waiting_time(arrival_rate, service_rate):
+def expected_waiting_time(
+    arrival_rate: ArrayLike, service_rate: ArrayLike
+) -> FloatArray:
     """Stationary expected waiting time in queue ``W = rho / (mu - lambda)``."""
-    arrival_rate = np.asarray(arrival_rate, dtype=float)
-    service_rate = np.asarray(service_rate, dtype=float)
-    _check_stable(arrival_rate, service_rate)
-    return arrival_rate / (service_rate * (service_rate - arrival_rate))
+    lam: FloatArray = np.asarray(arrival_rate, dtype=float)
+    mu: FloatArray = np.asarray(service_rate, dtype=float)
+    _check_stable(lam, mu)
+    result: FloatArray = lam / (mu * (mu - lam))
+    return result
 
 
-def expected_number_in_system(arrival_rate, service_rate):
+def expected_number_in_system(
+    arrival_rate: ArrayLike, service_rate: ArrayLike
+) -> FloatArray:
     """Stationary mean number in system ``L = rho / (1 - rho)``."""
     rho = utilization(arrival_rate, service_rate)
     if np.any(rho >= 1.0):
         raise ValueError("unstable queue: utilization must be below 1")
-    return rho / (1.0 - rho)
+    result: FloatArray = rho / (1.0 - rho)
+    return result
 
 
-def expected_number_in_queue(arrival_rate, service_rate):
+def expected_number_in_queue(
+    arrival_rate: ArrayLike, service_rate: ArrayLike
+) -> FloatArray:
     """Stationary mean queue length ``Lq = rho^2 / (1 - rho)``."""
     rho = utilization(arrival_rate, service_rate)
     if np.any(rho >= 1.0):
         raise ValueError("unstable queue: utilization must be below 1")
-    return rho * rho / (1.0 - rho)
+    result: FloatArray = rho * rho / (1.0 - rho)
+    return result
 
 
-def response_time_cdf(t, arrival_rate, service_rate):
+def response_time_cdf(
+    t: ArrayLike, arrival_rate: ArrayLike, service_rate: ArrayLike
+) -> FloatArray:
     """CDF of the stationary response time: ``1 - exp(-(mu - lambda) t)``.
 
     The M/M/1 sojourn time is exponential with rate ``mu - lambda``.
     """
-    t = np.asarray(t, dtype=float)
-    arrival_rate = np.asarray(arrival_rate, dtype=float)
-    service_rate = np.asarray(service_rate, dtype=float)
-    _check_stable(arrival_rate, service_rate)
-    if np.any(t < 0.0):
+    times: FloatArray = np.asarray(t, dtype=float)
+    lam: FloatArray = np.asarray(arrival_rate, dtype=float)
+    mu: FloatArray = np.asarray(service_rate, dtype=float)
+    _check_stable(lam, mu)
+    if np.any(times < 0.0):
         raise ValueError("time must be nonnegative")
-    return 1.0 - np.exp(-(service_rate - arrival_rate) * t)
+    result: FloatArray = 1.0 - np.exp(-(mu - lam) * times)
+    return result
 
 
-def response_time_quantile(q, arrival_rate, service_rate):
+def response_time_quantile(
+    q: ArrayLike, arrival_rate: ArrayLike, service_rate: ArrayLike
+) -> FloatArray:
     """Quantile of the stationary response time distribution.
 
     Inverse of :func:`response_time_cdf`; useful for tail-latency style
     reporting on top of the mean values the paper uses.
     """
-    q = np.asarray(q, dtype=float)
-    if np.any((q < 0.0) | (q >= 1.0)):
+    levels: FloatArray = np.asarray(q, dtype=float)
+    if np.any((levels < 0.0) | (levels >= 1.0)):
         raise ValueError("quantile level must lie in [0, 1)")
-    arrival_rate = np.asarray(arrival_rate, dtype=float)
-    service_rate = np.asarray(service_rate, dtype=float)
-    _check_stable(arrival_rate, service_rate)
-    return -np.log1p(-q) / (service_rate - arrival_rate)
+    lam: FloatArray = np.asarray(arrival_rate, dtype=float)
+    mu: FloatArray = np.asarray(service_rate, dtype=float)
+    _check_stable(lam, mu)
+    result: FloatArray = -np.log1p(-levels) / (mu - lam)
+    return result
 
 
-def total_delay(arrival_rate, service_rate):
+def total_delay(arrival_rate: ArrayLike, service_rate: ArrayLike) -> FloatArray:
     """Aggregate delay rate ``lambda * T = lambda / (mu - lambda)``.
 
     Summed over computers and divided by the total arrival rate this is the
     overall expected response time minimized by the GOS baseline.
     """
-    arrival_rate = np.asarray(arrival_rate, dtype=float)
-    service_rate = np.asarray(service_rate, dtype=float)
-    _check_stable(arrival_rate, service_rate)
-    return arrival_rate / (service_rate - arrival_rate)
+    lam: FloatArray = np.asarray(arrival_rate, dtype=float)
+    mu: FloatArray = np.asarray(service_rate, dtype=float)
+    _check_stable(lam, mu)
+    result: FloatArray = lam / (mu - lam)
+    return result
 
 
-def marginal_delay(arrival_rate, service_rate):
+def marginal_delay(arrival_rate: ArrayLike, service_rate: ArrayLike) -> FloatArray:
     """Derivative ``d/d lambda [lambda / (mu - lambda)] = mu / (mu - lambda)^2``.
 
     The first-order (KKT) conditions of both the user's best-response
     problem and the global optimum equalize this quantity over the support,
     which is the basis of the water-filling solvers.
     """
-    arrival_rate = np.asarray(arrival_rate, dtype=float)
-    service_rate = np.asarray(service_rate, dtype=float)
-    _check_stable(arrival_rate, service_rate)
-    gap = service_rate - arrival_rate
-    return service_rate / (gap * gap)
+    lam: FloatArray = np.asarray(arrival_rate, dtype=float)
+    mu: FloatArray = np.asarray(service_rate, dtype=float)
+    _check_stable(lam, mu)
+    gap: FloatArray = mu - lam
+    result: FloatArray = mu / (gap * gap)
+    return result

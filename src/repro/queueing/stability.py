@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import ArrayLike, FloatArray
+
 __all__ = [
     "SLACK",
     "assert_system_stable",
@@ -25,12 +27,12 @@ __all__ = [
 SLACK = 1e-9
 
 
-def assert_system_stable(service_rates, arrival_rates) -> None:
+def assert_system_stable(service_rates: ArrayLike, arrival_rates: ArrayLike) -> None:
     """Raise ``ValueError`` unless ``sum(phi) < sum(mu)``."""
-    mu = np.asarray(service_rates, dtype=float)
-    phi = np.asarray(arrival_rates, dtype=float)
-    total_mu = mu.sum()
-    total_phi = phi.sum()
+    mu: FloatArray = np.asarray(service_rates, dtype=float)
+    phi: FloatArray = np.asarray(arrival_rates, dtype=float)
+    total_mu = float(mu.sum())
+    total_phi = float(phi.sum())
     if not total_phi < total_mu:
         raise ValueError(
             "total arrival rate %.6g must be strictly below the aggregate "
@@ -38,15 +40,17 @@ def assert_system_stable(service_rates, arrival_rates) -> None:
         )
 
 
-def assert_loads_stable(loads, service_rates, *, tol: float = SLACK) -> None:
+def assert_loads_stable(
+    loads: ArrayLike, service_rates: ArrayLike, *, tol: float = SLACK
+) -> None:
     """Raise ``ValueError`` unless ``lambda_i < mu_i`` for every computer.
 
     A relative tolerance ``tol`` is allowed so that loads produced by
     floating-point water-filling right at the boundary do not spuriously
     fail.
     """
-    lam = np.asarray(loads, dtype=float)
-    mu = np.asarray(service_rates, dtype=float)
+    lam: FloatArray = np.asarray(loads, dtype=float)
+    mu: FloatArray = np.asarray(service_rates, dtype=float)
     if lam.shape != mu.shape:
         raise ValueError("loads and service rates must align")
     if np.any(lam < -tol * mu):
@@ -59,20 +63,20 @@ def assert_loads_stable(loads, service_rates, *, tol: float = SLACK) -> None:
         )
 
 
-def stability_margin(loads, service_rates) -> float:
+def stability_margin(loads: ArrayLike, service_rates: ArrayLike) -> float:
     """Smallest relative gap ``min_i (mu_i - lambda_i) / mu_i``.
 
     Positive for stable profiles; the closer to zero, the closer some queue
     is to saturation.
     """
-    lam = np.asarray(loads, dtype=float)
-    mu = np.asarray(service_rates, dtype=float)
+    lam: FloatArray = np.asarray(loads, dtype=float)
+    mu: FloatArray = np.asarray(service_rates, dtype=float)
     if lam.shape != mu.shape:
         raise ValueError("loads and service rates must align")
     return float(np.min((mu - lam) / mu))
 
 
-def max_stable_total_rate(service_rates, *, margin: float = 0.0) -> float:
+def max_stable_total_rate(service_rates: ArrayLike, *, margin: float = 0.0) -> float:
     """Largest total arrival rate with the given relative safety margin.
 
     ``margin = 0.1`` returns 90% of the aggregate processing rate, the way
@@ -80,5 +84,5 @@ def max_stable_total_rate(service_rates, *, margin: float = 0.0) -> float:
     """
     if not 0.0 <= margin < 1.0:
         raise ValueError("margin must lie in [0, 1)")
-    mu = np.asarray(service_rates, dtype=float)
+    mu: FloatArray = np.asarray(service_rates, dtype=float)
     return float(mu.sum() * (1.0 - margin))

@@ -12,10 +12,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, cast
 
-import numpy as np
-
+from repro._typing import FloatArray
 from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
 from repro.queueing.metrics import fairness_index, overall_response_time
@@ -47,14 +46,14 @@ class SchemeResult:
 
     scheme: str
     profile: StrategyProfile
-    user_times: np.ndarray
+    user_times: FloatArray
     overall_time: float
     fairness: float
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     @property
-    def loads(self) -> np.ndarray | None:
-        return self.extra.get("loads")
+    def loads(self) -> FloatArray | None:
+        return cast("FloatArray | None", self.extra.get("loads"))
 
 
 def evaluate_profile(

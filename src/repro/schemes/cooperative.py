@@ -29,8 +29,10 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import optimize
 
+from repro._typing import ArrayLike, FloatArray
 from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
+from repro.queueing.mm1 import expected_response_time
 from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
 from repro.schemes.global_optimal import global_optimal_loads
 from repro.schemes.proportional import ProportionalScheme
@@ -42,7 +44,7 @@ _PENALTY = 1e12
 
 def nash_bargaining_profile(
     system: DistributedSystem,
-    disagreement_times: np.ndarray,
+    disagreement_times: ArrayLike,
     *,
     max_iterations: int = 500,
 ) -> StrategyProfile:
@@ -58,7 +60,7 @@ def nash_bargaining_profile(
     m, n = system.n_users, system.n_computers
     phi = system.arrival_rates
     mu = system.service_rates
-    d0 = np.asarray(disagreement_times, dtype=float)
+    d0: FloatArray = np.asarray(disagreement_times, dtype=float)
     if d0.shape != (m,):
         raise ValueError("disagreement point must have one entry per user")
 
@@ -67,38 +69,42 @@ def nash_bargaining_profile(
     start = StrategyProfile.from_loads(system, global_optimal_loads(system))
     x0 = start.fractions.ravel()
 
-    def unpack(x: np.ndarray):
-        s = x.reshape(m, n)
-        lam = phi @ s
-        gap = mu - lam
+    def unpack(x: FloatArray) -> tuple[FloatArray, FloatArray, FloatArray]:
+        s: FloatArray = x.reshape(m, n)
+        lam: FloatArray = phi @ s
+        gap: FloatArray = mu - lam
         return s, lam, gap
 
-    def objective(x: np.ndarray) -> float:
-        s, _lam, gap = unpack(x)
-        if np.any(gap <= 0.0):
+    def objective(x: FloatArray) -> float:
+        s, lam, gap = unpack(x)
+        if np.any(gap <= 0.0) or np.any(lam < 0.0):
             return _PENALTY
-        times = s @ (1.0 / gap)
+        times = s @ expected_response_time(lam, mu)
         gains = d0 - times
         if np.any(gains <= 0.0):
             return _PENALTY
         return -float(np.log(gains).sum())
 
-    def gradient(x: np.ndarray) -> np.ndarray:
-        s, _lam, gap = unpack(x)
-        if np.any(gap <= 0.0):
-            return np.zeros_like(x)
-        inv_gap = 1.0 / gap
+    def gradient(x: FloatArray) -> FloatArray:
+        s, lam, gap = unpack(x)
+        if np.any(gap <= 0.0) or np.any(lam < 0.0):
+            zeros: FloatArray = np.zeros_like(x)
+            return zeros
+        inv_gap = expected_response_time(lam, mu)
         times = s @ inv_gap
         gains = d0 - times
         if np.any(gains <= 0.0):
-            return np.zeros_like(x)
+            zeros = np.zeros_like(x)
+            return zeros
         inv_gains = 1.0 / gains  # (m,)
         # dD_j/ds_ki = delta_jk / gap_i + s_ji * phi_k / gap_i^2
         # dO/ds_ki   = inv_gains_k / gap_i
         #            + (sum_j inv_gains_j s_ji) * phi_k / gap_i^2
         shared = (inv_gains @ s) * inv_gap * inv_gap  # (n,)
-        grad = inv_gains[:, None] * inv_gap[None, :] + phi[:, None] * shared[None, :]
-        return grad.ravel()
+        grad: FloatArray = (
+            inv_gains[:, None] * inv_gap[None, :] + phi[:, None] * shared[None, :]
+        ).ravel()
+        return grad
 
     constraints = [
         {
@@ -116,7 +122,7 @@ def nash_bargaining_profile(
         method="SLSQP",
         options={"maxiter": max_iterations, "ftol": 1e-12},
     )
-    fractions = np.clip(solution.x.reshape(m, n), 0.0, None)
+    fractions: FloatArray = np.clip(solution.x.reshape(m, n), 0.0, None)
     fractions /= fractions.sum(axis=1, keepdims=True)
     return StrategyProfile(fractions)
 

@@ -36,9 +36,11 @@ from typing import Literal
 import numpy as np
 from scipy import optimize
 
+from repro._typing import ArrayLike, FloatArray
 from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
 from repro.core.waterfill import sqrt_waterfill
+from repro.queueing.mm1 import marginal_delay, total_delay
 from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
 
 __all__ = [
@@ -51,16 +53,19 @@ __all__ = [
 SplitPolicy = Literal["sequential", "fair", "slsqp"]
 
 
-def global_optimal_loads(system: DistributedSystem) -> np.ndarray:
+def global_optimal_loads(system: DistributedSystem) -> FloatArray:
     """Socially optimal aggregate loads ``lambda*`` (unique).
 
     The water-fill ``lambda*_i = max(0, mu_i - t sqrt(mu_i))`` with the
     threshold chosen so that the loads sum to ``Phi``.
     """
-    return sqrt_waterfill(system.service_rates, system.total_arrival_rate).loads
+    loads: FloatArray = sqrt_waterfill(
+        system.service_rates, system.total_arrival_rate
+    ).loads
+    return loads
 
 
-def sequential_fill_split(system: DistributedSystem, loads: np.ndarray) -> np.ndarray:
+def sequential_fill_split(system: DistributedSystem, loads: ArrayLike) -> FloatArray:
     """Deterministic unfair split of aggregate loads among users.
 
     Computers are visited fastest-first; each user in index order consumes
@@ -75,7 +80,7 @@ def sequential_fill_split(system: DistributedSystem, loads: np.ndarray) -> np.nd
     ``i`` owns ``[L_{i-1}, L_i)`` of the cumulative (sorted) load line; the
     amount user ``j`` places on computer ``i`` is the overlap length.
     """
-    lam = np.asarray(loads, dtype=float)
+    lam: FloatArray = np.asarray(loads, dtype=float)
     if lam.shape != (system.n_computers,):
         raise ValueError("loads must have one entry per computer")
     order = np.argsort(-system.service_rates, kind="stable")
@@ -91,7 +96,7 @@ def sequential_fill_split(system: DistributedSystem, loads: np.ndarray) -> np.nd
     overlap = np.clip(hi - lo, 0.0, None)  # (m, n_sorted) job-rate mass
 
     fractions_sorted = overlap / system.arrival_rates[:, None]
-    fractions = np.empty_like(fractions_sorted)
+    fractions: FloatArray = np.empty_like(fractions_sorted)
     fractions[:, order] = fractions_sorted
     # Normalize away accumulated round-off so conservation holds exactly.
     fractions /= fractions.sum(axis=1, keepdims=True)
@@ -120,23 +125,23 @@ def solve_gos_nlp(
         start = StrategyProfile.proportional(system)
     x0 = start.fractions.ravel()
 
-    def objective(x: np.ndarray) -> float:
+    def objective(x: FloatArray) -> float:
         s = x.reshape(m, n)
-        lam = phi @ s
-        gap = mu - lam
-        if np.any(gap <= 0.0):
+        lam: FloatArray = phi @ s
+        if np.any(mu - lam <= 0.0) or np.any(lam < 0.0):
             return 1e12
-        return float((lam / gap).sum() / total)
+        return float(total_delay(lam, mu).sum() / total)
 
-    def gradient(x: np.ndarray) -> np.ndarray:
+    def gradient(x: FloatArray) -> FloatArray:
         s = x.reshape(m, n)
-        lam = phi @ s
-        gap = mu - lam
-        if np.any(gap <= 0.0):
-            return np.zeros_like(x)
-        # d D / d s_ji = phi_j * mu_i / gap_i^2 / total
-        per_computer = mu / (gap * gap) / total
-        return (phi[:, None] * per_computer[None, :]).ravel()
+        lam: FloatArray = phi @ s
+        if np.any(mu - lam <= 0.0) or np.any(lam < 0.0):
+            out: FloatArray = np.zeros_like(x)
+            return out
+        # d D / d s_ji = phi_j * mu_i / (mu_i - lambda_i)^2 / total
+        per_computer = marginal_delay(lam, mu) / total
+        grad: FloatArray = (phi[:, None] * per_computer[None, :]).ravel()
+        return grad
 
     constraints = [
         {

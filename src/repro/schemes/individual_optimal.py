@@ -25,9 +25,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._typing import FloatArray
 from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
 from repro.core.waterfill import response_time_waterfill
+from repro.queueing.mm1 import expected_response_time
 from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
 
 __all__ = [
@@ -38,11 +40,12 @@ __all__ = [
 ]
 
 
-def wardrop_loads(system: DistributedSystem) -> np.ndarray:
+def wardrop_loads(system: DistributedSystem) -> FloatArray:
     """Closed-form Wardrop equilibrium aggregate loads."""
-    return response_time_waterfill(
+    loads: FloatArray = response_time_waterfill(
         system.service_rates, system.total_arrival_rate
     ).loads
+    return loads
 
 
 def wardrop_response_time(system: DistributedSystem) -> float:
@@ -59,7 +62,7 @@ def flow_deviation_loads(
     *,
     tolerance: float = 1e-10,
     max_iterations: int = 100_000,
-) -> tuple[np.ndarray, int]:
+) -> tuple[FloatArray, int]:
     """Wardrop loads via the flow-deviation iteration.
 
     Repeatedly shifts a step of flow from the currently slowest used
@@ -73,12 +76,12 @@ def flow_deviation_loads(
     mu = system.service_rates
     total = system.total_arrival_rate
     # Feasible start: proportional loads keep every queue strictly stable.
-    loads = total * mu / mu.sum()
+    loads: FloatArray = total * mu / mu.sum()
 
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         gap = mu - loads
-        times = 1.0 / gap
+        times = expected_response_time(loads, mu)
         # Response time of the best target; idle computers count with 1/mu.
         fastest = int(np.argmin(times))
         used = loads > 0.0

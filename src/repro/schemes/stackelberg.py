@@ -25,25 +25,30 @@ from typing import Literal
 import numpy as np
 from scipy import optimize
 
+from repro._typing import ArrayLike, FloatArray
 from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
 from repro.core.waterfill import response_time_waterfill, sqrt_waterfill
+from repro.queueing.mm1 import total_delay
 from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
+from repro.tolerances import is_zero
 
 __all__ = ["StackelbergScheme", "induced_equilibrium_loads", "stackelberg_total_cost"]
 
 
 def induced_equilibrium_loads(
-    system: DistributedSystem, leader_loads: np.ndarray, follower_demand: float
-) -> np.ndarray:
+    system: DistributedSystem, leader_loads: ArrayLike, follower_demand: float
+) -> FloatArray:
     """Follower (Wardrop) loads induced by a committed leader allocation.
 
     Followers see residual capacities ``mu_i - L_i`` and equilibrate their
     ``follower_demand`` on them; the leader's flow is already in place, so
     follower response times are ``1/(mu_i - L_i - x_i)``.
     """
-    residual = system.service_rates - np.asarray(leader_loads, dtype=float)
-    if follower_demand == 0.0:
+    residual: FloatArray = system.service_rates - np.asarray(
+        leader_loads, dtype=float
+    )
+    if is_zero(follower_demand, scale=float(system.service_rates.sum())):
         return np.zeros_like(residual)
     usable = residual[residual > 0.0]
     if follower_demand >= usable.sum():
@@ -51,30 +56,31 @@ def induced_equilibrium_loads(
             "leader allocation leaves insufficient residual capacity for "
             "the followers"
         )
-    return response_time_waterfill(residual, follower_demand).loads
+    loads: FloatArray = response_time_waterfill(residual, follower_demand).loads
+    return loads
 
 
 def stackelberg_total_cost(
-    system: DistributedSystem, leader_loads: np.ndarray, follower_demand: float
+    system: DistributedSystem, leader_loads: ArrayLike, follower_demand: float
 ) -> float:
     """Overall expected response time of leader + induced follower flow."""
-    leader_loads = np.asarray(leader_loads, dtype=float)
+    committed: FloatArray = np.asarray(leader_loads, dtype=float)
     try:
         follower = induced_equilibrium_loads(
-            system, leader_loads, follower_demand
+            system, committed, follower_demand
         )
     except ValueError:
         return float("inf")
-    lam = leader_loads + follower
-    gap = system.service_rates - lam
-    if np.any(gap <= 0.0):
+    lam = committed + follower
+    if np.any(system.service_rates - lam <= 0.0):
         return float("inf")
-    return float((lam / gap).sum() / system.total_arrival_rate)
+    return float(total_delay(lam, system.service_rates).sum()
+                 / system.total_arrival_rate)
 
 
 def _optimal_leader_loads(
     system: DistributedSystem, leader_demand: float, follower_demand: float
-) -> np.ndarray:
+) -> FloatArray:
     """Numerically optimize the leader's committed loads (SLSQP)."""
     mu = system.service_rates
     n = mu.size
@@ -82,7 +88,7 @@ def _optimal_leader_loads(
     total_opt = sqrt_waterfill(mu, system.total_arrival_rate).loads
     x0 = total_opt * (leader_demand / system.total_arrival_rate)
 
-    def objective(loads: np.ndarray) -> float:
+    def objective(loads: FloatArray) -> float:
         return stackelberg_total_cost(system, loads, follower_demand)
 
     constraints = [
@@ -98,7 +104,7 @@ def _optimal_leader_loads(
         method="SLSQP",
         options={"maxiter": 400, "ftol": 1e-12},
     )
-    loads = np.clip(solution.x, 0.0, None)
+    loads: FloatArray = np.clip(solution.x, 0.0, None)
     if loads.sum() > 0.0:
         loads *= leader_demand / loads.sum()
     return loads
@@ -127,7 +133,7 @@ class StackelbergScheme(LoadBalancingScheme):
         leader_demand = self.beta * total
         follower_demand = total - leader_demand
 
-        if leader_demand == 0.0:
+        if is_zero(leader_demand, scale=total):
             leader_loads = np.zeros(system.n_computers)
         elif self.strategy == "aloof":
             leader_loads = sqrt_waterfill(system.service_rates, leader_demand).loads

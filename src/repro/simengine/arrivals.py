@@ -99,7 +99,7 @@ class MMPPArrivals(ArrivalProcess):
     @property
     def burstiness(self) -> float:
         """Ratio of burst to calm rate (1 degenerates to Poisson)."""
-        if self.rates[0] == 0.0:
+        if self.rates[0] == 0.0:  # reprolint: allow=R002 exact-sentinel
             return float("inf")
         return self.rates[1] / self.rates[0]
 

@@ -168,11 +168,11 @@ def from_scv(rate: float, scv: float) -> ServiceDistribution:
     """
     if scv < 0.0:
         raise ValueError("scv must be nonnegative")
-    if scv == 0.0:
+    if scv == 0.0:  # reprolint: allow=R002 exact-sentinel
         return Deterministic(rate)
     if scv < 1.0:
         k = max(1, round(1.0 / scv))
         return Erlang(rate, k=k)
-    if scv == 1.0:
+    if scv == 1.0:  # reprolint: allow=R002 exact-sentinel
         return Exponential(rate)
     return HyperExponential(rate, target_scv=scv)

@@ -1,0 +1,42 @@
+"""Tolerance-based float comparisons for rates, fractions and delays.
+
+Every quantity this reproduction manipulates — arrival rates, strategy
+fractions, expected response times — is the output of floating-point
+water-fills, matrix products or iterative optimizers.  Exact ``==``
+against such values encodes an invariant that round-off falsifies; the
+static-analysis rule R002 (:mod:`repro.analysis`) therefore bans it and
+points here.
+
+The defaults mirror :func:`math.isclose` (relative tolerance ``1e-9``)
+with a small absolute floor so comparisons against zero behave.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["close", "is_zero"]
+
+#: Default relative tolerance, matching :func:`math.isclose`.
+REL_TOL = 1e-9
+
+#: Default absolute floor; ``math.isclose`` defaults this to 0.0, which
+#: makes every comparison against 0.0 fail — rarely what rate/fraction
+#: arithmetic wants.
+ABS_TOL = 1e-12
+
+
+def close(a: float, b: float, *, rel_tol: float = REL_TOL,
+          abs_tol: float = ABS_TOL) -> bool:
+    """``True`` when ``a`` and ``b`` agree up to round-off."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def is_zero(x: float, *, abs_tol: float = ABS_TOL, scale: float = 1.0) -> bool:
+    """``True`` when ``x`` is zero up to round-off.
+
+    ``scale`` sets the magnitude of the arithmetic that produced ``x``
+    (e.g. the total demand a share was computed from), so the effective
+    threshold is ``abs_tol * max(scale, 1.0)``.
+    """
+    return abs(x) <= abs_tol * max(abs(scale), 1.0)

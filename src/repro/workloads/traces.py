@@ -78,7 +78,7 @@ def random_walk_utilizations(
     mean: float = 0.6,
     volatility: float = 0.08,
     reversion: float = 0.3,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence | np.random.Generator = 0,
     low: float = 0.05,
     high: float = 0.95,
 ) -> np.ndarray:
@@ -86,6 +86,11 @@ def random_walk_utilizations(
 
     ``rho_{k+1} = rho_k + reversion (mean - rho_k) + volatility xi_k``,
     clipped to ``[low, high]``.
+
+    ``seed`` may be an integer, a :class:`numpy.random.SeedSequence`, or
+    an already-constructed :class:`numpy.random.Generator` — callers
+    threading a single seeded stream through a whole experiment pass the
+    generator directly.
     """
     if n_epochs < 1:
         raise ValueError("need at least one epoch")
@@ -94,7 +99,10 @@ def random_walk_utilizations(
         raise ValueError("mean must lie inside the clip band")
     if volatility < 0.0 or not 0.0 <= reversion <= 1.0:
         raise ValueError("invalid volatility or reversion")
-    rng = np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        rng = seed
+    else:
+        rng = np.random.default_rng(seed)
     trace = np.empty(n_epochs)
     level = mean
     for k in range(n_epochs):

@@ -1,0 +1,36 @@
+"""Shared helpers for the repro-lint test suite.
+
+Rule tests lint small synthetic sources under synthetic paths; the
+``lint`` fixture turns a ``{path: source_text}`` mapping into one lint
+run (so cross-file context such as R004's enum collection works) and
+returns the surviving findings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import pytest
+
+from repro.analysis.engine import lint_sources
+from repro.analysis.finding import Finding
+from repro.analysis.source import SourceFile
+
+
+@pytest.fixture
+def lint():
+    """Lint a ``{path: text}`` mapping as one run, returning findings."""
+
+    def _lint(
+        snippets: dict[str, str],
+        *,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> list[Finding]:
+        sources = [
+            SourceFile.from_text(text, path)
+            for path, text in sorted(snippets.items())
+        ]
+        return lint_sources(sources, select=select, ignore=ignore)
+
+    return _lint

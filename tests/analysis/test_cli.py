@@ -1,0 +1,60 @@
+"""The ``repro-lint`` CLI: exit codes, formats, rule listing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cli import main
+
+
+def _write(tmp_path, name, text):
+    target = tmp_path / name
+    target.write_text(text)
+    return str(target)
+
+
+def test_clean_run_exits_zero(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", "x = 1\n")
+    assert main([path]) == 0
+    assert capsys.readouterr().out.strip() == "repro-lint: clean"
+
+
+def test_findings_exit_one(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", "import random\n")
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    assert "R001" in out
+    assert "1 finding" in out
+
+
+def test_json_format(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", "import random\n")
+    assert main([path, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "R001"
+
+
+def test_select_and_ignore(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", "import random\nflag = 1.0 == 2.0\n")
+    assert main([path, "--select", "R002"]) == 1
+    assert "R001" not in capsys.readouterr().out
+    assert main([path, "--ignore", "R001,R002"]) == 0
+
+
+def test_unknown_rule_code_exits_two(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", "x = 1\n")
+    assert main([path, "--select", "R999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "repro-lint:" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("R001", "R002", "R003", "R004", "R005"):
+        assert code in out

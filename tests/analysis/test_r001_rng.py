@@ -1,0 +1,97 @@
+"""R001 — no unseeded or module-level randomness."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(code: str) -> str:
+    return textwrap.dedent(code).lstrip()
+
+
+def test_stdlib_random_import_fires(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            import random
+
+            value = random.random()
+        """)},
+        select=["R001"],
+    )
+    assert [f.rule for f in findings] == ["R001", "R001"]
+    assert "stdlib" in findings[0].message
+
+
+def test_stdlib_random_from_import_fires(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            from random import choice
+        """)},
+        select=["R001"],
+    )
+    assert [f.rule for f in findings] == ["R001"]
+
+
+def test_module_level_numpy_random_fires(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            import numpy as np
+
+            np.random.seed(42)
+            x = np.random.rand(3)
+        """)},
+        select=["R001"],
+    )
+    assert [f.rule for f in findings] == ["R001", "R001"]
+    assert all("hidden global state" in f.message for f in findings)
+
+
+def test_unseeded_default_rng_fires(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            import numpy as np
+
+            a = np.random.default_rng()
+            b = np.random.default_rng(None)
+        """)},
+        select=["R001"],
+    )
+    assert [f.rule for f in findings] == ["R001", "R001"]
+    assert all("unseeded" in f.message for f in findings)
+
+
+def test_seeded_construction_is_clean(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            import numpy as np
+
+            rng = np.random.default_rng(42)
+            gen = np.random.Generator(np.random.PCG64(np.random.SeedSequence(7)))
+        """)},
+        select=["R001"],
+    )
+    assert findings == []
+
+
+def test_audited_rng_module_is_exempt(lint):
+    findings = lint(
+        {"src/repro/simengine/rng.py": _src("""
+            import numpy as np
+
+            rng = np.random.default_rng()
+        """)},
+        select=["R001"],
+    )
+    assert findings == []
+
+
+def test_suppression_comment_silences_r001(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            import numpy as np
+
+            rng = np.random.default_rng()  # reprolint: allow=R001 demo only
+        """)},
+        select=["R001"],
+    )
+    assert findings == []

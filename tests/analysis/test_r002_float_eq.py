@@ -1,0 +1,95 @@
+"""R002 — no exact equality against float literals."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(code: str) -> str:
+    return textwrap.dedent(code).lstrip()
+
+
+def test_float_equality_fires(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def converged(norm):
+                return norm == 0.0
+        """)},
+        select=["R002"],
+    )
+    assert [f.rule for f in findings] == ["R002"]
+    assert "repro.tolerances" in findings[0].message
+
+
+def test_float_inequality_and_negative_literal_fire(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def check(x, y):
+                return x != 0.5 or y == -1.0
+        """)},
+        select=["R002"],
+    )
+    assert len(findings) == 2
+
+
+def test_integer_literal_comparison_is_clean(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def check(count):
+                return count == 0
+        """)},
+        select=["R002"],
+    )
+    assert findings == []
+
+
+def test_assert_statements_are_exempt(lint):
+    # Tests pin deterministic golden values on purpose.
+    findings = lint(
+        {"pkg/test_feature.py": _src("""
+            def test_waterfill(result):
+                assert result.threshold == 0.25
+        """)},
+        select=["R002"],
+    )
+    assert findings == []
+
+
+def test_same_line_suppression(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def split(demand):
+                if demand == 0.0:  # reprolint: allow=R002 exact-sentinel
+                    return None
+                return demand
+        """)},
+        select=["R002"],
+    )
+    assert findings == []
+
+
+def test_standalone_suppression_covers_next_line(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def split(demand):
+                # reprolint: allow=R002 exact-sentinel, assigned not computed
+                if demand == 0.0:
+                    return None
+                return demand
+        """)},
+        select=["R002"],
+    )
+    assert findings == []
+
+
+def test_suppressing_a_different_code_does_not_silence(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def split(demand):
+                if demand == 0.0:  # reprolint: allow=R001 wrong code
+                    return None
+                return demand
+        """)},
+        select=["R002"],
+    )
+    assert [f.rule for f in findings] == ["R002"]

@@ -1,0 +1,103 @@
+"""R003 — no ad-hoc M/M/1 arithmetic outside ``repro.queueing``."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(code: str) -> str:
+    return textwrap.dedent(code).lstrip()
+
+
+def test_inline_rate_gap_division_fires(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def response_time(mu, lam):
+                return 1.0 / (mu - lam)
+        """)},
+        select=["R003"],
+    )
+    assert [f.rule for f in findings] == ["R003"]
+    assert "repro.queueing" in findings[0].message
+
+
+def test_conventional_gap_name_fires(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def marginal(mu, gap):
+                return mu / gap
+        """)},
+        select=["R003"],
+    )
+    assert [f.rule for f in findings] == ["R003"]
+
+
+def test_gap_alias_assigned_in_file_fires(lint):
+    # ``slack`` is not a conventional gap name, but it was assigned from a
+    # rate subtraction in the same file, so dividing by it is still R003.
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def response_time(mu, loads):
+                slack = mu - loads
+                return 1.0 / slack
+        """)},
+        select=["R003"],
+    )
+    assert [f.rule for f in findings] == ["R003"]
+
+
+def test_negated_gap_denominator_fires(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def negative_time(mu, lam):
+                return -1.0 / -(lam - mu)
+        """)},
+        select=["R003"],
+    )
+    assert [f.rule for f in findings] == ["R003"]
+
+
+def test_division_by_plain_rate_is_clean(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def mean_service_time(rate):
+                return 1.0 / rate
+        """)},
+        select=["R003"],
+    )
+    assert findings == []
+
+
+def test_non_rate_subtraction_is_clean(lint):
+    findings = lint(
+        {"pkg/feature.py": _src("""
+            def slope(y1, y0, x1, x0):
+                return (y1 - y0) / (x1 - x0)
+        """)},
+        select=["R003"],
+    )
+    assert findings == []
+
+
+def test_queueing_package_is_exempt(lint):
+    findings = lint(
+        {"src/repro/queueing/mm1.py": _src("""
+            def expected_response_time(mu, lam):
+                return 1.0 / (mu - lam)
+        """)},
+        select=["R003"],
+    )
+    assert findings == []
+
+
+def test_suppression_comment_silences_r003(lint):
+    findings = lint(
+        {"pkg/test_feature.py": _src("""
+            def test_oracle(mu, lam, observed):
+                # reprolint: allow=R003 independent oracle recomputation
+                expected = 1.0 / (mu - lam)
+                assert observed == expected
+        """)},
+        select=["R003"],
+    )
+    assert findings == []

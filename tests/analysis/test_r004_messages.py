@@ -1,0 +1,214 @@
+"""R004 — message handlers must dispatch every ``MessageKind`` member."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DISTRIBUTED = REPO_ROOT / "src" / "repro" / "distributed"
+
+
+def _src(code: str) -> str:
+    return textwrap.dedent(code).lstrip()
+
+
+ENUM_SRC = _src("""
+    from enum import Enum, auto
+
+
+    class MessageKind(Enum):
+        TOKEN = auto()
+        TERMINATE = auto()
+        PING = auto()
+""")
+
+
+def test_exhaustive_handler_is_clean(lint):
+    findings = lint(
+        {
+            "proto/messages_def.py": ENUM_SRC,
+            "proto/handlers.py": _src("""
+                def handle(self, message):
+                    if message.kind is MessageKind.TOKEN:
+                        self.on_token(message)
+                    elif message.kind is MessageKind.TERMINATE:
+                        self.stop()
+                    elif message.kind is MessageKind.PING:
+                        self.pong()
+                    else:
+                        raise ValueError(message.kind)
+            """),
+        },
+        select=["R004"],
+    )
+    assert findings == []
+
+
+def test_missing_member_fires_and_is_named(lint):
+    findings = lint(
+        {
+            "proto/messages_def.py": ENUM_SRC,
+            "proto/handlers.py": _src("""
+                def handle(self, message):
+                    if message.kind is MessageKind.TOKEN:
+                        self.on_token(message)
+                    elif message.kind is MessageKind.TERMINATE:
+                        self.stop()
+            """),
+        },
+        select=["R004"],
+    )
+    assert [f.rule for f in findings] == ["R004"]
+    assert "PING" in findings[0].message
+    assert "handle" in findings[0].message
+
+
+def test_constructing_a_kind_does_not_count_as_dispatch(lint):
+    findings = lint(
+        {
+            "proto/messages_def.py": ENUM_SRC,
+            "proto/handlers.py": _src("""
+                def handle_token(self, message):
+                    if message.kind is MessageKind.TOKEN:
+                        self.send(kind=MessageKind.TERMINATE)
+                    elif message.kind is MessageKind.PING:
+                        self.pong()
+            """),
+        },
+        select=["R004"],
+    )
+    assert [f.rule for f in findings] == ["R004"]
+    assert "TERMINATE" in findings[0].message
+    assert "PING" not in findings[0].message
+
+
+def test_match_statement_and_membership_dispatch_count(lint):
+    findings = lint(
+        {
+            "proto/messages_def.py": ENUM_SRC,
+            "proto/handlers.py": _src("""
+                def handle(self, message):
+                    match message.kind:
+                        case MessageKind.TOKEN:
+                            self.on_token(message)
+                        case MessageKind.TERMINATE:
+                            self.stop()
+                        case _:
+                            raise ValueError(message.kind)
+                    if message.kind in (MessageKind.PING,):
+                        self.pong()
+            """),
+        },
+        select=["R004"],
+    )
+    assert findings == []
+
+
+def test_non_handler_functions_are_ignored(lint):
+    findings = lint(
+        {
+            "proto/messages_def.py": ENUM_SRC,
+            "proto/handlers.py": _src("""
+                def dispatch(self, message):
+                    if message.kind is MessageKind.TOKEN:
+                        self.on_token(message)
+            """),
+        },
+        select=["R004"],
+    )
+    assert findings == []
+
+
+def test_handler_not_mentioning_the_enum_is_skipped(lint):
+    findings = lint(
+        {
+            "proto/messages_def.py": ENUM_SRC,
+            "proto/handlers.py": _src("""
+                def handle(self, message):
+                    self.queue.append(message)
+            """),
+        },
+        select=["R004"],
+    )
+    assert findings == []
+
+
+def test_rule_is_silent_when_enum_not_in_scope(lint):
+    findings = lint(
+        {
+            "proto/handlers.py": _src("""
+                def handle(self, message):
+                    if message.kind is MessageKind.TOKEN:
+                        self.on_token(message)
+            """)
+        },
+        select=["R004"],
+    )
+    assert findings == []
+
+
+def test_suppression_comment_silences_r004(lint):
+    findings = lint(
+        {
+            "proto/messages_def.py": ENUM_SRC,
+            "proto/handlers.py": _src("""
+                # reprolint: allow=R004 legacy handler, migration tracked
+                def handle(self, message):
+                    if message.kind is MessageKind.TOKEN:
+                        self.on_token(message)
+            """),
+        },
+        select=["R004"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# The acceptance demonstration: removing any dispatch branch from the
+# real protocol handler makes R004 fire on the mutated source.
+# ----------------------------------------------------------------------
+
+def _lint_real_node(lint, mutate=None):
+    messages_text = (DISTRIBUTED / "messages.py").read_text(encoding="utf-8")
+    node_text = (DISTRIBUTED / "node.py").read_text(encoding="utf-8")
+    if mutate is not None:
+        node_text = mutate(node_text)
+    return lint(
+        {
+            "src/repro/distributed/messages.py": messages_text,
+            "src/repro/distributed/node.py": node_text,
+        },
+        select=["R004"],
+    )
+
+
+def test_real_protocol_handler_is_exhaustive(lint):
+    assert _lint_real_node(lint) == []
+
+
+@pytest.mark.parametrize(
+    ("dropped", "old", "new"),
+    [
+        (
+            "TOKEN",
+            "elif message.kind is MessageKind.TOKEN:",
+            "elif message.kind is MessageKind.TERMINATE:",
+        ),
+        (
+            "TERMINATE",
+            "if message.kind is MessageKind.TERMINATE:",
+            "if message.kind is MessageKind.TOKEN:",
+        ),
+    ],
+)
+def test_removing_any_dispatch_branch_fails_r004(lint, dropped, old, new):
+    def mutate(text: str) -> str:
+        assert old in text, "node.py dispatch changed; update this test"
+        return text.replace(old, new, 1)
+
+    findings = _lint_real_node(lint, mutate)
+    assert [f.rule for f in findings] == ["R004"]
+    assert dropped in findings[0].message

@@ -1,0 +1,109 @@
+"""R005 — sim-clock discipline in ``simengine``/``distributed``."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(code: str) -> str:
+    return textwrap.dedent(code).lstrip()
+
+
+def test_wall_clock_read_fires_in_simengine(lint):
+    findings = lint(
+        {"src/repro/simengine/engine.py": _src("""
+            import time
+
+            def stamp():
+                return time.time()
+        """)},
+        select=["R005"],
+    )
+    assert [f.rule for f in findings] == ["R005"]
+    assert "time.time" in findings[0].message
+
+
+def test_from_import_wall_clock_fires_in_distributed(lint):
+    findings = lint(
+        {"src/repro/distributed/node.py": _src("""
+            from time import perf_counter
+
+            def elapsed():
+                return perf_counter()
+        """)},
+        select=["R005"],
+    )
+    assert [f.rule for f in findings] == ["R005"]
+
+
+def test_datetime_now_fires(lint):
+    findings = lint(
+        {"src/repro/distributed/log.py": _src("""
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """)},
+        select=["R005"],
+    )
+    assert [f.rule for f in findings] == ["R005"]
+
+
+def test_bare_except_fires(lint):
+    findings = lint(
+        {"src/repro/simengine/loop.py": _src("""
+            def step(queue):
+                try:
+                    queue.pop()
+                except:
+                    pass
+        """)},
+        select=["R005"],
+    )
+    assert [f.rule for f in findings] == ["R005"]
+    assert "bare" in findings[0].message
+
+
+def test_typed_except_is_clean(lint):
+    findings = lint(
+        {"src/repro/simengine/loop.py": _src("""
+            def step(queue):
+                try:
+                    queue.pop()
+                except IndexError:
+                    pass
+        """)},
+        select=["R005"],
+    )
+    assert findings == []
+
+
+def test_rule_scoped_to_simengine_and_distributed(lint):
+    # The identical code outside the scoped packages is not R005's business
+    # (experiments may legitimately measure wall-clock runtime).
+    findings = lint(
+        {"src/repro/experiments/timing.py": _src("""
+            import time
+
+            def stamp():
+                try:
+                    return time.time()
+                except:
+                    return 0.0
+        """)},
+        select=["R005"],
+    )
+    assert findings == []
+
+
+def test_suppression_comment_silences_r005(lint):
+    findings = lint(
+        {"src/repro/simengine/profile.py": _src("""
+            import time
+
+            def wall_runtime():
+                return time.perf_counter()  # reprolint: allow=R005 profiling
+        """)},
+        select=["R005"],
+    )
+    assert findings == []

@@ -1,0 +1,21 @@
+"""Meta-test: the repository's own code passes its own linter.
+
+This is the dogfooding gate in test form — if a change introduces an
+unseeded RNG, a float ``==``, an inline ``1/(mu - lambda)``, a
+non-exhaustive message handler or a wall-clock read, this test fails
+with the same report the CI lint job would print.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.reporters import render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_lints_clean():
+    findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert findings == [], "\n" + render_text(findings)

@@ -1,0 +1,50 @@
+"""Text and JSON rendering of lint findings."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.finding import Finding
+from repro.analysis.reporters import render_json, render_text
+
+_FINDINGS = [
+    Finding(rule="R001", path="a.py", line=3, col=0, message="unseeded rng"),
+    Finding(rule="R002", path="b.py", line=8, col=4, message="float equality"),
+    Finding(rule="R002", path="b.py", line=9, col=4, message="float equality"),
+]
+
+
+def test_render_text_clean():
+    assert render_text([]) == "repro-lint: clean"
+
+
+def test_render_text_report():
+    report = render_text(_FINDINGS)
+    lines = report.splitlines()
+    assert lines[0] == "a.py:3:0: R001 unseeded rng"
+    assert lines[-1] == "repro-lint: 3 findings (R001: 1, R002: 2)"
+
+
+def test_render_text_singular():
+    report = render_text(_FINDINGS[:1])
+    assert report.splitlines()[-1] == "repro-lint: 1 finding (R001: 1)"
+
+
+def test_render_json_schema():
+    payload = json.loads(render_json(_FINDINGS))
+    assert payload["tool"] == "repro-lint"
+    assert payload["version"] == 1
+    assert payload["count"] == 3
+    assert payload["findings"][0] == {
+        "rule": "R001",
+        "path": "a.py",
+        "line": 3,
+        "col": 0,
+        "message": "unseeded rng",
+    }
+
+
+def test_render_json_clean_is_valid():
+    payload = json.loads(render_json([]))
+    assert payload["count"] == 0
+    assert payload["findings"] == []

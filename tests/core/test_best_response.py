@@ -22,6 +22,7 @@ def user_cost(available, fractions, job_rate):
     fractions = np.asarray(fractions, dtype=float)
     x = fractions * job_rate
     used = fractions > 0
+    # reprolint: allow=R003 independent oracle, deliberately not via repro.queueing
     return float((fractions[used] / (available[used] - x[used])).sum())
 
 
@@ -94,7 +95,7 @@ class TestOptimality:
         for _ in range(200):
             noise = rng.normal(scale=0.02, size=3)
             s = np.clip(base + noise, 0.0, None)
-            if s.sum() == 0.0:
+            if s.sum() == 0.0:  # reprolint: allow=R002 exact-sentinel
                 continue
             s /= s.sum()
             if np.any(s * rate >= available):

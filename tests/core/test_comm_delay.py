@@ -21,6 +21,7 @@ from repro.workloads.configs import paper_table1_system
 def delayed_cost(available, delays, fractions, job_rate):
     x = np.asarray(fractions) * job_rate
     used = x > 0
+    # reprolint: allow=R003 independent oracle, deliberately not via repro.queueing
     queueing = (np.asarray(fractions)[used] / (available[used] - x[used])).sum()
     shipping = float((np.asarray(fractions) * delays).sum())
     return float(queueing) + shipping

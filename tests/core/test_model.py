@@ -105,6 +105,7 @@ class TestProfileQuantities:
     def test_response_times_match_mm1(self, two_by_two):
         s = np.array([[0.5, 0.5], [0.5, 0.5]])
         lam = two_by_two.loads(s)
+        # reprolint: allow=R003 independent oracle for the mm1-backed method
         expected = 1.0 / (two_by_two.service_rates - lam)
         np.testing.assert_allclose(two_by_two.response_times(s), expected)
 

@@ -114,7 +114,7 @@ class TestMechanismOutcome:
 
     def test_unallocated_computers_unpaid(self):
         outcome = run_mechanism(COSTS, DEMAND)
-        idle = outcome.loads == 0.0
+        idle = outcome.loads == 0.0  # reprolint: allow=R002 exact-sentinel mask
         np.testing.assert_array_equal(outcome.payments[idle], 0.0)
 
     def test_payments_cover_costs(self):

@@ -43,11 +43,13 @@ class TestOptimalLoads:
         loads = global_optimal_loads(table1_medium)
         mu = table1_medium.service_rates
         total = table1_medium.total_arrival_rate
+        # reprolint: allow=R003 independent oracle, deliberately not via repro.queueing
         optimal = (loads / (mu - loads)).sum()
         for _ in range(200):
             x = rng.dirichlet(np.ones(mu.size)) * total
             if np.any(x >= mu):
                 continue
+            # reprolint: allow=R003 independent oracle
             assert (x / (mu - x)).sum() >= optimal - 1e-9
 
 
