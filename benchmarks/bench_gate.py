@@ -1,0 +1,99 @@
+"""Perf-regression gate over ``BENCH_nash.json`` snapshots.
+
+Compares a freshly generated benchmark JSON (written by the session
+plugin in ``benchmarks/conftest.py``) against the committed baseline and
+fails when
+
+* any shared ``nash-core`` benchmark regressed by more than
+  ``--max-ratio`` (default 2x — generous because CI machines are noisy;
+  the trajectory, not single-digit percents, is what the gate protects);
+* any recorded legacy/vectorized speedup fell below ``--min-speedup``
+  (default 10x — the acceptance floor for the m=1000, n=64 NASH solve).
+
+Usage::
+
+    python benchmarks/bench_gate.py \
+        --baseline BENCH_nash.json --fresh /tmp/BENCH_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(path: pathlib.Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"bench-gate: missing benchmark file {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"bench-gate: invalid JSON in {path}: {exc}")
+    if "benchmarks" not in payload:
+        raise SystemExit(f"bench-gate: {path} has no 'benchmarks' key")
+    return payload
+
+
+def compare(
+    baseline: dict, fresh: dict, *, max_ratio: float, min_speedup: float
+) -> list[str]:
+    """Return a list of human-readable gate violations (empty = pass)."""
+    failures = []
+    base_means = {b["name"]: b["mean"] for b in baseline["benchmarks"]}
+    fresh_means = {b["name"]: b["mean"] for b in fresh["benchmarks"]}
+    for name in sorted(set(base_means) & set(fresh_means)):
+        ratio = fresh_means[name] / base_means[name]
+        if ratio > max_ratio:
+            failures.append(
+                f"{name}: {ratio:.2f}x slower than baseline "
+                f"({fresh_means[name]:.6g}s vs {base_means[name]:.6g}s, "
+                f"limit {max_ratio:g}x)"
+            )
+    for key, speedup in sorted(fresh.get("speedups", {}).items()):
+        if "simultaneous" in key and speedup < min_speedup:
+            failures.append(
+                f"{key}: vectorized speedup {speedup:.2f}x fell below the "
+                f"{min_speedup:g}x floor"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, required=True,
+        help="committed BENCH_nash.json to compare against",
+    )
+    parser.add_argument(
+        "--fresh", type=pathlib.Path, required=True,
+        help="freshly generated BENCH_nash.json",
+    )
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    parser.add_argument("--min-speedup", type=float, default=10.0)
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    failures = compare(
+        baseline, fresh,
+        max_ratio=args.max_ratio, min_speedup=args.min_speedup,
+    )
+    if failures:
+        print("bench-gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    shared = {b["name"] for b in baseline["benchmarks"]} & {
+        b["name"] for b in fresh["benchmarks"]
+    }
+    print(
+        f"bench-gate: OK ({len(shared)} benchmarks within {args.max_ratio:g}x, "
+        f"speedups {fresh.get('speedups', {})})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

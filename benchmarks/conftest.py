@@ -8,11 +8,29 @@ Each benchmark regenerates one paper artifact (table/figure) end to end,
 times the regeneration with pytest-benchmark, asserts the paper's
 qualitative claims about it, and prints the reproduced rows (add ``-s``
 to see them inline).
+
+After a benchmark session this plugin serializes the core-kernel timings
+(group ``nash-core``: the NASH solver, OPTIMAL, the batched water-fill
+kernel, the Lindley fastpath) into ``BENCH_nash.json`` at the repo root —
+the perf-regression trajectory CI gates on (see
+``benchmarks/bench_gate.py`` and docs/PERFORMANCE.md).  Legacy/vectorized
+benchmark pairs (names differing only in a ``_legacy``/``_vectorized``
+suffix) additionally record their speedup ratio.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+
 import pytest
+
+#: Benchmark group serialized into the BENCH JSON.
+BENCH_GROUP = "nash-core"
+#: Default output path (repo root); override with the env var.
+BENCH_ENV_VAR = "BENCH_NASH_JSON"
+BENCH_DEFAULT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_nash.json"
 
 
 def emit(table) -> None:
@@ -24,3 +42,45 @@ def emit(table) -> None:
 @pytest.fixture
 def show():
     return emit
+
+
+def _serialize(benchmarks) -> dict:
+    """Build the BENCH JSON payload from pytest-benchmark metadata."""
+    entries = []
+    for bench in benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None or getattr(bench, "group", None) != BENCH_GROUP:
+            continue
+        entries.append(
+            {
+                "name": bench.name,
+                "group": bench.group,
+                "mean": float(stats.mean),
+                "min": float(stats.min),
+                "median": float(stats.median),
+                "stddev": float(stats.stddev),
+                "rounds": int(stats.rounds),
+            }
+        )
+    entries.sort(key=lambda e: e["name"])
+    means = {e["name"]: e["mean"] for e in entries}
+    speedups = {}
+    for name, mean in means.items():
+        if not name.endswith("_legacy"):
+            continue
+        partner = name[: -len("_legacy")] + "_vectorized"
+        if partner in means and means[partner] > 0.0:
+            speedups[name[: -len("_legacy")].rstrip("_")] = mean / means[partner]
+    return {"schema": 1, "benchmarks": entries, "speedups": speedups}
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    payload = _serialize(bench_session.benchmarks)
+    if not payload["benchmarks"]:
+        return
+    path = pathlib.Path(os.environ.get(BENCH_ENV_VAR, BENCH_DEFAULT))
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {len(payload['benchmarks'])} nash-core timings to {path}")

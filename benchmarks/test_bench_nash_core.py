@@ -1,0 +1,134 @@
+"""NASH-CORE — the perf-regression benchmarks behind ``BENCH_nash.json``.
+
+Every benchmark in this module is in group ``nash-core``; the session
+plugin in ``conftest.py`` serializes their timings (plus the speedups of
+the ``_legacy``/``_vectorized`` pairs) into ``BENCH_nash.json``, which CI
+diffs against the committed baseline with ``benchmarks/bench_gate.py``.
+
+The headline pair is the m=1000-user, n=64-computer NASH solve: the
+``_legacy`` side runs the frozen O(m^2 n)-per-sweep driver from
+:mod:`repro.core.reference`, the ``_vectorized`` side the production
+solver (incremental load accounting + batched water-fill).  Both sides
+run the *same fixed sweep budget* so the ratio measures per-sweep cost,
+not convergence luck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import optimal_fractions
+from repro.core.model import DistributedSystem
+from repro.core.nash import NashSolver
+from repro.core.reference import reference_solve
+from repro.core.waterfill import sqrt_waterfill_batch
+from repro.simengine.fastpath import mm1_lindley_waits
+from repro.workloads import paper_table1_system
+
+#: Fixed sweep budgets for the legacy/vectorized pairs (neither order
+#: converges on the large instance within these budgets, so both sides
+#: always run the full budget).
+ROUNDROBIN_SWEEPS = 3
+SIMULTANEOUS_SWEEPS = 5
+
+nash_core = pytest.mark.benchmark(group="nash-core")
+
+
+def _large_system(m: int = 1000, n: int = 64) -> DistributedSystem:
+    """A heterogeneous cluster-scale instance at 60% utilization."""
+    rng = np.random.default_rng(7)
+    mu = rng.uniform(10.0, 100.0, size=n)
+    phi = rng.uniform(0.1, 1.0, size=m)
+    phi *= 0.6 * mu.sum() / phi.sum()
+    return DistributedSystem(service_rates=mu, arrival_rates=phi)
+
+
+# ----------------------------------------------------------------------
+# Single kernels
+# ----------------------------------------------------------------------
+@nash_core
+def test_bench_nash_solver_table1(benchmark):
+    """Full equilibrium solve on the paper's flagship configuration."""
+    system = paper_table1_system(utilization=0.6)
+    solver = NashSolver(tolerance=1e-6)
+    result = benchmark(lambda: solver.solve(system, "proportional"))
+    assert result.converged
+
+
+@nash_core
+def test_bench_optimal_kernel(benchmark):
+    """One scalar OPTIMAL best response at n=64 computers."""
+    rng = np.random.default_rng(0)
+    available = rng.uniform(1.0, 100.0, size=64)
+    demand = 0.6 * float(available.sum())
+    reply = benchmark(lambda: optimal_fractions(available, demand))
+    assert reply.fractions.sum() == pytest.approx(1.0)
+
+
+@nash_core
+def test_bench_waterfill_batch_m1000_n64(benchmark):
+    """The batched water-fill kernel: 1000 users in one call."""
+    rng = np.random.default_rng(3)
+    a = rng.uniform(1.0, 100.0, size=(1000, 64))
+    d = 0.3 * a.sum(axis=1)
+    result = benchmark(lambda: sqrt_waterfill_batch(a, d))
+    np.testing.assert_allclose(result.loads.sum(axis=1), d, rtol=1e-9)
+
+
+@nash_core
+def test_bench_lindley_fastpath(benchmark):
+    """The vectorized Lindley recursion over one million jobs."""
+    rng = np.random.default_rng(1)
+    n = 1_000_000
+    gaps = rng.exponential(1.0, size=n)
+    services = rng.exponential(0.6, size=n)
+    waits = benchmark(lambda: mm1_lindley_waits(gaps, services))
+    assert waits.size == n
+
+
+# ----------------------------------------------------------------------
+# Legacy vs vectorized pairs (same fixed sweep budget on both sides)
+# ----------------------------------------------------------------------
+@nash_core
+def test_bench_nash_m1000_n64_roundrobin_legacy(benchmark):
+    system = _large_system()
+    result = benchmark.pedantic(
+        lambda: reference_solve(system, max_sweeps=ROUNDROBIN_SWEEPS),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.iterations == ROUNDROBIN_SWEEPS
+
+
+@nash_core
+def test_bench_nash_m1000_n64_roundrobin_vectorized(benchmark):
+    system = _large_system()
+    solver = NashSolver(max_sweeps=ROUNDROBIN_SWEEPS)
+    result = benchmark.pedantic(
+        lambda: solver.solve(system), rounds=3, iterations=1
+    )
+    assert result.iterations == ROUNDROBIN_SWEEPS
+
+
+@nash_core
+def test_bench_nash_m1000_n64_simultaneous_legacy(benchmark):
+    system = _large_system()
+    result = benchmark.pedantic(
+        lambda: reference_solve(
+            system, order="simultaneous", max_sweeps=SIMULTANEOUS_SWEEPS
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.iterations == SIMULTANEOUS_SWEEPS
+
+
+@nash_core
+def test_bench_nash_m1000_n64_simultaneous_vectorized(benchmark):
+    system = _large_system()
+    solver = NashSolver(order="simultaneous", max_sweeps=SIMULTANEOUS_SWEEPS)
+    result = benchmark.pedantic(
+        lambda: solver.solve(system), rounds=3, iterations=1
+    )
+    assert result.iterations == SIMULTANEOUS_SWEEPS

@@ -7,10 +7,12 @@ from repro.core.comm_delay import (
     delayed_best_response,
 )
 from repro.core.best_response import (
+    BatchBestResponse,
     BestResponse,
     best_response,
     best_response_value,
     optimal_fractions,
+    optimal_fractions_batch,
 )
 from repro.core.degradation import (
     CapacityExhausted,
@@ -39,12 +41,16 @@ from repro.core.nash import (
     compute_nash_equilibrium,
     initial_profile,
 )
+from repro.core.reference import reference_solve
 from repro.core.strategy import FEASIBILITY_ATOL, StrategyProfile
 from repro.core.uncertainty import NoisyNashResult, NoisyNashSolver
 from repro.core.waterfill import (
+    BatchWaterfillResult,
+    InfeasibleDemand,
     WaterfillResult,
     response_time_waterfill,
     sqrt_waterfill,
+    sqrt_waterfill_batch,
 )
 
 __all__ = [
@@ -52,10 +58,12 @@ __all__ = [
     "DelayedNashResult",
     "DelayedNashSolver",
     "delayed_best_response",
+    "BatchBestResponse",
     "BestResponse",
     "best_response",
     "best_response_value",
     "optimal_fractions",
+    "optimal_fractions_batch",
     "CapacityExhausted",
     "degraded_equilibrium",
     "embed_profile",
@@ -75,11 +83,15 @@ __all__ = [
     "NashSolver",
     "compute_nash_equilibrium",
     "initial_profile",
+    "reference_solve",
     "FEASIBILITY_ATOL",
     "StrategyProfile",
     "NoisyNashResult",
     "NoisyNashSolver",
+    "BatchWaterfillResult",
+    "InfeasibleDemand",
     "WaterfillResult",
     "response_time_waterfill",
     "sqrt_waterfill",
+    "sqrt_waterfill_batch",
 ]

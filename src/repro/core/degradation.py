@@ -172,13 +172,19 @@ def project_profile(
     fallback_row = np.zeros(s.shape[1])
     fallback_row[mask] = weights / weights.sum()
 
-    for j in range(s.shape[0]):
-        if original_totals[j] <= atol:
-            continue  # never-allocated row: leave untouched
-        if surviving_totals[j] <= atol * original_totals[j]:
-            s[j] = fallback_row * original_totals[j]
-        else:
-            s[j] *= original_totals[j] / surviving_totals[j]
+    # Row-wise, without a Python loop: rows with mass (``allocated``) are
+    # rescaled to their original total; rows whose surviving mass vanished
+    # (``stranded``) are replaced by the fallback row; never-allocated rows
+    # stay untouched.
+    allocated = original_totals > atol
+    stranded = allocated & (surviving_totals <= atol * original_totals)
+    rescale = allocated & ~stranded
+    scale = np.ones_like(original_totals)
+    np.divide(
+        original_totals, surviving_totals, out=scale, where=rescale
+    )
+    s[rescale] *= scale[rescale, None]
+    s[stranded] = fallback_row[None, :] * original_totals[stranded, None]
     return s
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.best_response import best_response
+from repro.core.best_response import optimal_fractions_batch
 from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
 
@@ -59,9 +59,13 @@ def best_response_regrets(
     """Compute the per-user regret certificate for ``profile``."""
     profile.validate(system)
     current = system.user_response_times(profile.fractions)
-    best = np.empty(system.n_users)
-    for j in range(system.n_users):
-        best[j] = best_response(system, profile, j).expected_response_time
+    # All m best responses in one batched OPTIMAL call: row j's available
+    # rates are mu - (lam - phi_j s_j), i.e. the aggregate minus everyone
+    # else's flow.  validate() above guarantees a stable (positive) system.
+    phi = system.arrival_rates
+    flows = profile.fractions * phi[:, None]
+    available = (system.service_rates - flows.sum(axis=0))[None, :] + flows
+    best = optimal_fractions_batch(available, phi).expected_response_times
     regrets = current - best
     return EquilibriumCertificate(
         regrets=regrets,

@@ -17,6 +17,15 @@ Two initializations from the paper's Sec. 4.2.1:
 This module is the *sequential* driver; :mod:`repro.distributed` executes
 the same algorithm as a message-passing ring protocol and must produce
 identical iterates.
+
+Performance (see docs/PERFORMANCE.md): the sweep maintains the aggregate
+flow vector ``lam = phi @ fractions`` incrementally with a rank-1 delta
+per best reply instead of recomputing it per user, dropping a sweep from
+``O(m^2 n)`` to ``O(m n log n)``; each Gauss-Seidel best reply runs
+through a fused low-overhead kernel, and the ``"simultaneous"`` (Jacobi)
+order best-responds *all* users in one :func:`optimal_fractions_batch`
+call.  The original driver is preserved verbatim in
+:mod:`repro.core.reference`; parity tests pin the two against each other.
 """
 
 from __future__ import annotations
@@ -26,9 +35,10 @@ from typing import Literal
 
 import numpy as np
 
-from repro.core.best_response import optimal_fractions
+from repro.core.best_response import optimal_fractions, optimal_fractions_batch
 from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
+from repro.core.waterfill import InfeasibleDemand
 
 __all__ = [
     "DEFAULT_TOLERANCE",
@@ -65,6 +75,71 @@ def initial_profile(
     if init == "uniform":
         return StrategyProfile.uniform(system.n_users, system.n_computers)
     raise ValueError(f"unknown initialization {init!r}")
+
+
+def _fused_best_reply(
+    mu: np.ndarray,
+    job_rate: float,
+    own: np.ndarray,
+    lam: np.ndarray,
+    avail: np.ndarray,
+    thr: np.ndarray,
+) -> float:
+    """One OPTIMAL best reply with in-place aggregate bookkeeping.
+
+    ``own`` is the user's flow row inside the sweep's ``(m, n)`` flow
+    matrix and ``lam`` the running aggregate ``sum_j flows_j``; both are
+    updated in place (``lam += new_own - old_own``, the rank-1 delta that
+    makes the sweep ``O(m n log n)``).  ``avail``/``thr`` are preallocated
+    ``(n,)`` scratch buffers.  Returns the user's new expected response
+    time ``D_j``.
+
+    The arithmetic mirrors :func:`repro.core.waterfill.sqrt_waterfill`
+    with the per-call overhead (validation, dataclasses, defensive
+    branches) stripped; whenever some computer has no headroom left —
+    possible only from an infeasible initialization such as a uniform
+    split on a strongly heterogeneous system — it falls back to the
+    defensive scalar solver, which handles unavailable computers.
+    """
+    np.subtract(mu, lam, out=avail)
+    avail += own
+    if np.any(avail <= 0.0):
+        # Defensive path: unavailable computers present.
+        reply = optimal_fractions(avail, job_rate)
+        lam -= own
+        np.multiply(reply.fractions, job_rate, out=own)
+        lam += own
+        return float(reply.expected_response_time)
+
+    order = np.argsort(-avail, kind="stable")
+    a_sorted = avail[order]
+    roots = np.sqrt(a_sorted)
+    cum_a = np.cumsum(a_sorted)
+    cum_r = np.cumsum(roots)
+    if job_rate >= cum_a[-1]:
+        raise InfeasibleDemand(job_rate, float(cum_a[-1]))
+
+    # Threshold for every candidate support prefix, largest valid prefix.
+    np.subtract(cum_a, job_rate, out=thr)
+    thr /= cum_r
+    valid = roots > thr
+    cut = a_sorted.size - int(valid[::-1].argmax())
+
+    t = thr[cut - 1]
+    x = a_sorted[:cut] - t * roots[:cut]
+    np.maximum(x, 0.0, out=x)
+    x *= job_rate / x.sum()
+    # D_j = sum_i s_ji / (a_i - x_i) = (1/phi_j) sum_i x_i / (a_i - x_i);
+    # stability a_i - x_i > 0 holds by construction of the support
+    # (x_i < a_i on it), so the inline form is safe here.
+    gap = a_sorted[:cut] - x
+    d_j = float((x / gap).sum()) / job_rate  # reprolint: allow=R003 hot path; gap > 0 proven by the water-fill support
+
+    lam -= own
+    own[:] = 0.0
+    own[order[:cut]] = x
+    lam += own
+    return d_j
 
 
 @dataclass(frozen=True)
@@ -153,7 +228,7 @@ class NashSolver:
         """Run best-reply sweeps from the given initialization."""
         profile = initial_profile(system, init)
         fractions = profile.fractions.copy()
-        m = system.n_users
+        m, n = system.n_users, system.n_computers
         rng = np.random.default_rng(self.seed) if self.order == "random" else None
 
         # D_j^{(0)}: zero for users with no allocation yet (NASH_0), the
@@ -168,47 +243,53 @@ class NashSolver:
             except ValueError:
                 pass
 
-        # Hot loop: the best responses are computed on the raw fraction
-        # matrix (identical arithmetic to best_response(), minus the
-        # per-update StrategyProfile construction the profiler flagged).
         mu = system.service_rates
         phi = system.arrival_rates
 
-        def reply_for(user: int, matrix: np.ndarray):
-            lam = phi @ matrix
-            available = mu - (lam - matrix[user] * phi[user])
-            return optimal_fractions(available, float(phi[user]))
+        # Hot loop state: the sweep works on the (m, n) flow matrix and the
+        # running aggregate ``lam = sum_j flows_j``, updated with a rank-1
+        # delta per best reply instead of a full O(m n) recomputation.
+        flows = fractions * phi[:, None]
+        avail = np.empty(n)
+        thr = np.empty(n)
 
         norms: list[float] = []
         history: list[StrategyProfile] = []
         converged = False
         for _sweep in range(self.max_sweeps):
-            norm = 0.0
+            # Refreshing the aggregate once per sweep (O(m n), dwarfed by
+            # the m best replies) keeps the incremental round-off from
+            # drifting across sweeps, preserving parity with the ring
+            # protocol and the reference driver.
+            lam = flows.sum(axis=0)
             if self.order == "simultaneous":
-                # Jacobi: everyone responds to the previous sweep's profile.
-                snapshot = fractions.copy()
-                for j in range(m):
-                    reply = reply_for(j, snapshot)
-                    fractions[j] = reply.fractions
-                    norm += abs(reply.expected_response_time - last_times[j])
-                    last_times[j] = reply.expected_response_time
+                # Jacobi: everyone responds to the previous sweep's profile,
+                # so all m best replies batch into one vectorized call.
+                available = (mu - lam)[None, :] + flows
+                replies = optimal_fractions_batch(available, phi)
+                np.multiply(replies.fractions, phi[:, None], out=flows)
+                times = replies.expected_response_times
+                norm = float(np.abs(times - last_times).sum())
+                last_times = times
             else:
                 schedule = (
                     rng.permutation(m) if rng is not None else range(m)
                 )
+                norm = 0.0
                 for j in schedule:
-                    reply = reply_for(j, fractions)
-                    fractions[j] = reply.fractions
-                    norm += abs(reply.expected_response_time - last_times[j])
-                    last_times[j] = reply.expected_response_time
+                    d_j = _fused_best_reply(
+                        mu, float(phi[j]), flows[j], lam, avail, thr
+                    )
+                    norm += abs(d_j - last_times[j])
+                    last_times[j] = d_j
             norms.append(norm)
             if self.record_history:
-                history.append(StrategyProfile(fractions.copy()))
+                history.append(StrategyProfile(flows / phi[:, None]))
             if norm <= self.tolerance:
                 converged = True
                 break
 
-        final = StrategyProfile(fractions)
+        final = StrategyProfile(flows / phi[:, None])
         try:
             user_times = system.user_response_times(final.fractions)
         except ValueError:

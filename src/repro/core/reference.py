@@ -1,0 +1,116 @@
+"""Frozen reference implementation of the NASH best-reply iteration.
+
+This module preserves the straightforward O(m^2 * n) per-sweep driver the
+repository originally shipped: every best reply recomputes the aggregate
+flow vector ``phi @ fractions`` from scratch and every user is served by
+the scalar water-fill.  It exists for two reasons:
+
+* **parity** — the vectorized solver in :mod:`repro.core.nash`
+  (incremental load accounting, fused per-user kernel, batched Jacobi
+  sweep) must reproduce these iterates, norms and profiles to tight
+  tolerances; the property tests in ``tests/core/test_nash_parity.py``
+  enforce that on the paper's configurations and randomized instances;
+* **benchmarking** — the perf-regression harness (``benchmarks/``) times
+  this driver next to the optimized one and records the speedup in
+  ``BENCH_nash.json``, so the win stays demonstrated, not anecdotal.
+
+Do not optimize this module.  It is deliberately the slow, obviously
+correct formulation; changing it silently moves the goalposts for both
+the parity tests and the recorded speedups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.best_response import optimal_fractions
+from repro.core.model import DistributedSystem
+from repro.core.nash import (
+    DEFAULT_MAX_SWEEPS,
+    DEFAULT_TOLERANCE,
+    Initialization,
+    NashResult,
+    UpdateOrder,
+    initial_profile,
+)
+from repro.core.strategy import StrategyProfile
+
+__all__ = ["reference_solve"]
+
+
+def reference_solve(
+    system: DistributedSystem,
+    init: Initialization | StrategyProfile = "proportional",
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    order: UpdateOrder = "roundrobin",
+    seed: int = 0,
+    record_history: bool = False,
+) -> NashResult:
+    """Run the original (unoptimized) best-reply sweeps.
+
+    Semantics match :meth:`repro.core.nash.NashSolver.solve` exactly; the
+    implementation recomputes ``phi @ fractions`` for every best reply
+    instead of maintaining it incrementally.
+    """
+    profile = initial_profile(system, init)
+    fractions = profile.fractions.copy()
+    m = system.n_users
+    rng = np.random.default_rng(seed) if order == "random" else None
+
+    last_times = np.zeros(m)
+    if np.allclose(fractions.sum(axis=1), 1.0):
+        try:
+            last_times = system.user_response_times(fractions)
+        except ValueError:
+            pass
+
+    mu = system.service_rates
+    phi = system.arrival_rates
+
+    def reply_for(user: int, matrix: np.ndarray):
+        lam = phi @ matrix
+        available = mu - (lam - matrix[user] * phi[user])
+        return optimal_fractions(available, float(phi[user]))
+
+    norms: list[float] = []
+    history: list[StrategyProfile] = []
+    converged = False
+    for _sweep in range(max_sweeps):
+        norm = 0.0
+        if order == "simultaneous":
+            snapshot = fractions.copy()
+            for j in range(m):
+                reply = reply_for(j, snapshot)
+                fractions[j] = reply.fractions
+                norm += abs(reply.expected_response_time - last_times[j])
+                last_times[j] = reply.expected_response_time
+        else:
+            schedule = rng.permutation(m) if rng is not None else range(m)
+            for j in schedule:
+                reply = reply_for(j, fractions)
+                fractions[j] = reply.fractions
+                norm += abs(reply.expected_response_time - last_times[j])
+                last_times[j] = reply.expected_response_time
+        norms.append(norm)
+        if record_history:
+            history.append(StrategyProfile(fractions.copy()))
+        if norm <= tolerance:
+            converged = True
+            break
+
+    final = StrategyProfile(fractions)
+    try:
+        user_times = system.user_response_times(final.fractions)
+    except ValueError:
+        user_times = np.full(m, np.inf)
+        converged = False
+    return NashResult(
+        profile=final,
+        converged=converged,
+        iterations=len(norms),
+        norm_history=np.asarray(norms, dtype=float),
+        user_times=user_times,
+        profile_history=tuple(history),
+    )

@@ -49,6 +49,10 @@ class ComputerBoard:
             raise ValueError("n_users must be positive")
         self._mu = mu.copy()
         self._flows = np.zeros((n_users, mu.size))
+        # Aggregate published flow per computer, maintained incrementally
+        # by publish() so observing the available rates is O(n) instead of
+        # an O(m n) column sum per observation.
+        self._total = np.zeros(mu.size)
         self._online = np.ones(mu.size, dtype=bool)
 
     @property
@@ -82,6 +86,7 @@ class ComputerBoard:
             raise ValueError("flow vector must have one entry per computer")
         if np.any(flows < 0.0):
             raise ValueError("flows must be nonnegative")
+        self._total += flows - self._flows[user]
         self._flows[user] = flows
 
     def available_rates(self, user: int) -> np.ndarray:
@@ -90,7 +95,7 @@ class ComputerBoard:
         Offline computers advertise zero, which the OPTIMAL water-fill
         interprets as "unavailable" — best replies never route to them.
         """
-        others = self._flows.sum(axis=0) - self._flows[user]
+        others = self._total - self._flows[user]
         return np.where(self._online, self._mu - others, 0.0)
 
 

@@ -11,13 +11,19 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.model import DistributedSystem
+from repro.experiments.parallel import parallel_map
 from repro.schemes import standard_schemes
 from repro.schemes.base import LoadBalancingScheme, SchemeResult
 
-__all__ = ["ExperimentTable", "run_schemes", "SCHEME_ORDER"]
+__all__ = [
+    "ExperimentTable",
+    "run_schemes",
+    "run_schemes_sweep",
+    "SCHEME_ORDER",
+]
 
 #: Scheme identifiers in the paper's presentation order.
 SCHEME_ORDER: tuple[str, ...] = ("NASH", "GOS", "IOS", "PS")
@@ -119,3 +125,35 @@ def run_schemes(
             raise ValueError(f"duplicate scheme name {result.scheme!r}")
         results[result.scheme] = result
     return results
+
+
+def _solve_sweep_point(
+    point: tuple[Any, DistributedSystem, tuple[LoadBalancingScheme, ...] | None],
+) -> tuple[Any, dict[str, SchemeResult]]:
+    # Top-level function so sweep points pickle under the spawn method.
+    parameter, system, schemes = point
+    return parameter, run_schemes(system, schemes)
+
+
+def run_schemes_sweep(
+    points: Iterable[tuple[Any, DistributedSystem]],
+    schemes: Sequence[LoadBalancingScheme] | None = None,
+    *,
+    n_workers: int = 1,
+    chunksize: int | None = None,
+) -> list[tuple[Any, dict[str, SchemeResult]]]:
+    """Evaluate every scheme at every sweep point, optionally in parallel.
+
+    ``points`` is a ``(parameter, system)`` iterable — typically
+    :func:`repro.workloads.sweeps.sweep_points` — and the result keeps its
+    order: one ``(parameter, {scheme_name: SchemeResult})`` pair per
+    point.  ``n_workers > 1`` fans the points out over a process pool via
+    :func:`repro.experiments.parallel.parallel_map` (systems and schemes
+    are frozen dataclasses, hence picklable); the default stays serial so
+    small sweeps and doctests avoid pool startup costs.
+    """
+    chosen = tuple(schemes) if schemes is not None else None
+    work = [(parameter, system, chosen) for parameter, system in points]
+    return parallel_map(
+        _solve_sweep_point, work, n_workers=n_workers, chunksize=chunksize
+    )

@@ -11,11 +11,31 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.model import DistributedSystem
 from repro.core.nash import NashSolver
 from repro.experiments.common import ExperimentTable
+from repro.experiments.parallel import parallel_map
 from repro.workloads.sweeps import DEFAULT_USER_COUNTS, user_count_sweep
 
 __all__ = ["run"]
+
+
+def _solve_point(
+    point: tuple[int, DistributedSystem, float, int],
+) -> dict[str, object]:
+    # Top-level function so sweep points pickle under the spawn method.
+    m, system, tolerance, max_sweeps = point
+    solver = NashSolver(tolerance=tolerance, max_sweeps=max_sweeps)
+    zero = solver.solve(system, "zero")
+    prop = solver.solve(system, "proportional")
+    if not (zero.converged and prop.converged):
+        raise RuntimeError(f"best-reply iteration did not converge for m={m}")
+    return {
+        "users": m,
+        "iterations_nash_0": zero.iterations,
+        "iterations_nash_p": prop.iterations,
+        "saving": 1.0 - prop.iterations / zero.iterations,
+    }
 
 
 def run(
@@ -24,23 +44,17 @@ def run(
     utilization: float = 0.6,
     tolerance: float = 1e-4,
     max_sweeps: int = 2000,
+    n_workers: int = 1,
 ) -> ExperimentTable:
-    """Iterations to convergence per user count, for both initializations."""
-    solver = NashSolver(tolerance=tolerance, max_sweeps=max_sweeps)
-    rows = []
-    for m, system in user_count_sweep(user_counts, utilization=utilization):
-        zero = solver.solve(system, "zero")
-        prop = solver.solve(system, "proportional")
-        if not (zero.converged and prop.converged):
-            raise RuntimeError(f"best-reply iteration did not converge for m={m}")
-        rows.append(
-            {
-                "users": m,
-                "iterations_nash_0": zero.iterations,
-                "iterations_nash_p": prop.iterations,
-                "saving": 1.0 - prop.iterations / zero.iterations,
-            }
-        )
+    """Iterations to convergence per user count, for both initializations.
+
+    ``n_workers > 1`` evaluates the sweep points over a process pool.
+    """
+    points = [
+        (m, system, tolerance, max_sweeps)
+        for m, system in user_count_sweep(user_counts, utilization=utilization)
+    ]
+    rows = parallel_map(_solve_point, points, n_workers=n_workers)
     return ExperimentTable(
         experiment_id="F3",
         title="Figure 3 — iterations to equilibrium vs number of users",

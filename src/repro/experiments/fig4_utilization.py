@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.common import SCHEME_ORDER, ExperimentTable, run_schemes
+from repro.experiments.common import (
+    SCHEME_ORDER,
+    ExperimentTable,
+    run_schemes_sweep,
+)
 from repro.workloads.sweeps import DEFAULT_UTILIZATIONS, utilization_sweep
 
 __all__ = ["run"]
@@ -28,14 +32,20 @@ def run(
     *,
     utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
     n_users: int = 10,
+    n_workers: int = 1,
 ) -> ExperimentTable:
-    """Overall response time and fairness per scheme across utilizations."""
+    """Overall response time and fairness per scheme across utilizations.
+
+    ``n_workers > 1`` evaluates the sweep points over a process pool.
+    """
     columns = ["utilization"]
     columns += [f"ert_{name.lower()}" for name in SCHEME_ORDER]
     columns += [f"fairness_{name.lower()}" for name in SCHEME_ORDER]
     rows = []
-    for rho, system in utilization_sweep(utilizations, n_users=n_users):
-        results = run_schemes(system)
+    sweep = run_schemes_sweep(
+        utilization_sweep(utilizations, n_users=n_users), n_workers=n_workers
+    )
+    for rho, results in sweep:
         row: dict[str, object] = {"utilization": rho}
         for name in SCHEME_ORDER:
             row[f"ert_{name.lower()}"] = results[name].overall_time

@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.common import SCHEME_ORDER, ExperimentTable, run_schemes
+from repro.experiments.common import (
+    SCHEME_ORDER,
+    ExperimentTable,
+    run_schemes_sweep,
+)
 from repro.workloads.sweeps import DEFAULT_SKEWNESSES, skewness_sweep
 
 __all__ = ["run"]
@@ -26,16 +30,21 @@ def run(
     skewnesses: Sequence[float] = DEFAULT_SKEWNESSES,
     utilization: float = 0.6,
     n_users: int = 10,
+    n_workers: int = 1,
 ) -> ExperimentTable:
-    """Overall response time and fairness per scheme across skewness values."""
+    """Overall response time and fairness per scheme across skewness values.
+
+    ``n_workers > 1`` evaluates the sweep points over a process pool.
+    """
     columns = ["skewness"]
     columns += [f"ert_{name.lower()}" for name in SCHEME_ORDER]
     columns += [f"fairness_{name.lower()}" for name in SCHEME_ORDER]
     rows = []
-    for skew, system in skewness_sweep(
-        skewnesses, utilization=utilization, n_users=n_users
-    ):
-        results = run_schemes(system)
+    sweep = run_schemes_sweep(
+        skewness_sweep(skewnesses, utilization=utilization, n_users=n_users),
+        n_workers=n_workers,
+    )
+    for skew, results in sweep:
         row: dict[str, object] = {"skewness": skew}
         for name in SCHEME_ORDER:
             row[f"ert_{name.lower()}"] = results[name].overall_time

@@ -18,7 +18,12 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "run_experiments_parallel", "default_workers"]
+__all__ = [
+    "adaptive_chunksize",
+    "parallel_map",
+    "run_experiments_parallel",
+    "default_workers",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -29,18 +34,33 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def adaptive_chunksize(n_items: int, n_workers: int) -> int:
+    """Default chunk size for :func:`parallel_map`.
+
+    Four chunks per worker balances the IPC overhead of many tiny
+    submissions (the old ``chunksize=1`` behaviour, which thrashes the
+    pool on sweeps of cheap points) against load imbalance from chunks
+    that are too coarse.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    return max(1, n_items // (4 * n_workers))
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     *,
     n_workers: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
 ) -> list[R]:
     """Order-preserving map over a process pool.
 
     ``n_workers=1`` (or a single item) degrades to a plain serial loop —
     no pool overhead, easier debugging, identical semantics.  ``fn`` and
-    the items must be picklable for the parallel path.
+    the items must be picklable for the parallel path.  When ``chunksize``
+    is omitted it is computed adaptively from the item and worker counts
+    (see :func:`adaptive_chunksize`).
     """
     items = list(items)
     if n_workers is None:
@@ -49,6 +69,8 @@ def parallel_map(
         raise ValueError("n_workers must be at least 1")
     if n_workers == 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    if chunksize is None:
+        chunksize = adaptive_chunksize(len(items), n_workers)
     with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))
 

@@ -21,9 +21,11 @@ __all__ = [
     "DEFAULT_UTILIZATIONS",
     "DEFAULT_USER_COUNTS",
     "DEFAULT_SKEWNESSES",
+    "SWEEPS",
     "utilization_sweep",
     "user_count_sweep",
     "skewness_sweep",
+    "sweep_points",
 ]
 
 #: Figure 4's x-axis: system utilization from 10% to 90%.
@@ -71,3 +73,33 @@ def skewness_sweep(
         yield float(skew), skewed_system(
             float(skew), utilization=utilization, n_users=n_users
         )
+
+
+#: Registry of the sweep axes, keyed by the short name experiments use.
+SWEEPS = {
+    "utilization": utilization_sweep,
+    "users": user_count_sweep,
+    "skewness": skewness_sweep,
+}
+
+
+def sweep_points(
+    kind: str, values: Sequence[float] | Sequence[int] | None = None, **kwargs
+) -> list[tuple[float | int, DistributedSystem]]:
+    """Materialize one sweep axis as a list of ``(parameter, system)`` pairs.
+
+    The list form is what the batched evaluator
+    (:func:`repro.experiments.common.run_schemes_sweep`) consumes: every
+    pair is picklable, so the points can be fanned out over a process
+    pool in one call.  ``kwargs`` pass through to the underlying sweep
+    generator (e.g. ``n_users`` or ``utilization``).
+    """
+    try:
+        generator = SWEEPS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep {kind!r}; available: {sorted(SWEEPS)}"
+        ) from None
+    if values is None:
+        return list(generator(**kwargs))
+    return list(generator(values, **kwargs))

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.common import ExperimentTable, run_schemes
+from repro.experiments.common import (
+    ExperimentTable,
+    run_schemes,
+    run_schemes_sweep,
+)
 
 
 def make_table():
@@ -74,3 +78,41 @@ class TestRunSchemes:
             run_schemes(
                 table1_small, [ProportionalScheme(), ProportionalScheme()]
             )
+
+
+class TestRunSchemesSweep:
+    def test_serial_sweep_preserves_order(self):
+        from repro.workloads.sweeps import sweep_points
+
+        points = sweep_points("utilization", [0.3, 0.5], n_users=4)
+        results = run_schemes_sweep(points)
+        assert [param for param, _ in results] == [0.3, 0.5]
+        for _, by_scheme in results:
+            assert set(by_scheme) == {"NASH", "GOS", "IOS", "PS"}
+
+    def test_parallel_matches_serial(self):
+        from repro.workloads.sweeps import sweep_points
+
+        points = sweep_points("utilization", [0.2, 0.4, 0.6], n_users=4)
+        serial = run_schemes_sweep(points)
+        parallel = run_schemes_sweep(points, n_workers=2)
+        assert [p for p, _ in serial] == [p for p, _ in parallel]
+        for (_, a), (_, b) in zip(serial, parallel):
+            for name in a:
+                assert a[name].overall_time == pytest.approx(
+                    b[name].overall_time
+                )
+
+    def test_explicit_schemes(self, table1_small):
+        from repro.schemes import ProportionalScheme
+
+        results = run_schemes_sweep(
+            [(0.5, table1_small)], [ProportionalScheme()]
+        )
+        assert set(results[0][1]) == {"PS"}
+
+    def test_unknown_sweep_kind_rejected(self):
+        from repro.workloads.sweeps import sweep_points
+
+        with pytest.raises(KeyError, match="unknown sweep"):
+            sweep_points("nope")

@@ -7,6 +7,7 @@ import os
 import pytest
 
 from repro.experiments.parallel import (
+    adaptive_chunksize,
     default_workers,
     parallel_map,
     run_experiments_parallel,
@@ -38,6 +39,32 @@ class TestParallelMap:
     def test_default_workers_positive(self):
         assert default_workers() >= 1
         assert default_workers() <= (os.cpu_count() or 2)
+
+    def test_explicit_chunksize_still_honoured(self):
+        result = parallel_map(
+            square, list(range(10)), n_workers=2, chunksize=5
+        )
+        assert result == [x * x for x in range(10)]
+
+
+class TestAdaptiveChunksize:
+    def test_four_chunks_per_worker(self):
+        assert adaptive_chunksize(80, 4) == 5
+        assert adaptive_chunksize(1000, 8) == 31
+
+    def test_small_sweeps_floor_at_one(self):
+        assert adaptive_chunksize(3, 8) == 1
+        assert adaptive_chunksize(0, 2) == 1
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_chunksize(10, 0)
+
+    def test_parallel_map_uses_adaptive_default(self):
+        # 40 items / (4 * 2 workers) => chunksize 5; results must still be
+        # complete and ordered.
+        result = parallel_map(square, list(range(40)), n_workers=2)
+        assert result == [x * x for x in range(40)]
 
 
 class TestParallelExperiments:
