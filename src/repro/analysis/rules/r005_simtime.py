@@ -9,7 +9,15 @@ host machine as a hidden input.  Similarly, a bare ``except:`` in these
 paths swallows the typed protocol errors (and ``KeyboardInterrupt``)
 that the fault-tolerance layer relies on observing.
 
-Scope: files under ``simengine`` or ``distributed`` package directories.
+Scope: files under ``simengine`` or ``distributed`` package directories
+get the full ban.  Files under ``experiments`` get a narrower one: they
+legitimately measure real elapsed time, but must do so with the
+monotonic ``time.perf_counter`` — ``time.time`` (and the datetime
+clock-of-day readers) can step backwards under NTP adjustment, so a
+duration measured with them is not guaranteed nonnegative.  (This scope
+was historically missing, which is how ``report.py`` shipped a
+``time.time`` duration; the meta-tests in
+``tests/analysis/test_r005_simtime.py`` pin both scopes.)
 """
 
 from __future__ import annotations
@@ -25,18 +33,28 @@ from repro.analysis.source import SourceFile
 
 __all__ = ["SimClockDiscipline"]
 
-_WALL_CLOCK = {
+#: Non-monotonic clock-of-day readers: banned everywhere R005 applies —
+#: they are wrong for durations (NTP steps) and wrong for sim logic.
+_CLOCK_OF_DAY = {
     "time.time",
     "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
     "datetime.datetime.now",
     "datetime.datetime.utcnow",
     "datetime.datetime.today",
     "datetime.date.today",
 }
+
+#: Monotonic wall-clock readers: fine for measuring real durations (the
+#: experiments layer does), but still a hidden machine input inside the
+#: sim/protocol paths, so banned only there.
+_MONOTONIC = {
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+
+_WALL_CLOCK = _CLOCK_OF_DAY | _MONOTONIC
 
 
 @register
@@ -52,22 +70,36 @@ class SimClockDiscipline(Rule):
     def check(
         self, source: SourceFile, context: ProjectContext
     ) -> Iterator[Finding]:
-        if not source.in_package("simengine", "distributed"):
+        sim_scope = source.in_package("simengine", "distributed")
+        experiments_scope = source.in_package("experiments")
+        if not (sim_scope or experiments_scope):
             return
+        banned = _WALL_CLOCK if sim_scope else _CLOCK_OF_DAY
         imports = ImportMap(source.tree)
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Call):
                 dotted = imports.resolve(node.func)
-                if dotted in _WALL_CLOCK:
+                if dotted in banned:
+                    if sim_scope:
+                        message = (
+                            f"wall-clock read {dotted}(): simulation "
+                            "logic must use the virtual sim clock so "
+                            "runs replay deterministically"
+                        )
+                    else:
+                        message = (
+                            f"clock-of-day read {dotted}(): it can step "
+                            "backwards under NTP; measure elapsed time "
+                            "with time.perf_counter()"
+                        )
                     yield self.finding(
-                        source,
-                        node.lineno,
-                        node.col_offset,
-                        f"wall-clock read {dotted}(): simulation logic "
-                        "must use the virtual sim clock so runs replay "
-                        "deterministically",
+                        source, node.lineno, node.col_offset, message
                     )
-            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            elif (
+                sim_scope
+                and isinstance(node, ast.ExceptHandler)
+                and node.type is None
+            ):
                 yield self.finding(
                     source,
                     node.lineno,

@@ -31,6 +31,7 @@ call.  The original driver is preserved verbatim in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Literal
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.core.best_response import optimal_fractions, optimal_fractions_batch
 from repro.core.model import DistributedSystem
 from repro.core.strategy import StrategyProfile
 from repro.core.waterfill import InfeasibleDemand
+from repro.telemetry.trace import Tracer, current_tracer
 
 __all__ = [
     "DEFAULT_TOLERANCE",
@@ -224,12 +226,34 @@ class NashSolver:
         self,
         system: DistributedSystem,
         init: Initialization | StrategyProfile = "proportional",
+        *,
+        tracer: Tracer | None = None,
     ) -> NashResult:
-        """Run best-reply sweeps from the given initialization."""
+        """Run best-reply sweeps from the given initialization.
+
+        ``tracer`` (default: the ambient tracer, disabled unless installed
+        with :func:`repro.telemetry.use_tracer`) records one
+        ``solver.sweep`` event per sweep — the norm, the per-user regrets
+        ``|D_j^{(l)} - D_j^{(l-1)}|`` and the kernel wall time — plus
+        ``solver.start``/``solver.done`` bracketing events.  With the
+        default no-op sink the instrumentation reduces to one branch per
+        sweep (see docs/OBSERVABILITY.md for the overhead guarantee).
+        """
         profile = initial_profile(system, init)
         fractions = profile.fractions.copy()
         m, n = system.n_users, system.n_computers
         rng = np.random.default_rng(self.seed) if self.order == "random" else None
+        tracer = tracer if tracer is not None else current_tracer()
+        trace = tracer.enabled
+        if trace:
+            tracer.emit(
+                "solver.start",
+                order=self.order,
+                users=m,
+                computers=n,
+                tolerance=self.tolerance,
+                max_sweeps=self.max_sweeps,
+            )
 
         # D_j^{(0)}: zero for users with no allocation yet (NASH_0), the
         # actual expected time otherwise.  An initial profile that
@@ -262,6 +286,8 @@ class NashSolver:
             # drifting across sweeps, preserving parity with the ring
             # protocol and the reference driver.
             lam = flows.sum(axis=0)
+            sweep_started = perf_counter() if trace else 0.0
+            regrets = np.zeros(m) if trace else None
             if self.order == "simultaneous":
                 # Jacobi: everyone responds to the previous sweep's profile,
                 # so all m best replies batch into one vectorized call.
@@ -269,7 +295,10 @@ class NashSolver:
                 replies = optimal_fractions_batch(available, phi)
                 np.multiply(replies.fractions, phi[:, None], out=flows)
                 times = replies.expected_response_times
-                norm = float(np.abs(times - last_times).sum())
+                deltas = np.abs(times - last_times)
+                norm = float(deltas.sum())
+                if trace:
+                    regrets = deltas
                 last_times = times
             else:
                 schedule = (
@@ -280,9 +309,25 @@ class NashSolver:
                     d_j = _fused_best_reply(
                         mu, float(phi[j]), flows[j], lam, avail, thr
                     )
-                    norm += abs(d_j - last_times[j])
+                    delta = abs(d_j - last_times[j])
+                    norm += delta
+                    if regrets is not None:
+                        regrets[j] = delta
                     last_times[j] = d_j
             norms.append(norm)
+            if trace:
+                elapsed = perf_counter() - sweep_started
+                tracer.emit(
+                    "solver.sweep",
+                    index=len(norms) - 1,
+                    sweep=len(norms),
+                    norm=norm,
+                    elapsed_s=elapsed,
+                    regrets=regrets,
+                )
+                tracer.count("solver.sweeps")
+                tracer.count("solver.best_replies", m)
+                tracer.observe("solver.sweep_seconds", elapsed)
             if self.record_history:
                 history.append(StrategyProfile(flows / phi[:, None]))
             if norm <= self.tolerance:
@@ -297,6 +342,13 @@ class NashSolver:
             # can overshoot into an unstable joint profile mid-oscillation.
             user_times = np.full(m, np.inf)
             converged = False
+        if trace:
+            tracer.emit(
+                "solver.done",
+                converged=converged,
+                iterations=len(norms),
+                final_norm=norms[-1] if norms else 0.0,
+            )
         return NashResult(
             profile=final,
             converged=converged,

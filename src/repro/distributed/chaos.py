@@ -44,7 +44,6 @@ from repro.core.nash import (
     DEFAULT_TOLERANCE,
     Initialization,
     NashResult,
-    initial_profile,
 )
 from repro.core.strategy import StrategyProfile
 from repro.distributed.checkpoint import CheckpointStore
@@ -55,7 +54,8 @@ from repro.distributed.failure_detector import (
 from repro.distributed.faults import DedupingAgent, LossyMessageBus
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.node import ComputerBoard
-from repro.distributed.runtime import ProtocolOutcome
+from repro.distributed.runtime import ProtocolOutcome, seed_initial_state
+from repro.telemetry.trace import Tracer, current_tracer
 
 __all__ = [
     "FaultKind",
@@ -374,6 +374,7 @@ def run_nash_protocol_resilient(
     backoff_base: int = 1,
     backoff_cap: int = 16,
     max_steps: int | None = None,
+    tracer: Tracer | None = None,
 ) -> ResilientOutcome:
     """The NASH ring protocol under crash faults and computer failures.
 
@@ -396,6 +397,8 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
         exceeded.
     """
     schedule = schedule if schedule is not None else FaultSchedule(())
+    tracer = tracer if tracer is not None else current_tracer()
+    trace = tracer.enabled
     m = system.n_users
     board = ComputerBoard(system.service_rates, m)
     bus = CrashyMessageBus(m, drop=drop, duplicate=duplicate, seed=fault_seed)
@@ -407,16 +410,26 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
             bus=bus,
             tolerance=tolerance,
             max_sweeps=max_sweeps,
+            tracer=tracer,
         )
         for j in range(m)
     ]
 
-    profile0 = initial_profile(system, init)
-    if bool(np.allclose(profile0.fractions.sum(axis=1), 1.0)):
-        times0 = system.user_response_times(profile0.fractions)
-        for j, agent in enumerate(agents):
-            board.publish(j, profile0.fractions[j] * system.arrival_rates[j])
-            agent._previous_time = float(times0[j])
+    seed_initial_state(system, board, agents, init)
+    if trace:
+        tracer.emit(
+            "protocol.start",
+            driver="resilient",
+            users=m,
+            computers=system.n_computers,
+            tolerance=tolerance,
+            max_sweeps=max_sweeps,
+            drop=drop,
+            duplicate=duplicate,
+            checkpoint_interval=checkpoint_interval,
+            suspect_after=suspect_after,
+            scheduled_events=schedule.n_events,
+        )
 
     # Supervisor-side write-ahead outbox log (sender-based message
     # logging): survives agent crashes, feeds retransmission.
@@ -430,6 +443,9 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
     for j, agent in enumerate(agents):
         store.capture(agent, board, step=0, generation=generation)
         detector.beat(j, 0)
+        if trace:
+            tracer.emit("protocol.checkpoint", step=0, rank=j)
+            tracer.count("protocol.checkpoint_captures")
 
     alive = [True] * m
     finished_at_crash = [False] * m
@@ -446,6 +462,7 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
     messages = retransmissions = 0
     stall = 0
     step = 0
+    known_suspects: set[int] = set()
     if max_steps is None:
         max_steps = 64 * (max_sweeps + 2) * (m + 2) + 2 * schedule.max_step
 
@@ -460,6 +477,9 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
             # TERMINATE is circulating on a pre-failure norm: reopen.
             generation += 1
             ring_reopens += 1
+            if trace:
+                tracer.emit("protocol.reopen", step=step, generation=generation)
+                tracer.count("protocol.ring_reopens")
             bus.purge(MessageKind.TERMINATE)
             for j in range(m):
                 finished_at_crash[j] = False
@@ -488,6 +508,13 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
         for event in schedule.events_at(step):
             events_applied += 1
             rank = computer = event.target
+            if trace:
+                tracer.emit(
+                    "protocol.fault",
+                    step=step,
+                    kind=event.kind.name.lower(),
+                    target=event.target,
+                )
             if event.kind is FaultKind.AGENT_CRASH:
                 if not alive[rank]:
                     raise RuntimeError(f"agent {rank} crashed twice")
@@ -499,6 +526,17 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
                 bus.mark_alive(rank)
                 alive[rank] = True
                 store.restore(agents[rank], board, generation=generation)
+                if trace:
+                    # norm_history_length lets the trace replay the
+                    # rollback: the reconstruction truncates rank 0's
+                    # history to the checkpointed prefix.
+                    tracer.emit(
+                        "protocol.restore",
+                        rank=rank,
+                        step=step,
+                        norm_history_length=len(agents[rank].norm_history),
+                    )
+                    tracer.count("protocol.checkpoint_restores")
                 # The checkpointed flows may predate a computer failure:
                 # re-project the restored row onto the live computer set.
                 row = project_profile(
@@ -538,7 +576,19 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
         # -- 2. message delivery --------------------------------------
         delivered = 0
         for rank in bus.pending_ranks():
-            agents[rank].handle(bus.recv(rank))
+            message = bus.recv(rank)
+            if trace:
+                kind = message.kind.name.lower()
+                tracer.emit(
+                    "protocol.deliver",
+                    kind=kind,
+                    sender=message.sender,
+                    receiver=message.receiver,
+                    sweep=message.sweep,
+                    norm=message.norm,
+                )
+                tracer.count(f"protocol.messages.{kind}")
+            agents[rank].handle(message)
             delivered += 1
             messages += 1
 
@@ -546,7 +596,12 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
         for j in range(m):
             if alive[j]:
                 detector.beat(j, step)
-        detector.check(step)
+        suspected = detector.check(step)
+        if trace:
+            for j in sorted(suspected - known_suspects):
+                tracer.emit("protocol.suspect", rank=j, step=step)
+                tracer.count("protocol.suspicions")
+        known_suspects = set(suspected)
 
         # -- 4. periodic checkpoints ----------------------------------
         if checkpoint_interval and step % checkpoint_interval == 0:
@@ -555,6 +610,9 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
                     store.capture(
                         agents[j], board, step=step, generation=generation
                     )
+                    if trace:
+                        tracer.emit("protocol.checkpoint", step=step, rank=j)
+                        tracer.count("protocol.checkpoint_captures")
 
         # -- 5. stall recovery ----------------------------------------
         if delivered:
@@ -582,6 +640,15 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
             bus.resend(message)
             retransmissions += 1
             progressed += 1
+            if trace:
+                tracer.emit(
+                    "protocol.retransmit",
+                    kind=message.kind.name.lower(),
+                    sender=message.sender,
+                    receiver=message.receiver,
+                    sweep=message.sweep,
+                )
+                tracer.count("protocol.retransmissions")
         # Every circulation needs every agent: a suspected, unfinished
         # rank with no restart on the schedule is a dead end no amount
         # of retransmission can route around.
@@ -610,6 +677,22 @@ HeartbeatFailureDetector` suspects silent ones, stalls are healed by
         norm_history=norms,
         user_times=system.user_response_times(profile.fractions),
     )
+    if trace:
+        tracer.emit(
+            "protocol.done",
+            driver="resilient",
+            converged=converged,
+            sweeps=int(norms.size),
+            messages_sent=messages,
+            retransmissions=retransmissions,
+            crashes=crashes,
+            restarts=restarts,
+            suspicions=detector.suspicions,
+            messages_lost_to_crash=bus.lost_to_crash,
+            ring_reopens=ring_reopens,
+            steps=step,
+            degraded=bool(not online.all()),
+        )
     return ResilientOutcome(
         result=result,
         messages_sent=messages,

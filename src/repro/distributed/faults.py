@@ -31,13 +31,13 @@ from repro.core.nash import (
     DEFAULT_TOLERANCE,
     Initialization,
     NashResult,
-    initial_profile,
 )
 from repro.core.strategy import StrategyProfile
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import MessageBus
 from repro.distributed.node import ComputerBoard, UserAgent
-from repro.distributed.runtime import ProtocolOutcome
+from repro.distributed.runtime import ProtocolOutcome, seed_initial_state
+from repro.telemetry.trace import Tracer, current_tracer
 
 __all__ = ["LossyMessageBus", "DedupingAgent", "run_nash_protocol_lossy"]
 
@@ -127,6 +127,7 @@ def run_nash_protocol_lossy(
     tolerance: float = DEFAULT_TOLERANCE,
     max_sweeps: int = DEFAULT_MAX_SWEEPS,
     max_retransmissions: int = 1_000_000,
+    tracer: Tracer | None = None,
 ) -> ProtocolOutcome:
     """The NASH ring protocol over a faulty network.
 
@@ -134,8 +135,11 @@ def run_nash_protocol_lossy(
     every message over a :class:`LossyMessageBus`; when the ring stalls
     (every mailbox empty, protocol unfinished) the runtime retransmits
     the last message each unfinished agent sent — at-least-once delivery,
-    made safe by :class:`DedupingAgent`.
+    made safe by :class:`DedupingAgent`.  ``tracer`` additionally records
+    every delivery and retransmission (see docs/OBSERVABILITY.md).
     """
+    tracer = tracer if tracer is not None else current_tracer()
+    trace = tracer.enabled
     m = system.n_users
     board = ComputerBoard(system.service_rates, m)
     bus = LossyMessageBus(
@@ -149,16 +153,23 @@ def run_nash_protocol_lossy(
             bus=bus,
             tolerance=tolerance,
             max_sweeps=max_sweeps,
+            tracer=tracer,
         )
         for j in range(m)
     ]
 
-    profile0 = initial_profile(system, init)
-    if bool(np.allclose(profile0.fractions.sum(axis=1), 1.0)):
-        times0 = system.user_response_times(profile0.fractions)
-        for j, agent in enumerate(agents):
-            board.publish(j, profile0.fractions[j] * system.arrival_rates[j])
-            agent._previous_time = float(times0[j])
+    seed_initial_state(system, board, agents, init)
+    if trace:
+        tracer.emit(
+            "protocol.start",
+            driver="lossy",
+            users=m,
+            computers=system.n_computers,
+            tolerance=tolerance,
+            max_sweeps=max_sweeps,
+            drop=drop,
+            duplicate=duplicate,
+        )
 
     # Track each agent's most recent outbound message for retransmission.
     # The outbox hook fires before the lossy transport rolls the dice, so
@@ -173,7 +184,19 @@ def run_nash_protocol_lossy(
         pending = bus.pending_ranks()
         if pending:
             for rank in pending:
-                agents[rank].handle(bus.recv(rank))
+                message = bus.recv(rank)
+                if trace:
+                    kind = message.kind.name.lower()
+                    tracer.emit(
+                        "protocol.deliver",
+                        kind=kind,
+                        sender=message.sender,
+                        receiver=message.receiver,
+                        sweep=message.sweep,
+                        norm=message.norm,
+                    )
+                    tracer.count(f"protocol.messages.{kind}")
+                agents[rank].handle(message)
                 messages += 1
             continue
         if all(agent.finished for agent in agents):
@@ -190,6 +213,15 @@ def run_nash_protocol_lossy(
                 bus.resend(message)
                 retransmissions += 1
                 progressed = True
+                if trace:
+                    tracer.emit(
+                        "protocol.retransmit",
+                        kind=message.kind.name.lower(),
+                        sender=message.sender,
+                        receiver=message.receiver,
+                        sweep=message.sweep,
+                    )
+                    tracer.count("protocol.retransmissions")
         if not progressed:  # pragma: no cover - defensive
             raise RuntimeError("protocol deadlocked with nothing to retransmit")
 
@@ -204,6 +236,17 @@ def run_nash_protocol_lossy(
         norm_history=norms,
         user_times=system.user_response_times(profile.fractions),
     )
+    if trace:
+        tracer.emit(
+            "protocol.done",
+            driver="lossy",
+            converged=converged,
+            sweeps=int(norms.size),
+            messages_sent=messages,
+            retransmissions=retransmissions,
+            dropped=bus.dropped,
+            duplicated=bus.duplicated,
+        )
     outcome = ProtocolOutcome(
         result=result,
         messages_sent=messages,

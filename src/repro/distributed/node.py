@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.best_response import optimal_fractions
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import MessageBus
+from repro.telemetry.trace import DISABLED, Tracer
 
 __all__ = ["ComputerBoard", "UserAgent"]
 
@@ -111,6 +112,7 @@ class UserAgent:
         *,
         tolerance: float,
         max_sweeps: int,
+        tracer: Tracer | None = None,
     ):
         if job_rate <= 0.0:
             raise ValueError("job rate must be positive")
@@ -120,6 +122,7 @@ class UserAgent:
         self._bus = bus
         self._tolerance = tolerance
         self._max_sweeps = max_sweeps
+        self._tracer = tracer if tracer is not None else DISABLED
         self._next_rank = (rank + 1) % bus.n_agents
         self._previous_time = 0.0
         #: Set once the agent has forwarded or received TERMINATE.
@@ -173,6 +176,16 @@ class UserAgent:
         if self.rank == 0:
             # The token completed a circulation: decide termination.
             self.norm_history.append(message.norm)
+            if self._tracer.enabled:
+                # The initiator's record of one completed circulation —
+                # index mirrors the position in norm_history so a trace
+                # replays the exact history (docs/OBSERVABILITY.md).
+                self._tracer.emit(
+                    "protocol.sweep",
+                    index=len(self.norm_history) - 1,
+                    sweep=message.sweep,
+                    norm=message.norm,
+                )
             if self._should_terminate(message):
                 self.finished = True
                 if self._next_rank != 0:

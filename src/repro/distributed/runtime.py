@@ -28,8 +28,9 @@ from repro.core.strategy import StrategyProfile
 from repro.distributed.messages import Message
 from repro.distributed.network import MessageBus
 from repro.distributed.node import ComputerBoard, UserAgent
+from repro.telemetry.trace import Tracer, current_tracer
 
-__all__ = ["ProtocolOutcome", "run_nash_protocol"]
+__all__ = ["ProtocolOutcome", "run_nash_protocol", "seed_initial_state"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,40 @@ class ProtocolOutcome:
     retransmissions: int = 0
 
 
+def seed_initial_state(
+    system: DistributedSystem,
+    board: ComputerBoard,
+    agents: list[UserAgent],
+    init: Initialization | StrategyProfile,
+) -> None:
+    """Publish the initialization and seed the ``D_j^{(0)}`` baselines.
+
+    Mirrors the sequential solver exactly (see ``NashSolver.solve``): the
+    profile's flows are *always* published — NASH_0's zeros are a no-op,
+    but a partial or overloaded starting profile is real state the first
+    sweep must react to — while the baselines are the profile's expected
+    response times only when the profile both conserves flow and keeps
+    every computer stable; otherwise they stay zero, the NASH_0
+    convention.  (The pre-fix driver skipped the publish entirely and
+    crashed on a conserving-but-overloaded start; the regression tests in
+    ``tests/distributed/test_runtime.py`` pin the parity.)
+    """
+    profile0 = initial_profile(system, init)
+    flows0 = profile0.fractions * system.arrival_rates[:, None]
+    for j in range(len(agents)):
+        board.publish(j, flows0[j])
+    times0 = np.zeros(len(agents))
+    if bool(np.allclose(profile0.fractions.sum(axis=1), 1.0)):
+        try:
+            times0 = system.user_response_times(profile0.fractions)
+        except ValueError:
+            # Conserving but unstable (e.g. a uniform split overloading a
+            # slow computer): no finite expected times — NASH_0 baselines.
+            pass
+    for j, agent in enumerate(agents):
+        agent._previous_time = float(times0[j])
+
+
 def run_nash_protocol(
     system: DistributedSystem,
     *,
@@ -65,11 +100,19 @@ def run_nash_protocol(
     tolerance: float = DEFAULT_TOLERANCE,
     max_sweeps: int = DEFAULT_MAX_SWEEPS,
     record_transcript: bool = True,
+    tracer: Tracer | None = None,
 ) -> ProtocolOutcome:
     """Execute the NASH distributed algorithm over the message bus.
 
     Parameters mirror :func:`repro.core.nash.compute_nash_equilibrium`.
+    ``tracer`` (default: the ambient tracer) records one
+    ``protocol.deliver`` event per bus delivery, per-kind message
+    counters, the initiator's ``protocol.sweep`` circulation record and a
+    ``protocol.done`` summary — enough to reconstruct the convergence
+    history and the full message accounting from the trace alone.
     """
+    tracer = tracer if tracer is not None else current_tracer()
+    trace = tracer.enabled
     m = system.n_users
     board = ComputerBoard(system.service_rates, m)
     bus = MessageBus(m, record_transcript=record_transcript)
@@ -81,19 +124,21 @@ def run_nash_protocol(
             bus=bus,
             tolerance=tolerance,
             max_sweeps=max_sweeps,
+            tracer=tracer,
         )
         for j in range(m)
     ]
 
-    # Seed the initialization: publish initial flows and the matching
-    # D_j^{(0)} baselines, exactly as the sequential solver does.
-    profile0 = initial_profile(system, init)
-    feasible_start = bool(np.allclose(profile0.fractions.sum(axis=1), 1.0))
-    if feasible_start:
-        times0 = system.user_response_times(profile0.fractions)
-        for j, agent in enumerate(agents):
-            board.publish(j, profile0.fractions[j] * system.arrival_rates[j])
-            agent._previous_time = float(times0[j])
+    seed_initial_state(system, board, agents, init)
+    if trace:
+        tracer.emit(
+            "protocol.start",
+            driver="reliable",
+            users=m,
+            computers=system.n_computers,
+            tolerance=tolerance,
+            max_sweeps=max_sweeps,
+        )
 
     agents[0].start()
     messages = 0
@@ -104,7 +149,19 @@ def run_nash_protocol(
         if not pending:
             break
         for rank in pending:
-            agents[rank].handle(bus.recv(rank))
+            message = bus.recv(rank)
+            if trace:
+                kind = message.kind.name.lower()
+                tracer.emit(
+                    "protocol.deliver",
+                    kind=kind,
+                    sender=message.sender,
+                    receiver=message.receiver,
+                    sweep=message.sweep,
+                    norm=message.norm,
+                )
+                tracer.count(f"protocol.messages.{kind}")
+            agents[rank].handle(message)
             messages += 1
 
     if not all(agent.finished for agent in agents):  # pragma: no cover
@@ -121,6 +178,15 @@ def run_nash_protocol(
         norm_history=norms,
         user_times=system.user_response_times(profile.fractions),
     )
+    if trace:
+        tracer.emit(
+            "protocol.done",
+            driver="reliable",
+            converged=converged,
+            sweeps=int(norms.size),
+            messages_sent=messages,
+            retransmissions=0,
+        )
     return ProtocolOutcome(
         result=result,
         messages_sent=messages,

@@ -30,6 +30,7 @@ from repro.experiments import (
 )
 from repro.experiments.ascii_plot import ascii_chart
 from repro.experiments.common import ExperimentTable
+from repro.telemetry.trace import trace_to_file, use_tracer
 
 __all__ = ["EXPERIMENTS", "run_experiment", "render_chart", "main"]
 
@@ -191,16 +192,32 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress the ASCII charts under figure tables",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="write <DIR>/<id>.trace.jsonl telemetry per experiment "
+        "(inspect with repro-trace; see docs/OBSERVABILITY.md)",
+    )
     args = parser.parse_args(argv)
 
     chosen = args.experiments
     if chosen == ["all"] or chosen == []:
         chosen = sorted(EXPERIMENTS)
+    if args.trace:
+        os.makedirs(args.trace, exist_ok=True)
     try:
         tables = []
         for experiment_id in chosen:
             started = time.perf_counter()
-            table = run_experiment(experiment_id)
+            if args.trace:
+                trace_path = os.path.join(
+                    args.trace, f"{experiment_id.lower()}.trace.jsonl"
+                )
+                with trace_to_file(trace_path) as tracer, use_tracer(tracer):
+                    table = run_experiment(experiment_id)
+            else:
+                table = run_experiment(experiment_id)
             elapsed = time.perf_counter() - started
             tables.append((experiment_id, table, elapsed))
     except KeyError as error:
@@ -221,6 +238,13 @@ def main(argv: list[str] | None = None) -> int:
             path = os.path.join(args.csv, f"{experiment_id.lower()}.csv")
             table.save_csv(path)
             print(f"wrote {path}")
+        if args.trace:
+            print(
+                "wrote "
+                + os.path.join(
+                    args.trace, f"{experiment_id.lower()}.trace.jsonl"
+                )
+            )
     return 0
 
 

@@ -21,6 +21,7 @@ from repro.simengine.events import EventKind, EventQueue
 from repro.simengine.outages import ServerOutage
 from repro.simengine.policies import DispatchPolicy, StaticPolicy
 from repro.simengine.rng import SimulationStreams
+from repro.telemetry.trace import Tracer, current_tracer
 
 __all__ = [
     "SimulationResult",
@@ -56,26 +57,40 @@ class SimulationResult:
     computer_job_counts: np.ndarray
     horizon: float
     warmup: float
-    #: Periodic run-queue observations, shape (samples, computers);
-    #: empty unless the simulation was configured with a sample interval.
-    queue_length_samples: np.ndarray = None  # type: ignore[assignment]
+    #: Periodic run-queue observations, shape (samples, computers).
+    #: ``None`` at construction means "nothing recorded" and is
+    #: normalized by ``__post_init__`` to the empty (0, computers) array,
+    #: so readers never see ``None``.
+    queue_length_samples: np.ndarray | None = None
     #: Per-computer off-line time within the counted (post-warm-up)
-    #: window; all zeros unless the run was configured with outages.
-    computer_downtime: np.ndarray = None  # type: ignore[assignment]
+    #: window; ``None`` normalizes to all-zeros (no outages configured).
+    computer_downtime: np.ndarray | None = None
 
     def __post_init__(self) -> None:
-        if self.queue_length_samples is None:
-            object.__setattr__(
-                self,
-                "queue_length_samples",
-                np.zeros((0, self.computer_utilizations.size), dtype=np.int64),
+        samples = self.queue_length_samples
+        if samples is None:
+            samples = np.zeros(
+                (0, self.computer_utilizations.size), dtype=np.int64
             )
-        if self.computer_downtime is None:
-            object.__setattr__(
-                self,
-                "computer_downtime",
-                np.zeros(self.computer_utilizations.size),
-            )
+        object.__setattr__(
+            self, "queue_length_samples", np.asarray(samples)
+        )
+        downtime = self.computer_downtime
+        if downtime is None:
+            downtime = np.zeros(self.computer_utilizations.size)
+        object.__setattr__(
+            self, "computer_downtime", np.asarray(downtime, dtype=float)
+        )
+
+    def _queue_samples(self) -> np.ndarray:
+        """The normalized sample matrix (never ``None`` post-init)."""
+        assert self.queue_length_samples is not None
+        return self.queue_length_samples
+
+    def _downtime(self) -> np.ndarray:
+        """The normalized downtime vector (never ``None`` post-init)."""
+        assert self.computer_downtime is not None
+        return self.computer_downtime
 
     @property
     def total_jobs(self) -> int:
@@ -83,12 +98,13 @@ class SimulationResult:
 
     def mean_queue_lengths(self) -> np.ndarray:
         """Time-averaged run-queue length per computer (needs sampling)."""
-        if self.queue_length_samples.shape[0] == 0:
+        samples = self._queue_samples()
+        if samples.shape[0] == 0:
             raise ValueError(
                 "no queue samples recorded; pass sample_interval to the "
                 "simulation"
             )
-        return self.queue_length_samples.mean(axis=0)
+        return samples.mean(axis=0)
 
     def overall_mean_response_time(self) -> float:
         """Job-averaged mean response time across all users."""
@@ -224,8 +240,15 @@ class LoadBalancingSimulation:
             for j in range(system.n_users)
         ]
 
-    def run(self) -> SimulationResult:
-        """Execute the event loop and return the measured statistics."""
+    def run(self, *, tracer: Tracer | None = None) -> SimulationResult:
+        """Execute the event loop and return the measured statistics.
+
+        ``tracer`` (default: the ambient tracer) receives one ``sim.run``
+        summary event, one ``sim.outage`` event per configured window,
+        and arrival/completion/warm-up-discard counters — all in
+        simulated time, never wall-clock (the repro-lint R005 contract).
+        """
+        tracer = tracer if tracer is not None else current_tracer()
         queue = EventQueue()
         n_users = self.system.n_users
         n_computers = self.system.n_computers
@@ -234,6 +257,7 @@ class LoadBalancingSimulation:
         job_counts = np.zeros(n_users, dtype=np.int64)
         computer_counts = np.zeros(n_computers, dtype=np.int64)
         busy_time = np.zeros(n_computers)
+        warmup_discards = 0
 
         next_job_id = 0
         queue_samples: list[list[int]] = []
@@ -307,6 +331,8 @@ class LoadBalancingSimulation:
                     job_counts[finished.user] += 1
                     computer_counts[computer_index] += 1
                     busy_time[computer_index] += now - finished.start_time
+                else:
+                    warmup_discards += 1
             elif event.kind is EventKind.SERVER_DOWN:
                 self._computers[event.payload].suspend(now)
             elif event.kind is EventKind.SERVER_UP:
@@ -331,6 +357,32 @@ class LoadBalancingSimulation:
             downtime[outage.computer] += outage.overlap(
                 self.warmup, self.horizon
             )
+        if tracer.enabled:
+            arrivals = int(sum(s.generated for s in self._sources))
+            completions = int(job_counts.sum())
+            for outage in self.outages:
+                tracer.emit(
+                    "sim.outage",
+                    computer=outage.computer,
+                    start=float(outage.start),
+                    end=float(outage.end),
+                    counted_downtime=float(
+                        outage.overlap(self.warmup, self.horizon)
+                    ),
+                )
+            tracer.emit(
+                "sim.run",
+                horizon=self.horizon,
+                warmup=self.warmup,
+                arrivals=arrivals,
+                completions=completions,
+                warmup_discards=warmup_discards,
+                queue_samples=len(queue_samples),
+            )
+            tracer.count("sim.runs")
+            tracer.count("sim.arrivals", arrivals)
+            tracer.count("sim.completions", completions)
+            tracer.count("sim.warmup_discards", warmup_discards)
         return SimulationResult(
             user_mean_response_times=means,
             user_job_counts=job_counts,

@@ -50,8 +50,29 @@ class ReplicationStats:
 
     @property
     def relative_std_error(self) -> np.ndarray:
-        """Standard error as a fraction of the mean."""
-        return self.std_error / np.abs(self.mean)
+        """Standard error as a fraction of the mean.
+
+        A component whose mean *and* standard error are both zero is a
+        deterministic zero measurement — its relative error is defined
+        as 0.0 (it trivially satisfies any acceptance criterion).  A
+        zero mean with a *nonzero* standard error has no meaningful
+        relative error at all; that raises instead of silently emitting
+        ``inf``/``NaN`` and a RuntimeWarning that used to break
+        :meth:`within_relative_error` and :func:`replicate_until`.
+        """
+        zero_mean = self.mean == 0.0  # reprolint: allow=R002 exact-sentinel
+        if bool(np.any(zero_mean & (self.std_error > 0.0))):
+            bad = np.flatnonzero(zero_mean & (self.std_error > 0.0))
+            raise ValueError(
+                "relative standard error is undefined for zero-mean "
+                f"components with nonzero spread (indices {bad.tolist()})"
+            )
+        return np.divide(
+            self.std_error,
+            np.abs(self.mean),
+            out=np.zeros_like(self.std_error),
+            where=~zero_mean,
+        )
 
     def within_relative_error(self, fraction: float) -> bool:
         """The paper's acceptance criterion (e.g. ``fraction=0.05``)."""

@@ -1,0 +1,87 @@
+"""repro.telemetry — first-class observability for solver, protocol, sim.
+
+The paper's whole Section 4 is measurement: convergence norms per
+iteration (Fig. 2), message counts for the distributed NASH protocol,
+simulated response times.  This package makes those observations a
+structural part of the codebase instead of ad hoc prints:
+
+* a metrics registry (:mod:`repro.telemetry.metrics`) — deterministic
+  counters, gauges and fixed-bound histograms;
+* a structured trace-event API (:mod:`repro.telemetry.events`,
+  :mod:`repro.telemetry.sinks`) — JSONL on disk, in-memory for tests,
+  a no-op sink as the zero-cost default;
+* a :class:`~repro.telemetry.trace.Tracer` handle threaded through the
+  three hot layers (``NashSolver.solve``, the distributed runtime, the
+  sim engine), ambient via :func:`~repro.telemetry.trace.use_tracer`;
+* read-side analysis (:mod:`repro.telemetry.analysis`) and the
+  ``repro-trace`` CLI (:mod:`repro.telemetry.cli`).
+
+See docs/OBSERVABILITY.md for the trace schema and usage tour.
+
+>>> from repro import compute_nash_equilibrium, paper_table1_system
+>>> from repro.telemetry import InMemorySink, Tracer, use_tracer
+>>> sink = InMemorySink()
+>>> with use_tracer(Tracer(sink)):
+...     result = compute_nash_equilibrium(paper_table1_system(utilization=0.6))
+>>> [e.fields["norm"] for e in sink.events if e.name == "solver.sweep"] == list(result.norm_history)
+True
+"""
+
+from repro.telemetry.analysis import (
+    event_counts,
+    metrics_snapshot,
+    protocol_summary,
+    reconstruct_norm_history,
+    sim_summary,
+    solver_summary,
+    trace_summary,
+)
+from repro.telemetry.events import TraceEvent, jsonable
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.sinks import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    TraceSink,
+    iter_trace,
+    read_trace,
+)
+from repro.telemetry.trace import (
+    DISABLED,
+    Tracer,
+    current_tracer,
+    trace_to_file,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "jsonable",
+    "TraceSink",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "read_trace",
+    "iter_trace",
+    "Tracer",
+    "DISABLED",
+    "current_tracer",
+    "use_tracer",
+    "trace_to_file",
+    "event_counts",
+    "metrics_snapshot",
+    "reconstruct_norm_history",
+    "protocol_summary",
+    "sim_summary",
+    "solver_summary",
+    "trace_summary",
+]

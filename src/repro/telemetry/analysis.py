@@ -1,0 +1,178 @@
+"""Trace post-processing: the read side of the observability layer.
+
+Pure functions from an ordered event sequence (as loaded by
+:func:`repro.telemetry.sinks.read_trace`) to the summaries the
+``repro-trace`` CLI renders.  The key guarantee, pinned by the test
+suite: a traced run's convergence history and per-kind message counts
+are reconstructible from the JSONL trace *alone* — byte-identical norms
+(floats round-trip exactly through JSON) and counts that sum to the
+driver's ``ProtocolOutcome.messages_sent``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.telemetry.events import TraceEvent
+
+__all__ = [
+    "event_counts",
+    "metrics_snapshot",
+    "reconstruct_norm_history",
+    "protocol_summary",
+    "sim_summary",
+    "solver_summary",
+    "trace_summary",
+]
+
+#: Event names carrying one completed sweep's convergence norm.
+_SWEEP_EVENTS = ("solver.sweep", "protocol.sweep")
+
+
+def event_counts(events: Iterable[TraceEvent]) -> dict[str, int]:
+    """How many times each event name occurs, sorted by name."""
+    tally: TallyCounter[str] = TallyCounter(e.name for e in events)
+    return dict(sorted(tally.items()))
+
+
+def metrics_snapshot(
+    events: Iterable[TraceEvent],
+) -> Mapping[str, Any] | None:
+    """The last ``telemetry.metrics`` snapshot in the trace, if any."""
+    snapshot: Mapping[str, Any] | None = None
+    for event in events:
+        if event.name == "telemetry.metrics":
+            snapshot = event.fields
+    return snapshot
+
+
+def reconstruct_norm_history(events: Sequence[TraceEvent]) -> list[float]:
+    """Rebuild the run's ``norm_history`` from sweep events alone.
+
+    ``solver.sweep`` / ``protocol.sweep`` events carry ``index`` (the
+    history position) and ``norm``.  A ``protocol.restore`` of the
+    initiator (rank 0) rolls its history back to the checkpointed prefix
+    — ``norm_history_length`` — after which re-executed sweeps append
+    again, exactly as :class:`~repro.distributed.checkpoint.CheckpointStore`
+    replays the live object.
+    """
+    norms: list[float] = []
+    for event in events:
+        if event.name == "protocol.restore":
+            if int(event.fields.get("rank", -1)) == 0:
+                length = int(
+                    event.fields.get("norm_history_length", len(norms))
+                )
+                del norms[length:]
+        elif event.name in _SWEEP_EVENTS:
+            index = int(event.fields["index"])
+            norm = float(event.fields["norm"])
+            if index == len(norms):
+                norms.append(norm)
+            elif index < len(norms):
+                # Redo of a rolled-back sweep: overwrite and truncate.
+                norms[index] = norm
+                del norms[index + 1:]
+            else:
+                raise ValueError(
+                    f"trace skips norm history index {len(norms)} "
+                    f"(got {index}): events missing or out of order"
+                )
+    return norms
+
+
+def protocol_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Message/overhead accounting of the distributed protocol run(s)."""
+    per_kind: TallyCounter[str] = TallyCounter()
+    token_hops = 0
+    retransmissions = 0
+    suspicions = 0
+    checkpoints = 0
+    restores = 0
+    faults: list[dict[str, Any]] = []
+    reopens = 0
+    done: dict[str, Any] | None = None
+    for event in events:
+        if event.name == "protocol.deliver":
+            kind = str(event.fields["kind"])
+            per_kind[kind] += 1
+            if kind == "token":
+                token_hops += 1
+        elif event.name == "protocol.retransmit":
+            retransmissions += 1
+        elif event.name == "protocol.suspect":
+            suspicions += 1
+        elif event.name == "protocol.checkpoint":
+            checkpoints += 1
+        elif event.name == "protocol.restore":
+            restores += 1
+        elif event.name == "protocol.fault":
+            faults.append(dict(event.fields))
+        elif event.name == "protocol.reopen":
+            reopens += 1
+        elif event.name == "protocol.done":
+            done = dict(event.fields)
+    return {
+        "messages_by_kind": dict(sorted(per_kind.items())),
+        "messages_delivered": int(sum(per_kind.values())),
+        "token_hops": token_hops,
+        "retransmissions": retransmissions,
+        "suspicions": suspicions,
+        "checkpoint_captures": checkpoints,
+        "checkpoint_restores": restores,
+        "faults": faults,
+        "ring_reopens": reopens,
+        "norm_history": reconstruct_norm_history(events),
+        "outcome": done,
+    }
+
+
+def solver_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Convergence/timing view of the sequential solver's sweeps."""
+    sweeps: list[dict[str, Any]] = []
+    done: dict[str, Any] | None = None
+    for event in events:
+        if event.name == "solver.sweep":
+            sweeps.append(dict(event.fields))
+        elif event.name == "solver.done":
+            done = dict(event.fields)
+    return {
+        "sweeps": sweeps,
+        "norm_history": [float(s["norm"]) for s in sweeps],
+        "total_elapsed_s": float(
+            sum(float(s.get("elapsed_s", 0.0)) for s in sweeps)
+        ),
+        "outcome": done,
+    }
+
+
+def sim_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Arrival/completion/outage accounting of simulation runs."""
+    outages: list[dict[str, Any]] = []
+    runs: list[dict[str, Any]] = []
+    for event in events:
+        if event.name == "sim.outage":
+            outages.append(dict(event.fields))
+        elif event.name == "sim.run":
+            runs.append(dict(event.fields))
+    return {
+        "runs": runs,
+        "arrivals": int(sum(int(r.get("arrivals", 0)) for r in runs)),
+        "completions": int(
+            sum(int(r.get("completions", 0)) for r in runs)
+        ),
+        "warmup_discards": int(
+            sum(int(r.get("warmup_discards", 0)) for r in runs)
+        ),
+        "outage_windows": outages,
+    }
+
+
+def trace_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Top-level overview: event counts plus the final metrics snapshot."""
+    return {
+        "n_events": len(events),
+        "event_counts": event_counts(events),
+        "metrics": metrics_snapshot(events),
+    }

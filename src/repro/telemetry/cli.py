@@ -1,0 +1,162 @@
+"""The ``repro-trace`` command-line interface.
+
+Renders summaries of a JSONL trace file (see docs/OBSERVABILITY.md)::
+
+    repro-trace summary run.trace.jsonl          # event/metric overview
+    repro-trace convergence run.trace.jsonl      # norm history per sweep
+    repro-trace protocol run.trace.jsonl --json  # message accounting
+
+Exit status: 0 on success, 1 when the trace holds no data for the
+requested view, 2 on usage errors (missing/corrupt trace file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.telemetry.analysis import (
+    protocol_summary,
+    reconstruct_norm_history,
+    sim_summary,
+    solver_summary,
+    trace_summary,
+)
+from repro.telemetry.events import TraceEvent
+from repro.telemetry.sinks import read_trace
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Summarize a repro telemetry trace (JSONL) — convergence "
+            "norms, protocol message accounting, simulation counters."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for command, description in (
+        ("summary", "event counts, metrics snapshot, per-layer overview"),
+        ("convergence", "reconstructed norm history, one line per sweep"),
+        ("protocol", "per-kind message counts and overhead accounting"),
+    ):
+        sub = subparsers.add_parser(command, help=description)
+        sub.add_argument("trace", help="path to a .trace.jsonl file")
+        sub.add_argument(
+            "--json",
+            action="store_true",
+            help="emit machine-readable JSON instead of text",
+        )
+    return parser
+
+
+def _render_summary(events: list[TraceEvent]) -> tuple[dict[str, Any], str]:
+    payload: dict[str, Any] = trace_summary(events)
+    solver = solver_summary(events)
+    protocol = protocol_summary(events)
+    sim = sim_summary(events)
+    lines = [f"events: {payload['n_events']}"]
+    for name, count in payload["event_counts"].items():
+        lines.append(f"  {name:<24} {count}")
+    if solver["sweeps"]:
+        lines.append(
+            f"solver: {len(solver['sweeps'])} sweeps, "
+            f"final norm {solver['norm_history'][-1]:.3g}, "
+            f"{solver['total_elapsed_s']:.4f}s in best replies"
+        )
+    if protocol["messages_delivered"]:
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in protocol["messages_by_kind"].items()
+        )
+        lines.append(
+            f"protocol: {protocol['messages_delivered']} messages "
+            f"({kinds}), {protocol['retransmissions']} retransmissions"
+        )
+    if sim["runs"]:
+        lines.append(
+            f"sim: {len(sim['runs'])} runs, {sim['arrivals']} arrivals, "
+            f"{sim['completions']} completions "
+            f"({sim['warmup_discards']} warm-up discards), "
+            f"{len(sim['outage_windows'])} outage edges"
+        )
+    if payload["metrics"] is not None:
+        counters = payload["metrics"].get("counters", {})
+        for name, value in counters.items():
+            lines.append(f"  counter {name:<28} {value:g}")
+    return payload, "\n".join(lines)
+
+
+def _render_convergence(
+    events: list[TraceEvent],
+) -> tuple[dict[str, Any], str]:
+    norms = reconstruct_norm_history(events)
+    payload = {
+        "iterations": len(norms),
+        "norm_history": norms,
+        "final_norm": norms[-1] if norms else None,
+    }
+    lines = [f"{'iteration':>9}  norm"]
+    for index, norm in enumerate(norms, start=1):
+        lines.append(f"{index:>9}  {norm:.6e}")
+    return payload, "\n".join(lines)
+
+
+def _render_protocol(
+    events: list[TraceEvent],
+) -> tuple[dict[str, Any], str]:
+    payload = protocol_summary(events)
+    lines = ["messages by kind:"]
+    for kind, count in payload["messages_by_kind"].items():
+        lines.append(f"  {kind:<12} {count}")
+    lines.append(f"delivered total: {payload['messages_delivered']}")
+    lines.append(f"token hops: {payload['token_hops']}")
+    lines.append(f"retransmissions: {payload['retransmissions']}")
+    if payload["suspicions"] or payload["faults"]:
+        lines.append(
+            f"suspicions: {payload['suspicions']}, "
+            f"faults applied: {len(payload['faults'])}, "
+            f"ring reopens: {payload['ring_reopens']}"
+        )
+        lines.append(
+            f"checkpoints: {payload['checkpoint_captures']} captured, "
+            f"{payload['checkpoint_restores']} restored"
+        )
+    if payload["outcome"] is not None:
+        lines.append(f"outcome: {payload['outcome']}")
+    return payload, "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        events = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "summary":
+        payload, text = _render_summary(events)
+        empty = not events
+    elif args.command == "convergence":
+        payload, text = _render_convergence(events)
+        empty = not payload["norm_history"]
+    else:
+        payload, text = _render_protocol(events)
+        empty = not payload["messages_delivered"]
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text)
+    if empty:
+        print(
+            f"repro-trace: no {args.command} data in {args.trace}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

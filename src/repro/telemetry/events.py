@@ -1,0 +1,88 @@
+"""Structured trace events.
+
+A trace is an ordered sequence of :class:`TraceEvent` records; each
+carries a monotone sequence number (assigned by the
+:class:`~repro.telemetry.trace.Tracer`), a dotted event name
+(``solver.sweep``, ``protocol.deliver``, ``sim.outage`` …) and a flat
+mapping of JSON-serializable fields.  The JSONL wire form flattens the
+fields into the top-level object next to the two reserved keys::
+
+    {"seq": 12, "event": "solver.sweep", "index": 3, "norm": 0.0125}
+
+Floats survive the round-trip exactly: ``json`` serializes them with
+``repr``, whose shortest-round-trip guarantee means a reloaded trace
+reconstructs the very ``norm_history`` values the solver recorded — the
+property the acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["RESERVED_KEYS", "TraceEvent", "jsonable"]
+
+#: Top-level JSONL keys that belong to the envelope, not the payload.
+RESERVED_KEYS: frozenset[str] = frozenset({"seq", "event"})
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (recursively) into JSON-native types."""
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured observation in a trace."""
+
+    seq: int
+    name: str
+    fields: Mapping[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError("sequence numbers are nonnegative")
+        if not self.name:
+            raise ValueError("event name must be nonempty")
+        clash = RESERVED_KEYS & set(self.fields)
+        if clash:
+            raise ValueError(
+                f"fields shadow reserved keys: {sorted(clash)}"
+            )
+
+    def to_json_object(self) -> dict[str, Any]:
+        """The flat JSONL object form."""
+        record: dict[str, Any] = {"seq": self.seq, "event": self.name}
+        for key, value in self.fields.items():
+            record[key] = jsonable(value)
+        return record
+
+    @classmethod
+    def from_json_object(cls, record: Mapping[str, Any]) -> "TraceEvent":
+        try:
+            seq = int(record["seq"])
+            name = str(record["event"])
+        except KeyError as missing:
+            raise ValueError(
+                f"trace record is missing reserved key {missing}"
+            ) from None
+        fields = {
+            key: value
+            for key, value in record.items()
+            if key not in RESERVED_KEYS
+        }
+        return cls(seq=seq, name=name, fields=fields)

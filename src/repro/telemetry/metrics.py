@@ -1,0 +1,199 @@
+"""Lightweight, deterministic metrics primitives.
+
+The observability layer (docs/OBSERVABILITY.md) needs aggregates that are
+a pure function of the instrumented run: a replayed ``(model, seed)``
+configuration must produce bit-identical counters and histogram buckets,
+so CI can diff snapshots across machines.  Everything here is therefore
+plain in-process arithmetic — no clocks, no sampling, no background
+threads — and every snapshot is emitted with sorted keys.
+
+Three primitives, mirroring the conventional metrics vocabulary:
+
+* :class:`Counter` — monotonically increasing count (messages sent,
+  sweeps executed, jobs completed);
+* :class:`Gauge` — last-written value (current sweep, online computers);
+* :class:`Histogram` — fixed-bound bucket counts plus exact ``count`` /
+  ``total`` / ``min`` / ``max`` moments (kernel timings, per-sweep
+  norms).  Bounds are fixed at construction, so aggregation never
+  depends on the order or range of observations.
+
+:class:`MetricsRegistry` is a get-or-create namespace for all three; the
+:class:`~repro.telemetry.trace.Tracer` owns one and serializes its
+snapshot into the trace as a ``telemetry.metrics`` event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIMING_BOUNDS",
+]
+
+#: Default histogram bounds for kernel timings (seconds): powers of ten
+#: from a microsecond to ten seconds — fixed so aggregation is stable.
+DEFAULT_TIMING_BOUNDS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with exact moments.
+
+    ``bounds`` are inclusive upper bucket edges in strictly increasing
+    order; an observation larger than the last bound lands in the
+    overflow bucket.  Because the bounds never adapt to the data, two
+    runs that observe the same multiset of values — in any order —
+    produce identical snapshots (the "fixed seeds-safe aggregation" the
+    experiments rely on).
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Iterable[float] = DEFAULT_TIMING_BOUNDS
+    ):
+        edges = tuple(float(b) for b in bounds)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError("histogram bounds must strictly increase")
+        self.name = name
+        self.bounds = edges
+        self.bucket_counts = [0] * (len(edges) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create namespace for counters, gauges and histograms."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._require_free(name)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._require_free(name)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_TIMING_BOUNDS
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._require_free(name)
+            metric = self._histograms[name] = Histogram(name, bounds)
+        return metric
+
+    def _require_free(self, name: str) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if name in table:
+                raise ValueError(
+                    f"metric name {name!r} already registered with a "
+                    "different type"
+                )
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready snapshot of every metric, keys sorted."""
+        return {
+            "counters": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,121 @@
+"""Trace sinks: where emitted events go.
+
+Three implementations cover the whole lifecycle:
+
+* :class:`NullSink` — swallows everything; the default, so instrumented
+  code paths cost one predictable branch when telemetry is off;
+* :class:`InMemorySink` — keeps :class:`~repro.telemetry.events.TraceEvent`
+  objects in a list, for tests and programmatic analysis;
+* :class:`JsonlSink` — appends one JSON object per line to a file (or
+  any writable text handle), the durable form read back by
+  :func:`read_trace` and the ``repro-trace`` CLI.
+
+Sinks never timestamp events: a trace is a pure function of the run that
+produced it, so replays diff cleanly (wall-clock durations appear only
+as explicit *fields* written by instrumentation that is allowed to read
+the host clock, e.g. the solver's kernel timings).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.telemetry.events import TraceEvent
+
+__all__ = [
+    "TraceSink",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "read_trace",
+    "iter_trace",
+]
+
+
+class TraceSink:
+    """Base sink: accepts events, optionally flushes/closes resources."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        """Release any resource held by the sink (idempotent)."""
+
+
+class NullSink(TraceSink):
+    """Discards every event — the zero-cost default."""
+
+    __slots__ = ()
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class InMemorySink(TraceSink):
+    """Accumulates events in memory (tests, inline analysis)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(TraceSink):
+    """Writes one JSON object per event line to ``path`` (or a handle).
+
+    The sink owns (and closes) handles it opened itself; a caller-provided
+    handle is left open on :meth:`close` so it can keep writing around the
+    traced region.
+    """
+
+    __slots__ = ("_handle", "_owns_handle")
+
+    def __init__(self, target: str | Path | IO[str]):
+        if isinstance(target, (str, Path)):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+
+    def emit(self, event: TraceEvent) -> None:
+        self._handle.write(
+            json.dumps(event.to_json_object(), sort_keys=False) + "\n"
+        )
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def iter_trace(path: str | Path) -> Iterator[TraceEvent]:
+    """Stream the events of a JSONL trace file in order."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{number}: invalid trace line: {exc}"
+                ) from None
+            yield TraceEvent.from_json_object(record)
+
+
+def read_trace(path: str | Path) -> list[TraceEvent]:
+    """Load a whole JSONL trace file into memory."""
+    return list(iter_trace(path))

@@ -1,0 +1,147 @@
+"""The tracer: one handle bundling a sink and a metrics registry.
+
+Instrumented code takes an optional ``tracer`` argument and falls back
+to the *ambient* tracer (:func:`current_tracer`), which defaults to the
+module-level :data:`DISABLED` singleton.  Every tracer method starts
+with an ``enabled`` check, so disabled telemetry costs a single branch —
+the no-op path the bench gate protects (docs/PERFORMANCE.md).
+
+Typical wiring::
+
+    from repro.telemetry import trace_to_file, use_tracer
+
+    with trace_to_file("run.trace.jsonl") as tracer, use_tracer(tracer):
+        compute_nash_equilibrium(system)   # picks the tracer up ambiently
+
+or explicitly, without touching the ambient state::
+
+    tracer = Tracer(InMemorySink())
+    solver.solve(system, tracer=tracer)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sinks import JsonlSink, NullSink, TraceSink
+from repro.telemetry.events import TraceEvent
+
+__all__ = [
+    "Tracer",
+    "DISABLED",
+    "current_tracer",
+    "use_tracer",
+    "trace_to_file",
+]
+
+
+class Tracer:
+    """Emit structured events to a sink and aggregate metrics.
+
+    Parameters
+    ----------
+    sink:
+        Destination for emitted events; ``None`` means a fresh
+        :class:`~repro.telemetry.sinks.NullSink` (metrics-only tracing).
+    registry:
+        Metrics namespace; a fresh one is created when omitted.
+    enabled:
+        A disabled tracer ignores every call; instrumentation guards its
+        own hot loops with :attr:`enabled` so field construction is also
+        skipped.
+    """
+
+    __slots__ = ("sink", "registry", "enabled", "_seq")
+
+    def __init__(
+        self,
+        sink: TraceSink | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        enabled: bool = True,
+    ):
+        self.sink: TraceSink = sink if sink is not None else NullSink()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.enabled = bool(enabled)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def emit(self, name: str, /, **fields: Any) -> None:
+        """Emit one structured event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(seq=self._seq, name=name, fields=fields)
+        self._seq += 1
+        self.sink.emit(event)
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Metrics conveniences
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        if self.enabled:
+            self.registry.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.registry.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.registry.histogram(name).observe(value)
+
+    def flush_metrics(self) -> None:
+        """Emit the registry snapshot as a ``telemetry.metrics`` event."""
+        if self.enabled and len(self.registry):
+            self.emit("telemetry.metrics", **self.registry.snapshot())
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: The ambient default: a permanently disabled tracer.
+DISABLED = Tracer(enabled=False)
+
+#: Ambient tracer stack; the top is what :func:`current_tracer` returns.
+_ACTIVE: list[Tracer] = [DISABLED]
+
+
+def current_tracer() -> Tracer:
+    """The innermost tracer installed by :func:`use_tracer` (or DISABLED)."""
+    return _ACTIVE[-1]
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient default within the block."""
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()
+
+
+@contextmanager
+def trace_to_file(
+    path: str | Path, *, registry: MetricsRegistry | None = None
+) -> Iterator[Tracer]:
+    """A tracer writing JSONL to ``path`` for the duration of the block.
+
+    On exit the metrics snapshot is flushed into the trace as its final
+    event and the file is closed.  Compose with :func:`use_tracer` to
+    also make it the ambient default.
+    """
+    tracer = Tracer(JsonlSink(path), registry=registry)
+    try:
+        yield tracer
+    finally:
+        tracer.flush_metrics()
+        tracer.close()

@@ -78,11 +78,11 @@ def test_typed_except_is_clean(lint):
     assert findings == []
 
 
-def test_rule_scoped_to_simengine_and_distributed(lint):
-    # The identical code outside the scoped packages is not R005's business
-    # (experiments may legitimately measure wall-clock runtime).
+def test_rule_silent_outside_scoped_packages(lint):
+    # Identical code outside simengine/distributed/experiments is not
+    # R005's business.
     findings = lint(
-        {"src/repro/experiments/timing.py": _src("""
+        {"src/repro/core/timing.py": _src("""
             import time
 
             def stamp():
@@ -90,6 +90,58 @@ def test_rule_scoped_to_simengine_and_distributed(lint):
                     return time.time()
                 except:
                     return 0.0
+        """)},
+        select=["R005"],
+    )
+    assert findings == []
+
+
+def test_clock_of_day_fires_in_experiments(lint):
+    # Historically experiments/ escaped R005 entirely, which is how a
+    # time.time() duration shipped in report.py; the narrower
+    # experiments scope now bans the non-monotonic clock-of-day readers.
+    findings = lint(
+        {"src/repro/experiments/timing.py": _src("""
+            import time
+
+            def elapsed(run):
+                started = time.time()
+                run()
+                return time.time() - started
+        """)},
+        select=["R005"],
+    )
+    assert [f.rule for f in findings] == ["R005", "R005"]
+    assert "perf_counter" in findings[0].message
+
+
+def test_perf_counter_allowed_in_experiments(lint):
+    # Experiments legitimately measure real runtime — only the
+    # monotonic readers are the right tool, so they stay allowed.
+    findings = lint(
+        {"src/repro/experiments/timing.py": _src("""
+            from time import perf_counter
+
+            def elapsed(run):
+                started = perf_counter()
+                run()
+                return perf_counter() - started
+        """)},
+        select=["R005"],
+    )
+    assert findings == []
+
+
+def test_bare_except_not_flagged_in_experiments(lint):
+    # The bare-except half of R005 protects typed *protocol* errors;
+    # it stays scoped to simengine/distributed.
+    findings = lint(
+        {"src/repro/experiments/timing.py": _src("""
+            def guarded(run):
+                try:
+                    return run()
+                except:
+                    return None
         """)},
         select=["R005"],
     )

@@ -7,6 +7,13 @@ import pytest
 
 from repro.core.equilibrium import is_nash_equilibrium
 from repro.core.nash import compute_nash_equilibrium
+from repro.core.strategy import StrategyProfile
+from repro.distributed.chaos import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    run_nash_protocol_resilient,
+)
 from repro.distributed.messages import MessageKind
 from repro.distributed.runtime import run_nash_protocol
 from repro.workloads.configs import paper_table1_system
@@ -101,3 +108,120 @@ class TestProtocolMechanics:
         protocol = run_nash_protocol(table1_small, record_transcript=False)
         assert protocol.transcript == ()
         assert protocol.messages_sent > 0
+
+
+class TestMessagesSentAccounting:
+    """``messages_sent`` is incremented in the drain loop, not by the
+    bus — these tests pin it to actual bus deliveries so the legacy
+    field and the telemetry counters cannot drift apart."""
+
+    def test_reliable_run_matches_transcript(self, table1_small):
+        protocol = run_nash_protocol(table1_small)
+        # On the reliable bus every send is enqueued exactly once and
+        # every enqueued message is drained exactly once.
+        assert protocol.messages_sent == len(protocol.transcript)
+        token = sum(
+            1 for m in protocol.transcript if m.kind is MessageKind.TOKEN
+        )
+        terminate = sum(
+            1
+            for m in protocol.transcript
+            if m.kind is MessageKind.TERMINATE
+        )
+        assert token + terminate == protocol.messages_sent
+        m = table1_small.n_users
+        assert token == m * protocol.result.iterations
+        assert terminate == m - 1
+
+    def test_crash_fault_run_counts_only_deliveries(self, table1_small):
+        # A crash wipes the victim's mailbox: those messages sit in the
+        # transcript (they were enqueued) but are never drained, so
+        # messages_sent counts strictly the messages agents handled —
+        # which is exactly what the telemetry deliver events record.
+        from repro.telemetry.sinks import InMemorySink
+        from repro.telemetry.trace import Tracer
+
+        schedule = FaultSchedule(
+            [
+                FaultEvent(6, FaultKind.AGENT_CRASH, 1),
+                FaultEvent(16, FaultKind.AGENT_RESTART, 1),
+            ]
+        )
+        sink = InMemorySink()
+        outcome = run_nash_protocol_resilient(
+            table1_small,
+            schedule,
+            tolerance=1e-8,
+            checkpoint_interval=4,
+            tracer=Tracer(sink),
+        )
+        assert outcome.crashes == 1
+        kinds = {m.kind for m in outcome.transcript}
+        assert kinds <= {MessageKind.TOKEN, MessageKind.TERMINATE}
+        deliveries = [
+            e for e in sink.events if e.name == "protocol.deliver"
+        ]
+        assert outcome.messages_sent == len(deliveries)
+        assert outcome.messages_sent <= len(outcome.transcript)
+
+
+class TestInitialStateSeeding:
+    """Regression: the driver used to skip publishing/seeding whenever
+    the starting profile was not row-stochastic, and crashed outright on
+    a conserving-but-overloaded one — both paths are live and must match
+    the sequential solver sweep for sweep."""
+
+    def _assert_parity(self, system, init):
+        sequential = compute_nash_equilibrium(system, init=init)
+        protocol = run_nash_protocol(system, init=init)
+        assert protocol.result.iterations == sequential.iterations
+        np.testing.assert_allclose(
+            protocol.result.norm_history,
+            sequential.norm_history,
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            protocol.result.profile.fractions,
+            sequential.profile.fractions,
+            atol=1e-10,
+        )
+
+    def test_partial_profile_start(self, table1_small):
+        # Non-conserving start: rows sum below 1. The sequential solver
+        # publishes these flows as real starting state; the driver used
+        # to silently ignore them.
+        partial = StrategyProfile(
+            np.full(
+                (table1_small.n_users, table1_small.n_computers), 0.01
+            )
+        )
+        self._assert_parity(table1_small, partial)
+
+    def test_overloaded_conserving_start(self, table1_small):
+        # A uniform split on the heterogeneous Table-1 system conserves
+        # flow but overloads the slow computers: no finite expected
+        # times. The driver used to crash here (uncaught ValueError);
+        # now it adopts the solver's NASH_0 baseline convention.
+        uniform = StrategyProfile.uniform(
+            table1_small.n_users, table1_small.n_computers
+        )
+        with pytest.raises(ValueError):
+            table1_small.user_response_times(uniform.fractions)
+        self._assert_parity(table1_small, uniform)
+
+    def test_resilient_driver_accepts_hostile_starts(self, table1_small):
+        uniform = StrategyProfile.uniform(
+            table1_small.n_users, table1_small.n_computers
+        )
+        outcome = run_nash_protocol_resilient(
+            table1_small, init=uniform, tolerance=1e-8
+        )
+        sequential = compute_nash_equilibrium(
+            table1_small, init=uniform, tolerance=1e-8
+        )
+        assert outcome.result.converged
+        np.testing.assert_allclose(
+            outcome.result.profile.fractions,
+            sequential.profile.fractions,
+            atol=1e-10,
+        )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.simengine.stats import replicate
+from repro.simengine.stats import replicate, replicate_until
 
 
 class TestReplicate:
@@ -36,6 +36,60 @@ class TestReplicate:
         np.testing.assert_array_equal(stats.std_error, 0.0)
         np.testing.assert_array_equal(stats.mean, [2.0, 4.0])
         assert stats.within_relative_error(0.0)
+
+
+class TestZeroMeanRelativeError:
+    """Regression: a zero-mean component used to produce inf/NaN (plus a
+    RuntimeWarning) and silently break the acceptance criterion."""
+
+    def test_deterministic_zero_component_satisfies_criterion(self):
+        # Mean 0, spread 0: a deterministic zero measurement trivially
+        # meets any relative-error target — defined as exactly 0.0.
+        stats = replicate(
+            lambda seq: np.array([0.0, 5.0]), n_replications=4, seed=0
+        )
+        with np.errstate(all="raise"):  # would trip on a 0/0 divide
+            relative = stats.relative_std_error
+        np.testing.assert_array_equal(relative, [0.0, 0.0])
+        assert stats.within_relative_error(0.05)
+
+    def test_zero_mean_with_spread_raises(self):
+        # Mean 0 with nonzero spread has no meaningful relative error.
+        def measure(seq):
+            rng = np.random.Generator(np.random.PCG64(seq))
+            return np.array([rng.choice([-1.0, 1.0]), 3.0])
+
+        values = iter([1.0, -1.0, 1.0, -1.0])
+        stats = replicate(
+            lambda seq: np.array([next(values), 3.0]),
+            n_replications=4,
+            seed=0,
+        )
+        assert stats.mean[0] == 0.0
+        assert stats.std_error[0] > 0.0
+        with pytest.raises(ValueError, match="zero-mean"):
+            stats.relative_std_error
+        with pytest.raises(ValueError, match="indices \\[0\\]"):
+            stats.within_relative_error(0.05)
+
+    def test_replicate_until_accepts_deterministic_zero(self):
+        # Before the fix the inf relative error meant the target never
+        # held and replicate_until burned its whole budget.
+        calls = {"n": 0}
+
+        def measure(seq):
+            calls["n"] += 1
+            return np.array([0.0, 7.0])
+
+        stats = replicate_until(
+            measure,
+            target_relative_error=0.05,
+            min_replications=3,
+            max_replications=50,
+            seed=0,
+        )
+        assert stats.n_replications == 3
+        assert calls["n"] == 3
 
     def test_confidence_interval_brackets_mean(self):
         stats = replicate(

@@ -1,0 +1,124 @@
+"""Trace events and sinks: validation, JSONL round-trips, float exactness."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry.events import RESERVED_KEYS, TraceEvent, jsonable
+from repro.telemetry.sinks import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    TraceSink,
+    iter_trace,
+    read_trace,
+)
+
+
+class TestTraceEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            TraceEvent(seq=-1, name="x", fields={})
+        with pytest.raises(ValueError, match="nonempty"):
+            TraceEvent(seq=0, name="", fields={})
+        for key in RESERVED_KEYS:
+            with pytest.raises(ValueError, match="reserved"):
+                TraceEvent(seq=0, name="x", fields={key: 1})
+
+    def test_json_round_trip(self):
+        event = TraceEvent(
+            seq=3, name="solver.sweep", fields={"index": 0, "norm": 0.1}
+        )
+        record = event.to_json_object()
+        assert record == {
+            "seq": 3, "event": "solver.sweep", "index": 0, "norm": 0.1
+        }
+        assert TraceEvent.from_json_object(record) == event
+
+    def test_from_json_requires_envelope(self):
+        with pytest.raises(ValueError, match="reserved key"):
+            TraceEvent.from_json_object({"event": "x"})
+
+    def test_jsonable_coerces_numpy(self):
+        coerced = jsonable(
+            {
+                "arr": np.array([1.5, 2.5]),
+                "i": np.int64(3),
+                "f": np.float64(0.25),
+                "b": np.bool_(True),
+                "nested": (np.int32(1), [np.float32(2.0)]),
+            }
+        )
+        assert coerced == {
+            "arr": [1.5, 2.5],
+            "i": 3,
+            "f": 0.25,
+            "b": True,
+            "nested": [1, [2.0]],
+        }
+        assert json.dumps(coerced)  # fully JSON-native
+
+
+class TestSinks:
+    def test_base_sink_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            TraceSink().emit(TraceEvent(0, "x", {}))
+        TraceSink().close()  # close is an optional no-op hook
+
+    def test_null_sink_swallows(self):
+        sink = NullSink()
+        sink.emit(TraceEvent(0, "x", {}))
+        sink.close()
+
+    def test_in_memory_sink_accumulates(self):
+        sink = InMemorySink()
+        sink.emit(TraceEvent(0, "a", {}))
+        sink.emit(TraceEvent(1, "b", {}))
+        assert len(sink) == 2
+        assert [e.name for e in sink.events] == ["a", "b"]
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_jsonl_sink_owns_path_handle(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(TraceEvent(0, "a", {"v": 1}))
+        sink.close()
+        sink.close()  # idempotent
+        assert read_trace(path) == [TraceEvent(0, "a", {"v": 1})]
+
+    def test_jsonl_sink_leaves_caller_handle_open(self):
+        handle = io.StringIO()
+        sink = JsonlSink(handle)
+        sink.emit(TraceEvent(0, "a", {}))
+        sink.close()
+        assert not handle.closed
+        assert json.loads(handle.getvalue()) == {"seq": 0, "event": "a"}
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        # json serializes floats via repr (shortest round-trip), so the
+        # norms a trace records reload bit-for-bit — the property the
+        # norm-history acceptance test relies on.
+        values = [0.1, 1e-300, 2.0 / 3.0, 1.2345678901234567e-8]
+        path = tmp_path / "floats.trace.jsonl"
+        sink = JsonlSink(path)
+        for index, value in enumerate(values):
+            sink.emit(TraceEvent(index, "v", {"x": value}))
+        sink.close()
+        loaded = [event.fields["x"] for event in iter_trace(path)]
+        assert loaded == values  # exact equality, not approx
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.trace.jsonl"
+        path.write_text('{"seq": 0, "event": "a"}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.trace\.jsonl:2"):
+            read_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gappy.trace.jsonl"
+        path.write_text('\n{"seq": 0, "event": "a"}\n\n')
+        assert [e.name for e in read_trace(path)] == ["a"]

@@ -1,0 +1,101 @@
+"""Metrics primitives: counters, gauges, histograms, the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_TIMING_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("messages")
+        counter.inc()
+        counter.inc(3)
+        assert counter.snapshot() == 4
+
+    def test_rejects_negative(self):
+        counter = Counter("messages")
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("sweep")
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.snapshot() == 7.0
+
+
+class TestHistogram:
+    def test_bucket_placement_and_overflow(self):
+        hist = Histogram("timing", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        # <=1.0 twice (0.5 and the inclusive edge 1.0), <=10 once, overflow once.
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+        assert hist.mean == pytest.approx(106.5 / 4)
+
+    def test_snapshot_order_independent(self):
+        values = [0.002, 0.5, 3.0, 0.00001, 0.09]
+        forward = Histogram("t", DEFAULT_TIMING_BOUNDS)
+        backward = Histogram("t", DEFAULT_TIMING_BOUNDS)
+        for v in values:
+            forward.observe(v)
+        for v in reversed(values):
+            backward.observe(v)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_empty_snapshot_has_null_extrema(self):
+        snapshot = Histogram("t").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] is None and snapshot["max"] is None
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("t", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("t", bounds=())
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram("t").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_cross_type_name_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_snapshot_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("z.second").inc(2)
+        registry.counter("a.first").inc()
+        registry.gauge("level").set(0.5)
+        registry.histogram("lat").observe(0.01)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["counters", "gauges", "histograms"]
+        assert list(snapshot["counters"]) == ["a.first", "z.second"]
+        assert snapshot["counters"]["z.second"] == 2
+        assert snapshot["gauges"]["level"] == 0.5
+        assert snapshot["histograms"]["lat"]["count"] == 1

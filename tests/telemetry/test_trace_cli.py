@@ -1,0 +1,109 @@
+"""The ``repro-trace`` CLI: rendering, JSON mode, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.distributed.runtime import run_nash_protocol
+from repro.telemetry.cli import main
+from repro.telemetry.trace import trace_to_file, use_tracer
+from repro.workloads.configs import paper_table1_system
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "run.trace.jsonl"
+    system = paper_table1_system(utilization=0.6, n_users=4)
+    with trace_to_file(path) as tracer, use_tracer(tracer):
+        outcome = run_nash_protocol(system, tolerance=1e-8)
+    return path, outcome
+
+
+class TestSummary:
+    def test_text_output(self, traced_run, capsys):
+        path, outcome = traced_run
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "protocol.deliver" in out
+        assert f"{outcome.messages_sent} messages" in out
+
+    def test_json_output(self, traced_run, capsys):
+        path, _ = traced_run
+        assert main(["summary", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_events"] > 0
+        assert "protocol.sweep" in payload["event_counts"]
+        assert payload["metrics"] is not None
+
+
+class TestConvergence:
+    def test_norms_match_run(self, traced_run, capsys):
+        path, outcome = traced_run
+        assert main(["convergence", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["iterations"] == outcome.result.iterations
+        assert payload["norm_history"] == list(outcome.result.norm_history)
+        assert payload["final_norm"] == outcome.result.norm_history[-1]
+
+    def test_text_lists_each_iteration(self, traced_run, capsys):
+        path, outcome = traced_run
+        assert main(["convergence", str(path)]) == 0
+        out = capsys.readouterr().out
+        # Header plus one line per iteration.
+        assert len(out.strip().splitlines()) == outcome.result.iterations + 1
+
+
+class TestProtocol:
+    def test_accounting(self, traced_run, capsys):
+        path, outcome = traced_run
+        assert main(["protocol", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert (
+            sum(payload["messages_by_kind"].values())
+            == outcome.messages_sent
+        )
+        assert payload["outcome"]["driver"] == "reliable"
+
+
+class TestExitCodes:
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro-trace:" in capsys.readouterr().err
+
+    def test_corrupt_file_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["summary", str(path)]) == 2
+
+    def test_empty_view_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["convergence", str(path)]) == 1
+        assert "no convergence data" in capsys.readouterr().err
+
+    def test_solver_only_trace_has_no_protocol_data(
+        self, tmp_path, capsys
+    ):
+        from repro.core.nash import compute_nash_equilibrium
+
+        path = tmp_path / "solver.trace.jsonl"
+        system = paper_table1_system(utilization=0.6, n_users=4)
+        with trace_to_file(path) as tracer, use_tracer(tracer):
+            compute_nash_equilibrium(system, tolerance=1e-8)
+        assert main(["protocol", str(path)]) == 1
+        assert main(["convergence", str(path)]) == 0  # solver.sweep works
+
+    def test_module_entry_point(self, traced_run):
+        import subprocess
+        import sys
+
+        path, _ = traced_run
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.telemetry", "summary", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "events:" in proc.stdout

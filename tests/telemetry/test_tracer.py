@@ -1,0 +1,108 @@
+"""The Tracer handle and the ambient tracer stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.sinks import InMemorySink, read_trace
+from repro.telemetry.trace import (
+    DISABLED,
+    Tracer,
+    current_tracer,
+    trace_to_file,
+    use_tracer,
+)
+
+
+class TestTracer:
+    def test_emit_assigns_monotone_seq(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        tracer.emit("a", x=1)
+        tracer.emit("b")
+        assert [(e.seq, e.name) for e in sink.events] == [(0, "a"), (1, "b")]
+        assert sink.events[0].fields == {"x": 1}
+        assert tracer.events_emitted == 2
+
+    def test_disabled_tracer_is_inert(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink, enabled=False)
+        tracer.emit("a")
+        tracer.count("c")
+        tracer.gauge("g", 1.0)
+        tracer.observe("h", 0.5)
+        tracer.flush_metrics()
+        assert len(sink) == 0
+        assert len(tracer.registry) == 0
+        assert tracer.events_emitted == 0
+
+    def test_metrics_conveniences(self):
+        tracer = Tracer(InMemorySink())
+        tracer.count("msgs")
+        tracer.count("msgs", 2)
+        tracer.gauge("sweep", 4)
+        tracer.observe("lat", 0.01)
+        snapshot = tracer.registry.snapshot()
+        assert snapshot["counters"]["msgs"] == 3
+        assert snapshot["gauges"]["sweep"] == 4.0
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_flush_metrics_emits_snapshot_event(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        tracer.flush_metrics()  # empty registry: nothing to flush
+        assert len(sink) == 0
+        tracer.count("msgs")
+        tracer.flush_metrics()
+        assert sink.events[-1].name == "telemetry.metrics"
+        assert sink.events[-1].fields["counters"]["msgs"] == 1
+
+
+class TestAmbientStack:
+    def test_default_is_disabled_singleton(self):
+        assert current_tracer() is DISABLED
+        assert DISABLED.enabled is False
+
+    def test_use_tracer_pushes_and_restores(self):
+        outer = Tracer(InMemorySink())
+        inner = Tracer(InMemorySink())
+        with use_tracer(outer) as handle:
+            assert handle is outer
+            assert current_tracer() is outer
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer() is DISABLED
+
+    def test_stack_restored_on_exception(self):
+        tracer = Tracer(InMemorySink())
+        with pytest.raises(RuntimeError):
+            with use_tracer(tracer):
+                raise RuntimeError("boom")
+        assert current_tracer() is DISABLED
+
+
+class TestTraceToFile:
+    def test_writes_events_and_final_metrics(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        with trace_to_file(path) as tracer:
+            tracer.emit("a", x=1)
+            tracer.count("msgs", 5)
+        events = read_trace(path)
+        assert [e.name for e in events] == ["a", "telemetry.metrics"]
+        assert events[-1].fields["counters"]["msgs"] == 5
+
+    def test_closes_file_on_exception(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        with pytest.raises(RuntimeError):
+            with trace_to_file(path) as tracer:
+                tracer.emit("a")
+                raise RuntimeError("boom")
+        assert [e.name for e in read_trace(path)] == ["a"]
+
+    def test_composes_with_use_tracer(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        with trace_to_file(path) as tracer, use_tracer(tracer):
+            current_tracer().emit("ambient")
+        assert current_tracer() is DISABLED
+        assert [e.name for e in read_trace(path)] == ["ambient"]
