@@ -4,11 +4,14 @@ Compares a freshly generated benchmark JSON (written by the session
 plugin in ``benchmarks/conftest.py``) against the committed baseline and
 fails when
 
-* any shared ``nash-core`` benchmark regressed by more than
-  ``--max-ratio`` (default 2x — generous because CI machines are noisy;
-  the trajectory, not single-digit percents, is what the gate protects);
-* any recorded legacy/vectorized speedup fell below ``--min-speedup``
-  (default 10x — the acceptance floor for the m=1000, n=64 NASH solve).
+* any shared benchmark regressed by more than ``--max-ratio``
+  (default 2x — generous because CI machines are noisy; the trajectory,
+  not single-digit percents, is what the gate protects);
+* any recorded speedup pair fell below its floor:
+  ``--min-speedup`` (default 10x) for the m=1000, n=64 simultaneous
+  NASH solve, ``--min-batch-speedup`` (default 4x) for batched versus
+  looped replications, and ``--min-warm-speedup`` (default 2x) for the
+  warm-started versus cold Figure-4 sweep.
 
 Usage::
 
@@ -37,7 +40,13 @@ def _load(path: pathlib.Path) -> dict:
 
 
 def compare(
-    baseline: dict, fresh: dict, *, max_ratio: float, min_speedup: float
+    baseline: dict,
+    fresh: dict,
+    *,
+    max_ratio: float,
+    min_speedup: float,
+    min_batch_speedup: float = 4.0,
+    min_warm_speedup: float = 2.0,
 ) -> list[str]:
     """Return a list of human-readable gate violations (empty = pass)."""
     failures = []
@@ -51,12 +60,19 @@ def compare(
                 f"({fresh_means[name]:.6g}s vs {base_means[name]:.6g}s, "
                 f"limit {max_ratio:g}x)"
             )
+    floors = (
+        ("simultaneous", min_speedup),
+        ("replications", min_batch_speedup),
+        ("sweep", min_warm_speedup),
+    )
     for key, speedup in sorted(fresh.get("speedups", {}).items()):
-        if "simultaneous" in key and speedup < min_speedup:
-            failures.append(
-                f"{key}: vectorized speedup {speedup:.2f}x fell below the "
-                f"{min_speedup:g}x floor"
-            )
+        for token, floor in floors:
+            if token in key and speedup < floor:
+                failures.append(
+                    f"{key}: recorded speedup {speedup:.2f}x fell below "
+                    f"the {floor:g}x floor"
+                )
+                break
     return failures
 
 
@@ -72,6 +88,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--max-ratio", type=float, default=2.0)
     parser.add_argument("--min-speedup", type=float, default=10.0)
+    parser.add_argument("--min-batch-speedup", type=float, default=4.0)
+    parser.add_argument("--min-warm-speedup", type=float, default=2.0)
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -79,6 +97,8 @@ def main(argv: list[str] | None = None) -> int:
     failures = compare(
         baseline, fresh,
         max_ratio=args.max_ratio, min_speedup=args.min_speedup,
+        min_batch_speedup=args.min_batch_speedup,
+        min_warm_speedup=args.min_warm_speedup,
     )
     if failures:
         print("bench-gate: FAIL")

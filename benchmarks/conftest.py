@@ -9,13 +9,15 @@ times the regeneration with pytest-benchmark, asserts the paper's
 qualitative claims about it, and prints the reproduced rows (add ``-s``
 to see them inline).
 
-After a benchmark session this plugin serializes the core-kernel timings
+After a benchmark session this plugin serializes the gated timings
 (group ``nash-core``: the NASH solver, OPTIMAL, the batched water-fill
-kernel, the Lindley fastpath) into ``BENCH_nash.json`` at the repo root —
-the perf-regression trajectory CI gates on (see
-``benchmarks/bench_gate.py`` and docs/PERFORMANCE.md).  Legacy/vectorized
-benchmark pairs (names differing only in a ``_legacy``/``_vectorized``
-suffix) additionally record their speedup ratio.
+kernel, the Lindley fastpath; group ``sim-fastpath``: batched
+replications and warm-started sweeps) into ``BENCH_nash.json`` at the
+repo root — the perf-regression trajectory CI gates on (see
+``benchmarks/bench_gate.py`` and docs/PERFORMANCE.md).  Baseline/
+optimized benchmark pairs — names differing only in a
+``_legacy``/``_vectorized``, ``_looped``/``_batched`` or
+``_cold``/``_warm`` suffix — additionally record their speedup ratio.
 """
 
 from __future__ import annotations
@@ -26,8 +28,15 @@ import pathlib
 
 import pytest
 
-#: Benchmark group serialized into the BENCH JSON.
-BENCH_GROUP = "nash-core"
+#: Benchmark groups serialized into the BENCH JSON.
+BENCH_GROUPS = ("nash-core", "sim-fastpath")
+#: Baseline/optimized name-suffix pairs recorded as speedups
+#: (baseline suffix first; speedup = baseline mean / optimized mean).
+SPEEDUP_SUFFIXES = (
+    ("_legacy", "_vectorized"),
+    ("_looped", "_batched"),
+    ("_cold", "_warm"),
+)
 #: Default output path (repo root); override with the env var.
 BENCH_ENV_VAR = "BENCH_NASH_JSON"
 BENCH_DEFAULT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_nash.json"
@@ -49,7 +58,7 @@ def _serialize(benchmarks) -> dict:
     entries = []
     for bench in benchmarks:
         stats = getattr(bench, "stats", None)
-        if stats is None or getattr(bench, "group", None) != BENCH_GROUP:
+        if stats is None or getattr(bench, "group", None) not in BENCH_GROUPS:
             continue
         entries.append(
             {
@@ -66,11 +75,13 @@ def _serialize(benchmarks) -> dict:
     means = {e["name"]: e["mean"] for e in entries}
     speedups = {}
     for name, mean in means.items():
-        if not name.endswith("_legacy"):
-            continue
-        partner = name[: -len("_legacy")] + "_vectorized"
-        if partner in means and means[partner] > 0.0:
-            speedups[name[: -len("_legacy")].rstrip("_")] = mean / means[partner]
+        for slow_suffix, fast_suffix in SPEEDUP_SUFFIXES:
+            if not name.endswith(slow_suffix):
+                continue
+            partner = name[: -len(slow_suffix)] + fast_suffix
+            if partner in means and means[partner] > 0.0:
+                key = name[: -len(slow_suffix)].rstrip("_")
+                speedups[key] = mean / means[partner]
     return {"schema": 1, "benchmarks": entries, "speedups": speedups}
 
 
@@ -83,4 +94,4 @@ def pytest_sessionfinish(session, exitstatus):
         return
     path = pathlib.Path(os.environ.get(BENCH_ENV_VAR, BENCH_DEFAULT))
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"\nwrote {len(payload['benchmarks'])} nash-core timings to {path}")
+    print(f"\nwrote {len(payload['benchmarks'])} gated timings to {path}")

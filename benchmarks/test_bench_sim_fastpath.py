@@ -1,0 +1,115 @@
+"""SIM-FASTPATH — replication batching and warm-start continuation.
+
+Every benchmark in this module is in group ``sim-fastpath``; the session
+plugin in ``conftest.py`` serializes their timings — plus the speedups
+of the ``_looped``/``_batched`` and ``_cold``/``_warm`` pairs — into
+``BENCH_nash.json`` alongside the nash-core group, and CI gates the
+recorded speedups with ``benchmarks/bench_gate.py`` (batched
+replications >= 4x, warm sweeps >= 2x; see docs/PERFORMANCE.md).
+
+The replication pair runs R=16 replications of the Table-1 n=16 system
+in the overhead-bound regime (short horizon, ~800 jobs per run) where
+batching pays: the ``_looped`` side calls the one-run fast path once
+per seed, the ``_batched`` side hands every seed to
+``simulate_profile_fast_batch`` at once.  Both sides consume identical
+randomness and produce bit-identical results (pinned in
+tests/simengine/test_fastpath_batch.py), so the ratio measures pure
+per-run overhead savings, not statistical luck.
+
+The sweep pair solves the dense Figure-4 utilization grid cold versus
+with ``continuation=True`` — warm-starting every NASH solve from the
+previous point's equilibrium while certifying the same epsilon
+(tests/core/test_continuation.py pins the certificates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nash import compute_nash_equilibrium
+from repro.experiments.common import run_schemes_sweep
+from repro.schemes import NashScheme
+from repro.simengine.fastpath import (
+    simulate_profile_fast,
+    simulate_profile_fast_batch,
+)
+from repro.simengine.rng import replication_seeds
+from repro.workloads import paper_table1_system
+from repro.workloads.sweeps import utilization_sweep
+
+sim_fastpath = pytest.mark.benchmark(group="sim-fastpath")
+
+#: Replication-study shape: R=16 runs of the n=16 Table-1 system on a
+#: short horizon, where per-run overhead (not job volume) dominates.
+REPLICATIONS = 16
+HORIZON = 3.0
+WARMUP = 0.3
+
+#: Dense Figure-4 grid for the cold/warm sweep pair.
+SWEEP_GRID = tuple(np.linspace(0.1, 0.9, 33))
+
+
+@pytest.fixture(scope="module")
+def replication_setup():
+    system = paper_table1_system(utilization=0.6, n_users=16)
+    profile = compute_nash_equilibrium(system).profile
+    seeds = replication_seeds(42, REPLICATIONS)
+    return system, profile, seeds
+
+
+# ----------------------------------------------------------------------
+# Looped vs batched replications (identical seeds, identical results)
+# ----------------------------------------------------------------------
+@sim_fastpath
+def test_bench_replications_r16_looped(benchmark, replication_setup):
+    system, profile, seeds = replication_setup
+    results = benchmark(
+        lambda: [
+            simulate_profile_fast(
+                system, profile, horizon=HORIZON, warmup=WARMUP, seed=seed
+            )
+            for seed in seeds
+        ]
+    )
+    assert len(results) == REPLICATIONS
+
+
+@sim_fastpath
+def test_bench_replications_r16_batched(benchmark, replication_setup):
+    system, profile, seeds = replication_setup
+    results = benchmark(
+        lambda: simulate_profile_fast_batch(
+            system, profile, horizon=HORIZON, warmup=WARMUP, seeds=seeds
+        )
+    )
+    assert len(results) == REPLICATIONS
+
+
+# ----------------------------------------------------------------------
+# Cold vs warm-started Figure-4 sweep (same certified equilibria)
+# ----------------------------------------------------------------------
+@sim_fastpath
+def test_bench_fig4_sweep_cold(benchmark):
+    points = list(utilization_sweep(SWEEP_GRID))
+    sweep = benchmark.pedantic(
+        lambda: run_schemes_sweep(points, (NashScheme(),)),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(sweep) == len(points)
+
+
+@sim_fastpath
+def test_bench_fig4_sweep_warm(benchmark):
+    points = list(utilization_sweep(SWEEP_GRID))
+    sweep = benchmark.pedantic(
+        lambda: run_schemes_sweep(
+            points, (NashScheme(),), continuation=True
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(sweep) == len(points)
+    warmed = [r["NASH"].extra["warm_started"] for _, r in sweep]
+    assert warmed.count(True) >= len(points) - 1

@@ -18,7 +18,12 @@ ext_deployment        EXT6 (measured closed loop), ABL5 (network faults)
 """
 
 from repro.experiments.ascii_plot import ascii_chart, sparkline
-from repro.experiments.common import SCHEME_ORDER, ExperimentTable, run_schemes
+from repro.experiments.common import (
+    SCHEME_ORDER,
+    ExperimentTable,
+    run_schemes,
+    run_schemes_sweep,
+)
 from repro.experiments.parallel import parallel_map, run_experiments_parallel
 from repro.experiments.report import generate_report, table_to_markdown
 from repro.experiments.runner import (
@@ -39,6 +44,7 @@ __all__ = [
     "SCHEME_ORDER",
     "ExperimentTable",
     "run_schemes",
+    "run_schemes_sweep",
     "EXPERIMENTS",
     "main",
     "run_experiment",

@@ -9,14 +9,17 @@ prints) and to CSV (for external plotting).
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.core.continuation import SweepPredictor
 from repro.core.model import DistributedSystem
 from repro.experiments.parallel import parallel_map
-from repro.schemes import standard_schemes
+from repro.schemes import NashScheme, standard_schemes
 from repro.schemes.base import LoadBalancingScheme, SchemeResult
+from repro.telemetry.trace import current_tracer
 
 __all__ = [
     "ExperimentTable",
@@ -135,12 +138,92 @@ def _solve_sweep_point(
     return parameter, run_schemes(system, schemes)
 
 
+def _sweep_axis_order(points: Sequence[tuple[Any, DistributedSystem]]) -> list[int]:
+    """Point indices ordered along the sweep axis (input order fallback)."""
+    try:
+        return sorted(range(len(points)), key=lambda i: points[i][0])
+    except TypeError:
+        return list(range(len(points)))
+
+
+def _run_sweep_continuation(
+    points: Sequence[tuple[Any, DistributedSystem]],
+    chosen: tuple[LoadBalancingScheme, ...] | None,
+) -> list[tuple[Any, dict[str, SchemeResult]]]:
+    """Solve the sweep serially, warm-starting each NASH solve.
+
+    Points are visited in sweep-axis order; each :class:`NashScheme` in
+    the scheme set is seeded with its previous point's equilibrium
+    (adapted via :func:`repro.core.continuation.warm_start_profile`),
+    falling back to the scheme's cold init when no usable warm start
+    exists.  Results come back in the *input* point order.
+    """
+    scheme_set = chosen if chosen is not None else standard_schemes()
+    predictors: dict[str, SweepPredictor] = {}
+    solved: dict[int, tuple[Any, dict[str, SchemeResult]]] = {}
+    for index in _sweep_axis_order(points):
+        parameter, system = points[index]
+        results: dict[str, SchemeResult] = {}
+        for scheme in scheme_set:
+            point_scheme = scheme
+            warmed = False
+            if isinstance(scheme, NashScheme):
+                predictor = predictors.setdefault(
+                    scheme.name, SweepPredictor()
+                )
+                warm = predictor.predict(parameter, system)
+                if warm is not None:
+                    point_scheme = scheme.warm_started(warm)
+                    warmed = True
+            result = point_scheme.allocate(system)
+            if result.scheme in results:
+                raise ValueError(f"duplicate scheme name {result.scheme!r}")
+            if isinstance(scheme, NashScheme):
+                result = dataclasses.replace(
+                    result,
+                    extra={**result.extra, "warm_started": warmed},
+                )
+                predictors[scheme.name].record(
+                    parameter, result.profile, system
+                )
+            results[result.scheme] = result
+        solved[index] = (parameter, results)
+    return [solved[index] for index in range(len(points))]
+
+
+def _emit_sweep_telemetry(
+    sweep: Sequence[tuple[Any, dict[str, SchemeResult]]], *, continuation: bool
+) -> None:
+    """One ``sweep.point`` event per (point, scheme) on the ambient tracer.
+
+    Emitted post-hoc in the calling process so both the serial and the
+    process-pool sweep paths show up in ``repro-trace summary``.
+    """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return
+    for parameter, results in sweep:
+        for name, result in results.items():
+            iterations = result.extra.get("iterations")
+            tracer.emit(
+                "sweep.point",
+                parameter=parameter,
+                scheme=name,
+                iterations=None if iterations is None else int(iterations),
+                warm_started=bool(result.extra.get("warm_started", False)),
+                continuation=continuation,
+                overall_time=float(result.overall_time),
+            )
+            tracer.count("sweep.points")
+
+
 def run_schemes_sweep(
     points: Iterable[tuple[Any, DistributedSystem]],
     schemes: Sequence[LoadBalancingScheme] | None = None,
     *,
     n_workers: int = 1,
     chunksize: int | None = None,
+    continuation: bool = False,
 ) -> list[tuple[Any, dict[str, SchemeResult]]]:
     """Evaluate every scheme at every sweep point, optionally in parallel.
 
@@ -151,9 +234,29 @@ def run_schemes_sweep(
     :func:`repro.experiments.parallel.parallel_map` (systems and schemes
     are frozen dataclasses, hence picklable); the default stays serial so
     small sweeps and doctests avoid pool startup costs.
+
+    ``continuation=True`` visits the points in sweep-axis order and
+    warm-starts every NASH solve from the previous point's equilibrium
+    (see :mod:`repro.core.continuation` and docs/PERFORMANCE.md) — same
+    equilibria to the same certified tolerance, far fewer best-reply
+    sweeps.  Continuation is inherently sequential, so it cannot be
+    combined with ``n_workers > 1``.
+
+    Each solved point is recorded on the ambient telemetry tracer as a
+    ``sweep.point`` event (``repro-trace summary`` shows the roll-up).
     """
     chosen = tuple(schemes) if schemes is not None else None
-    work = [(parameter, system, chosen) for parameter, system in points]
-    return parallel_map(
-        _solve_sweep_point, work, n_workers=n_workers, chunksize=chunksize
-    )
+    point_list = list(points)
+    if continuation:
+        if n_workers != 1:
+            raise ValueError(
+                "continuation sweeps are sequential; use n_workers=1"
+            )
+        sweep = _run_sweep_continuation(point_list, chosen)
+    else:
+        work = [(parameter, system, chosen) for parameter, system in point_list]
+        sweep = parallel_map(
+            _solve_sweep_point, work, n_workers=n_workers, chunksize=chunksize
+        )
+    _emit_sweep_telemetry(sweep, continuation=continuation)
+    return sweep

@@ -36,7 +36,7 @@ from repro.experiments.common import ExperimentTable
 from repro.queueing.mg1 import expected_response_time_mg1
 from repro.schemes import NashScheme, ProportionalScheme
 from repro.simengine.arrivals import MMPPArrivals, PoissonArrivals
-from repro.simengine.fastpath import simulate_profile_fast
+from repro.simengine.fastpath import simulate_profile_fast_batch
 from repro.simengine.service import from_scv
 from repro.simengine.simulator import simulate_profile
 from repro.tolerances import close
@@ -117,20 +117,15 @@ def run_misspecification(
     rows = []
     for scv in scvs:
         distributions = [from_scv(float(rate), float(scv)) for rate in mu]
-        nash_sim = simulate_profile_fast(
+        # Both allocations in one batched pass under common random
+        # numbers (same seed per row) — identical to two separate
+        # simulate_profile_fast calls.
+        nash_sim, ps_sim = simulate_profile_fast_batch(
             system,
-            nash.profile,
+            [nash.profile, ps.profile],
             horizon=horizon,
             warmup=warmup,
-            seed=seed,
-            service_distributions=distributions,
-        )
-        ps_sim = simulate_profile_fast(
-            system,
-            ps.profile,
-            horizon=horizon,
-            warmup=warmup,
-            seed=seed,
+            seeds=[seed, seed],
             service_distributions=distributions,
         )
         # P-K prediction for the NASH loads under the true scv.

@@ -33,17 +33,24 @@ def run(
     utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
     n_users: int = 10,
     n_workers: int = 1,
+    continuation: bool = False,
 ) -> ExperimentTable:
     """Overall response time and fairness per scheme across utilizations.
 
-    ``n_workers > 1`` evaluates the sweep points over a process pool.
+    ``n_workers > 1`` evaluates the sweep points over a process pool;
+    ``continuation=True`` instead walks the utilizations in order and
+    warm-starts each NASH solve from the previous point's equilibrium
+    (same certified equilibria, fewer best-reply sweeps — see
+    docs/PERFORMANCE.md).
     """
     columns = ["utilization"]
     columns += [f"ert_{name.lower()}" for name in SCHEME_ORDER]
     columns += [f"fairness_{name.lower()}" for name in SCHEME_ORDER]
     rows = []
     sweep = run_schemes_sweep(
-        utilization_sweep(utilizations, n_users=n_users), n_workers=n_workers
+        utilization_sweep(utilizations, n_users=n_users),
+        n_workers=n_workers,
+        continuation=continuation,
     )
     for rho, results in sweep:
         row: dict[str, object] = {"utilization": rho}

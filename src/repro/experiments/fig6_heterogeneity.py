@@ -31,10 +31,15 @@ def run(
     utilization: float = 0.6,
     n_users: int = 10,
     n_workers: int = 1,
+    continuation: bool = False,
 ) -> ExperimentTable:
     """Overall response time and fairness per scheme across skewness values.
 
-    ``n_workers > 1`` evaluates the sweep points over a process pool.
+    ``n_workers > 1`` evaluates the sweep points over a process pool;
+    ``continuation=True`` instead walks the skewnesses in order and
+    warm-starts each NASH solve from the previous point's equilibrium
+    (same certified equilibria, fewer best-reply sweeps — see
+    docs/PERFORMANCE.md).
     """
     columns = ["skewness"]
     columns += [f"ert_{name.lower()}" for name in SCHEME_ORDER]
@@ -43,6 +48,7 @@ def run(
     sweep = run_schemes_sweep(
         skewness_sweep(skewnesses, utilization=utilization, n_users=n_users),
         n_workers=n_workers,
+        continuation=continuation,
     )
     for skew, results in sweep:
         row: dict[str, object] = {"skewness": skew}

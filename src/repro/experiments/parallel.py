@@ -10,11 +10,20 @@ work units are pure functions of picklable inputs, results return to the
 coordinator, and no shared state crosses process boundaries.  (Real MPI
 deployments would replace the executor with rank-sliced loops; the
 call-site code is identical.)
+
+Process pools are *reused*: spawning workers (fork/spawn + interpreter
+startup + module imports) costs far more than a typical sweep point, and
+``repro-experiments --all`` runs many sweeps back to back.
+:func:`parallel_map` therefore keeps one lazily created executor per
+worker count and hands it to every subsequent call, shutting them all
+down at interpreter exit (see :func:`shutdown_pools`).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -23,10 +32,42 @@ __all__ = [
     "parallel_map",
     "run_experiments_parallel",
     "default_workers",
+    "shutdown_pools",
 ]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Lazily created executors, keyed by worker count.  Guarded by a lock so
+#: concurrent callers (e.g. threaded test runners) never double-create.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(n_workers: int) -> ProcessPoolExecutor:
+    """The reusable executor for ``n_workers``, created on first use."""
+    with _POOLS_LOCK:
+        pool = _POOLS.get(n_workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+            _POOLS[n_workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every shared executor (registered via ``atexit``).
+
+    Safe to call eagerly — e.g. from tests, or before forking — the next
+    :func:`parallel_map` call simply recreates what it needs.
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
 
 
 def default_workers() -> int:
@@ -61,6 +102,11 @@ def parallel_map(
     the items must be picklable for the parallel path.  When ``chunksize``
     is omitted it is computed adaptively from the item and worker counts
     (see :func:`adaptive_chunksize`).
+
+    The parallel path draws on a shared per-worker-count executor that
+    persists across calls (workers are expensive to spawn; sweeps are
+    not), so back-to-back sweeps — ``repro-experiments --all``, the
+    fig3/fig4/fig6 trio — pay pool startup once.
     """
     items = list(items)
     if n_workers is None:
@@ -71,8 +117,8 @@ def parallel_map(
         return [fn(item) for item in items]
     if chunksize is None:
         chunksize = adaptive_chunksize(len(items), n_workers)
-    with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+    pool = _shared_pool(min(n_workers, len(items)))
+    return list(pool.map(fn, items, chunksize=chunksize))
 
 
 def _run_one(experiment_id: str):

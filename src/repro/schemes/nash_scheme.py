@@ -9,12 +9,18 @@ scheme's defining guarantee ("optimality of allocation for each user").
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Literal
 
 from repro.core.equilibrium import best_response_regrets
 from repro.core.model import DistributedSystem
-from repro.core.nash import DEFAULT_MAX_SWEEPS, DEFAULT_TOLERANCE, NashSolver
+from repro.core.nash import (
+    DEFAULT_MAX_SWEEPS,
+    DEFAULT_TOLERANCE,
+    Initialization,
+    NashSolver,
+)
+from repro.core.strategy import StrategyProfile
 from repro.schemes.base import LoadBalancingScheme, SchemeResult, evaluate_profile
 
 __all__ = ["NashScheme"]
@@ -28,15 +34,24 @@ class NashScheme(LoadBalancingScheme):
     ----------
     init:
         ``"proportional"`` for NASH_P (default — the faster variant the
-        paper recommends) or ``"zero"`` for NASH_0.
+        paper recommends), ``"zero"`` for NASH_0, or a feasible
+        :class:`~repro.core.strategy.StrategyProfile` to warm-start the
+        best-reply iteration from (continuation across sweep points; see
+        :mod:`repro.core.continuation`).  Warm starts converge to the
+        same tolerance and are certified by the same
+        :func:`~repro.core.equilibrium.best_response_regrets` check.
     tolerance, max_sweeps:
         Forwarded to :class:`~repro.core.nash.NashSolver`.
     """
 
-    init: Literal["zero", "proportional", "uniform"] = "proportional"
+    init: Initialization | StrategyProfile = "proportional"
     tolerance: float = DEFAULT_TOLERANCE
     max_sweeps: int = DEFAULT_MAX_SWEEPS
     name: str = "NASH"
+
+    def warm_started(self, profile: StrategyProfile) -> "NashScheme":
+        """This scheme, seeded with ``profile`` instead of its named init."""
+        return dataclasses.replace(self, init=profile)
 
     def allocate(self, system: DistributedSystem) -> SchemeResult:
         solver = NashSolver(tolerance=self.tolerance, max_sweeps=self.max_sweeps)
@@ -47,7 +62,11 @@ class NashScheme(LoadBalancingScheme):
             result.profile,
             self.name,
             extra={
-                "init": self.init,
+                "init": (
+                    self.init
+                    if isinstance(self.init, str)
+                    else "warm-start"
+                ),
                 "iterations": result.iterations,
                 "converged": result.converged,
                 "final_norm": result.final_norm,

@@ -8,7 +8,12 @@ from repro.simengine.estimation import (
     run_measured_best_reply,
 )
 from repro.simengine.events import Event, EventKind, EventQueue
-from repro.simengine.fastpath import mm1_lindley_waits, simulate_profile_fast
+from repro.simengine.fastpath import (
+    mm1_lindley_waits,
+    mm1_lindley_waits_batch,
+    simulate_profile_fast,
+    simulate_profile_fast_batch,
+)
 from repro.simengine.policies import (
     DispatchPolicy,
     JoinShortestQueue,
@@ -48,7 +53,9 @@ __all__ = [
     "estimate_loads_from_queue_lengths",
     "run_measured_best_reply",
     "mm1_lindley_waits",
+    "mm1_lindley_waits_batch",
     "simulate_profile_fast",
+    "simulate_profile_fast_batch",
     "ServerOutage",
     "SimulationStreams",
     "replication_seeds",

@@ -6,12 +6,27 @@ than 5% ..."  This module runs an arbitrary measurement function across
 independent replications and reports means, standard errors and Student-t
 confidence intervals, plus the paper's relative-standard-error acceptance
 check.
+
+Measurements come in through one of two faces:
+
+* ``measure`` — a callable run once per replication seed (general, but
+  pays per-replication Python overhead);
+* ``simulate_batch`` — a callable handed the *whole* seed list at once,
+  returning the ``(replications, k)`` sample matrix in one call.  Built
+  for :func:`repro.simengine.fastpath.simulate_profile_fast_batch`,
+  whose batched kernel is bit-identical to the per-seed loop, so the two
+  faces produce identical :class:`ReplicationStats` (a property the
+  parity tests pin).
+
+Both draw per-replication seeds from the same
+:func:`~repro.simengine.rng.replication_seeds` tree, so results are
+reproducible and comparable across the two paths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 from scipy import stats as sps
@@ -19,6 +34,9 @@ from scipy import stats as sps
 from repro.simengine.rng import replication_seeds
 
 __all__ = ["ReplicationStats", "replicate", "replicate_until"]
+
+#: Batched measurement: seed list in, (replications, k) sample matrix out.
+BatchMeasure = Callable[[Sequence[np.random.SeedSequence]], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -79,14 +97,40 @@ class ReplicationStats:
         return bool(np.all(self.relative_std_error <= fraction))
 
 
-def replicate(
+def _measure_rows(
     measure: Callable[[np.random.SeedSequence], np.ndarray],
+    seeds: Sequence[np.random.SeedSequence],
+) -> np.ndarray:
+    rows = []
+    for child in seeds:
+        row = np.asarray(measure(child), dtype=float)
+        if row.ndim != 1:
+            raise ValueError("measure must return a 1-D vector")
+        rows.append(row)
+    return np.vstack(rows)
+
+
+def _batch_rows(
+    simulate_batch: BatchMeasure, seeds: Sequence[np.random.SeedSequence]
+) -> np.ndarray:
+    samples = np.asarray(simulate_batch(seeds), dtype=float)
+    if samples.ndim != 2 or samples.shape[0] != len(seeds):
+        raise ValueError(
+            "simulate_batch must return a (replications, k) matrix with "
+            "one row per seed"
+        )
+    return samples
+
+
+def replicate(
+    measure: Callable[[np.random.SeedSequence], np.ndarray] | None = None,
     *,
     n_replications: int = 5,
     seed: int = 0,
     confidence: float = 0.95,
+    simulate_batch: BatchMeasure | None = None,
 ) -> ReplicationStats:
-    """Run ``measure`` once per independent replication seed and aggregate.
+    """Run a measurement across independent replication seeds and aggregate.
 
     Parameters
     ----------
@@ -97,18 +141,24 @@ def replicate(
         Number of independent runs (the paper uses 5).
     confidence:
         Two-sided confidence level for the Student-t intervals.
+    simulate_batch:
+        Alternative to ``measure``: a callable handed the full seed list
+        at once, returning the ``(n_replications, k)`` sample matrix in
+        one batched call (see module docstring).  Exactly one of
+        ``measure`` / ``simulate_batch`` must be given.
     """
+    if (measure is None) == (simulate_batch is None):
+        raise ValueError("provide exactly one of measure or simulate_batch")
     if n_replications < 2:
         raise ValueError("at least 2 replications are needed for a std error")
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must lie in (0, 1)")
-    rows = []
-    for child in replication_seeds(seed, n_replications):
-        row = np.asarray(measure(child), dtype=float)
-        if row.ndim != 1:
-            raise ValueError("measure must return a 1-D vector")
-        rows.append(row)
-    samples = np.vstack(rows)
+    seeds = replication_seeds(seed, n_replications)
+    if simulate_batch is not None:
+        samples = _batch_rows(simulate_batch, seeds)
+    else:
+        assert measure is not None
+        samples = _measure_rows(measure, seeds)
     return _aggregate(samples, confidence)
 
 
@@ -128,13 +178,14 @@ def _aggregate(samples: np.ndarray, confidence: float) -> ReplicationStats:
 
 
 def replicate_until(
-    measure: Callable[[np.random.SeedSequence], np.ndarray],
+    measure: Callable[[np.random.SeedSequence], np.ndarray] | None = None,
     *,
     target_relative_error: float = 0.05,
     min_replications: int = 3,
     max_replications: int = 50,
     seed: int = 0,
     confidence: float = 0.95,
+    simulate_batch: BatchMeasure | None = None,
 ) -> ReplicationStats:
     """Sequential replication: add runs until the std error target is met.
 
@@ -143,7 +194,16 @@ def replicate_until(
     target holds (or the budget runs out), which is how a practitioner
     would guarantee the acceptance criterion rather than hope for it.
     The returned stats use however many replications were consumed.
+
+    With ``simulate_batch`` the runs are produced in growing chunks
+    (``min_replications``, then doubling) but the stopping rule still
+    checks prefixes in seed order, so the *returned* statistics use the
+    same replication count — and, with a bit-identical batched kernel,
+    the same values — as the one-at-a-time ``measure`` path.  Rows past
+    the stopping point (the tail of the final chunk) are discarded.
     """
+    if (measure is None) == (simulate_batch is None):
+        raise ValueError("provide exactly one of measure or simulate_batch")
     if not 2 <= min_replications <= max_replications:
         raise ValueError(
             "need 2 <= min_replications <= max_replications"
@@ -151,6 +211,24 @@ def replicate_until(
     if target_relative_error <= 0.0:
         raise ValueError("target relative error must be positive")
     seeds = replication_seeds(seed, max_replications)
+    if simulate_batch is not None:
+        samples = np.zeros((0, 0))
+        consumed = 0
+        while consumed < max_replications:
+            chunk = min_replications if consumed == 0 else consumed
+            chunk = min(chunk, max_replications - consumed)
+            block = _batch_rows(
+                simulate_batch, seeds[consumed : consumed + chunk]
+            )
+            samples = block if consumed == 0 else np.vstack([samples, block])
+            first_check = max(min_replications, consumed + 1)
+            consumed += chunk
+            for count in range(first_check, consumed + 1):
+                stats = _aggregate(samples[:count], confidence)
+                if stats.within_relative_error(target_relative_error):
+                    return stats
+        return _aggregate(samples, confidence)
+    assert measure is not None
     rows: list[np.ndarray] = []
     for index, child in enumerate(seeds):
         row = np.asarray(measure(child), dtype=float)

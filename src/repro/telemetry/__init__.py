@@ -34,6 +34,7 @@ from repro.telemetry.analysis import (
     reconstruct_norm_history,
     sim_summary,
     solver_summary,
+    sweep_summary,
     trace_summary,
 )
 from repro.telemetry.events import TraceEvent, jsonable
@@ -83,5 +84,6 @@ __all__ = [
     "protocol_summary",
     "sim_summary",
     "solver_summary",
+    "sweep_summary",
     "trace_summary",
 ]

@@ -23,6 +23,7 @@ __all__ = [
     "protocol_summary",
     "sim_summary",
     "solver_summary",
+    "sweep_summary",
     "trace_summary",
 ]
 
@@ -166,6 +167,38 @@ def sim_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
             sum(int(r.get("warmup_discards", 0)) for r in runs)
         ),
         "outage_windows": outages,
+    }
+
+
+def sweep_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Parameter-sweep view: per-point solves recorded by the harness.
+
+    Rolls up the ``sweep.point`` events
+    :func:`repro.experiments.common.run_schemes_sweep` emits — one per
+    (sweep point, scheme) — into per-scheme point/iteration/warm-start
+    totals, so saved sweeps are visible in ``repro-trace summary``.
+    """
+    points: list[dict[str, Any]] = []
+    for event in events:
+        if event.name == "sweep.point":
+            points.append(dict(event.fields))
+    by_scheme: dict[str, dict[str, Any]] = {}
+    for point in points:
+        scheme = str(point.get("scheme", "?"))
+        entry = by_scheme.setdefault(
+            scheme, {"points": 0, "iterations": 0, "warm_started": 0}
+        )
+        entry["points"] += 1
+        iterations = point.get("iterations")
+        if iterations is not None:
+            entry["iterations"] += int(iterations)
+        if point.get("warm_started"):
+            entry["warm_started"] += 1
+    return {
+        "points": points,
+        "n_points": len(points),
+        "by_scheme": by_scheme,
+        "continuation": any(p.get("continuation") for p in points),
     }
 
 

@@ -22,6 +22,7 @@ from repro.telemetry.analysis import (
     reconstruct_norm_history,
     sim_summary,
     solver_summary,
+    sweep_summary,
     trace_summary,
 )
 from repro.telemetry.events import TraceEvent
@@ -83,6 +84,17 @@ def _render_summary(events: list[TraceEvent]) -> tuple[dict[str, Any], str]:
             f"{sim['completions']} completions "
             f"({sim['warmup_discards']} warm-up discards), "
             f"{len(sim['outage_windows'])} outage edges"
+        )
+    sweeps = sweep_summary(events)
+    if sweeps["n_points"]:
+        per_scheme = ", ".join(
+            f"{scheme}={entry['points']}p/{entry['iterations']}it"
+            + (f"/{entry['warm_started']}warm" if entry["warm_started"] else "")
+            for scheme, entry in sorted(sweeps["by_scheme"].items())
+        )
+        mode = "continuation" if sweeps["continuation"] else "cold"
+        lines.append(
+            f"sweeps: {sweeps['n_points']} point solves ({mode}): {per_scheme}"
         )
     if payload["metrics"] is not None:
         counters = payload["metrics"].get("counters", {})

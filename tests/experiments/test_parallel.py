@@ -7,10 +7,12 @@ import os
 import pytest
 
 from repro.experiments.parallel import (
+    _POOLS,
     adaptive_chunksize,
     default_workers,
     parallel_map,
     run_experiments_parallel,
+    shutdown_pools,
 )
 
 
@@ -45,6 +47,35 @@ class TestParallelMap:
             square, list(range(10)), n_workers=2, chunksize=5
         )
         assert result == [x * x for x in range(10)]
+
+
+class TestPoolReuse:
+    def test_executor_is_reused_across_calls(self):
+        shutdown_pools()
+        parallel_map(square, list(range(8)), n_workers=2)
+        first = _POOLS[2]
+        parallel_map(square, list(range(8)), n_workers=2)
+        assert _POOLS[2] is first
+
+    def test_shutdown_then_recreate(self):
+        parallel_map(square, list(range(8)), n_workers=2)
+        assert _POOLS
+        shutdown_pools()
+        assert not _POOLS
+        # The next call transparently builds a fresh pool.
+        assert parallel_map(square, [1, 2, 3, 4], n_workers=2) == [1, 4, 9, 16]
+        shutdown_pools()
+
+    def test_serial_path_creates_no_pool(self):
+        shutdown_pools()
+        parallel_map(square, [1, 2, 3], n_workers=1)
+        assert not _POOLS
+
+    def test_pool_capped_by_item_count(self):
+        shutdown_pools()
+        parallel_map(square, [1, 2], n_workers=16)
+        assert list(_POOLS) == [2]
+        shutdown_pools()
 
 
 class TestAdaptiveChunksize:

@@ -1,0 +1,324 @@
+"""Tests for the batched replication kernel and its stats integration.
+
+The load-bearing guarantee throughout: the batched paths are
+**bit-identical** to the corresponding per-seed loops — same seed tree in,
+same floats out — so every equality here is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import DistributedSystem
+from repro.core.strategy import StrategyProfile
+from repro.schemes import NashScheme, ProportionalScheme
+from repro.simengine.fastpath import (
+    mm1_lindley_waits,
+    mm1_lindley_waits_batch,
+    simulate_profile_fast,
+    simulate_profile_fast_batch,
+)
+from repro.simengine.rng import replication_seeds
+from repro.simengine.service import from_scv
+from repro.simengine.simulator import simulate_profile
+from repro.simengine.stats import replicate, replicate_until
+from repro.workloads.configs import paper_table1_system
+
+
+class TestLindleyBatch:
+    def test_full_rows_match_vector_kernel(self, rng):
+        gaps = rng.exponential(0.5, size=(6, 200))
+        services = rng.exponential(0.3, size=(6, 200))
+        batch = mm1_lindley_waits_batch(gaps, services)
+        for row in range(6):
+            np.testing.assert_array_equal(
+                batch[row], mm1_lindley_waits(gaps[row], services[row])
+            )
+
+    def test_ragged_rows_match_row_for_row(self, rng):
+        counts = np.array([0, 1, 17, 200, 63])
+        width = int(counts.max())
+        gaps = rng.exponential(0.5, size=(5, width))
+        services = rng.exponential(0.3, size=(5, width))
+        batch = mm1_lindley_waits_batch(gaps, services, counts)
+        for row, count in enumerate(counts):
+            np.testing.assert_array_equal(
+                batch[row, :count],
+                mm1_lindley_waits(gaps[row, :count], services[row, :count]),
+            )
+            # Padding comes back as exact zeros.
+            np.testing.assert_array_equal(batch[row, count:], 0.0)
+
+    def test_zero_job_row_is_all_zero(self, rng):
+        gaps = rng.exponential(1.0, size=(2, 10))
+        services = rng.exponential(1.0, size=(2, 10))
+        batch = mm1_lindley_waits_batch(
+            gaps, services, np.array([0, 10])
+        )
+        np.testing.assert_array_equal(batch[0], 0.0)
+
+    def test_zero_width(self):
+        out = mm1_lindley_waits_batch(np.zeros((3, 0)), np.zeros((3, 0)))
+        assert out.shape == (3, 0)
+
+    def test_rejects_bad_shapes_and_counts(self, rng):
+        gaps = rng.exponential(1.0, size=(2, 5))
+        services = rng.exponential(1.0, size=(2, 5))
+        with pytest.raises(ValueError):
+            mm1_lindley_waits_batch(gaps, services[:1])
+        with pytest.raises(ValueError):
+            mm1_lindley_waits_batch(gaps[0], services[0])
+        with pytest.raises(ValueError):
+            mm1_lindley_waits_batch(gaps, services, np.array([1, 6]))
+        with pytest.raises(ValueError):
+            mm1_lindley_waits_batch(gaps, services, np.array([-1, 3]))
+        with pytest.raises(ValueError):
+            mm1_lindley_waits_batch(gaps, services, np.array([1.5, 3.0]))
+        with pytest.raises(ValueError):
+            mm1_lindley_waits_batch(gaps, services, np.array([1, 2, 3]))
+
+
+def _assert_results_identical(one, other):
+    np.testing.assert_array_equal(
+        one.user_mean_response_times,
+        other.user_mean_response_times,
+    )
+    np.testing.assert_array_equal(one.user_job_counts, other.user_job_counts)
+    np.testing.assert_array_equal(
+        one.computer_utilizations, other.computer_utilizations
+    )
+    np.testing.assert_array_equal(
+        one.computer_job_counts, other.computer_job_counts
+    )
+
+
+class TestBatchSimulator:
+    def test_bit_identical_to_per_seed_loop(self, table1_medium):
+        profile = StrategyProfile.proportional(table1_medium)
+        seeds = replication_seeds(42, 5)
+        batch = simulate_profile_fast_batch(
+            table1_medium, profile, horizon=200.0, warmup=20.0, seeds=seeds
+        )
+        for seed, batched in zip(seeds, batch):
+            looped = simulate_profile_fast(
+                table1_medium, profile, horizon=200.0, warmup=20.0, seed=seed
+            )
+            _assert_results_identical(looped, batched)
+
+    def test_same_seed_object_is_idempotent(self, table1_medium):
+        # SeedSequence.spawn is stateful; the simulator must not be.
+        profile = StrategyProfile.proportional(table1_medium)
+        seed = np.random.SeedSequence(99)
+        first = simulate_profile_fast(
+            table1_medium, profile, horizon=100.0, seed=seed
+        )
+        second = simulate_profile_fast(
+            table1_medium, profile, horizon=100.0, seed=seed
+        )
+        _assert_results_identical(first, second)
+
+    def test_per_row_profiles_match_separate_calls(self, table1_medium):
+        # Common-random-numbers comparison: two allocations, same seeds.
+        nash = NashScheme().allocate(table1_medium).profile
+        ps = ProportionalScheme().allocate(table1_medium).profile
+        distributions = [
+            from_scv(float(rate), 2.0) for rate in table1_medium.service_rates
+        ]
+        nash_row, ps_row = simulate_profile_fast_batch(
+            table1_medium,
+            [nash, ps],
+            horizon=150.0,
+            warmup=15.0,
+            seeds=[13, 13],
+            service_distributions=distributions,
+        )
+        nash_one = simulate_profile_fast(
+            table1_medium,
+            nash,
+            horizon=150.0,
+            warmup=15.0,
+            seed=13,
+            service_distributions=distributions,
+        )
+        ps_one = simulate_profile_fast(
+            table1_medium,
+            ps,
+            horizon=150.0,
+            warmup=15.0,
+            seed=13,
+            service_distributions=distributions,
+        )
+        _assert_results_identical(nash_one, nash_row)
+        _assert_results_identical(ps_one, ps_row)
+
+    def test_idle_computer_stays_idle(self):
+        system = DistributedSystem(
+            service_rates=[5.0, 5.0], arrival_rates=[2.0]
+        )
+        profile = StrategyProfile(np.array([[1.0, 0.0]]))
+        (result,) = simulate_profile_fast_batch(
+            system, profile, horizon=200.0, seeds=[3]
+        )
+        assert result.computer_job_counts[1] == 0
+        assert result.computer_utilizations[1] == 0.0
+
+    def test_rejects_bad_parameters(self, two_by_two):
+        profile = StrategyProfile.proportional(two_by_two)
+        with pytest.raises(ValueError):
+            simulate_profile_fast_batch(
+                two_by_two, profile, horizon=100.0, seeds=[]
+            )
+        with pytest.raises(ValueError):
+            simulate_profile_fast_batch(
+                two_by_two, [profile], horizon=100.0, seeds=[1, 2]
+            )
+        with pytest.raises(ValueError):
+            simulate_profile_fast_batch(
+                two_by_two, profile, horizon=-1.0, seeds=[1]
+            )
+        with pytest.raises(ValueError):
+            simulate_profile_fast_batch(
+                two_by_two,
+                profile,
+                horizon=10.0,
+                seeds=[1],
+                service_distributions=[from_scv(1.0, 1.0)],
+            )
+
+
+class TestUtilizationAccounting:
+    def test_tracks_offered_load_at_high_rho(self):
+        # The old accounting counted only jobs fully inside the window,
+        # biasing utilization low exactly where it matters (high rho).
+        system = DistributedSystem(service_rates=[5.0], arrival_rates=[4.5])
+        profile = StrategyProfile(np.array([[1.0]]))
+        result = simulate_profile_fast(
+            system, profile, horizon=20_000.0, warmup=2_000.0, seed=11
+        )
+        assert result.computer_utilizations[0] == pytest.approx(0.9, abs=0.02)
+
+    def test_cross_engine_parity_at_high_rho(self, table1_small):
+        # Same stationary law at rho=0.9: the event engine and the fast
+        # path must agree on per-computer utilization.
+        system = paper_table1_system(utilization=0.9, n_users=4)
+        profile = StrategyProfile.proportional(system)
+        fast = simulate_profile_fast(
+            system, profile, horizon=2_000.0, warmup=200.0, seed=21
+        )
+        event = simulate_profile(
+            system, profile, horizon=2_000.0, warmup=200.0, seed=21
+        )
+        np.testing.assert_allclose(
+            fast.computer_utilizations,
+            event.computer_utilizations,
+            rtol=0.05,
+        )
+        rho = system.loads(profile.fractions) / system.service_rates
+        np.testing.assert_allclose(
+            fast.computer_utilizations, rho, rtol=0.05
+        )
+
+
+def _batch_measure(system, profile, *, horizon, warmup):
+    def simulate_batch(seeds):
+        results = simulate_profile_fast_batch(
+            system, profile, horizon=horizon, warmup=warmup, seeds=seeds
+        )
+        return np.stack([r.user_mean_response_times for r in results])
+
+    return simulate_batch
+
+
+def _loop_measure(system, profile, *, horizon, warmup):
+    def measure(seed_seq):
+        return simulate_profile_fast(
+            system, profile, horizon=horizon, warmup=warmup, seed=seed_seq
+        ).user_mean_response_times
+
+    return measure
+
+
+class TestReplicateBatch:
+    def test_identical_replication_stats(self, table1_medium):
+        profile = StrategyProfile.proportional(table1_medium)
+        kwargs = dict(horizon=150.0, warmup=15.0)
+        looped = replicate(
+            _loop_measure(table1_medium, profile, **kwargs),
+            n_replications=5,
+            seed=7,
+        )
+        batched = replicate(
+            simulate_batch=_batch_measure(table1_medium, profile, **kwargs),
+            n_replications=5,
+            seed=7,
+        )
+        np.testing.assert_array_equal(looped.samples, batched.samples)
+        np.testing.assert_array_equal(looped.mean, batched.mean)
+        np.testing.assert_array_equal(looped.std_error, batched.std_error)
+        np.testing.assert_array_equal(looped.ci_low, batched.ci_low)
+        np.testing.assert_array_equal(looped.ci_high, batched.ci_high)
+
+    def test_replicate_until_same_stopping_point(self, table1_medium):
+        profile = StrategyProfile.proportional(table1_medium)
+        kwargs = dict(horizon=150.0, warmup=15.0)
+        looped = replicate_until(
+            _loop_measure(table1_medium, profile, **kwargs),
+            target_relative_error=0.02,
+            min_replications=3,
+            max_replications=12,
+            seed=7,
+        )
+        batched = replicate_until(
+            simulate_batch=_batch_measure(table1_medium, profile, **kwargs),
+            target_relative_error=0.02,
+            min_replications=3,
+            max_replications=12,
+            seed=7,
+        )
+        assert looped.n_replications == batched.n_replications
+        np.testing.assert_array_equal(looped.samples, batched.samples)
+        np.testing.assert_array_equal(looped.mean, batched.mean)
+
+    def test_replicate_until_budget_exhausted(self, table1_medium):
+        profile = StrategyProfile.proportional(table1_medium)
+        kwargs = dict(horizon=60.0, warmup=6.0)
+        looped = replicate_until(
+            _loop_measure(table1_medium, profile, **kwargs),
+            target_relative_error=1e-9,
+            min_replications=2,
+            max_replications=5,
+            seed=3,
+        )
+        batched = replicate_until(
+            simulate_batch=_batch_measure(table1_medium, profile, **kwargs),
+            target_relative_error=1e-9,
+            min_replications=2,
+            max_replications=5,
+            seed=3,
+        )
+        assert looped.n_replications == batched.n_replications == 5
+        np.testing.assert_array_equal(looped.samples, batched.samples)
+
+    def test_exactly_one_measurement_source(self):
+        with pytest.raises(ValueError):
+            replicate(n_replications=3, seed=0)
+        with pytest.raises(ValueError):
+            replicate(
+                lambda s: np.zeros(2),
+                simulate_batch=lambda seeds: np.zeros((len(seeds), 2)),
+            )
+        with pytest.raises(ValueError):
+            replicate_until(target_relative_error=0.1)
+
+    def test_batch_shape_validated(self):
+        with pytest.raises(ValueError):
+            replicate(
+                simulate_batch=lambda seeds: np.zeros((len(seeds) + 1, 2)),
+                n_replications=3,
+            )
+        with pytest.raises(ValueError):
+            replicate(
+                simulate_batch=lambda seeds: np.zeros(len(seeds)),
+                n_replications=3,
+            )

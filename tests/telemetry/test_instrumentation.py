@@ -22,12 +22,15 @@ from repro.distributed.faults import run_nash_protocol_lossy
 from repro.distributed.runtime import run_nash_protocol
 from repro.simengine.outages import ServerOutage
 from repro.simengine.simulator import simulate_profile
+from repro.experiments.common import run_schemes_sweep
+from repro.schemes import NashScheme
 from repro.telemetry.analysis import (
     event_counts,
     protocol_summary,
     reconstruct_norm_history,
     sim_summary,
     solver_summary,
+    sweep_summary,
 )
 from repro.telemetry.sinks import InMemorySink, read_trace
 from repro.telemetry.trace import Tracer, trace_to_file, use_tracer
@@ -254,6 +257,46 @@ class TestSimInstrumentation:
         counters = tracer.registry.snapshot()["counters"]
         assert counters["sim.runs"] == 1
         assert counters["sim.completions"] == result.total_jobs
+
+
+class TestSweepInstrumentation:
+    def _points(self):
+        return [
+            (rho, paper_table1_system(utilization=rho, n_users=4))
+            for rho in (0.2, 0.4, 0.6)
+        ]
+
+    def test_sweep_point_events_and_rollup(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with use_tracer(tracer):
+            sweep = run_schemes_sweep(self._points(), (NashScheme(),))
+        events = [e for e in sink.events if e.name == "sweep.point"]
+        assert len(events) == 3
+        assert [e.fields["parameter"] for e in events] == [0.2, 0.4, 0.6]
+        for event, (_, results) in zip(events, sweep):
+            assert event.fields["scheme"] == "NASH"
+            assert event.fields["iterations"] == int(
+                results["NASH"].extra["iterations"]
+            )
+            assert event.fields["warm_started"] is False
+            assert event.fields["continuation"] is False
+        summary = sweep_summary(sink.events)
+        assert summary["n_points"] == 3
+        assert summary["by_scheme"]["NASH"]["points"] == 3
+        assert summary["continuation"] is False
+        assert tracer.registry.snapshot()["counters"]["sweep.points"] == 3
+
+    def test_continuation_marks_warm_points(self):
+        sink = InMemorySink()
+        with use_tracer(Tracer(sink)):
+            run_schemes_sweep(
+                self._points(), (NashScheme(),), continuation=True
+            )
+        summary = sweep_summary(sink.events)
+        assert summary["continuation"] is True
+        # Only the axis-first point cold-starts.
+        assert summary["by_scheme"]["NASH"]["warm_started"] == 2
 
 
 class TestZeroCostWhenDisabled:

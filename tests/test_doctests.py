@@ -6,6 +6,7 @@ import doctest
 
 import pytest
 
+import repro.core.continuation
 import repro.core.degradation
 import repro.core.model
 import repro.core.nash
@@ -15,6 +16,7 @@ import repro.queueing.mg1
 import repro.simengine.events
 
 MODULES = [
+    repro.core.continuation,
     repro.core.degradation,
     repro.core.model,
     repro.core.nash,
