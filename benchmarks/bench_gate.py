@@ -10,8 +10,10 @@ fails when
 * any recorded speedup pair fell below its floor:
   ``--min-speedup`` (default 10x) for the m=1000, n=64 simultaneous
   NASH solve, ``--min-batch-speedup`` (default 4x) for batched versus
-  looped replications, and ``--min-warm-speedup`` (default 2x) for the
-  warm-started versus cold Figure-4 sweep.
+  looped replications, ``--min-warm-speedup`` (default 2x) for the
+  warm-started versus cold Figure-4 sweep, and ``--min-churn-speedup``
+  (default 2x) for the online engine's incremental re-equilibration
+  versus cold re-solves over the churn trace.
 
 Usage::
 
@@ -47,6 +49,7 @@ def compare(
     min_speedup: float,
     min_batch_speedup: float = 4.0,
     min_warm_speedup: float = 2.0,
+    min_churn_speedup: float = 2.0,
 ) -> list[str]:
     """Return a list of human-readable gate violations (empty = pass)."""
     failures = []
@@ -63,6 +66,7 @@ def compare(
     floors = (
         ("simultaneous", min_speedup),
         ("replications", min_batch_speedup),
+        ("churn", min_churn_speedup),
         ("sweep", min_warm_speedup),
     )
     for key, speedup in sorted(fresh.get("speedups", {}).items()):
@@ -90,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=10.0)
     parser.add_argument("--min-batch-speedup", type=float, default=4.0)
     parser.add_argument("--min-warm-speedup", type=float, default=2.0)
+    parser.add_argument("--min-churn-speedup", type=float, default=2.0)
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -99,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
         max_ratio=args.max_ratio, min_speedup=args.min_speedup,
         min_batch_speedup=args.min_batch_speedup,
         min_warm_speedup=args.min_warm_speedup,
+        min_churn_speedup=args.min_churn_speedup,
     )
     if failures:
         print("bench-gate: FAIL")

@@ -12,7 +12,9 @@ to see them inline).
 After a benchmark session this plugin serializes the gated timings
 (group ``nash-core``: the NASH solver, OPTIMAL, the batched water-fill
 kernel, the Lindley fastpath; group ``sim-fastpath``: batched
-replications and warm-started sweeps) into ``BENCH_nash.json`` at the
+replications and warm-started sweeps; group ``engine-churn``: the
+online engine's incremental re-equilibration versus cold re-solves
+over a churn trace) into ``BENCH_nash.json`` at the
 repo root — the perf-regression trajectory CI gates on (see
 ``benchmarks/bench_gate.py`` and docs/PERFORMANCE.md).  Baseline/
 optimized benchmark pairs — names differing only in a
@@ -29,7 +31,7 @@ import pathlib
 import pytest
 
 #: Benchmark groups serialized into the BENCH JSON.
-BENCH_GROUPS = ("nash-core", "sim-fastpath")
+BENCH_GROUPS = ("nash-core", "sim-fastpath", "engine-churn")
 #: Baseline/optimized name-suffix pairs recorded as speedups
 #: (baseline suffix first; speedup = baseline mean / optimized mean).
 SPEEDUP_SUFFIXES = (

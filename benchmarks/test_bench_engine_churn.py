@@ -1,0 +1,70 @@
+"""ENGINE-CHURN — incremental re-equilibration vs cold re-solves.
+
+The online engine's value proposition, measured: the same 40-epoch
+day-in-production churn trace (diurnal demand, phi drift, a failure/
+reopen window, a flash crowd) is re-equilibrated epoch by epoch either
+
+* ``_cold`` — legacy service mode: every epoch re-solves from the
+  proportional profile to full sweep-norm convergence
+  (``warm_mode='off'``, no certificate early stop), or
+* ``_warm`` — engine mode: every epoch warm-starts from the previous
+  equilibrium (with failure/reopen column remapping) and stops as soon
+  as an ``best_response_regrets`` certificate meets the same epsilon
+  (``certify_every=8``).
+
+Both sides certify every epoch at the solver's standard 1e-6 epsilon —
+tests/engine/test_service.py pins the certificate parity — so the
+recorded ``_cold``/``_warm`` speedup measures pure incremental savings,
+not accuracy traded away.  CI gates the ratio at >= 2x via
+``benchmarks/bench_gate.py --min-churn-speedup`` (measured ~5x; see
+docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EngineConfig, OnlineEquilibriumEngine
+from repro.workloads import day_in_production_trace, paper_table1_system
+
+engine_churn = pytest.mark.benchmark(group="engine-churn")
+
+#: Trace shape: ~half a diurnal period over 40 epochs in the 0.55-0.9
+#: utilization band — adjacent epochs are similar (where warm starts
+#: pay) but never identical (drift keeps every epoch a real re-solve).
+N_EPOCHS = 40
+TRACE_KWARGS = dict(
+    period=96, low=0.55, high=0.9, drift_volatility=0.01, seed=7
+)
+N_USERS = 16
+
+
+def _run(config: EngineConfig):
+    system = paper_table1_system(utilization=0.5, n_users=N_USERS)
+    trace = day_in_production_trace(N_EPOCHS, **TRACE_KWARGS)
+    engine = OnlineEquilibriumEngine(system, config=config)
+    return engine.run(trace)
+
+
+@engine_churn
+def test_bench_engine_churn_cold(benchmark):
+    run = benchmark.pedantic(
+        lambda: _run(EngineConfig(warm_mode="off", certify_every=None)),
+        rounds=3,
+        iterations=1,
+    )
+    assert run.n_epochs == N_EPOCHS + 1
+    assert run.all_certified
+
+
+@engine_churn
+def test_bench_engine_churn_warm(benchmark):
+    run = benchmark.pedantic(
+        lambda: _run(EngineConfig(warm_mode="repair", certify_every=8)),
+        rounds=3,
+        iterations=1,
+    )
+    assert run.n_epochs == N_EPOCHS + 1
+    assert run.all_certified
+    # Every epoch after the cold bootstrap is warm-started.
+    assert run.warm_epochs == N_EPOCHS

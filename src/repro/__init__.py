@@ -40,7 +40,10 @@ Subpackages
     In-process message-passing runtime executing the NASH algorithm as
     the ring protocol of the paper's Section 3.
 ``repro.workloads``
-    Table-1 and heterogeneity-sweep system generators.
+    Table-1 and heterogeneity-sweep system generators, churn traces.
+``repro.engine``
+    Online equilibrium engine: churn-resilient service mode with
+    incremental re-equilibration and SLA accounting.
 ``repro.experiments``
     One module per paper table/figure, regenerating its rows/series.
 """
@@ -77,8 +80,26 @@ from repro.schemes import (
     StackelbergScheme,
     standard_schemes,
 )
+from repro.engine import (
+    CapacityChange,
+    ComputerFailure,
+    ComputerReopen,
+    EngineConfig,
+    EngineRun,
+    EpochReport,
+    FleetState,
+    OnlineEquilibriumEngine,
+    PhiDrift,
+    SLAPolicy,
+    SLAReport,
+    SetDemand,
+    SetUtilization,
+    UserArrival,
+    UserDeparture,
+)
 from repro.game import LoadBalancingGame
 from repro.workloads import (
+    day_in_production_trace,
     paper_table1_system,
     skewed_system,
     table1_service_rates,
@@ -114,6 +135,22 @@ __all__ = [
     "StackelbergScheme",
     "standard_schemes",
     "LoadBalancingGame",
+    "CapacityChange",
+    "ComputerFailure",
+    "ComputerReopen",
+    "EngineConfig",
+    "EngineRun",
+    "EpochReport",
+    "FleetState",
+    "OnlineEquilibriumEngine",
+    "PhiDrift",
+    "SLAPolicy",
+    "SLAReport",
+    "SetDemand",
+    "SetUtilization",
+    "UserArrival",
+    "UserDeparture",
+    "day_in_production_trace",
     "paper_table1_system",
     "skewed_system",
     "table1_service_rates",

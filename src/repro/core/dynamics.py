@@ -7,6 +7,16 @@ system snapshots (e.g. time-varying user demand) and quantifies the
 benefit of *warm starting* each run from the previous equilibrium — the
 same phenomenon that makes NASH_P beat NASH_0 in Figures 2-3, taken to its
 logical conclusion (the paper's "dynamic load balancing" future work).
+
+Since the online engine landed, this module is a thin snapshot-driven
+wrapper over :class:`repro.engine.OnlineEquilibriumEngine`: each
+snapshot is diffed against the engine's fleet state into one churn epoch
+(capacity changes plus a wholesale demand replacement) and solved with
+the legacy semantics — ``certify_every=None`` for a single
+uninterrupted solver call, ``warm_mode="strict"`` for the historical
+"reuse the previous profile only when shape-compatible and feasible"
+rule — so results are identical to the pre-engine implementation while
+there is only one re-equilibration code path in the repo.
 """
 
 from __future__ import annotations
@@ -17,13 +27,10 @@ from typing import Iterable, Literal
 import numpy as np
 
 from repro.core.model import DistributedSystem
-from repro.core.nash import (
-    DEFAULT_MAX_SWEEPS,
-    DEFAULT_TOLERANCE,
-    NashResult,
-    NashSolver,
-)
-from repro.core.strategy import StrategyProfile
+from repro.core.nash import DEFAULT_MAX_SWEEPS, DEFAULT_TOLERANCE, NashResult
+from repro.engine.events import CapacityChange, ChurnEpoch, ChurnEvent, SetDemand
+from repro.engine.service import EngineConfig, OnlineEquilibriumEngine
+from repro.engine.state import FleetState
 
 __all__ = ["EpisodeResult", "DynamicsResult", "run_dynamic_balancing"]
 
@@ -66,6 +73,22 @@ class DynamicsResult:
         return np.vstack([e.result.user_times for e in self.episodes])
 
 
+def _snapshot_epoch(state: FleetState, system: DistributedSystem) -> ChurnEpoch:
+    """Churn epoch that moves ``state`` onto the snapshot ``system``."""
+    events: list[ChurnEvent] = []
+    if not np.array_equal(state.service_rates, system.service_rates):
+        for computer, rate in enumerate(system.service_rates):
+            if not np.array_equal(state.service_rates[computer], rate):
+                events.append(CapacityChange(computer, float(rate)))
+    events.append(
+        SetDemand(
+            tuple(float(rate) for rate in system.arrival_rates),
+            system.user_names,
+        )
+    )
+    return tuple(events)
+
+
 def run_dynamic_balancing(
     systems: Iterable[DistributedSystem],
     *,
@@ -87,21 +110,27 @@ def run_dynamic_balancing(
         shape matches and it remains feasible; otherwise (and always for
         the first episode) fall back to ``cold_init``.
     """
-    solver = NashSolver(tolerance=tolerance, max_sweeps=max_sweeps)
+    config = EngineConfig(
+        tolerance=tolerance,
+        sweep_budget=max_sweeps,
+        certify_every=None,
+        warm_mode="strict" if warm_start else "off",
+        cold_init=cold_init,
+    )
     episodes: list[EpisodeResult] = []
-    previous: StrategyProfile | None = None
+    engine: OnlineEquilibriumEngine | None = None
     for system in systems:
-        init: StrategyProfile | str = cold_init
-        if warm_start and previous is not None:
-            shape_ok = previous.fractions.shape == (
-                system.n_users,
-                system.n_computers,
-            )
-            if shape_ok and previous.is_feasible(system):
-                init = previous
-        result = solver.solve(system, init)  # type: ignore[arg-type]
-        episodes.append(EpisodeResult(system=system, result=result))
-        previous = result.profile
+        if engine is None or engine.state.n_computers != system.n_computers:
+            # First snapshot, or the fleet itself changed size (which the
+            # legacy loop always cold-started): fresh engine, bootstrap
+            # solve is the episode.
+            engine = OnlineEquilibriumEngine(system, config=config)
+            report = engine.bootstrap
+        else:
+            report = engine.process_epoch(_snapshot_epoch(engine.state, system))
+        if report.result is None:  # pragma: no cover - snapshots are valid games
+            raise RuntimeError(f"snapshot produced no equilibrium: {report.status}")
+        episodes.append(EpisodeResult(system=system, result=report.result))
     if not episodes:
         raise ValueError("at least one system snapshot is required")
     return DynamicsResult(episodes=tuple(episodes))

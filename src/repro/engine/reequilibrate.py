@@ -1,0 +1,146 @@
+"""Bounded incremental re-equilibration: one epoch's solve, capped.
+
+The engine must never let one bad epoch stall the loop, so every solve
+runs under two independent brakes:
+
+* a **sweep budget** — the hard cap on best-reply sweeps spent on the
+  epoch, spread over chunks of ``certify_every`` sweeps;
+* an **epsilon-certificate early stop** — after each chunk the profile
+  is certified with :func:`repro.core.equilibrium.best_response_regrets`
+  (one batched OPTIMAL call, about the cost of a single sweep) and the
+  solve stops as soon as the maximum regret falls to the target
+  ``epsilon``, even if the solver's sweep-norm criterion has not
+  triggered yet.
+
+Chunked solving is exact, not approximate: restarting best-reply sweeps
+from the current profile continues the same iteration (the only
+difference is that the restart re-reads the users' *actual* expected
+times instead of the per-sweep stale ones, which only affects the
+stopping norm, never the iterates).  ``certify_every=None`` disables
+chunking — a single solver call followed by one certification — which
+is what the legacy snapshot driver uses for bit-exact parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equilibrium import EquilibriumCertificate, best_response_regrets
+from repro.core.model import DistributedSystem
+from repro.core.nash import Initialization, NashResult, NashSolver
+from repro.core.strategy import StrategyProfile
+
+__all__ = ["ReequilibrationOutcome", "converge_bounded"]
+
+
+@dataclass(frozen=True)
+class ReequilibrationOutcome:
+    """One epoch's solve: the combined result plus its certificate.
+
+    Attributes
+    ----------
+    result:
+        Solver outcome over all chunks (iterations and norm history are
+        accumulated across chunks).
+    certificate:
+        Regret certificate of the final profile, or ``None`` when the
+        final profile could not be certified (infeasible — only
+        reachable when the budget expires mid-repair of a bad seed).
+    certified:
+        Whether the certificate's epsilon met the target.
+    early_stopped:
+        Whether the certificate stopped the solve before the solver's
+        own sweep-norm criterion did.
+    """
+
+    result: NashResult
+    certificate: EquilibriumCertificate | None
+    certified: bool
+    early_stopped: bool
+
+    @property
+    def sweeps(self) -> int:
+        return self.result.iterations
+
+    @property
+    def epsilon(self) -> float:
+        if self.certificate is None:
+            return float("inf")
+        return self.certificate.epsilon
+
+
+def _certify(
+    system: DistributedSystem, profile: StrategyProfile
+) -> EquilibriumCertificate | None:
+    try:
+        return best_response_regrets(system, profile)
+    except ValueError:
+        # Infeasible profile (budget expired mid-repair): no certificate.
+        return None
+
+
+def converge_bounded(
+    system: DistributedSystem,
+    init: Initialization | StrategyProfile,
+    *,
+    tolerance: float,
+    epsilon: float,
+    sweep_budget: int,
+    certify_every: int | None,
+) -> ReequilibrationOutcome:
+    """Best-reply sweeps under a sweep budget with certificate early stop."""
+    if sweep_budget < 1:
+        raise ValueError("sweep_budget must be at least 1")
+    if certify_every is not None and certify_every < 1:
+        raise ValueError("certify_every must be at least 1 (or None)")
+
+    if certify_every is None:
+        solver = NashSolver(tolerance=tolerance, max_sweeps=sweep_budget)
+        result = solver.solve(system, init)
+        certificate = _certify(system, result.profile)
+        certified = certificate is not None and certificate.epsilon <= epsilon
+        return ReequilibrationOutcome(
+            result=result,
+            certificate=certificate,
+            certified=certified,
+            early_stopped=False,
+        )
+
+    remaining = sweep_budget
+    seed: Initialization | StrategyProfile = init
+    norms: list[float] = []
+    last: NashResult | None = None
+    certificate: EquilibriumCertificate | None = None
+    early_stopped = False
+    while remaining > 0:
+        chunk = min(certify_every, remaining)
+        solver = NashSolver(tolerance=tolerance, max_sweeps=chunk)
+        last = solver.solve(system, seed)
+        norms.extend(float(n) for n in last.norm_history)
+        remaining -= last.iterations
+        seed = last.profile
+        certificate = _certify(system, last.profile)
+        if certificate is not None and certificate.epsilon <= epsilon:
+            early_stopped = not last.converged
+            break
+        if last.converged:
+            break
+    assert last is not None  # sweep_budget >= 1 guarantees one chunk
+    certified = certificate is not None and certificate.epsilon <= epsilon
+    combined = NashResult(
+        profile=last.profile,
+        converged=last.converged or certified,
+        iterations=len(norms),
+        norm_history=np.asarray(norms, dtype=float),
+        user_times=(
+            certificate.user_times if certificate is not None else last.user_times
+        ),
+    )
+    return ReequilibrationOutcome(
+        result=combined,
+        certificate=certificate,
+        certified=certified,
+        early_stopped=early_stopped,
+    )

@@ -1,0 +1,124 @@
+"""SLA accounting for the online service mode.
+
+The service-level objective is per-user: every user's equilibrium
+expected response time ``D_j`` must stay at or below a target.  The
+:class:`SLAPolicy` evaluates one epoch's user times; the
+:class:`SLAAccountant` accumulates the per-epoch outcomes into the
+counters the telemetry layer and the ``repro-trace engine`` view report:
+total violations (user-epochs above target), violation epochs, and
+unserved epochs (capacity-exhausted epochs, where every present user is
+counted as violated — a user with no feasible allocation is the worst
+possible response time, not a missing sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import FloatArray
+
+__all__ = ["SLAPolicy", "SLAAccountant", "SLAReport"]
+
+
+@dataclass(frozen=True)
+class SLAPolicy:
+    """Per-user response-time objective (seconds of expected response)."""
+
+    target_response_time: float
+
+    def __post_init__(self) -> None:
+        if self.target_response_time <= 0.0:
+            raise ValueError("SLA target must be strictly positive")
+
+    def violations(self, user_times: FloatArray) -> int:
+        """How many users exceed the target (non-finite times count)."""
+        times = np.asarray(user_times, dtype=float)
+        over = ~(times <= self.target_response_time)
+        return int(np.count_nonzero(over))
+
+
+@dataclass(frozen=True)
+class SLAReport:
+    """Frozen snapshot of the accumulated SLA counters.
+
+    Attributes
+    ----------
+    target_response_time:
+        The per-user objective the run was accounted against.
+    epochs:
+        Epochs accounted (idle epochs included — zero users, zero
+        violations).
+    violations:
+        Total user-epochs above target.
+    violation_epochs:
+        Epochs with at least one violation.
+    unserved_epochs:
+        Capacity-exhausted epochs (every present user counted violated).
+    worst_time:
+        Largest finite per-user expected response time observed, or
+        ``nan`` when no epoch produced one.
+    """
+
+    target_response_time: float
+    epochs: int
+    violations: int
+    violation_epochs: int
+    unserved_epochs: int
+    worst_time: float
+
+    @property
+    def clean(self) -> bool:
+        return self.violations == 0 and self.unserved_epochs == 0
+
+
+class SLAAccountant:
+    """Accumulates per-epoch SLA outcomes for one engine run."""
+
+    __slots__ = ("policy", "_epochs", "_violations", "_violation_epochs",
+                 "_unserved", "_worst")
+
+    def __init__(self, policy: SLAPolicy):
+        self.policy = policy
+        self._epochs = 0
+        self._violations = 0
+        self._violation_epochs = 0
+        self._unserved = 0
+        self._worst = float("nan")
+
+    def record_epoch(self, user_times: FloatArray | None) -> int:
+        """Account one served (or idle) epoch; returns its violation count."""
+        self._epochs += 1
+        if user_times is None or np.asarray(user_times).size == 0:
+            return 0
+        violations = self.policy.violations(np.asarray(user_times, dtype=float))
+        self._violations += violations
+        if violations:
+            self._violation_epochs += 1
+        finite = np.asarray(user_times, dtype=float)
+        finite = finite[np.isfinite(finite)]
+        if finite.size:
+            peak = float(finite.max())
+            if not self._worst >= peak:  # NaN-aware running max
+                self._worst = peak
+        return violations
+
+    def record_unserved(self, n_users: int) -> int:
+        """Account one capacity-exhausted epoch: all users violated."""
+        self._epochs += 1
+        self._unserved += 1
+        self._violations += n_users
+        if n_users:
+            self._violation_epochs += 1
+        return n_users
+
+    def report(self) -> SLAReport:
+        return SLAReport(
+            target_response_time=self.policy.target_response_time,
+            epochs=self._epochs,
+            violations=self._violations,
+            violation_epochs=self._violation_epochs,
+            unserved_epochs=self._unserved,
+            worst_time=self._worst,
+        )

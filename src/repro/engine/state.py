@@ -1,0 +1,234 @@
+"""Mutable fleet state: the engine's view of the system under churn.
+
+A :class:`FleetState` tracks the *nominal* fleet (every computer ever
+provisioned, with its current service rate and an online flag) and the
+current user population, and applies :mod:`repro.engine.events` to them.
+The immutable :class:`~repro.core.model.DistributedSystem` the solver
+needs is derived on demand via :meth:`FleetState.effective_system` —
+the game restricted to the online computers, which raises the typed
+:class:`~repro.core.degradation.CapacityExhausted` the moment the
+survivors cannot carry the offered load (including the all-computers-
+down window), instead of handing the solver an infeasible game.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import BoolArray, FloatArray
+from repro.core.degradation import CapacityExhausted
+from repro.core.model import DistributedSystem
+from repro.engine.events import (
+    CapacityChange,
+    ChurnEvent,
+    ComputerFailure,
+    ComputerReopen,
+    PhiDrift,
+    SetDemand,
+    SetUtilization,
+    UserArrival,
+    UserDeparture,
+)
+
+__all__ = ["FleetState"]
+
+
+class FleetState:
+    """The engine's mutable system state: nominal fleet + user population."""
+
+    __slots__ = (
+        "service_rates",
+        "online",
+        "computer_names",
+        "user_rates",
+        "user_names",
+        "_user_seq",
+    )
+
+    def __init__(self, system: DistributedSystem):
+        self.service_rates: FloatArray = np.array(
+            system.service_rates, dtype=float, copy=True
+        )
+        self.online: BoolArray = np.ones(system.n_computers, dtype=bool)
+        self.computer_names: tuple[str, ...] = system.computer_names
+        self.user_rates: FloatArray = np.array(
+            system.arrival_rates, dtype=float, copy=True
+        )
+        self.user_names: tuple[str, ...] = system.user_names
+        self._user_seq: int = system.n_users
+
+    # ------------------------------------------------------------------
+    # Shape and aggregate properties
+    # ------------------------------------------------------------------
+    @property
+    def n_computers(self) -> int:
+        """Size of the nominal fleet (online or not)."""
+        return int(self.service_rates.size)
+
+    @property
+    def n_online(self) -> int:
+        return int(self.online.sum())
+
+    @property
+    def n_users(self) -> int:
+        return int(self.user_rates.size)
+
+    @property
+    def nominal_capacity(self) -> float:
+        """Aggregate service rate of the whole fleet, offline included."""
+        return float(self.service_rates.sum())
+
+    @property
+    def online_capacity(self) -> float:
+        return float(self.service_rates[self.online].sum())
+
+    @property
+    def total_demand(self) -> float:
+        return float(self.user_rates.sum())
+
+    @property
+    def offline_indices(self) -> tuple[int, ...]:
+        return tuple(int(i) for i in np.flatnonzero(~self.online))
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def apply(self, event: ChurnEvent) -> None:
+        """Mutate the state by one churn event (see each event's docstring)."""
+        if isinstance(event, UserArrival):
+            self._arrive(event)
+        elif isinstance(event, UserDeparture):
+            self._depart(event)
+        elif isinstance(event, PhiDrift):
+            self._drift(event)
+        elif isinstance(event, SetDemand):
+            self._set_demand(event)
+        elif isinstance(event, SetUtilization):
+            self._set_utilization(event)
+        elif isinstance(event, ComputerFailure):
+            self._set_online(event.computer, online=False)
+        elif isinstance(event, ComputerReopen):
+            self._set_online(event.computer, online=True)
+        elif isinstance(event, CapacityChange):
+            self._check_computer(event.computer)
+            self.service_rates[event.computer] = event.service_rate
+        else:  # pragma: no cover - unreachable for the ChurnEvent union
+            raise TypeError(f"unknown churn event {event!r}")
+
+    def _arrive(self, event: UserArrival) -> None:
+        names = list(event.names)
+        while len(names) < len(event.arrival_rates):
+            names.append(f"user-{self._user_seq + len(names)}")
+        taken = set(self.user_names)
+        clash = taken.intersection(names)
+        if clash:
+            raise ValueError(f"arriving users already present: {sorted(clash)}")
+        if len(set(names)) != len(names):
+            raise ValueError("arriving user names must be unique")
+        self._user_seq += len(names)
+        self.user_rates = np.concatenate(
+            [self.user_rates, np.asarray(event.arrival_rates, dtype=float)]
+        )
+        self.user_names = self.user_names + tuple(names)
+
+    def _depart(self, event: UserDeparture) -> None:
+        if event.names:
+            missing = set(event.names) - set(self.user_names)
+            if missing:
+                raise ValueError(f"departing users not present: {sorted(missing)}")
+            keep = [name not in set(event.names) for name in self.user_names]
+        else:
+            cut = max(0, self.n_users - event.count)
+            keep = [index < cut for index in range(self.n_users)]
+        mask = np.asarray(keep, dtype=bool)
+        self.user_rates = self.user_rates[mask]
+        self.user_names = tuple(
+            name for name, kept in zip(self.user_names, keep) if kept
+        )
+
+    def _drift(self, event: PhiDrift) -> None:
+        rates = self.user_rates * event.factor
+        if event.per_user:
+            by_name = {name: index for index, name in enumerate(self.user_names)}
+            for name, factor in event.per_user:
+                if name not in by_name:
+                    raise ValueError(f"drifting user not present: {name!r}")
+                rates[by_name[name]] *= factor
+        self.user_rates = rates
+
+    def _set_demand(self, event: SetDemand) -> None:
+        names = event.names
+        if not names:
+            names = tuple(f"user-{j}" for j in range(len(event.arrival_rates)))
+        if len(set(names)) != len(names):
+            raise ValueError("user names must be unique")
+        self.user_rates = np.asarray(event.arrival_rates, dtype=float)
+        self.user_names = names
+        self._user_seq = max(self._user_seq, len(names))
+
+    def _set_utilization(self, event: SetUtilization) -> None:
+        demand = self.total_demand
+        if demand <= 0.0:
+            return  # no users to rescale; the target applies once they arrive
+        target = event.utilization * self.nominal_capacity
+        self.user_rates = self.user_rates * (target / demand)
+
+    def _set_online(self, computer: int, *, online: bool) -> None:
+        self._check_computer(computer)
+        self.online[computer] = online
+
+    def _check_computer(self, computer: int) -> None:
+        if not 0 <= computer < self.n_computers:
+            raise ValueError(
+                f"computer index {computer} outside the nominal fleet "
+                f"(0..{self.n_computers - 1})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived systems
+    # ------------------------------------------------------------------
+    def effective_system(self) -> DistributedSystem:
+        """The game on the online computers and current users.
+
+        Raises
+        ------
+        CapacityExhausted
+            When the offered load is not strictly below the online
+            capacity (including the no-survivors case) — the typed
+            degraded-hold signal, never an infeasible solver input.
+        ValueError
+            When there are no users (the engine treats that epoch as
+            idle and never asks for a system).
+        """
+        if self.n_users == 0:
+            raise ValueError("no users: the idle state has no game to solve")
+        capacity = self.online_capacity
+        offered = self.total_demand
+        if not offered < capacity:
+            raise CapacityExhausted(offered, capacity, self.offline_indices)
+        names = tuple(
+            name
+            for name, alive in zip(self.computer_names, self.online)
+            if alive
+        )
+        return DistributedSystem(
+            service_rates=self.service_rates[self.online],
+            arrival_rates=self.user_rates,
+            computer_names=names,
+            user_names=self.user_names,
+        )
+
+    def full_system(self) -> DistributedSystem:
+        """The game at nominal fleet width (offline computers included).
+
+        Used to express profiles/simulations over the whole fleet; only
+        constructible while the offered load fits the nominal capacity.
+        """
+        if self.n_users == 0:
+            raise ValueError("no users: the idle state has no game to solve")
+        return DistributedSystem(
+            service_rates=self.service_rates,
+            arrival_rates=self.user_rates,
+            computer_names=self.computer_names,
+            user_names=self.user_names,
+        )

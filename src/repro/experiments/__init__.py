@@ -14,6 +14,8 @@ extensions            EXT1 (PoA, Stackelberg), ABL1/ABL2 ablations
 ext_dynamics          EXT2 (dynamic dispatch), EXT3 (NBS), ABL3/ABL4
 ext_models            EXT4 (comm delays), EXT5 (misspecification)
 ext_deployment        EXT6 (measured closed loop), ABL5 (network faults)
+ext_crash_recovery    EXT9 (protocol crash-fault tolerance)
+ext_online            EXT10 (online engine: a day in production)
 =========  =================================================
 """
 

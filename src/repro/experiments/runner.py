@@ -19,6 +19,7 @@ from repro.experiments import (
     ext_dynamics,
     ext_mechanism,
     ext_models,
+    ext_online,
     extensions,
     fig2_convergence,
     fig3_users,
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "ext8": ext_mechanism.run_mechanism_frugality,
     "abl5": ext_deployment.run_fault_tolerance,
     "ext9": ext_crash_recovery.run_crash_recovery,
+    "ext10": ext_online.run_online_service,
 }
 
 

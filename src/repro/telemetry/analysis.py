@@ -17,6 +17,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.telemetry.events import TraceEvent
 
 __all__ = [
+    "engine_summary",
     "event_counts",
     "metrics_snapshot",
     "reconstruct_norm_history",
@@ -199,6 +200,86 @@ def sweep_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
         "n_points": len(points),
         "by_scheme": by_scheme,
         "continuation": any(p.get("continuation") for p in points),
+    }
+
+
+#: Sweeps-per-epoch histogram bucket upper edges (powers of two).
+_SWEEP_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def _sweep_bucket_label(sweeps: int) -> str:
+    previous = None
+    for edge in _SWEEP_BUCKETS:
+        if sweeps <= edge:
+            if previous is None or previous + 1 == edge:
+                return str(edge)
+            return f"{previous + 1}-{edge}"
+        previous = edge
+    return f">{_SWEEP_BUCKETS[-1]}"
+
+
+def engine_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Online-engine view: epoch statuses, degraded windows, SLA totals.
+
+    Rolls up the ``engine.epoch`` events the
+    :class:`repro.engine.OnlineEquilibriumEngine` emits — one per
+    processed epoch — into the operational overview ``repro-trace
+    engine`` renders: status counts, contiguous degraded-mode windows
+    (epoch index ranges where part or all of the fleet was down),
+    SLA-violation totals, warm-start/certification coverage, and a
+    power-of-two sweeps-per-epoch histogram.
+    """
+    epochs: list[dict[str, Any]] = []
+    for event in events:
+        if event.name == "engine.epoch":
+            epochs.append(dict(event.fields))
+    statuses = [str(e.get("status", "?")) for e in epochs]
+    status_counts: TallyCounter[str] = TallyCounter(statuses)
+    windows: list[tuple[int, int]] = []
+    for epoch, status in zip(epochs, statuses):
+        index = int(epoch.get("index", len(windows)))
+        if status in ("degraded", "exhausted"):
+            if windows and windows[-1][1] == index - 1:
+                windows[-1] = (windows[-1][0], index)
+            else:
+                windows.append((index, index))
+    solvable = [e for e, s in zip(epochs, statuses) if s in ("ok", "degraded")]
+    histogram: TallyCounter[str] = TallyCounter(
+        _sweep_bucket_label(int(e.get("sweeps", 0))) for e in epochs
+    )
+    latencies = [float(e.get("latency_s", 0.0)) for e in epochs]
+    return {
+        "epochs": epochs,
+        "n_epochs": len(epochs),
+        "status_counts": dict(sorted(status_counts.items())),
+        "degraded_windows": [list(window) for window in windows],
+        "degraded_mode_epochs": int(
+            status_counts["degraded"] + status_counts["exhausted"]
+        ),
+        "sla_violations": int(
+            sum(int(e.get("sla_violations", 0)) for e in epochs)
+        ),
+        "sla_violation_epochs": int(
+            sum(1 for e in epochs if e.get("sla_violations"))
+        ),
+        "warm_started": int(sum(1 for e in epochs if e.get("warm_started"))),
+        "certified": int(sum(1 for e in solvable if e.get("certified"))),
+        "solvable_epochs": len(solvable),
+        "all_certified": all(e.get("certified") for e in solvable),
+        "total_sweeps": int(sum(int(e.get("sweeps", 0)) for e in epochs)),
+        "sweeps_histogram": dict(
+            sorted(
+                histogram.items(),
+                key=lambda item: float(
+                    item[0].lstrip(">").split("-")[-1]
+                ),
+            )
+        ),
+        "total_latency_s": float(sum(latencies)),
+        "max_latency_s": float(max(latencies, default=0.0)),
+        "errors": [
+            str(e["error"]) for e in epochs if e.get("error") is not None
+        ],
     }
 
 

@@ -18,6 +18,7 @@ import sys
 from typing import Any, Sequence
 
 from repro.telemetry.analysis import (
+    engine_summary,
     protocol_summary,
     reconstruct_norm_history,
     sim_summary,
@@ -44,6 +45,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ("summary", "event counts, metrics snapshot, per-layer overview"),
         ("convergence", "reconstructed norm history, one line per sweep"),
         ("protocol", "per-kind message counts and overhead accounting"),
+        ("engine", "online-engine epochs, degraded windows, SLA totals"),
     ):
         sub = subparsers.add_parser(command, help=description)
         sub.add_argument("trace", help="path to a .trace.jsonl file")
@@ -96,6 +98,14 @@ def _render_summary(events: list[TraceEvent]) -> tuple[dict[str, Any], str]:
         lines.append(
             f"sweeps: {sweeps['n_points']} point solves ({mode}): {per_scheme}"
         )
+    engine = engine_summary(events)
+    if engine["n_epochs"]:
+        lines.append(
+            f"engine: {engine['n_epochs']} epochs "
+            f"({engine['degraded_mode_epochs']} degraded-mode), "
+            f"{engine['sla_violations']} SLA violations, "
+            f"{engine['total_sweeps']} sweeps"
+        )
     if payload["metrics"] is not None:
         counters = payload["metrics"].get("counters", {})
         for name, value in counters.items():
@@ -143,6 +153,46 @@ def _render_protocol(
     return payload, "\n".join(lines)
 
 
+def _render_engine(
+    events: list[TraceEvent],
+) -> tuple[dict[str, Any], str]:
+    payload = engine_summary(events)
+    status_counts = ", ".join(
+        f"{status}={count}"
+        for status, count in payload["status_counts"].items()
+    )
+    lines = [
+        f"epochs: {payload['n_epochs']} ({status_counts})",
+        f"warm-started: {payload['warm_started']}, certified: "
+        f"{payload['certified']}/{payload['solvable_epochs']} "
+        f"({'all' if payload['all_certified'] else 'NOT all'} certified)",
+    ]
+    if payload["degraded_windows"]:
+        windows = ", ".join(
+            f"[{start}..{end}]" for start, end in payload["degraded_windows"]
+        )
+        lines.append(
+            f"degraded-mode windows: {windows} "
+            f"({payload['degraded_mode_epochs']} epochs)"
+        )
+    lines.append(
+        f"SLA: {payload['sla_violations']} violations over "
+        f"{payload['sla_violation_epochs']} epochs"
+    )
+    lines.append(
+        f"sweeps: {payload['total_sweeps']} total; per-epoch histogram:"
+    )
+    for bucket, count in payload["sweeps_histogram"].items():
+        lines.append(f"  {bucket:>8}  {count}")
+    lines.append(
+        f"re-equilibration latency: {payload['total_latency_s']:.4f}s total, "
+        f"{payload['max_latency_s']:.4f}s worst epoch"
+    )
+    for error in payload["errors"]:
+        lines.append(f"error: {error}")
+    return payload, "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -157,6 +207,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "convergence":
         payload, text = _render_convergence(events)
         empty = not payload["norm_history"]
+    elif args.command == "engine":
+        payload, text = _render_engine(events)
+        empty = not payload["n_epochs"]
     else:
         payload, text = _render_protocol(events)
         empty = not payload["messages_delivered"]

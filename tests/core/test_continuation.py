@@ -61,6 +61,123 @@ class TestWarmStartProfile:
         previous = StrategyProfile.proportional(other)
         assert warm_start_profile(table1_small, previous) is None
 
+    def test_failure_remap_drops_offline_column(self):
+        """A computer failure (name-matched via previous_system) carries
+        the surviving columns and re-splits the failed computer's mass."""
+        full = paper_table1_system(utilization=0.6, n_users=4)
+        previous = NashSolver().solve(full, "proportional").profile
+        alive = np.ones(full.n_computers, dtype=bool)
+        alive[15] = False
+        degraded = DistributedSystem(
+            service_rates=full.service_rates[alive],
+            arrival_rates=full.arrival_rates,
+            computer_names=tuple(
+                name
+                for name, keep in zip(full.computer_names, alive)
+                if keep
+            ),
+        )
+        warm = warm_start_profile(degraded, previous, previous_system=full)
+        assert warm is not None
+        assert warm.n_computers == 15
+        assert warm.is_feasible(degraded)
+        # Surviving columns keep their relative proportions: within each
+        # row the used columns all scale by the same factor (columns the
+        # user never used stay at zero and carry no ratio).
+        carried = previous.fractions[:, alive]
+        for row_warm, row_prev in zip(warm.fractions, carried):
+            used = row_prev > 0.0
+            ratio = row_warm[used] / row_prev[used]
+            np.testing.assert_allclose(ratio, ratio[0], rtol=1e-12)
+            np.testing.assert_array_equal(row_warm[~used], 0.0)
+
+    def test_reopen_remap_seeds_fresh_column_by_capacity_share(self):
+        full = paper_table1_system(utilization=0.6, n_users=4)
+        alive = np.ones(full.n_computers, dtype=bool)
+        alive[15] = False
+        degraded = DistributedSystem(
+            service_rates=full.service_rates[alive],
+            arrival_rates=full.arrival_rates,
+            computer_names=tuple(
+                name
+                for name, keep in zip(full.computer_names, alive)
+                if keep
+            ),
+        )
+        previous = NashSolver().solve(degraded, "proportional").profile
+        warm = warm_start_profile(full, previous, previous_system=degraded)
+        assert warm is not None
+        assert warm.n_computers == 16
+        assert warm.is_feasible(full)
+        share = full.service_rates[15] / full.service_rates.sum()
+        np.testing.assert_allclose(warm.fractions[:, 15], share)
+
+    def test_remap_with_user_count_change_combines_both_paths(self):
+        full = paper_table1_system(utilization=0.6, n_users=4)
+        alive = np.ones(full.n_computers, dtype=bool)
+        alive[15] = False
+        degraded = DistributedSystem(
+            service_rates=full.service_rates[alive],
+            arrival_rates=[30.0] * 6,
+            computer_names=tuple(
+                name
+                for name, keep in zip(full.computer_names, alive)
+                if keep
+            ),
+        )
+        previous = NashSolver().solve(full, "proportional").profile
+        warm = warm_start_profile(degraded, previous, previous_system=full)
+        assert warm is not None
+        assert warm.n_users == 6
+        assert warm.is_feasible(degraded)
+
+    def test_remap_shortens_the_resolve(self):
+        """The remapped seed must beat a cold start on the degraded solve."""
+        full = paper_table1_system(utilization=0.7, n_users=8)
+        previous = NashSolver().solve(full, "proportional").profile
+        alive = np.ones(full.n_computers, dtype=bool)
+        alive[15] = False
+        degraded = DistributedSystem(
+            service_rates=full.service_rates[alive],
+            arrival_rates=full.arrival_rates,
+            computer_names=tuple(
+                name
+                for name, keep in zip(full.computer_names, alive)
+                if keep
+            ),
+        )
+        warm = warm_start_profile(degraded, previous, previous_system=full)
+        assert warm is not None
+        solver = NashSolver()
+        warm_run = solver.solve(degraded, warm)
+        cold_run = solver.solve(degraded, "proportional")
+        assert warm_run.converged and cold_run.converged
+        assert warm_run.iterations < cold_run.iterations
+        cert = best_response_regrets(degraded, warm_run.profile)
+        assert cert.epsilon <= 1e-6
+
+    def test_remap_without_previous_system_still_returns_none(self):
+        full = paper_table1_system(utilization=0.6, n_users=4)
+        previous = NashSolver().solve(full, "proportional").profile
+        degraded = DistributedSystem(
+            service_rates=full.service_rates[:-1],
+            arrival_rates=full.arrival_rates,
+        )
+        assert warm_start_profile(degraded, previous) is None
+
+    def test_remap_without_name_overlap_returns_none(self):
+        full = paper_table1_system(utilization=0.6, n_users=4)
+        previous = NashSolver().solve(full, "proportional").profile
+        foreign = DistributedSystem(
+            service_rates=[400.0, 200.0],
+            arrival_rates=full.arrival_rates,
+            computer_names=("alien-0", "alien-1"),
+        )
+        assert (
+            warm_start_profile(foreign, previous, previous_system=full)
+            is None
+        )
+
     def test_saturated_system_returns_none(self):
         system = DistributedSystem(
             service_rates=[5.0, 5.0], arrival_rates=[4.9, 4.9]

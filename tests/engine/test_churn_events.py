@@ -1,0 +1,86 @@
+"""Churn-event vocabulary: validation, normalization, labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.events import (
+    CapacityChange,
+    ComputerFailure,
+    ComputerReopen,
+    PhiDrift,
+    SetDemand,
+    SetUtilization,
+    UserArrival,
+    UserDeparture,
+    as_epoch,
+    event_kind,
+)
+
+
+class TestValidation:
+    def test_arrival_requires_positive_rates(self):
+        with pytest.raises(ValueError):
+            UserArrival(())
+        with pytest.raises(ValueError):
+            UserArrival((1.0, -2.0))
+
+    def test_arrival_names_must_match_length(self):
+        with pytest.raises(ValueError):
+            UserArrival((1.0, 2.0), names=("a",))
+
+    def test_departure_requires_exactly_one_selector(self):
+        with pytest.raises(ValueError):
+            UserDeparture()
+        with pytest.raises(ValueError):
+            UserDeparture(names=("a",), count=1)
+        UserDeparture(names=("a",))
+        UserDeparture(count=2)
+
+    def test_drift_factors_positive(self):
+        with pytest.raises(ValueError):
+            PhiDrift(factor=0.0)
+        with pytest.raises(ValueError):
+            PhiDrift(per_user=(("a", -1.0),))
+
+    def test_utilization_strictly_inside_unit_interval(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                SetUtilization(bad)
+
+    def test_computer_indices_nonnegative(self):
+        with pytest.raises(ValueError):
+            ComputerFailure(-1)
+        with pytest.raises(ValueError):
+            ComputerReopen(-2)
+        with pytest.raises(ValueError):
+            CapacityChange(-1, 10.0)
+
+    def test_capacity_change_rate_positive(self):
+        with pytest.raises(ValueError):
+            CapacityChange(0, 0.0)
+
+
+class TestEpochNormalization:
+    def test_single_event_becomes_one_epoch(self):
+        event = ComputerFailure(3)
+        assert as_epoch(event) == (event,)
+
+    def test_tuple_passes_through(self):
+        epoch = (ComputerFailure(1), UserArrival((2.0,)))
+        assert as_epoch(epoch) is epoch
+
+    def test_empty_epoch_allowed(self):
+        assert as_epoch(()) == ()
+
+    def test_non_events_rejected(self):
+        with pytest.raises(TypeError):
+            as_epoch("failure")
+        with pytest.raises(TypeError):
+            as_epoch((ComputerFailure(0), "reopen"))
+
+    def test_event_kinds_are_stable_labels(self):
+        assert event_kind(ComputerFailure(0)) == "computer_failure"
+        assert event_kind(UserArrival((1.0,))) == "user_arrival"
+        assert event_kind(SetDemand((1.0,))) == "set_demand"
+        assert event_kind(PhiDrift(factor=1.1)) == "phi_drift"

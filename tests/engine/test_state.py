@@ -1,0 +1,132 @@
+"""FleetState: event application and derived systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import CapacityExhausted
+from repro.engine.events import (
+    CapacityChange,
+    ComputerFailure,
+    ComputerReopen,
+    PhiDrift,
+    SetDemand,
+    SetUtilization,
+    UserArrival,
+    UserDeparture,
+)
+from repro.engine.state import FleetState
+from repro.workloads import paper_table1_system
+
+
+@pytest.fixture()
+def state() -> FleetState:
+    return FleetState(paper_table1_system(utilization=0.6, n_users=4))
+
+
+class TestPopulationChurn:
+    def test_arrival_appends_users_with_auto_names(self, state):
+        state.apply(UserArrival((5.0, 3.0)))
+        assert state.n_users == 6
+        assert state.user_names[-2:] == ("user-4", "user-5")
+        assert state.user_rates[-2:] == pytest.approx([5.0, 3.0])
+
+    def test_arrival_rejects_name_clash(self, state):
+        with pytest.raises(ValueError, match="already present"):
+            state.apply(UserArrival((1.0,), names=("user-0",)))
+
+    def test_departure_by_name(self, state):
+        state.apply(UserDeparture(names=("user-1", "user-3")))
+        assert state.user_names == ("user-0", "user-2")
+
+    def test_departure_of_missing_user_rejected(self, state):
+        with pytest.raises(ValueError, match="not present"):
+            state.apply(UserDeparture(names=("ghost",)))
+
+    def test_departure_by_count_removes_most_recent(self, state):
+        state.apply(UserArrival((5.0,), names=("late",)))
+        state.apply(UserDeparture(count=2))
+        assert state.user_names == ("user-0", "user-1", "user-2")
+
+    def test_departure_count_clamps_to_population(self, state):
+        state.apply(UserDeparture(count=99))
+        assert state.n_users == 0
+
+    def test_auto_names_do_not_recycle_after_departure(self, state):
+        state.apply(UserDeparture(count=4))
+        state.apply(UserArrival((1.0,)))
+        assert state.user_names == ("user-4",)
+
+    def test_drift_scales_rates(self, state):
+        before = state.user_rates.copy()
+        state.apply(PhiDrift(factor=1.5, per_user=(("user-0", 2.0),)))
+        assert state.user_rates[0] == pytest.approx(before[0] * 3.0)
+        assert state.user_rates[1:] == pytest.approx(before[1:] * 1.5)
+
+    def test_set_demand_replaces_population(self, state):
+        state.apply(SetDemand((10.0, 20.0), names=("a", "b")))
+        assert state.user_names == ("a", "b")
+        assert state.total_demand == pytest.approx(30.0)
+
+
+class TestFleetChurn:
+    def test_failure_and_reopen_are_idempotent(self, state):
+        state.apply(ComputerFailure(15))
+        state.apply(ComputerFailure(15))
+        assert state.n_online == 15
+        state.apply(ComputerReopen(15))
+        state.apply(ComputerReopen(15))
+        assert state.n_online == 16
+
+    def test_capacity_change_updates_rate(self, state):
+        state.apply(CapacityChange(0, 150.0))
+        assert state.service_rates[0] == pytest.approx(150.0)
+
+    def test_out_of_fleet_index_rejected(self, state):
+        with pytest.raises(ValueError, match="nominal fleet"):
+            state.apply(ComputerFailure(16))
+
+    def test_set_utilization_targets_nominal_capacity(self, state):
+        state.apply(ComputerFailure(15))
+        state.apply(SetUtilization(0.5))
+        # Nominal capacity (510) includes the offline computer.
+        assert state.total_demand == pytest.approx(0.5 * 510.0)
+        assert state.online_capacity == pytest.approx(500.0)
+
+
+class TestDerivedSystems:
+    def test_effective_system_masks_offline(self, state):
+        state.apply(ComputerFailure(15))
+        effective = state.effective_system()
+        assert effective.n_computers == 15
+        assert "computer-15" not in effective.computer_names
+
+    def test_effective_system_raises_typed_error_when_overloaded(self, state):
+        state.apply(SetUtilization(0.9))
+        for computer in range(8):
+            state.apply(ComputerFailure(computer))
+        with pytest.raises(CapacityExhausted) as excinfo:
+            state.effective_system()
+        assert excinfo.value.offline == tuple(range(8))
+
+    def test_all_down_window_is_capacity_exhausted(self, state):
+        for computer in range(16):
+            state.apply(ComputerFailure(computer))
+        with pytest.raises(CapacityExhausted):
+            state.effective_system()
+
+    def test_zero_users_has_no_game(self, state):
+        state.apply(UserDeparture(count=4))
+        with pytest.raises(ValueError, match="no users"):
+            state.effective_system()
+
+    def test_full_system_keeps_nominal_width(self, state):
+        state.apply(ComputerFailure(15))
+        assert state.full_system().n_computers == 16
+
+    def test_effective_matches_source_system_when_unchanged(self, state):
+        base = paper_table1_system(utilization=0.6, n_users=4)
+        effective = state.effective_system()
+        assert np.array_equal(effective.service_rates, base.service_rates)
+        assert np.array_equal(effective.arrival_rates, base.arrival_rates)

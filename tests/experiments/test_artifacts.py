@@ -208,6 +208,7 @@ class TestRunner:
             "ext7",
             "ext8",
             "ext9",
+            "ext10",
             "abl5",
             "abl1",
             "abl2",

@@ -58,6 +58,27 @@ class TestFastExamples:
         assert "fails fast" in out
         assert "rebalancing around the outage" in out
 
+    def test_online_service_demo(self, capsys):
+        load_example("online_service_demo").main([])
+        out = capsys.readouterr().out
+        assert "a day in production" in out
+        assert "every epoch certified:   True" in out
+        assert "CapacityExhausted" in out
+        assert "holds the last good profile" in out
+        assert "after reopen: status=ok" in out
+
+    def test_online_service_demo_trace(self, capsys, tmp_path):
+        trace = tmp_path / "day.trace.jsonl"
+        load_example("online_service_demo").main(["--trace", str(trace)])
+        capsys.readouterr()
+        assert trace.exists()
+        from repro.telemetry.cli import main as trace_main
+
+        assert trace_main(["engine", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "degraded-mode windows" in out
+        assert "all certified" in out
+
     def test_all_examples_importable(self):
         """Every example file at least parses and imports."""
         for path in sorted(EXAMPLES_DIR.glob("*.py")):
@@ -81,4 +102,5 @@ class TestFastExamples:
             "closed_loop_deployment",
             "robustness_study",
             "crash_recovery_demo",
+            "online_service_demo",
         }

@@ -6,12 +6,26 @@ import numpy as np
 import pytest
 
 from repro.core.dynamics import run_dynamic_balancing
+from repro.engine.events import (
+    ComputerFailure,
+    ComputerReopen,
+    PhiDrift,
+    SetUtilization,
+    UserArrival,
+    UserDeparture,
+)
 from repro.workloads.configs import paper_table1_system
 from repro.workloads.traces import (
+    day_in_production_trace,
     diurnal_utilizations,
+    failure_reopen_churn_trace,
+    flash_crowd_churn_trace,
     flash_crowd_utilizations,
+    merge_churn_traces,
+    phi_drift_churn_trace,
     random_walk_utilizations,
     systems_from_utilizations,
+    utilization_churn_trace,
 )
 
 
@@ -111,3 +125,121 @@ class TestMaterialization:
         times = outcome.user_time_trajectory.mean(axis=1)
         # The flash crowd epochs are visibly slower.
         assert times[1] > 2.0 * times[0]
+
+
+class TestChurnTraceGenerators:
+    def test_utilization_trace_wraps_each_epoch(self):
+        trace = utilization_churn_trace([0.3, 0.7])
+        assert trace == [(SetUtilization(0.3),), (SetUtilization(0.7),)]
+
+    def test_utilization_trace_rejects_out_of_band(self):
+        with pytest.raises(ValueError):
+            utilization_churn_trace([0.5, 1.0])
+
+    def test_phi_drift_is_seeded_and_positive(self):
+        a = phi_drift_churn_trace(30, seed=5)
+        b = phi_drift_churn_trace(30, seed=5)
+        assert a == b
+        assert len(a) == 30
+        assert all(
+            len(epoch) == 1 and epoch[0].factor > 0.0 for epoch in a
+        )
+
+    def test_phi_drift_cumulative_level_is_bounded(self):
+        # OU on the log keeps the cumulative drift near 1 — it must not
+        # walk the demand out of the stable region on its own.
+        trace = phi_drift_churn_trace(500, volatility=0.03, seed=2)
+        level = 1.0
+        levels = []
+        for (event,) in trace:
+            level *= event.factor
+            levels.append(level)
+        assert 0.5 < min(levels) and max(levels) < 2.0
+
+    def test_phi_drift_validation(self):
+        with pytest.raises(ValueError):
+            phi_drift_churn_trace(0)
+        with pytest.raises(ValueError):
+            phi_drift_churn_trace(5, volatility=-0.1)
+
+    def test_failure_reopen_windows(self):
+        trace = failure_reopen_churn_trace(6, [(3, 1, 4), (0, 2, None)])
+        assert trace[1] == (ComputerFailure(3),)
+        assert trace[2] == (ComputerFailure(0),)
+        assert trace[4] == (ComputerReopen(3),)
+        assert trace[0] == () and trace[5] == ()
+
+    def test_failure_reopen_validation(self):
+        with pytest.raises(ValueError, match="inside the trace"):
+            failure_reopen_churn_trace(4, [(0, 9, None)])
+        with pytest.raises(ValueError, match="after fail_epoch"):
+            failure_reopen_churn_trace(4, [(0, 2, 2)])
+
+    def test_flash_crowd_arrives_and_departs(self):
+        trace = flash_crowd_churn_trace(
+            9, arrival_rates=(5.0, 3.0), start=2, duration=4
+        )
+        assert trace[2] == (
+            UserArrival((5.0, 3.0), ("flash-0", "flash-1")),
+        )
+        assert trace[6] == (UserDeparture(names=("flash-0", "flash-1")),)
+        assert sum(len(epoch) for epoch in trace) == 2
+
+    def test_flash_crowd_past_end_never_departs(self):
+        trace = flash_crowd_churn_trace(
+            5, arrival_rates=(1.0,), start=3, duration=10
+        )
+        kinds = [type(e) for epoch in trace for e in epoch]
+        assert kinds == [UserArrival]
+
+    def test_merge_overlays_and_pads(self):
+        a = [(ComputerFailure(0),), ()]
+        b = [(PhiDrift(factor=1.1),), (ComputerReopen(0),), (PhiDrift(factor=0.9),)]
+        merged = merge_churn_traces(a, b)
+        assert merged == [
+            (ComputerFailure(0), PhiDrift(factor=1.1)),
+            (ComputerReopen(0),),
+            (PhiDrift(factor=0.9),),
+        ]
+        assert merge_churn_traces() == []
+
+
+class TestDayInProduction:
+    def test_composition_and_determinism(self):
+        a = day_in_production_trace(60, seed=4)
+        b = day_in_production_trace(60, seed=4)
+        assert a == b
+        assert len(a) == 60
+        # Every epoch leads with the diurnal utilization then the drift.
+        for epoch in a:
+            assert isinstance(epoch[0], SetUtilization)
+            assert isinstance(epoch[1], PhiDrift)
+
+    def test_default_failure_window_and_flash_crowd(self):
+        trace = day_in_production_trace(60)
+        kinds = [
+            type(event) for epoch in trace for event in epoch
+        ]
+        assert kinds.count(ComputerFailure) == 1
+        assert kinds.count(ComputerReopen) == 1
+        assert kinds.count(UserArrival) == 1
+        assert kinds.count(UserDeparture) == 1
+        failure = next(
+            e for epoch in trace for e in epoch
+            if isinstance(e, ComputerFailure)
+        )
+        assert failure.computer == 15  # the slowest: peak stays feasible
+
+    def test_failure_precedes_reopen(self):
+        trace = day_in_production_trace(40)
+        order = [
+            type(e) for epoch in trace for e in epoch
+            if isinstance(e, (ComputerFailure, ComputerReopen))
+        ]
+        assert order == [ComputerFailure, ComputerReopen]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            day_in_production_trace(0)
+        with pytest.raises(ValueError):
+            day_in_production_trace(10, period=0)
