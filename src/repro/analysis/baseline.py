@@ -1,0 +1,123 @@
+"""Baseline files: adopt new rules without stopping the world.
+
+A baseline records the *currently accepted* findings so a newly enabled
+rule can gate regressions immediately while the backlog is burned down.
+Each finding is fingerprinted by ``(rule, path, stripped source line)``
+— deliberately *not* by line number, so unrelated edits above a finding
+do not un-baseline it — with a per-fingerprint count, so duplicating an
+accepted violation still fails the gate (the ruff/ESLint convention).
+
+Workflow::
+
+    repro-lint src --write-baseline .reprolint-baseline.json  # adopt
+    repro-lint src --baseline .reprolint-baseline.json        # gate
+
+The acceptance bar for this repo is an *empty* baseline — the file
+exists for downstream forks and for staging future rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis.finding import Finding
+
+__all__ = [
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+def _default_line_loader(path: str) -> tuple[str, ...]:
+    try:
+        return tuple(Path(path).read_text(encoding="utf-8").splitlines())
+    except OSError:
+        return ()
+
+
+def fingerprint(
+    finding: Finding,
+    line_loader: Callable[[str], tuple[str, ...]] = _default_line_loader,
+) -> str:
+    """Stable identity of a finding across unrelated edits."""
+    lines = line_loader(finding.path)
+    line_text = (
+        lines[finding.line - 1].strip()
+        if 0 < finding.line <= len(lines)
+        else ""
+    )
+    normalized_path = finding.path.replace("\\", "/")
+    payload = f"{finding.rule}::{normalized_path}::{line_text}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(
+    path: str | Path,
+    findings: Sequence[Finding],
+    line_loader: Callable[[str], tuple[str, ...]] = _default_line_loader,
+) -> None:
+    """Record ``findings`` as the accepted baseline at ``path``."""
+    counts = Counter(fingerprint(f, line_loader) for f in findings)
+    payload = {
+        "tool": "repro-lint",
+        "version": _VERSION,
+        "count": len(findings),
+        "fingerprints": dict(sorted(counts.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path: str | Path) -> Counter[str]:
+    """Load a baseline file into fingerprint counts.
+
+    Raises ``ValueError`` on malformed files — a corrupt baseline must
+    fail the gate loudly, never silently accept everything.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("tool") != "repro-lint"
+        or not isinstance(payload.get("fingerprints"), dict)
+    ):
+        raise ValueError(f"{path} is not a repro-lint baseline file")
+    counts: Counter[str] = Counter()
+    for key, value in payload["fingerprints"].items():
+        counts[str(key)] = int(value)
+    return counts
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: Counter[str],
+    line_loader: Callable[[str], tuple[str, ...]] = _default_line_loader,
+) -> list[Finding]:
+    """Drop findings covered by the baseline (counts are consumed).
+
+    Findings are processed in sorted order so the behaviour is
+    deterministic when a fingerprint's count is smaller than the number
+    of matching findings: the later duplicates survive and fail the
+    gate.
+    """
+    remaining = Counter(baseline)
+    surviving: list[Finding] = []
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        key = fingerprint(finding, line_loader)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            surviving.append(finding)
+    return surviving

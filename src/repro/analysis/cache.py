@@ -1,0 +1,211 @@
+"""Content-hash incremental caching for full-repo lint runs.
+
+The cross-module rules made a lint run a whole-program analysis; this
+module keeps the *warm* cost proportional to what actually changed.
+Per file the cache stores the content hash, the serialized
+:class:`~repro.analysis.project.ModuleFacts` and the surviving
+findings; a warm run re-parses and re-checks only the invalidation
+closure of the edited files and answers from the cache for the rest —
+for a no-change run, nothing is parsed at all.
+
+Invalidation is conservative in three layers:
+
+* **content**: a file whose hash changed (or that is new) is re-checked;
+* **dependencies**: any file importing a re-checked module — directly
+  or transitively, resolved through the cached import tables — is
+  re-checked, because cross-module rules may derive its findings from
+  the changed file's summaries (definition-site facts move emit-site
+  findings);
+* **vocabulary**: a change to any file defining project-wide vocabulary
+  (enums, ``DECLARED_EVENTS``) invalidates everything — R004/R010
+  findings anywhere can depend on it.
+
+The cache is also keyed by the selected rule set and the cache-format
+version; a mismatch of either means a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import PARSE_ERROR, Finding
+from repro.analysis.project import ModuleFacts
+from repro.analysis.registry import selected_rules
+from repro.analysis.source import SourceFile
+
+__all__ = ["CACHE_VERSION", "lint_paths_cached"]
+
+CACHE_VERSION = 1
+
+
+def _content_hash(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _load_cache(cache_path: Path, rules_key: str) -> dict[str, Any]:
+    """The per-file entry table, or empty when stale/absent/corrupt."""
+    try:
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != CACHE_VERSION
+        or payload.get("rules") != rules_key
+        or not isinstance(payload.get("files"), dict)
+    ):
+        return {}
+    return payload["files"]
+
+
+def _save_cache(
+    cache_path: Path, rules_key: str, entries: dict[str, Any]
+) -> None:
+    payload = {
+        "tool": "repro-lint",
+        "version": CACHE_VERSION,
+        "rules": rules_key,
+        "files": entries,
+    }
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    cache_path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def lint_paths_cached(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    cache_path: str | Path,
+) -> list[Finding]:
+    """Discover, lint and cache; behaviorally identical to ``lint_paths``."""
+    from repro.analysis.engine import discover_files
+
+    rules = selected_rules(select, ignore)
+    rules_key = ",".join(rule.code for rule in rules)
+    cache_file = Path(cache_path)
+    entries = _load_cache(cache_file, rules_key)
+
+    files = discover_files(paths)
+    hashes = {str(path): _content_hash(path) for path in files}
+
+    # Layer 1: content.
+    changed: set[str] = {
+        path
+        for path, digest in hashes.items()
+        if path not in entries or entries[path]["hash"] != digest
+    }
+    removed = set(entries) - set(hashes)
+
+    # Facts for every file: from cache when unchanged, by parsing when
+    # not.  Unparseable files become PARSE_ERROR findings, as in the
+    # uncached path, and are never cached.
+    facts_by_path: dict[str, ModuleFacts] = {}
+    parsed: dict[str, SourceFile] = {}
+    errors: list[Finding] = []
+    unparseable: set[str] = set()
+    for path in files:
+        key = str(path)
+        if key not in changed:
+            facts_by_path[key] = ModuleFacts.from_json(entries[key]["facts"])
+            continue
+        try:
+            source = SourceFile.from_path(path)
+        except SyntaxError as exc:
+            unparseable.add(key)
+            errors.append(
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=key,
+                    line=int(exc.lineno or 1),
+                    col=int(exc.offset or 0),
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            )
+            continue
+        parsed[key] = source
+
+    context = ProjectContext()
+    for key, facts in facts_by_path.items():
+        context.add_facts(facts)
+    for key, source in parsed.items():
+        facts_by_path[key] = context.facts_for(source)
+
+    # Layer 3: vocabulary.  Checked before the dependency walk because
+    # it short-circuits to "re-check everything".
+    vocabulary_changed = False
+    for key in changed | removed:
+        if key in facts_by_path and facts_by_path[key].is_vocabulary:
+            vocabulary_changed = True
+        if key in entries and entries[key].get("vocabulary"):
+            vocabulary_changed = True
+
+    checkable = [str(path) for path in files if str(path) not in unparseable]
+    if vocabulary_changed:
+        recheck = set(checkable)
+    else:
+        # Layer 2: reverse-dependency closure over dotted module names.
+        recheck = set(changed) - unparseable
+        dirty_modules: set[str] = set()
+        for key in changed | removed:
+            if key in facts_by_path:
+                dirty_modules.add(facts_by_path[key].module)
+            if key in entries:
+                dirty_modules.add(entries[key]["facts"]["module"])
+        grew = True
+        while grew:
+            grew = False
+            for key in checkable:
+                if key in recheck:
+                    continue
+                facts = facts_by_path[key]
+                if facts.dep_modules & dirty_modules:
+                    recheck.add(key)
+                    dirty_modules.add(facts.module)
+                    grew = True
+
+    # Parse the cached-facts files that still need a rule pass.
+    for key in sorted(recheck - set(parsed)):
+        parsed[key] = SourceFile.from_path(key)
+
+    findings: list[Finding] = list(errors)
+    fresh_findings: dict[str, list[Finding]] = {}
+    for key in checkable:
+        if key not in recheck:
+            findings.extend(
+                Finding(**record) for record in entries[key]["findings"]
+            )
+            continue
+        source = parsed[key]
+        file_findings = [
+            finding
+            for rule in rules
+            for finding in rule.check(source, context)
+            if not source.is_suppressed(finding.rule, finding.line)
+        ]
+        fresh_findings[key] = sorted(
+            file_findings, key=lambda finding: finding.sort_key
+        )
+        findings.extend(file_findings)
+
+    new_entries: dict[str, Any] = {}
+    for key in checkable:
+        facts = facts_by_path[key]
+        new_entries[key] = {
+            "hash": hashes[key],
+            "vocabulary": facts.is_vocabulary,
+            "facts": (
+                facts.to_json() if key in changed else entries[key]["facts"]
+            ),
+            "findings": (
+                [finding.to_dict() for finding in fresh_findings[key]]
+                if key in fresh_findings
+                else entries[key]["findings"]
+            ),
+        }
+    _save_cache(cache_file, rules_key, new_entries)
+    return sorted(findings, key=lambda finding: finding.sort_key)

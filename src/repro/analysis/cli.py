@@ -1,18 +1,20 @@
 """The ``repro-lint`` command-line interface.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
-errors (unknown rule codes, missing paths).
+errors (unknown rule codes, missing paths, unreadable baseline).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
 from repro.analysis.engine import lint_paths
 from repro.analysis.registry import all_rules
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 __all__ = ["main"]
 
@@ -22,9 +24,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "Project-specific static analysis enforcing the model's "
-            "invariants (seeded RNG, tolerance-based float comparison, "
-            "audited M/M/1 formulas, exhaustive message handling, "
-            "sim-clock discipline)."
+            "invariants — per-file rules (seeded RNG, tolerance-based "
+            "float comparison, audited M/M/1 formulas, exhaustive "
+            "message handling, sim-clock discipline) and cross-module "
+            "dataflow rules (pool purity, RNG provenance, kernel "
+            "aliasing, typed-error flow, telemetry vocabulary)."
         ),
     )
     parser.add_argument(
@@ -35,9 +39,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
@@ -48,6 +57,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ignore",
         metavar="CODES",
         help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the accepted baseline and "
+        "exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="incremental cache file: warm runs re-check only the "
+        "invalidation closure of changed files",
     )
     parser.add_argument(
         "--list-rules",
@@ -63,27 +89,74 @@ def _split_codes(raw: str | None) -> list[str] | None:
     return [code.strip() for code in raw.split(",") if code.strip()]
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _validate_codes(
+    parser: argparse.ArgumentParser, flag: str, codes: list[str] | None
+) -> None:
+    """Hard argparse error for unknown rule codes (typos must not pass)."""
+    if codes is None:
+        return
+    known = {rule.code for rule in all_rules()}
+    unknown = sorted(set(codes) - known)
+    if unknown:
+        parser.error(
+            f"unknown rule code{'s' if len(unknown) != 1 else ''} in "
+            f"{flag}: {', '.join(unknown)} (known rules: "
+            f"{', '.join(sorted(known))})"
+        )
 
-    if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.code}  {rule.name}: {rule.rationale}")
-        return 0
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+
+        if args.list_rules:
+            for rule in all_rules():
+                print(f"{rule.code}  {rule.name}: {rule.rationale}")
+            return 0
+
+        select = _split_codes(args.select)
+        ignore = _split_codes(args.ignore)
+        _validate_codes(parser, "--select", select)
+        _validate_codes(parser, "--ignore", ignore)
+    except SystemExit as exc:
+        # argparse hard errors (usage, unknown rule codes) exit(2); keep
+        # main() returning an int so embedding callers see the status.
+        code = exc.code
+        return code if isinstance(code, int) else 2
 
     try:
         findings = lint_paths(
-            args.paths,
-            select=_split_codes(args.select),
-            ignore=_split_codes(args.ignore),
+            args.paths, select=select, ignore=ignore, cache_path=args.cache
         )
-    except KeyError as exc:
-        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
-        return 2
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(findings))
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        plural = "s" if len(findings) != 1 else ""
+        print(
+            f"repro-lint: baseline with {len(findings)} finding{plural} "
+            f"written to {args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.format]
+    report = renderer(findings)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
     return 1 if findings else 0

@@ -1,16 +1,23 @@
 """Cross-file facts shared by all rules in one lint run.
 
 The engine parses every file before any rule runs and lets the context
-collect project-level facts.  Today that is the member list of every
-``Enum`` class defined anywhere in the run — R004 needs the
-:class:`~repro.distributed.messages.MessageKind` vocabulary to check
-handler exhaustiveness even when the handler lives in a different file
-than the enum.
+collect project-level facts.  PR 2's context collected one kind of
+fact — the member list of every ``Enum`` defined anywhere in the run,
+for R004's exhaustiveness check.  It now collects full
+:class:`~repro.analysis.project.ModuleFacts` per file (imports, defs,
+function summaries, telemetry vocabulary) and exposes them through a
+lazily built :class:`~repro.analysis.project.ProjectModel`, the
+symbol-resolution + call-graph layer that the cross-module rules
+(R006–R010) query.
 
 When a run does not include the defining file (e.g. linting
 ``node.py`` alone), :meth:`ProjectContext.enum_members` falls back to
 parsing a ``messages.py`` sibling of the requesting file, so partial
 runs stay exhaustive for the protocol package.
+
+The incremental cache (:mod:`repro.analysis.cache`) bypasses parsing
+for unchanged files by injecting previously serialized facts with
+:meth:`ProjectContext.add_facts`.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from __future__ import annotations
 import ast
 from pathlib import Path
 
+from repro.analysis.project import ModuleFacts, ProjectModel, collect_facts
 from repro.analysis.source import SourceFile
 
 __all__ = ["ProjectContext"]
@@ -48,12 +56,37 @@ class ProjectContext:
     """Facts collected across every file of one lint run."""
 
     def __init__(self) -> None:
-        self._enums: dict[str, tuple[str, ...]] = {}
+        self._facts: dict[str, ModuleFacts] = {}
         self._sibling_cache: dict[str, dict[str, tuple[str, ...]]] = {}
+        self._model: ProjectModel | None = None
 
     def collect(self, source: SourceFile) -> None:
-        """First-pass visit: record every enum class defined in ``source``."""
-        self._enums.update(self._enums_in(source.tree))
+        """First-pass visit: extract all cross-file facts from ``source``."""
+        self.add_facts(collect_facts(source))
+
+    def add_facts(self, facts: ModuleFacts) -> None:
+        """Register pre-extracted facts (the incremental-cache path)."""
+        self._facts[facts.path] = facts
+        self._model = None
+
+    @property
+    def model(self) -> ProjectModel:
+        """The composed project model (built lazily, after collection)."""
+        if self._model is None:
+            self._model = ProjectModel(self._facts)
+        return self._model
+
+    def facts_for(self, source: SourceFile) -> ModuleFacts:
+        """The facts extracted from ``source`` (collecting on demand)."""
+        facts = self._facts.get(source.path)
+        if facts is None:
+            self.collect(source)
+            facts = self._facts[source.path]
+        return facts
+
+    @property
+    def all_facts(self) -> dict[str, ModuleFacts]:
+        return dict(self._facts)
 
     @staticmethod
     def _enums_in(tree: ast.Module) -> dict[str, tuple[str, ...]]:
@@ -73,9 +106,12 @@ class ProjectContext:
         ``near`` enables the ``messages.py`` sibling fallback for runs
         that did not include the enum's defining file.
         """
-        members = self._enums.get(name)
-        if members is not None or near is None:
-            return members
+        for facts in self._facts.values():
+            members = facts.enums.get(name)
+            if members is not None:
+                return members
+        if near is None:
+            return None
         sibling = Path(near.path).parent / "messages.py"
         key = str(sibling)
         if key not in self._sibling_cache:

@@ -82,12 +82,24 @@ def lint_paths(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    cache_path: str | Path | None = None,
 ) -> list[Finding]:
     """Discover, parse and lint ``paths`` (files and/or directories).
 
     Unparseable files are reported as :data:`PARSE_ERROR` findings —
     a broken file must fail the gate, not silently skip every rule.
+
+    With ``cache_path``, the run goes through the content-hash
+    incremental cache (:mod:`repro.analysis.cache`): unchanged files
+    outside the invalidation closure answer from cached facts and
+    findings without being re-parsed.
     """
+    if cache_path is not None:
+        from repro.analysis.cache import lint_paths_cached
+
+        return lint_paths_cached(
+            paths, select=select, ignore=ignore, cache_path=cache_path
+        )
     sources: list[SourceFile] = []
     errors: list[Finding] = []
     for path in discover_files(paths):

@@ -1,14 +1,14 @@
-"""Render lint findings for humans (text) and tooling (JSON)."""
+"""Render lint findings for humans (text) and tooling (JSON, SARIF)."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Sequence
+from typing import Any, Sequence
 
-from repro.analysis.finding import Finding
+from repro.analysis.finding import PARSE_ERROR, Finding
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -34,3 +34,78 @@ def render_json(findings: Sequence[Finding]) -> str:
         "findings": [finding.to_dict() for finding in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 report for GitHub code-scanning annotations.
+
+    Columns are converted from the engine's 0-based convention to
+    SARIF's 1-based one; paths are emitted as repo-relative URIs under
+    ``%SRCROOT%`` so annotations land on the right lines in pull
+    requests.
+    """
+    from repro.analysis.registry import all_rules
+
+    rule_metadata: list[dict[str, Any]] = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in all_rules()
+    ]
+    if any(finding.rule == PARSE_ERROR for finding in findings):
+        rule_metadata.append(
+            {
+                "id": PARSE_ERROR,
+                "name": "parse-error",
+                "shortDescription": {"text": "parse-error"},
+                "fullDescription": {
+                    "text": "the file could not be parsed as Python"
+                },
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    rule_index = {meta["id"]: i for i, meta in enumerate(rule_metadata)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": "2.0.0",
+                        "rules": rule_metadata,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -6,6 +6,11 @@ from repro.analysis.rules import (  # noqa: F401
     r003_mm1,
     r004_messages,
     r005_simtime,
+    r006_pool_purity,
+    r007_rng_taint,
+    r008_kernel_aliasing,
+    r009_swallowed_errors,
+    r010_telemetry,
 )
 
 __all__ = [
@@ -14,4 +19,9 @@ __all__ = [
     "r003_mm1",
     "r004_messages",
     "r005_simtime",
+    "r006_pool_purity",
+    "r007_rng_taint",
+    "r008_kernel_aliasing",
+    "r009_swallowed_errors",
+    "r010_telemetry",
 ]

@@ -1,0 +1,153 @@
+"""Shared detection of process-pool submission sites.
+
+R006 (pool purity) and R007 (RNG taint across worker boundaries) both
+need to know where a callable crosses a process boundary.  The repo has
+two idioms: the harness's :func:`repro.experiments.parallel.parallel_map`
+and raw ``concurrent.futures.ProcessPoolExecutor`` use (``.submit`` /
+``.map`` on a bound executor).  This helper finds both and resolves the
+submitted callable back to its defining summary via the project model.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.project import (
+    FunctionSummary,
+    ModuleFacts,
+    ProjectModel,
+    _dotted_parts,
+    _resolve_external,
+)
+from repro.analysis.source import SourceFile
+
+__all__ = ["SubmissionSite", "enclosing_summary", "submission_sites"]
+
+_EXECUTOR_TYPES = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+    }
+)
+
+_PARTIAL = frozenset({"functools.partial"})
+
+
+@dataclass(frozen=True)
+class SubmissionSite:
+    """One callable crossing a pool boundary."""
+
+    call: ast.Call
+    #: The submitted callable expression (``partial`` unwrapped).
+    callable_expr: ast.expr
+    #: ``"parallel_map"``, ``"submit"`` or ``"map"``.
+    via: str
+
+
+def enclosing_summary(
+    facts: ModuleFacts, lineno: int
+) -> FunctionSummary | None:
+    """The innermost function summary containing ``lineno``, if any."""
+    best: FunctionSummary | None = None
+    for summary in facts.summaries:
+        if summary.lineno <= lineno <= summary.end_lineno and (
+            best is None or summary.lineno > best.lineno
+        ):
+            best = summary
+    return best
+
+
+def _executor_names(tree: ast.Module, facts: ModuleFacts) -> set[str]:
+    """Names bound (anywhere in the file) to a ProcessPoolExecutor."""
+    names: set[str] = set()
+
+    def constructs_executor(value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        dotted = _dotted_parts(value.func)
+        if dotted is None:
+            return False
+        return _resolve_external(dotted, facts.imports) in _EXECUTOR_TYPES
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and constructs_executor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if constructs_executor(item.context_expr) and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    names.add(item.optional_vars.id)
+    return names
+
+
+def _unwrap_partial(expr: ast.expr, facts: ModuleFacts) -> ast.expr:
+    if isinstance(expr, ast.Call):
+        dotted = _dotted_parts(expr.func)
+        if dotted is not None:
+            resolved = _resolve_external(dotted, facts.imports)
+            if resolved in _PARTIAL and expr.args:
+                return _unwrap_partial(expr.args[0], facts)
+    return expr
+
+
+def submission_sites(
+    source: SourceFile, facts: ModuleFacts
+) -> Iterator[SubmissionSite]:
+    """Yield every pool-submission call in ``source``."""
+    executors = _executor_names(source.tree, facts)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        dotted = _dotted_parts(func)
+        resolved = (
+            _resolve_external(dotted, facts.imports) if dotted else None
+        )
+        if (
+            resolved is not None and resolved.endswith(".parallel_map")
+        ) or (isinstance(func, ast.Name) and func.id == "parallel_map"):
+            yield SubmissionSite(
+                call=node,
+                callable_expr=_unwrap_partial(node.args[0], facts),
+                via="parallel_map",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in {"submit", "map"}
+            and isinstance(func.value, ast.Name)
+            and func.value.id in executors
+        ):
+            yield SubmissionSite(
+                call=node,
+                callable_expr=_unwrap_partial(node.args[0], facts),
+                via=func.attr,
+            )
+
+
+def resolve_submitted(
+    model: ProjectModel,
+    facts: ModuleFacts,
+    site: SubmissionSite,
+) -> tuple[str | None, FunctionSummary | None]:
+    """Resolve a submitted callable to its defining summary.
+
+    Returns ``(key, summary)``; both ``None`` when the callable cannot
+    be resolved statically (e.g. it is itself a parameter).  A lambda
+    expression resolves to ``("<lambda>", None)``.
+    """
+    expr = site.callable_expr
+    if isinstance(expr, ast.Lambda):
+        return "<lambda>", None
+    parts = _dotted_parts(expr)
+    if parts is None:
+        return None, None
+    scope = enclosing_summary(facts, site.call.lineno)
+    key = model.resolve_callable(facts.module, parts, scope=scope)
+    if key is None:
+        return None, None
+    return key, model.function(key)

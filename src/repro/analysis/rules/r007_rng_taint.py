@@ -1,0 +1,82 @@
+"""R007 — RNG provenance: every stochastic call draws from an explicit seed.
+
+R001 bans *unseeded* construction; this rule closes the remaining gap:
+a generator that was seeded once at import time (an *ambient*
+module-level ``default_rng(seed)``) still breaks replayability, because
+draw order then depends on which code paths ran before yours — and it
+breaks it catastrophically across process-pool boundaries, where every
+worker forks the same generator state and produces *identical* "random"
+streams.
+
+A stochastic call is compliant when its generator is **derived**: it
+arrived as an explicit function parameter, or was constructed locally
+from an explicit seed (``default_rng(seed)``, ``Generator(PCG64(seq))``,
+``.spawn()`` of a derived generator, or the audited
+``repro.simengine.rng`` helpers).  The rule flags:
+
+* any stochastic method call whose receiver resolves to a module-level
+  generator (direct ambient use), and
+* any callable submitted to a pool whose call graph transitively draws
+  from an ambient generator (the fork-shared-stream hazard).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._pools import resolve_submitted, submission_sites
+from repro.analysis.source import SourceFile
+
+__all__ = ["RngTaint"]
+
+
+@register
+class RngTaint(Rule):
+    code = "R007"
+    name = "rng-taint"
+    rationale = (
+        "a Generator must flow from an explicit parameter or a local "
+        "default_rng(seed) into every stochastic call — ambient "
+        "module-level generators destroy replayability and fork "
+        "identical streams into pool workers"
+    )
+
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if source.is_test_file:
+            return
+        facts = context.facts_for(source)
+        model = context.model
+        # Direct ambient draws inside this file's functions.
+        for summary in facts.summaries:
+            for use in summary.ambient_rng:
+                yield self.finding(
+                    source,
+                    use.lineno,
+                    use.col,
+                    f"stochastic call on ambient module-level generator "
+                    f"{use.generator!r} in {summary.name}(): accept a "
+                    "numpy.random.Generator parameter (or construct "
+                    "default_rng(seed) locally) so the stream is a "
+                    "function of the caller's seed",
+                )
+        # Ambient streams crossing a worker boundary.
+        for site in submission_sites(source, facts):
+            key, summary = resolve_submitted(model, facts, site)
+            if summary is None or key is None:
+                continue
+            for generator in sorted(model.transitive(key).ambient_rng):
+                yield self.finding(
+                    source,
+                    site.call.lineno,
+                    site.call.col_offset,
+                    f"{summary.name}() submitted to {site.via}() draws "
+                    f"from ambient generator {generator!r} in its call "
+                    "graph: forked workers replay identical streams — "
+                    "pass a per-item seed or spawned SeedSequence "
+                    "through the work items instead",
+                )

@@ -1,0 +1,73 @@
+"""R008 — kernel aliasing: core kernels do not mutate caller arrays.
+
+The vectorized water-fill / Lindley kernels are composed freely by the
+solver, the batch simulator, and the continuation layer; that
+composition is only sound if a kernel call never mutates its argument
+arrays.  An ``out=`` that targets a parameter, a ``+=`` on a parameter
+alias, or a write through a view of a parameter silently corrupts the
+caller's state — the classic aliasing bug that e.g. makes a warm-start
+profile differ from a cold solve only when kernels are chained.
+
+The rule checks every function defined in ``repro.core`` /
+``repro.queueing`` (methods included) and flags any in-place mutation
+reaching a parameter — directly, through a local alias
+(``b = np.asarray(a)``; ``b[...] = 0``), or transitively by passing the
+parameter to another function whose summary mutates it.  Functions
+whose name ends in ``_inplace`` are exempt: the suffix *is* the
+contract, visible at every call site.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+__all__ = ["KernelAliasing"]
+
+_KERNEL_PACKAGES = ("repro.core", "repro.queueing")
+
+
+@register
+class KernelAliasing(Rule):
+    code = "R008"
+    name = "kernel-aliasing"
+    rationale = (
+        "kernels in repro.core/repro.queueing must not mutate parameter "
+        "arrays in place (out=, += on a parameter, writes through "
+        "views) unless their name ends in _inplace"
+    )
+
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if source.is_test_file:
+            return
+        facts = context.facts_for(source)
+        if not any(
+            facts.module == pkg or facts.module.startswith(pkg + ".")
+            for pkg in _KERNEL_PACKAGES
+        ):
+            return
+        model = context.model
+        for summary in facts.summaries:
+            if summary.name.endswith("_inplace"):
+                continue
+            if summary.kind in {"lambda", "nested"}:
+                continue  # helpers local to an already-checked function
+            mutated = model.transitive(summary.key).mutated_params
+            for param in sorted(mutated):
+                site = mutated[param]
+                yield self.finding(
+                    source,
+                    site.lineno,
+                    site.col,
+                    f"{summary.qualname}() mutates parameter {param!r} in "
+                    f"place ({site.reason}): copy on entry, write to a "
+                    "fresh array, or rename the kernel "
+                    f"{summary.name}_inplace to make the contract "
+                    "explicit",
+                )

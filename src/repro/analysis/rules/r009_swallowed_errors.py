@@ -1,0 +1,170 @@
+"""R009 — typed capacity/feasibility errors must not be swallowed.
+
+``CapacityExhausted`` (the surviving fleet cannot carry the offered
+load) and ``InfeasibleDemand`` (a water-fill asked to place more flow
+than capacity) are the system's *typed* distress signals: the engine's
+degraded-hold mode, the chaos tests and the SLA accounting all key off
+them.  A handler that catches one and drops it — or an
+``except Exception`` wide enough to absorb one — converts a principled
+degradation path into silent data loss.
+
+Flags
+-----
+* a handler naming ``CapacityExhausted``/``InfeasibleDemand`` whose
+  body is only ``pass``/``...``/``continue`` (caught-and-dropped);
+* an ``except Exception`` / ``except BaseException`` / bare ``except``
+  with no ``raise`` in its body, guarding a ``try`` body that (directly
+  or through its call graph) raises one of the typed errors.
+
+``except ValueError`` is deliberately *not* flagged: ``InfeasibleDemand``
+subclasses ``ValueError`` precisely so existing call sites keep
+working, and those recovery handlers are part of the design.
+
+Designated recovery points — process edges where catch-all handling is
+the job — are exempt: ``engine/service.py`` and any ``cli.py`` /
+``__main__.py`` / ``runner.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._pools import enclosing_summary
+from repro.analysis.source import SourceFile
+
+__all__ = ["SwallowedTypedErrors"]
+
+_TYPED = frozenset({"CapacityExhausted", "InfeasibleDemand"})
+_WIDE = frozenset({"Exception", "BaseException"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """Exception class names a handler catches (last dotted component)."""
+    node = handler.type
+    if node is None:
+        return {"<bare>"}
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for expr in exprs:
+        if isinstance(expr, ast.Name):
+            names.add(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.add(expr.attr)
+    return names
+
+
+def _is_drop_body(body: list[ast.stmt]) -> bool:
+    """Is the handler body pure disposal (pass / ... / continue)?"""
+    for statement in body:
+        if isinstance(statement, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or Ellipsis
+        return False
+    return True
+
+
+def _has_raise(body: list[ast.stmt]) -> bool:
+    return any(
+        isinstance(node, ast.Raise)
+        for statement in body
+        for node in ast.walk(statement)
+    )
+
+
+@register
+class SwallowedTypedErrors(Rule):
+    code = "R009"
+    name = "no-swallowed-typed-errors"
+    rationale = (
+        "CapacityExhausted/InfeasibleDemand are the system's typed "
+        "distress signals: handlers may recover from them explicitly "
+        "but must not drop them or absorb them into except Exception "
+        "outside designated recovery points"
+    )
+
+    @staticmethod
+    def _is_recovery_point(source: SourceFile) -> bool:
+        if source.filename in {"cli.py", "__main__.py", "runner.py"}:
+            return True
+        return source.filename == "service.py" and source.in_package("engine")
+
+    def _try_body_raises(
+        self, node: ast.Try, source: SourceFile, context: ProjectContext
+    ) -> set[str]:
+        """Typed errors the try body can raise, call graph included."""
+        facts = context.facts_for(source)
+        model = context.model
+        scope = enclosing_summary(facts, node.lineno)
+        raised: set[str] = set()
+        for statement in node.body:
+            for child in ast.walk(statement):
+                if isinstance(child, ast.Raise):
+                    exc = child.exc
+                    if isinstance(exc, ast.Call):
+                        exc = exc.func
+                    if isinstance(exc, ast.Name):
+                        raised.add(exc.id)
+                    elif isinstance(exc, ast.Attribute):
+                        raised.add(exc.attr)
+                elif isinstance(child, ast.Call):
+                    parts: list[str] = []
+                    func = child.func
+                    while isinstance(func, ast.Attribute):
+                        parts.append(func.attr)
+                        func = func.value
+                    if isinstance(func, ast.Name):
+                        parts.append(func.id)
+                        key = model.resolve_callable(
+                            facts.module, tuple(reversed(parts)), scope=scope
+                        )
+                        if key is not None:
+                            raised |= model.transitive(key).raises
+        return raised & _TYPED
+
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if source.is_test_file or self._is_recovery_point(source):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                names = _handler_names(handler)
+                typed_here = names & _TYPED
+                if typed_here and _is_drop_body(handler.body):
+                    caught = ", ".join(sorted(typed_here))
+                    yield self.finding(
+                        source,
+                        handler.lineno,
+                        handler.col_offset,
+                        f"{caught} caught and dropped: recover explicitly "
+                        "(degraded profile, warm-start hold) or let the "
+                        "typed signal propagate to a recovery point",
+                    )
+                    continue
+                wide = bool(names & _WIDE) or "<bare>" in names
+                if wide and not _has_raise(handler.body):
+                    escaping = self._try_body_raises(node, source, context)
+                    if escaping:
+                        caught = ", ".join(sorted(escaping))
+                        handler_label = (
+                            "bare except"
+                            if "<bare>" in names
+                            else f"except {'/'.join(sorted(names & _WIDE))}"
+                        )
+                        yield self.finding(
+                            source,
+                            handler.lineno,
+                            handler.col_offset,
+                            f"{handler_label} absorbs typed {caught} "
+                            "raised inside the try body: catch the typed "
+                            "error explicitly or re-raise after cleanup",
+                        )

@@ -1,0 +1,85 @@
+"""R010 — telemetry discipline: every emitted event kind is declared.
+
+PR 4/6 built an observability contract: traces are analyzed by the
+``repro-trace`` views (summary / convergence / protocol / engine /
+sweep rollups), and those views dispatch on event *names*.  An event
+emitted under an undeclared name is invisible to every view — the
+contract rots silently, one ``tracer.emit("new.thing", ...)`` at a
+time.
+
+:mod:`repro.telemetry.events` now carries the vocabulary:
+``DECLARED_EVENTS`` maps every event kind to the ``repro-trace`` view
+that covers it.  This rule flags any ``*.emit("name", ...)`` call —
+anywhere in the run — whose string-literal event name is missing from
+the vocabulary, and any declared name with an empty covering view.
+(A runtime test asserts the declared views are real ``repro-trace``
+subcommands, closing the loop.)
+
+Only calls whose first argument is a string literal are checked:
+``sink.emit(event)`` forwards an already-validated
+:class:`~repro.telemetry.events.TraceEvent` and is not an emission
+site.  Runs that do not include a ``DECLARED_EVENTS`` definition (e.g.
+linting a single unrelated file) skip the check rather than flag
+everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+__all__ = ["TelemetryDiscipline"]
+
+
+@register
+class TelemetryDiscipline(Rule):
+    code = "R010"
+    name = "telemetry-discipline"
+    rationale = (
+        "every Tracer event kind emitted anywhere must be declared in "
+        "telemetry.events (DECLARED_EVENTS) and covered by a "
+        "repro-trace view, or it is invisible to all trace analysis"
+    )
+
+    def check(
+        self, source: SourceFile, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if source.is_test_file:
+            return
+        declared = context.model.declared_events()
+        if declared is None:
+            return  # vocabulary not in this run: partial lint, stay quiet
+        vocabulary, vocabulary_path = declared
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            name = node.args[0].value
+            if name not in vocabulary:
+                yield self.finding(
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    f"event kind {name!r} is emitted but not declared in "
+                    f"DECLARED_EVENTS ({vocabulary_path}): declare it and "
+                    "map it to the repro-trace view that covers it",
+                )
+            elif not vocabulary[name]:
+                yield self.finding(
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    f"event kind {name!r} is declared but mapped to no "
+                    "repro-trace view: assign the view that surfaces it",
+                )

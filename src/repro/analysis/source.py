@@ -97,3 +97,16 @@ class SourceFile:
     @property
     def filename(self) -> str:
         return self.parts[-1] if self.parts else self.path
+
+    @property
+    def is_test_file(self) -> bool:
+        """Is this a pytest file (``test_*.py`` / ``conftest.py``)?
+
+        The cross-module rules (R006–R010) police *shipped* code: tests
+        deliberately construct violations (seeded lambdas, synthetic
+        trace events), so system-invariant rules skip them.
+        """
+        return (
+            self.filename.startswith("test_")
+            or self.filename == "conftest.py"
+        )

@@ -79,7 +79,7 @@ def initial_profile(
     raise ValueError(f"unknown initialization {init!r}")
 
 
-def _fused_best_reply(
+def _fused_best_reply_inplace(
     mu: np.ndarray,
     job_rate: float,
     own: np.ndarray,
@@ -306,7 +306,7 @@ class NashSolver:
                 )
                 norm = 0.0
                 for j in schedule:
-                    d_j = _fused_best_reply(
+                    d_j = _fused_best_reply_inplace(
                         mu, float(phi[j]), flows[j], lam, avail, thr
                     )
                     delta = abs(d_j - last_times[j])

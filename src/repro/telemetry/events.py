@@ -22,10 +22,44 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["RESERVED_KEYS", "TraceEvent", "jsonable"]
+__all__ = ["DECLARED_EVENTS", "RESERVED_KEYS", "TraceEvent", "jsonable"]
 
 #: Top-level JSONL keys that belong to the envelope, not the payload.
 RESERVED_KEYS: frozenset[str] = frozenset({"seq", "event"})
+
+#: The trace vocabulary: every event kind any instrumented layer may
+#: emit, mapped to the ``repro-trace`` view that surfaces it.  This is
+#: the observability contract repro-lint's R010 enforces — an event
+#: emitted under a name missing from this mapping is invisible to all
+#: trace analysis, so adding an emit site requires declaring the kind
+#: here (and teaching the covering view about it).
+DECLARED_EVENTS: dict[str, str] = {
+    # online equilibrium engine (docs/OPERATIONS.md)
+    "engine.start": "engine",
+    "engine.event": "engine",
+    "engine.epoch": "engine",
+    # distributed NASH protocol drivers (faults/chaos/node)
+    "protocol.start": "protocol",
+    "protocol.sweep": "protocol",
+    "protocol.deliver": "protocol",
+    "protocol.retransmit": "protocol",
+    "protocol.suspect": "protocol",
+    "protocol.checkpoint": "protocol",
+    "protocol.restore": "protocol",
+    "protocol.fault": "protocol",
+    "protocol.reopen": "protocol",
+    "protocol.done": "protocol",
+    # NashSolver.solve instrumentation
+    "solver.start": "summary",
+    "solver.sweep": "convergence",
+    "solver.done": "summary",
+    # simulation engine
+    "sim.run": "summary",
+    "sim.outage": "summary",
+    # sweep evaluator and metrics flushes
+    "sweep.point": "summary",
+    "telemetry.metrics": "summary",
+}
 
 
 def jsonable(value: Any) -> Any:

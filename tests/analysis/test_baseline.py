@@ -1,0 +1,183 @@
+"""Baselines and suppressions interacting with cross-file rules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import lint_paths, lint_sources
+from repro.analysis.source import SourceFile
+
+GEN_DEF = (
+    "import numpy as np\n"
+    "GEN = np.random.default_rng(7)\n"
+    "def draw(n):\n"
+    "    return GEN.uniform(size=n)\n"
+)
+SUBMITTER = (
+    "from repro.experiments.parallel import parallel_map\n"
+    "from repro.workloads.gen import draw\n"
+    "def run(sizes):\n"
+    "    return parallel_map(draw, sizes)\n"
+)
+
+
+def _tree(tmp_path, files):
+    for relative, text in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# Suppression placement for cross-file rules
+# ----------------------------------------------------------------------
+
+
+def test_suppression_at_emit_site_silences_cross_file_finding(lint):
+    # R007's boundary finding is *emitted* in the submitting file even
+    # though the ambient generator is *defined* elsewhere; the
+    # suppression belongs at the emit site.
+    suppressed_submitter = SUBMITTER.replace(
+        "    return parallel_map(draw, sizes)\n",
+        "    # reprolint: allow=R007 legacy-sweep, replay not needed\n"
+        "    return parallel_map(draw, sizes)\n",
+    )
+    findings = lint(
+        {
+            "src/repro/workloads/gen.py": GEN_DEF,
+            "src/repro/experiments/sweep.py": suppressed_submitter,
+        },
+        select=["R007"],
+    )
+    # The emit-site (boundary) finding is gone; the definition-site
+    # finding in gen.py still stands on its own line.
+    assert [f.path.rsplit("/", 1)[-1] for f in findings] == ["gen.py"]
+
+
+def test_suppression_at_definition_site_does_not_cover_emit_site(lint):
+    suppressed_def = GEN_DEF.replace(
+        "    return GEN.uniform(size=n)\n",
+        "    # reprolint: allow=R007 audited ambient stream\n"
+        "    return GEN.uniform(size=n)\n",
+    )
+    findings = lint(
+        {
+            "src/repro/workloads/gen.py": suppressed_def,
+            "src/repro/experiments/sweep.py": SUBMITTER,
+        },
+        select=["R007"],
+    )
+    # gen.py's direct finding is suppressed, but the boundary finding
+    # reported in sweep.py survives: each site owns its own waiver.
+    assert [f.path.rsplit("/", 1)[-1] for f in findings] == ["sweep.py"]
+
+
+# ----------------------------------------------------------------------
+# Baseline fingerprints
+# ----------------------------------------------------------------------
+
+
+def test_baseline_round_trip_suppresses_recorded_findings(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "src/repro/workloads/gen.py": GEN_DEF,
+            "src/repro/experiments/sweep.py": SUBMITTER,
+        },
+    )
+    findings = lint_paths([root / "src"], select=["R007"])
+    assert len(findings) == 2
+
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, findings)
+    surviving = apply_baseline(findings, load_baseline(baseline_file))
+    assert surviving == []
+
+
+def test_baseline_survives_line_number_drift(tmp_path):
+    root = _tree(tmp_path, {"src/repro/workloads/gen.py": GEN_DEF})
+    findings = lint_paths([root / "src"], select=["R007"])
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, findings)
+
+    # Insert lines above the finding: the fingerprint (rule, path,
+    # stripped line text) is unchanged, so the baseline still covers it.
+    target = root / "src/repro/workloads/gen.py"
+    target.write_text("# header comment\n\n" + GEN_DEF)
+    drifted = lint_paths([root / "src"], select=["R007"])
+    assert len(drifted) == 1
+    assert drifted[0].line != findings[0].line
+    assert apply_baseline(drifted, load_baseline(baseline_file)) == []
+
+
+def test_duplicated_violation_exceeds_baseline_count(tmp_path):
+    root = _tree(tmp_path, {"src/repro/workloads/gen.py": GEN_DEF})
+    findings = lint_paths([root / "src"], select=["R007"])
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, findings)
+
+    # A second identical draw adds a second identical fingerprint; the
+    # count in the baseline covers only the first.
+    target = root / "src/repro/workloads/gen.py"
+    target.write_text(
+        GEN_DEF + "def draw_more(n):\n    return GEN.uniform(size=n)\n"
+    )
+    doubled = lint_paths([root / "src"], select=["R007"])
+    assert len(doubled) == 2
+    surviving = apply_baseline(doubled, load_baseline(baseline_file))
+    assert len(surviving) == 1
+
+
+def test_corrupt_baseline_fails_loudly(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+    bad.write_text(json.dumps({"tool": "other"}))
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+
+
+def test_lint_sources_cross_file_findings_present_without_baseline(lint):
+    # Control for the suppression tests: both findings fire unsuppressed.
+    findings = lint(
+        {
+            "src/repro/workloads/gen.py": GEN_DEF,
+            "src/repro/experiments/sweep.py": SUBMITTER,
+        },
+        select=["R007"],
+    )
+    assert sorted(f.path.rsplit("/", 1)[-1] for f in findings) == [
+        "gen.py",
+        "sweep.py",
+    ]
+
+
+def test_sources_helper_matches_paths_helper(tmp_path):
+    # lint_sources and lint_paths agree on the same tree.
+    root = _tree(
+        tmp_path,
+        {
+            "src/repro/workloads/gen.py": GEN_DEF,
+            "src/repro/experiments/sweep.py": SUBMITTER,
+        },
+    )
+    by_path = lint_paths([root / "src"], select=["R007"])
+    by_source = lint_sources(
+        [
+            SourceFile.from_path(root / "src/repro/workloads/gen.py"),
+            SourceFile.from_path(root / "src/repro/experiments/sweep.py"),
+        ],
+        select=["R007"],
+    )
+    assert [(f.rule, f.line, f.col) for f in by_path] == [
+        (f.rule, f.line, f.col) for f in by_source
+    ]

@@ -1,0 +1,145 @@
+"""Incremental cache: correctness of invalidation and warm speed."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.engine import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+HELPER_PURE = "def record(x):\n    return x\n"
+HELPER_IMPURE = "SEEN = []\ndef record(x):\n    SEEN.append(x)\n"
+SUBMITTER = (
+    "from repro.experiments.parallel import parallel_map\n"
+    "from repro.experiments.state import record\n"
+    "def work(x):\n"
+    "    record(x)\n"
+    "    return x\n"
+    "def run(items):\n"
+    "    return parallel_map(work, items)\n"
+)
+
+
+def _tree(tmp_path, files):
+    for relative, text in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+    return tmp_path
+
+
+def test_cached_run_matches_uncached_run(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "src/repro/experiments/state.py": HELPER_IMPURE,
+            "src/repro/experiments/sweep.py": SUBMITTER,
+        },
+    )
+    cache = tmp_path / "cache.json"
+    uncached = lint_paths([root / "src"], select=["R006"])
+    cold = lint_paths([root / "src"], select=["R006"], cache_path=cache)
+    warm = lint_paths([root / "src"], select=["R006"], cache_path=cache)
+    assert cold == uncached
+    assert warm == uncached
+    assert len(uncached) == 1  # the transitive global-write finding
+
+
+def test_dependency_hash_change_invalidates_dependents(tmp_path):
+    # sweep.py never changes, but its findings depend on state.py's
+    # summaries: flipping the helper's purity must flip the finding.
+    root = _tree(
+        tmp_path,
+        {
+            "src/repro/experiments/state.py": HELPER_PURE,
+            "src/repro/experiments/sweep.py": SUBMITTER,
+        },
+    )
+    cache = tmp_path / "cache.json"
+    assert lint_paths([root / "src"], select=["R006"], cache_path=cache) == []
+
+    (root / "src/repro/experiments/state.py").write_text(HELPER_IMPURE)
+    dirty = lint_paths([root / "src"], select=["R006"], cache_path=cache)
+    assert len(dirty) == 1
+    assert dirty[0].path.endswith("sweep.py")
+    assert "SEEN" in dirty[0].message
+
+    (root / "src/repro/experiments/state.py").write_text(HELPER_PURE)
+    assert lint_paths([root / "src"], select=["R006"], cache_path=cache) == []
+
+
+def test_vocabulary_change_invalidates_everything(tmp_path):
+    # events.py (DECLARED_EVENTS) and solver.py share no import edge;
+    # only the vocabulary layer can propagate this invalidation.
+    root = _tree(
+        tmp_path,
+        {
+            "src/repro/telemetry/events.py": (
+                'DECLARED_EVENTS = {"solver.sweep": "convergence"}\n'
+            ),
+            "src/repro/core/solver.py": (
+                "def run(tracer, x):\n"
+                '    tracer.emit("solver.sweep", norm=x)\n'
+                '    tracer.emit("solver.extra", x=x)\n'
+            ),
+        },
+    )
+    cache = tmp_path / "cache.json"
+    first = lint_paths([root / "src"], select=["R010"], cache_path=cache)
+    assert len(first) == 1  # solver.extra undeclared
+
+    (root / "src/repro/telemetry/events.py").write_text(
+        'DECLARED_EVENTS = {\n'
+        '    "solver.sweep": "convergence",\n'
+        '    "solver.extra": "summary",\n'
+        "}\n"
+    )
+    assert lint_paths([root / "src"], select=["R010"], cache_path=cache) == []
+
+
+def test_rule_set_change_misses_the_cache(tmp_path):
+    root = _tree(
+        tmp_path, {"src/repro/workloads/gen.py": "import random\n"}
+    )
+    cache = tmp_path / "cache.json"
+    assert lint_paths([root / "src"], select=["R006"], cache_path=cache) == []
+    # Same cache file, different rules: must not reuse R006's findings.
+    findings = lint_paths([root / "src"], select=["R001"], cache_path=cache)
+    assert [f.rule for f in findings] == ["R001"]
+
+
+def test_file_removal_invalidates_cleanly(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "src/repro/experiments/state.py": HELPER_IMPURE,
+            "src/repro/experiments/sweep.py": SUBMITTER,
+        },
+    )
+    cache = tmp_path / "cache.json"
+    assert len(lint_paths([root / "src"], select=["R006"], cache_path=cache)) == 1
+    (root / "src/repro/experiments/state.py").unlink()
+    # record() no longer resolves anywhere: the transitive write is gone.
+    assert lint_paths([root / "src"], select=["R006"], cache_path=cache) == []
+
+
+def test_warm_full_repo_lint_is_at_least_3x_faster(tmp_path):
+    """The acceptance bar: warm >= 3x faster than cold on the real repo."""
+    cache = tmp_path / "cache.json"
+    src = REPO_ROOT / "src"
+
+    start = time.perf_counter()
+    cold = lint_paths([src], cache_path=cache)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = lint_paths([src], cache_path=cache)
+    warm_seconds = time.perf_counter() - start
+
+    assert warm == cold
+    assert warm_seconds * 3 <= cold_seconds, (
+        f"warm lint {warm_seconds:.3f}s is not 3x faster than "
+        f"cold {cold_seconds:.3f}s"
+    )

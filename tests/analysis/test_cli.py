@@ -42,10 +42,19 @@ def test_select_and_ignore(tmp_path, capsys):
     assert main([path, "--ignore", "R001,R002"]) == 0
 
 
-def test_unknown_rule_code_exits_two(tmp_path, capsys):
+def test_unknown_rule_code_is_a_hard_error_listing_known_rules(
+    tmp_path, capsys
+):
     path = _write(tmp_path, "clean.py", "x = 1\n")
     assert main([path, "--select", "R999"]) == 2
-    assert "unknown rule code" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown rule code" in err
+    assert "R999" in err
+    # The error message enumerates the valid codes (the satellite fix).
+    for code in ("R001", "R005", "R006", "R010"):
+        assert code in err
+    assert main([path, "--ignore", "R001,R777"]) == 2
+    assert "R777" in capsys.readouterr().err
 
 
 def test_missing_path_exits_two(tmp_path, capsys):
@@ -56,5 +65,44 @@ def test_missing_path_exits_two(tmp_path, capsys):
 def test_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("R001", "R002", "R003", "R004", "R005"):
-        assert code in out
+    for number in range(1, 11):
+        assert f"R{number:03d}" in out
+
+
+def test_sarif_format_and_output_file(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", "import random\n")
+    report = tmp_path / "report.sarif"
+    assert main([path, "--format", "sarif", "--output", str(report)]) == 1
+    assert capsys.readouterr().out == ""
+    doc = json.loads(report.read_text())
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"][0]["ruleId"] == "R001"
+
+
+def test_write_baseline_then_gate_against_it(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", "import random\n")
+    baseline = tmp_path / "baseline.json"
+    assert main([path, "--write-baseline", str(baseline)]) == 0
+    assert "1 finding" in capsys.readouterr().out
+    # Baselined: the run gates clean.
+    assert main([path, "--baseline", str(baseline)]) == 0
+    # A new violation on top of the baseline still fails.
+    path2 = _write(tmp_path, "dirty.py", "import random\nimport random\n")
+    assert main([path2, "--baseline", str(baseline)]) == 1
+
+
+def test_corrupt_baseline_exits_two(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", "x = 1\n")
+    baseline = _write(tmp_path, "baseline.json", "{broken")
+    assert main([path, "--baseline", baseline]) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_cache_flag_round_trips(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", "import random\n")
+    cache = tmp_path / "cache.json"
+    assert main([path, "--cache", str(cache)]) == 1
+    first = capsys.readouterr().out
+    assert cache.is_file()
+    assert main([path, "--cache", str(cache)]) == 1
+    assert capsys.readouterr().out == first

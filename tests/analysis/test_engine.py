@@ -10,9 +10,20 @@ from repro.analysis.registry import all_rules, get_rule, selected_rules
 from repro.analysis.source import SourceFile, parse_suppressions
 
 
-def test_registry_exposes_the_five_rules():
+def test_registry_exposes_the_ten_rules():
     codes = [rule.code for rule in all_rules()]
-    assert codes == ["R001", "R002", "R003", "R004", "R005"]
+    assert codes == [
+        "R001",
+        "R002",
+        "R003",
+        "R004",
+        "R005",
+        "R006",
+        "R007",
+        "R008",
+        "R009",
+        "R010",
+    ]
     for rule in all_rules():
         assert rule.name
         assert rule.rationale
@@ -27,7 +38,16 @@ def test_selected_rules_select_and_ignore():
     codes = [rule.code for rule in selected_rules(["R003", "R001"])]
     assert codes == ["R001", "R003"]
     codes = [rule.code for rule in selected_rules(None, ["R002", "R004"])]
-    assert codes == ["R001", "R003", "R005"]
+    assert codes == [
+        "R001",
+        "R003",
+        "R005",
+        "R006",
+        "R007",
+        "R008",
+        "R009",
+        "R010",
+    ]
     with pytest.raises(KeyError):
         selected_rules(["R001", "R999"])
 

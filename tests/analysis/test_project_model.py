@@ -1,0 +1,139 @@
+"""The dataflow engine: facts, resolution, fixed point, serialization."""
+
+from __future__ import annotations
+
+from repro.analysis.project import (
+    ModuleFacts,
+    ProjectModel,
+    collect_facts,
+    module_name_for,
+)
+from repro.analysis.source import SourceFile
+
+
+def _facts(path: str, text: str) -> ModuleFacts:
+    return collect_facts(SourceFile.from_text(text, path))
+
+
+def test_module_name_strips_to_last_src_segment():
+    assert module_name_for(("src", "repro", "core", "nash.py")) == "repro.core.nash"
+    assert (
+        module_name_for(("home", "x", "src", "repro", "core", "nash.py"))
+        == "repro.core.nash"
+    )
+    assert module_name_for(("repro", "core", "__init__.py")) == "repro.core"
+    assert module_name_for(("script.py",)) == "script"
+
+
+def test_import_table_resolves_absolute_and_relative():
+    facts = _facts(
+        "src/repro/experiments/common.py",
+        "import numpy as np\n"
+        "from repro.core.nash import NashSolver\n"
+        "from .parallel import parallel_map\n"
+        "from ..core import waterfill\n",
+    )
+    assert facts.imports["np"] == "numpy"
+    assert facts.imports["NashSolver"] == "repro.core.nash.NashSolver"
+    assert facts.imports["parallel_map"] == (
+        "repro.experiments.parallel.parallel_map"
+    )
+    assert facts.imports["waterfill"] == "repro.core.waterfill"
+    assert "repro.core.nash" in facts.dep_modules
+    assert "repro.experiments.parallel" in facts.dep_modules
+
+
+def test_summaries_record_kinds_and_raises():
+    facts = _facts(
+        "src/repro/core/mod.py",
+        "class Solver:\n"
+        "    def solve(self, a):\n"
+        "        raise InfeasibleDemand('x')\n"
+        "def outer():\n"
+        "    def inner():\n"
+        "        pass\n"
+        "    return inner\n"
+        "f = lambda x: x\n",
+    )
+    kinds = {s.qualname: s.kind for s in facts.summaries}
+    assert kinds["Solver.solve"] == "method"
+    assert kinds["outer"] == "function"
+    assert kinds["outer.<locals>.inner"] == "nested"
+    assert kinds["f"] == "lambda"  # module-level lambda renamed to binding
+    solve = next(s for s in facts.summaries if s.qualname == "Solver.solve")
+    assert "InfeasibleDemand" in solve.raises
+
+
+def test_fixed_point_propagates_global_writes_across_modules():
+    model = ProjectModel(
+        {
+            "src/repro/a.py": _facts(
+                "src/repro/a.py",
+                "STATE = []\n"
+                "def leaf(x):\n"
+                "    STATE.append(x)\n",
+            ),
+            "src/repro/b.py": _facts(
+                "src/repro/b.py",
+                "from repro.a import leaf\n"
+                "def mid(x):\n"
+                "    leaf(x)\n",
+            ),
+            "src/repro/c.py": _facts(
+                "src/repro/c.py",
+                "from repro.b import mid\n"
+                "def top(x):\n"
+                "    mid(x)\n",
+            ),
+        }
+    )
+    assert ("repro.a", "STATE") in model.transitive("repro.c::top").global_writes
+
+
+def test_fixed_point_terminates_on_recursion():
+    model = ProjectModel(
+        {
+            "src/repro/r.py": _facts(
+                "src/repro/r.py",
+                "COUNT = [0]\n"
+                "def ping(n):\n"
+                "    COUNT.append(n)\n"
+                "    return pong(n - 1) if n else n\n"
+                "def pong(n):\n"
+                "    return ping(n)\n",
+            )
+        }
+    )
+    assert ("repro.r", "COUNT") in model.transitive("repro.r::pong").global_writes
+
+
+def test_param_mutation_composes_with_argument_mapping():
+    model = ProjectModel(
+        {
+            "src/repro/core/k.py": _facts(
+                "src/repro/core/k.py",
+                "def bump_inplace(buf, x):\n"
+                "    buf += x\n"
+                "def caller(a, b):\n"
+                "    bump_inplace(b, 1.0)\n",
+            )
+        }
+    )
+    mutated = model.transitive("repro.core.k::caller").mutated_params
+    assert set(mutated) == {"b"}  # positional mapping: slot 0 -> b, not a
+
+
+def test_facts_round_trip_through_json():
+    facts = _facts(
+        "src/repro/core/k.py",
+        "import numpy as np\n"
+        "GEN = np.random.default_rng(3)\n"
+        "DECLARED_EVENTS = {'a.b': 'summary'}\n"
+        "def f(a):\n"
+        "    a += 1\n"
+        "    return GEN.normal()\n",
+    )
+    rebuilt = ModuleFacts.from_json(facts.to_json())
+    assert rebuilt == facts
+    assert rebuilt.is_vocabulary
+    assert rebuilt.ambient_generators == frozenset({"GEN"})

@@ -1,0 +1,142 @@
+"""R006: callables crossing a pool boundary are module-level and pure."""
+
+from __future__ import annotations
+
+PARALLEL_IMPORT = "from repro.experiments.parallel import parallel_map\n"
+
+
+def test_flags_lambda_submitted_to_parallel_map(lint):
+    findings = lint(
+        {
+            "src/repro/experiments/sweep.py": PARALLEL_IMPORT
+            + "def run(items):\n"
+            "    return parallel_map(lambda x: x + 1, items)\n"
+        },
+        select=["R006"],
+    )
+    assert [f.rule for f in findings] == ["R006"]
+    assert "lambda" in findings[0].message
+
+
+def test_flags_nested_function(lint):
+    findings = lint(
+        {
+            "src/repro/experiments/sweep.py": PARALLEL_IMPORT
+            + "def run(items, factor):\n"
+            "    def scale(x):\n"
+            "        return x * factor\n"
+            "    return parallel_map(scale, items)\n"
+        },
+        select=["R006"],
+    )
+    assert [f.rule for f in findings] == ["R006"]
+    assert "nested" in findings[0].message
+    assert "pickle" in findings[0].message
+
+
+def test_flags_direct_global_write(lint):
+    findings = lint(
+        {
+            "src/repro/experiments/sweep.py": PARALLEL_IMPORT
+            + "RESULTS = {}\n"
+            "def work(x):\n"
+            "    RESULTS[x] = x * 2\n"
+            "    return x\n"
+            "def run(items):\n"
+            "    return parallel_map(work, items)\n"
+        },
+        select=["R006"],
+    )
+    assert [f.rule for f in findings] == ["R006"]
+    assert "RESULTS" in findings[0].message
+
+
+def test_flags_transitive_global_write_across_files(lint):
+    # The write happens two calls deep, in a *different module* — only
+    # the call-graph fixed point can see it from the submission site.
+    findings = lint(
+        {
+            "src/repro/experiments/state.py": (
+                "SEEN = []\n"
+                "def record(x):\n"
+                "    SEEN.append(x)\n"
+            ),
+            "src/repro/experiments/sweep.py": PARALLEL_IMPORT
+            + "from repro.experiments.state import record\n"
+            "def work(x):\n"
+            "    record(x)\n"
+            "    return x\n"
+            "def run(items):\n"
+            "    return parallel_map(work, items)\n",
+        },
+        select=["R006"],
+    )
+    assert [f.rule for f in findings] == ["R006"]
+    assert "repro.experiments.state.SEEN" in findings[0].message
+
+
+def test_flags_executor_submit_and_map(lint):
+    text = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def run(items):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        futures = [pool.submit(lambda x: x, i) for i in items]\n"
+        "    return futures\n"
+    )
+    findings = lint({"src/repro/experiments/raw.py": text}, select=["R006"])
+    assert [f.rule for f in findings] == ["R006"]
+
+
+def test_module_level_pure_function_is_clean(lint):
+    findings = lint(
+        {
+            "src/repro/experiments/sweep.py": PARALLEL_IMPORT
+            + "def work(x):\n"
+            "    local = {}\n"
+            "    local[x] = x * 2\n"
+            "    return local[x]\n"
+            "def run(items):\n"
+            "    return parallel_map(work, items)\n"
+        },
+        select=["R006"],
+    )
+    assert findings == []
+
+
+def test_audited_state_modules_are_exempt(lint):
+    # The pool layer's own executor cache is process-local by design.
+    findings = lint(
+        {
+            "src/repro/experiments/parallel.py": (
+                "_POOLS = {}\n"
+                "def _shared_pool(n):\n"
+                "    pool = _POOLS.get(n)\n"
+                "    if pool is None:\n"
+                "        _POOLS[n] = pool = object()\n"
+                "    return pool\n"
+                "def parallel_map(fn, items):\n"
+                "    return [fn(item) for item in items]\n"
+            ),
+            "src/repro/experiments/sweep.py": PARALLEL_IMPORT
+            + "from repro.experiments.parallel import _shared_pool\n"
+            "def work(x):\n"
+            "    _shared_pool(2)\n"
+            "    return x\n"
+            "def run(items):\n"
+            "    return parallel_map(work, items)\n",
+        },
+        select=["R006"],
+    )
+    assert findings == []
+
+
+def test_test_files_are_skipped(lint):
+    findings = lint(
+        {
+            "tests/experiments/test_sweep.py": PARALLEL_IMPORT
+            + "def test_it():\n"
+            "    assert parallel_map(lambda x: x, [1]) == [1]\n"
+        },
+        select=["R006"],
+    )
+    assert findings == []

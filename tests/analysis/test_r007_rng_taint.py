@@ -1,0 +1,94 @@
+"""R007: explicit seed provenance for every stochastic call."""
+
+from __future__ import annotations
+
+NP = "import numpy as np\n"
+PARALLEL_IMPORT = "from repro.experiments.parallel import parallel_map\n"
+
+
+def test_flags_draw_from_ambient_module_generator(lint):
+    findings = lint(
+        {
+            "src/repro/workloads/gen.py": NP
+            + "GEN = np.random.default_rng(42)\n"
+            "def sample(n):\n"
+            "    return GEN.normal(size=n)\n"
+        },
+        select=["R007"],
+    )
+    assert [f.rule for f in findings] == ["R007"]
+    assert "'GEN'" in findings[0].message
+
+
+def test_parameter_generator_is_clean(lint):
+    findings = lint(
+        {
+            "src/repro/workloads/gen.py": NP
+            + "def sample(rng, n):\n"
+            "    return rng.normal(size=n)\n"
+        },
+        select=["R007"],
+    )
+    assert findings == []
+
+
+def test_locally_seeded_generator_is_clean(lint):
+    findings = lint(
+        {
+            "src/repro/workloads/gen.py": NP
+            + "def sample(seed, n):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.normal(size=n)\n"
+        },
+        select=["R007"],
+    )
+    assert findings == []
+
+
+def test_spawned_generator_keeps_derived_provenance(lint):
+    findings = lint(
+        {
+            "src/repro/workloads/gen.py": NP
+            + "def sample(rng, n):\n"
+            "    child = rng.spawn(1)[0]\n"
+            "    return rng.uniform(size=n)\n"
+        },
+        select=["R007"],
+    )
+    assert findings == []
+
+
+def test_flags_ambient_generator_crossing_pool_boundary(lint):
+    # The hazard the rule exists for: fork shares the generator state,
+    # so every worker replays the identical "random" stream.
+    findings = lint(
+        {
+            "src/repro/workloads/gen.py": NP
+            + "GEN = np.random.default_rng(7)\n"
+            "def draw(n):\n"
+            "    return GEN.uniform(size=n)\n",
+            "src/repro/experiments/sweep.py": PARALLEL_IMPORT
+            + "from repro.workloads.gen import draw\n"
+            "def run(sizes):\n"
+            "    return parallel_map(draw, sizes)\n",
+        },
+        select=["R007"],
+    )
+    emit_rules = sorted((f.rule, f.path.rsplit("/", 1)[-1]) for f in findings)
+    # Definition-site finding (gen.py) plus boundary finding (sweep.py).
+    assert emit_rules == [("R007", "gen.py"), ("R007", "sweep.py")]
+    boundary = [f for f in findings if f.path.endswith("sweep.py")][0]
+    assert "identical streams" in boundary.message
+
+
+def test_test_files_are_skipped(lint):
+    findings = lint(
+        {
+            "tests/workloads/test_gen.py": NP
+            + "GEN = np.random.default_rng(1)\n"
+            "def test_draw():\n"
+            "    assert GEN.normal() is not None\n"
+        },
+        select=["R007"],
+    )
+    assert findings == []

@@ -1,0 +1,137 @@
+"""R008: core/queueing kernels never mutate caller arrays in place."""
+
+from __future__ import annotations
+
+NP = "import numpy as np\n"
+
+
+def test_flags_augmented_assignment_on_parameter(lint):
+    findings = lint(
+        {
+            "src/repro/core/kernels.py": NP
+            + "def scale(a, factor):\n"
+            "    a *= factor\n"
+            "    return a\n"
+        },
+        select=["R008"],
+    )
+    assert [f.rule for f in findings] == ["R008"]
+    assert "'a'" in findings[0].message
+    assert "scale_inplace" in findings[0].message
+
+
+def test_flags_out_argument_targeting_parameter(lint):
+    findings = lint(
+        {
+            "src/repro/core/kernels.py": NP
+            + "def clamp(a):\n"
+            "    np.maximum(a, 0.0, out=a)\n"
+            "    return a\n"
+        },
+        select=["R008"],
+    )
+    assert [f.rule for f in findings] == ["R008"]
+    assert "out=" in findings[0].message
+
+
+def test_flags_write_through_view_alias(lint):
+    # b = np.asarray(a) may alias a; writing b writes the caller's array.
+    findings = lint(
+        {
+            "src/repro/queueing/kernels.py": NP
+            + "def zero_head(a):\n"
+            "    b = np.asarray(a)\n"
+            "    b[0] = 0.0\n"
+            "    return b\n"
+        },
+        select=["R008"],
+    )
+    assert [f.rule for f in findings] == ["R008"]
+
+
+def test_flags_transitive_mutation_through_helper(lint):
+    findings = lint(
+        {
+            "src/repro/core/kernels.py": NP
+            + "def _accumulate_inplace(buf, x):\n"
+            "    buf += x\n"
+            "    return buf\n"
+            "def total(values):\n"
+            "    return _accumulate_inplace(values, 1.0)\n"
+        },
+        select=["R008"],
+    )
+    assert [f.rule for f in findings] == ["R008"]
+    assert "total" in findings[0].message
+    assert "_accumulate_inplace" in findings[0].message
+
+
+def test_inplace_suffix_is_the_contract(lint):
+    findings = lint(
+        {
+            "src/repro/core/kernels.py": NP
+            + "def scale_inplace(a, factor):\n"
+            "    a *= factor\n"
+            "    return a\n"
+        },
+        select=["R008"],
+    )
+    assert findings == []
+
+
+def test_fresh_array_mutation_is_clean(lint):
+    findings = lint(
+        {
+            "src/repro/core/kernels.py": NP
+            + "def waterfill(a):\n"
+            "    loads = np.zeros_like(a)\n"
+            "    loads += a\n"
+            "    np.maximum(loads, 0.0, out=loads)\n"
+            "    loads[0] = 1.0\n"
+            "    return loads\n"
+        },
+        select=["R008"],
+    )
+    assert findings == []
+
+
+def test_copy_breaks_the_alias(lint):
+    findings = lint(
+        {
+            "src/repro/core/kernels.py": NP
+            + "def scale(a, factor):\n"
+            "    b = a.copy()\n"
+            "    b *= factor\n"
+            "    return b\n"
+        },
+        select=["R008"],
+    )
+    assert findings == []
+
+
+def test_rule_is_scoped_to_kernel_packages(lint):
+    findings = lint(
+        {
+            "src/repro/experiments/helpers.py": NP
+            + "def scale(a, factor):\n"
+            "    a *= factor\n"
+            "    return a\n"
+        },
+        select=["R008"],
+    )
+    assert findings == []
+
+
+def test_method_self_mutation_is_clean(lint):
+    # Methods own their instance state; only array parameters count.
+    findings = lint(
+        {
+            "src/repro/core/board.py": NP
+            + "class Board:\n"
+            "    def bump(self, delta):\n"
+            "        self.totals += delta\n"
+            "        return self.totals\n"
+        },
+        select=["R008"],
+    )
+    assert findings == []

@@ -1,0 +1,148 @@
+"""R009: typed capacity/feasibility errors are never silently dropped."""
+
+from __future__ import annotations
+
+WATERFILL = (
+    "class InfeasibleDemand(ValueError):\n"
+    "    pass\n"
+    "class CapacityExhausted(RuntimeError):\n"
+    "    pass\n"
+    "def sqrt_waterfill(a):\n"
+    "    if not a:\n"
+    "        raise InfeasibleDemand('empty')\n"
+    "    return a\n"
+)
+
+
+def test_flags_caught_and_dropped_typed_error(lint):
+    findings = lint(
+        {
+            "src/repro/schemes/solver.py": (
+                "from repro.core.waterfill import InfeasibleDemand, sqrt_waterfill\n"
+                "def solve(a):\n"
+                "    try:\n"
+                "        return sqrt_waterfill(a)\n"
+                "    except InfeasibleDemand:\n"
+                "        pass\n"
+            ),
+            "src/repro/core/waterfill.py": WATERFILL,
+        },
+        select=["R009"],
+    )
+    assert [f.rule for f in findings] == ["R009"]
+    assert "caught and dropped" in findings[0].message
+
+
+def test_flags_widened_exception_handler_over_raising_call(lint):
+    # The raise is in another module; only the call graph reveals that
+    # ``except Exception`` here absorbs a typed signal.
+    findings = lint(
+        {
+            "src/repro/schemes/solver.py": (
+                "from repro.core.waterfill import sqrt_waterfill\n"
+                "def solve(a):\n"
+                "    try:\n"
+                "        return sqrt_waterfill(a)\n"
+                "    except Exception:\n"
+                "        return None\n"
+            ),
+            "src/repro/core/waterfill.py": WATERFILL,
+        },
+        select=["R009"],
+    )
+    assert [f.rule for f in findings] == ["R009"]
+    assert "InfeasibleDemand" in findings[0].message
+
+
+def test_explicit_recovery_with_body_is_clean(lint):
+    findings = lint(
+        {
+            "src/repro/schemes/solver.py": (
+                "from repro.core.waterfill import InfeasibleDemand, sqrt_waterfill\n"
+                "def solve(a, fallback):\n"
+                "    try:\n"
+                "        return sqrt_waterfill(a)\n"
+                "    except InfeasibleDemand:\n"
+                "        return fallback\n"
+            ),
+            "src/repro/core/waterfill.py": WATERFILL,
+        },
+        select=["R009"],
+    )
+    assert findings == []
+
+
+def test_except_valueerror_is_deliberately_allowed(lint):
+    # InfeasibleDemand subclasses ValueError *so that* existing
+    # except ValueError recovery sites keep working.
+    findings = lint(
+        {
+            "src/repro/schemes/solver.py": (
+                "from repro.core.waterfill import sqrt_waterfill\n"
+                "def solve(a):\n"
+                "    try:\n"
+                "        return sqrt_waterfill(a)\n"
+                "    except ValueError:\n"
+                "        return None\n"
+            ),
+            "src/repro/core/waterfill.py": WATERFILL,
+        },
+        select=["R009"],
+    )
+    assert findings == []
+
+
+def test_wide_handler_that_reraises_is_clean(lint):
+    findings = lint(
+        {
+            "src/repro/schemes/solver.py": (
+                "from repro.core.waterfill import sqrt_waterfill\n"
+                "def solve(a, log):\n"
+                "    try:\n"
+                "        return sqrt_waterfill(a)\n"
+                "    except Exception:\n"
+                "        log.warning('solve failed')\n"
+                "        raise\n"
+            ),
+            "src/repro/core/waterfill.py": WATERFILL,
+        },
+        select=["R009"],
+    )
+    assert findings == []
+
+
+def test_wide_handler_over_nonraising_body_is_clean(lint):
+    findings = lint(
+        {
+            "src/repro/schemes/solver.py": (
+                "def parse(text):\n"
+                "    try:\n"
+                "        return int(text)\n"
+                "    except Exception:\n"
+                "        return None\n"
+            ),
+        },
+        select=["R009"],
+    )
+    assert findings == []
+
+
+def test_recovery_points_are_exempt(lint):
+    dropped = (
+        "from repro.core.waterfill import InfeasibleDemand, sqrt_waterfill\n"
+        "def entry(a):\n"
+        "    try:\n"
+        "        return sqrt_waterfill(a)\n"
+        "    except InfeasibleDemand:\n"
+        "        pass\n"
+    )
+    findings = lint(
+        {
+            "src/repro/experiments/runner.py": dropped,
+            "src/repro/engine/service.py": dropped,
+            "src/repro/analysis/cli.py": dropped,
+            "src/repro/core/waterfill.py": WATERFILL,
+        },
+        select=["R009"],
+    )
+    assert findings == []

@@ -1,0 +1,99 @@
+"""R010: every emitted Tracer event kind is declared vocabulary."""
+
+from __future__ import annotations
+
+VOCAB = (
+    'DECLARED_EVENTS = {\n'
+    '    "solver.sweep": "convergence",\n'
+    '    "solver.start": "summary",\n'
+    '    "orphan.kind": "",\n'
+    "}\n"
+)
+
+
+def test_flags_undeclared_event_kind(lint):
+    findings = lint(
+        {
+            "src/repro/telemetry/events.py": VOCAB,
+            "src/repro/core/solver.py": (
+                "def run(tracer, x):\n"
+                '    tracer.emit("solver.sweep", norm=x)\n'
+                '    tracer.emit("solver.mystery", x=x)\n'
+            ),
+        },
+        select=["R010"],
+    )
+    assert [f.rule for f in findings] == ["R010"]
+    assert "solver.mystery" in findings[0].message
+    assert "DECLARED_EVENTS" in findings[0].message
+
+
+def test_flags_declared_event_with_no_covering_view(lint):
+    findings = lint(
+        {
+            "src/repro/telemetry/events.py": VOCAB,
+            "src/repro/core/solver.py": (
+                "def run(tracer, x):\n"
+                '    tracer.emit("orphan.kind", x=x)\n'
+            ),
+        },
+        select=["R010"],
+    )
+    assert [f.rule for f in findings] == ["R010"]
+    assert "no repro-trace view" in findings[0].message
+
+
+def test_declared_and_covered_emit_is_clean(lint):
+    findings = lint(
+        {
+            "src/repro/telemetry/events.py": VOCAB,
+            "src/repro/core/solver.py": (
+                "def run(tracer, x):\n"
+                '    tracer.emit("solver.sweep", norm=x)\n'
+            ),
+        },
+        select=["R010"],
+    )
+    assert findings == []
+
+
+def test_forwarding_an_event_object_is_not_an_emission_site(lint):
+    findings = lint(
+        {
+            "src/repro/telemetry/events.py": VOCAB,
+            "src/repro/telemetry/sinks.py": (
+                "def forward(sink, event):\n"
+                "    sink.emit(event)\n"
+            ),
+        },
+        select=["R010"],
+    )
+    assert findings == []
+
+
+def test_rule_is_inert_without_vocabulary_in_the_run(lint):
+    # Linting one file in isolation must not flag every emit.
+    findings = lint(
+        {
+            "src/repro/core/solver.py": (
+                "def run(tracer, x):\n"
+                '    tracer.emit("solver.sweep", norm=x)\n'
+            ),
+        },
+        select=["R010"],
+    )
+    assert findings == []
+
+
+def test_test_files_are_skipped(lint):
+    findings = lint(
+        {
+            "src/repro/telemetry/events.py": VOCAB,
+            "tests/telemetry/test_tracer.py": (
+                "def test_emit(tracer):\n"
+                '    tracer.emit("made.up.event", x=1)\n'
+            ),
+        },
+        select=["R010"],
+    )
+    assert findings == []

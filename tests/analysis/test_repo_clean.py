@@ -2,8 +2,13 @@
 
 This is the dogfooding gate in test form — if a change introduces an
 unseeded RNG, a float ``==``, an inline ``1/(mu - lambda)``, a
-non-exhaustive message handler or a wall-clock read, this test fails
-with the same report the CI lint job would print.
+non-exhaustive message handler, a wall-clock read, an impure pool
+callable, an ambient generator, an aliasing kernel, a swallowed typed
+error or an undeclared trace event, this test fails with the same
+report the CI lint job would print.
+
+All ten rules run with an **empty baseline**: every real violation the
+cross-module rules surfaced was fixed at the source, not suppressed.
 """
 
 from __future__ import annotations
@@ -17,5 +22,23 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 def test_repository_lints_clean():
-    findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    findings = lint_paths(
+        [
+            REPO_ROOT / "src",
+            REPO_ROOT / "tests",
+            REPO_ROOT / "benchmarks",
+            REPO_ROOT / "examples",
+        ]
+    )
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_shipped_code_lints_clean_under_every_rule_explicitly():
+    # Belt and braces for the acceptance bar: name all ten rules so a
+    # registry regression (a rule silently dropping out) cannot let a
+    # violation through unnoticed.
+    findings = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "examples"],
+        select=[f"R{number:03d}" for number in range(1, 11)],
+    )
     assert findings == [], "\n" + render_text(findings)

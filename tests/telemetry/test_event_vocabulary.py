@@ -1,0 +1,79 @@
+"""The observability contract: DECLARED_EVENTS matches reality.
+
+R010 enforces the static half (every emit site uses a declared kind);
+these tests close the runtime loop: every view named in the vocabulary
+is a real ``repro-trace`` subcommand, and every declared kind really is
+emitted somewhere in the shipped code (no dead vocabulary accreting).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.telemetry.events import DECLARED_EVENTS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _repro_trace_commands() -> set[str]:
+    """The subcommand names registered by the repro-trace CLI."""
+    from repro.telemetry import cli
+
+    parser = cli._build_parser()
+    for action in parser._subparsers._group_actions:  # noqa: SLF001
+        return set(action.choices)
+    raise AssertionError("repro-trace has no subparsers")
+
+
+def _emitted_event_names() -> set[str]:
+    names: set[str] = set()
+    for base in ("src", "examples", "benchmarks"):
+        for path in (REPO_ROOT / base).rglob("*.py"):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    names.add(node.args[0].value)
+    return names
+
+
+def test_every_declared_view_is_a_repro_trace_subcommand():
+    commands = _repro_trace_commands()
+    views = set(DECLARED_EVENTS.values())
+    assert views, "vocabulary must not be empty"
+    missing = views - commands
+    assert not missing, (
+        f"DECLARED_EVENTS names views {sorted(missing)} that repro-trace "
+        f"does not provide (commands: {sorted(commands)})"
+    )
+
+
+def test_every_declared_kind_is_emitted_somewhere():
+    emitted = _emitted_event_names()
+    dead = set(DECLARED_EVENTS) - emitted
+    assert not dead, (
+        f"vocabulary declares kinds never emitted in shipped code: "
+        f"{sorted(dead)}"
+    )
+
+
+def test_every_emitted_kind_is_declared():
+    # The runtime mirror of R010 over the real tree.
+    emitted = _emitted_event_names()
+    undeclared = emitted - set(DECLARED_EVENTS)
+    assert not undeclared, (
+        f"shipped code emits undeclared kinds: {sorted(undeclared)}"
+    )
+
+
+def test_event_names_are_dotted_layer_kind():
+    for name in DECLARED_EVENTS:
+        layer, _, kind = name.partition(".")
+        assert layer and kind, f"event name {name!r} is not layer.kind"
