@@ -11,9 +11,11 @@ fails when
   ``--min-speedup`` (default 10x) for the m=1000, n=64 simultaneous
   NASH solve, ``--min-batch-speedup`` (default 4x) for batched versus
   looped replications, ``--min-warm-speedup`` (default 2x) for the
-  warm-started versus cold Figure-4 sweep, and ``--min-churn-speedup``
+  warm-started versus cold Figure-4 sweep, ``--min-churn-speedup``
   (default 2x) for the online engine's incremental re-equilibration
-  versus cold re-solves over the churn trace.
+  versus cold re-solves over the churn trace, and
+  ``--min-class-speedup`` (default 5x) for the class-space versus
+  per-user fixed-budget NASH solve at m=100k users.
 
 Usage::
 
@@ -50,6 +52,7 @@ def compare(
     min_batch_speedup: float = 4.0,
     min_warm_speedup: float = 2.0,
     min_churn_speedup: float = 2.0,
+    min_class_speedup: float = 5.0,
 ) -> list[str]:
     """Return a list of human-readable gate violations (empty = pass)."""
     failures = []
@@ -67,6 +70,7 @@ def compare(
         ("simultaneous", min_speedup),
         ("replications", min_batch_speedup),
         ("churn", min_churn_speedup),
+        ("class", min_class_speedup),
         ("sweep", min_warm_speedup),
     )
     for key, speedup in sorted(fresh.get("speedups", {}).items()):
@@ -95,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-batch-speedup", type=float, default=4.0)
     parser.add_argument("--min-warm-speedup", type=float, default=2.0)
     parser.add_argument("--min-churn-speedup", type=float, default=2.0)
+    parser.add_argument("--min-class-speedup", type=float, default=5.0)
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -105,6 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         min_batch_speedup=args.min_batch_speedup,
         min_warm_speedup=args.min_warm_speedup,
         min_churn_speedup=args.min_churn_speedup,
+        min_class_speedup=args.min_class_speedup,
     )
     if failures:
         print("bench-gate: FAIL")

@@ -14,12 +14,15 @@ After a benchmark session this plugin serializes the gated timings
 kernel, the Lindley fastpath; group ``sim-fastpath``: batched
 replications and warm-started sweeps; group ``engine-churn``: the
 online engine's incremental re-equilibration versus cold re-solves
-over a churn trace) into ``BENCH_nash.json`` at the
+over a churn trace; group ``class-scale``: million-user solves in
+user-class space and the fixed-budget per-user versus class-space
+pair) into ``BENCH_nash.json`` at the
 repo root — the perf-regression trajectory CI gates on (see
 ``benchmarks/bench_gate.py`` and docs/PERFORMANCE.md).  Baseline/
 optimized benchmark pairs — names differing only in a
-``_legacy``/``_vectorized``, ``_looped``/``_batched`` or
-``_cold``/``_warm`` suffix — additionally record their speedup ratio.
+``_legacy``/``_vectorized``, ``_looped``/``_batched``,
+``_cold``/``_warm`` or ``_peruser``/``_classspace`` suffix —
+additionally record their speedup ratio.
 """
 
 from __future__ import annotations
@@ -31,13 +34,14 @@ import pathlib
 import pytest
 
 #: Benchmark groups serialized into the BENCH JSON.
-BENCH_GROUPS = ("nash-core", "sim-fastpath", "engine-churn")
+BENCH_GROUPS = ("nash-core", "sim-fastpath", "engine-churn", "class-scale")
 #: Baseline/optimized name-suffix pairs recorded as speedups
 #: (baseline suffix first; speedup = baseline mean / optimized mean).
 SPEEDUP_SUFFIXES = (
     ("_legacy", "_vectorized"),
     ("_looped", "_batched"),
     ("_cold", "_warm"),
+    ("_peruser", "_classspace"),
 )
 #: Default output path (repo root); override with the env var.
 BENCH_ENV_VAR = "BENCH_NASH_JSON"

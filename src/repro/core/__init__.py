@@ -1,5 +1,13 @@
 """Core of the reproduction: model, game, best response, Nash dynamics."""
 
+from repro.core.classes import (
+    ClassAggregation,
+    ClassEquilibriumCertificate,
+    ClassNashResult,
+    ClassNashSolver,
+    aggregate_users,
+    class_best_response_regrets,
+)
 from repro.core.comm_delay import (
     DelayedGame,
     DelayedNashResult,
@@ -41,7 +49,13 @@ from repro.core.nash import (
     compute_nash_equilibrium,
     initial_profile,
 )
+from repro.core.jit import jit_available, jit_requested, resolve_backend
 from repro.core.reference import reference_solve
+from repro.core.sharding import (
+    ShardedNashResult,
+    partition_classes,
+    solve_sharded,
+)
 from repro.core.strategy import FEASIBILITY_ATOL, StrategyProfile
 from repro.core.uncertainty import NoisyNashResult, NoisyNashSolver
 from repro.core.waterfill import (
@@ -54,6 +68,18 @@ from repro.core.waterfill import (
 )
 
 __all__ = [
+    "ClassAggregation",
+    "ClassEquilibriumCertificate",
+    "ClassNashResult",
+    "ClassNashSolver",
+    "aggregate_users",
+    "class_best_response_regrets",
+    "jit_available",
+    "jit_requested",
+    "resolve_backend",
+    "ShardedNashResult",
+    "partition_classes",
+    "solve_sharded",
     "DelayedGame",
     "DelayedNashResult",
     "DelayedNashSolver",

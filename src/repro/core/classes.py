@@ -1,0 +1,798 @@
+"""User-class aggregation: million-user equilibria in class space.
+
+The best reply of user ``j`` (paper Theorem 2.1) depends only on the
+user's own job rate ``phi_j`` and the aggregate load the *other* users
+put on each computer.  Users with identical ``phi`` therefore share one
+equilibrium strategy by symmetry — the aggregation insight exploited by
+Berenbrink et al. for weighted task classes — so an instance with
+``m = 10^6`` users drawn from ``c`` distinct job rates collapses to a
+``(c, n)`` problem with ``c << m``.  This module provides that collapse
+end to end:
+
+* :func:`aggregate_users` groups users into weighted
+  :class:`ClassAggregation` classes — exact grouping by ``phi`` by
+  default, with a relative-tolerance knob for nearly-identical rates —
+  with weighted demand accounting (a class's demand is the sum of its
+  members' rates; its representative per-member rate is the weighted
+  mean);
+* :class:`ClassNashSolver` runs the best-reply iteration entirely in
+  class space with ``(c, n)`` state, reusing the batched water-fill
+  kernels, so cost per sweep is ``O(c n log n)`` instead of
+  ``O(m n log n)`` and memory ``O(c n)`` instead of ``O(m n)``;
+* :func:`class_best_response_regrets` evaluates the *per-user*
+  epsilon-Nash certificate in class space: every member of a class has
+  the same regret, so ``c`` batched best responses certify all ``m``
+  users (the epsilon-Nash early-stop knob of Chakraborty et al.'s
+  approximate congestion games).
+
+Exactness.  A class-uniform profile expanded by
+:meth:`ClassAggregation.expand` puts identical rows on all members of a
+class, so the expanded aggregate loads equal the class-space loads and
+the class-space certificate *is* the user-space certificate (exactly for
+exact grouping, up to the grouping tolerance otherwise).  With every
+class a singleton the solver's arithmetic reduces bit-for-bit to
+:class:`~repro.core.nash.NashSolver`'s — the parity tests pin this.
+
+The sweep *norm* is user-weighted (``sum_k count_k |D_k^{(l)} -
+D_k^{(l-1)}|``) so ``tolerance`` means the same thing it means for the
+per-user solver on the expanded system.
+
+See docs/PERFORMANCE.md ("Class-space solving") for when aggregation
+wins and measured numbers; :mod:`repro.core.sharding` builds the
+two-level sharded scheme on top of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Literal
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.core.best_response import optimal_fractions, optimal_fractions_batch
+from repro.core.jit import class_sweep_inplace, resolve_backend, sweep_kernel
+from repro.core.model import DistributedSystem
+from repro.core.nash import DEFAULT_MAX_SWEEPS, DEFAULT_TOLERANCE, UpdateOrder
+from repro.core.strategy import StrategyProfile
+from repro.core.waterfill import InfeasibleDemand
+from repro.queueing.mm1 import expected_response_time
+from repro.telemetry.trace import Tracer, current_tracer
+
+__all__ = [
+    "ClassAggregation",
+    "ClassEquilibriumCertificate",
+    "ClassNashResult",
+    "ClassNashSolver",
+    "aggregate_users",
+    "class_best_response_regrets",
+]
+
+IntArray = np.ndarray
+
+ClassInitialization = Literal["zero", "proportional", "uniform"]
+
+
+@dataclass(frozen=True)
+class ClassAggregation:
+    """Users grouped into weighted classes over a fixed computer fleet.
+
+    Attributes
+    ----------
+    service_rates:
+        ``mu`` — per-computer processing rates, length ``n``.
+    class_rates:
+        Representative per-*member* job rate of each class (the weighted
+        mean of its members' rates), length ``c``.
+    counts:
+        Number of users in each class, length ``c``.
+    demands:
+        Total demand of each class.  Defined as ``class_rates * counts``
+        so the solver's per-member/total accounting is self-consistent to
+        the last bit; it differs from the raw member-rate sum by at most
+        one rounding.
+    class_of:
+        Per-user class index, length ``m`` (``None`` for synthetic
+        aggregations such as shard subproblems, which never expand).
+    member_rates:
+        The original per-user job rates, length ``m`` (``None`` for
+        synthetic aggregations).
+    grouping_tol:
+        The relative tolerance the grouping was built with (0 = exact).
+    """
+
+    service_rates: FloatArray
+    class_rates: FloatArray
+    counts: IntArray
+    demands: FloatArray
+    class_of: IntArray | None = None
+    member_rates: FloatArray | None = None
+    grouping_tol: float = 0.0
+
+    def __post_init__(self) -> None:
+        mu = np.asarray(self.service_rates, dtype=float)
+        rates = np.asarray(self.class_rates, dtype=float)
+        counts = np.asarray(self.counts, dtype=np.intp)
+        demands = np.asarray(self.demands, dtype=float)
+        if mu.ndim != 1 or mu.size == 0 or np.any(mu <= 0.0):
+            raise ValueError("service_rates must be a positive 1-D vector")
+        if rates.ndim != 1 or rates.size == 0 or np.any(rates <= 0.0):
+            raise ValueError("class_rates must be a positive 1-D vector")
+        if counts.shape != rates.shape or np.any(counts < 1):
+            raise ValueError("counts must be positive, one per class")
+        if demands.shape != rates.shape or np.any(demands <= 0.0):
+            raise ValueError("demands must be positive, one per class")
+        if float(demands.sum()) >= float(mu.sum()):
+            raise ValueError(
+                "aggregate demand must be strictly below total capacity"
+            )
+        object.__setattr__(self, "service_rates", mu)
+        object.__setattr__(self, "class_rates", rates)
+        object.__setattr__(self, "counts", counts)
+        object.__setattr__(self, "demands", demands)
+        if self.class_of is not None:
+            class_of = np.asarray(self.class_of, dtype=np.intp)
+            if class_of.ndim != 1 or class_of.size == 0:
+                raise ValueError("class_of must be a 1-D vector")
+            if class_of.min() < 0 or class_of.max() >= rates.size:
+                raise ValueError("class_of holds out-of-range class indices")
+            object.__setattr__(self, "class_of", class_of)
+        if self.member_rates is not None:
+            member = np.asarray(self.member_rates, dtype=float)
+            if self.class_of is None or member.shape != self.class_of.shape:
+                raise ValueError(
+                    "member_rates requires a matching class_of vector"
+                )
+            object.__setattr__(self, "member_rates", member)
+
+    # ------------------------------------------------------------------
+    # Shape and aggregate properties
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        """Number of user classes ``c``."""
+        return int(self.class_rates.size)
+
+    @property
+    def n_computers(self) -> int:
+        return int(self.service_rates.size)
+
+    @property
+    def n_users(self) -> int:
+        """Number of underlying users ``m`` (``sum counts`` when synthetic)."""
+        if self.class_of is not None:
+            return int(self.class_of.size)
+        return int(self.counts.sum())
+
+    @property
+    def compression(self) -> float:
+        """``m / c`` — the state-size reduction the aggregation buys."""
+        return self.n_users / self.n_classes
+
+    @property
+    def total_demand(self) -> float:
+        return float(self.demands.sum())
+
+    # ------------------------------------------------------------------
+    # Class-space quantities
+    # ------------------------------------------------------------------
+    def loads(self, class_fractions: FloatArray) -> FloatArray:
+        """Aggregate flow into each computer under a class profile."""
+        f = self._validated(class_fractions)
+        lam: FloatArray = self.demands @ f
+        return lam
+
+    def class_times(self, class_fractions: FloatArray) -> FloatArray:
+        """Expected response time of one member of each class."""
+        f = self._validated(class_fractions)
+        lam = self.demands @ f
+        if np.any(self.service_rates - lam <= 0.0):
+            raise ValueError("class profile violates per-computer stability")
+        times: FloatArray = f @ expected_response_time(lam, self.service_rates)
+        return times
+
+    def proportional_fractions(self) -> FloatArray:
+        """Every class splits along capacity — the NASH_P seed."""
+        row = self.service_rates / self.service_rates.sum()
+        tiled: FloatArray = np.tile(row, (self.n_classes, 1))
+        return tiled
+
+    def as_demand_system(self) -> DistributedSystem:
+        """The ``c``-player system whose arrival rates are the class demands.
+
+        *Not* the same game (a class member's opponents include its
+        classmates), but it has identical loads/feasibility structure, so
+        it drives profile repair and warm starts
+        (:func:`repro.core.continuation.warm_start_profile`) in class
+        space.
+        """
+        return DistributedSystem(
+            service_rates=self.service_rates, arrival_rates=self.demands
+        )
+
+    # ------------------------------------------------------------------
+    # Expansion / contraction between user and class space
+    # ------------------------------------------------------------------
+    def expand(self, class_fractions: FloatArray) -> StrategyProfile:
+        """Materialize the ``(m, n)`` per-user profile (every member adopts
+        its class row).
+
+        This is the only O(m·n) operation in the class path — at
+        ``m = 10^6, n = 1024`` the matrix alone is ~8 GB, so callers at
+        scale should stay in class space and expand only slices.
+        """
+        if self.class_of is None:
+            raise ValueError("synthetic aggregation has no user mapping")
+        f = self._validated(class_fractions)
+        return StrategyProfile(f[self.class_of])
+
+    def expand_user_times(self, class_times: FloatArray) -> FloatArray:
+        """Per-user expected response times from per-class member times."""
+        if self.class_of is None:
+            raise ValueError("synthetic aggregation has no user mapping")
+        times = np.asarray(class_times, dtype=float)
+        if times.shape != (self.n_classes,):
+            raise ValueError("class_times must have one entry per class")
+        expanded: FloatArray = times[self.class_of]
+        return expanded
+
+    def contract(self, profile: StrategyProfile | FloatArray) -> FloatArray:
+        """Demand-weighted class rows from an ``(m, n)`` per-user profile.
+
+        The adjoint of :meth:`expand`: for a class-uniform profile it
+        recovers the common row exactly; otherwise it returns each
+        class's traffic-weighted mean row — the seed
+        :class:`ClassNashSolver` warm starts from (continuation across
+        sweep points in class space).
+        """
+        if self.class_of is None or self.member_rates is None:
+            raise ValueError("synthetic aggregation has no user mapping")
+        fractions = (
+            profile.fractions
+            if isinstance(profile, StrategyProfile)
+            else np.asarray(profile, dtype=float)
+        )
+        if fractions.shape != (self.n_users, self.n_computers):
+            raise ValueError(
+                f"profile must have shape ({self.n_users}, "
+                f"{self.n_computers}), got {fractions.shape}"
+            )
+        weighted = np.zeros((self.n_classes, self.n_computers))
+        np.add.at(
+            weighted, self.class_of, fractions * self.member_rates[:, None]
+        )
+        totals = np.zeros(self.n_classes)
+        np.add.at(totals, self.class_of, self.member_rates)
+        contracted: FloatArray = weighted / totals[:, None]
+        return contracted
+
+    def _validated(self, class_fractions: FloatArray) -> FloatArray:
+        f = np.asarray(class_fractions, dtype=float)
+        if f.shape != (self.n_classes, self.n_computers):
+            raise ValueError(
+                f"class profile must have shape ({self.n_classes}, "
+                f"{self.n_computers}), got {f.shape}"
+            )
+        return f
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClassAggregation(n_classes={self.n_classes}, "
+            f"n_users={self.n_users}, n_computers={self.n_computers}, "
+            f"compression={self.compression:.1f}x)"
+        )
+
+
+def aggregate_users(
+    system: DistributedSystem, *, tol: float = 0.0
+) -> ClassAggregation:
+    """Group ``system``'s users into weighted classes by job rate.
+
+    ``tol`` is the *relative* grouping tolerance: users whose rates lie
+    within ``tol`` (relatively) of a class's anchor rate join that class.
+    ``tol=0`` groups exactly equal rates only, for which the class-space
+    equilibrium certificate equals the per-user one exactly; ``tol > 0``
+    trades an O(tol)-sized certificate slack for fewer classes.
+
+    >>> from repro.workloads import paper_table1_system
+    >>> agg = aggregate_users(paper_table1_system(n_users=10))
+    >>> agg.n_classes, agg.n_users          # 10 identical users
+    (1, 10)
+    """
+    if tol < 0.0:
+        raise ValueError("grouping tolerance must be nonnegative")
+    phi = system.arrival_rates
+    m = phi.size
+    if tol == 0.0:  # reprolint: allow=R002 exact-sentinel: 0 selects exact grouping
+        values, inverse, counts = np.unique(
+            phi, return_inverse=True, return_counts=True
+        )
+        class_of = inverse.astype(np.intp)
+        raw_demands = values * counts
+    else:
+        order = np.argsort(phi, kind="stable")
+        sorted_phi = phi[order]
+        edges = []
+        start = 0
+        while start < m:
+            anchor = float(sorted_phi[start])
+            stop = int(
+                np.searchsorted(sorted_phi, anchor * (1.0 + tol), side="right")
+            )
+            stop = max(stop, start + 1)
+            edges.append((start, stop))
+            start = stop
+        class_of = np.empty(m, dtype=np.intp)
+        counts = np.empty(len(edges), dtype=np.intp)
+        raw_demands = np.empty(len(edges))
+        for k, (lo, hi) in enumerate(edges):
+            class_of[order[lo:hi]] = k
+            counts[k] = hi - lo
+            raw_demands[k] = float(sorted_phi[lo:hi].sum())
+    class_rates = raw_demands / counts
+    return ClassAggregation(
+        service_rates=system.service_rates,
+        class_rates=class_rates,
+        counts=counts,
+        # Re-derived from the representative rate so per-member/total
+        # accounting is bitwise self-consistent inside the solver.
+        demands=class_rates * counts,
+        class_of=class_of,
+        member_rates=phi,
+        grouping_tol=float(tol),
+    )
+
+
+# ----------------------------------------------------------------------
+# Equilibrium certificate in class space
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClassEquilibriumCertificate:
+    """Per-class (hence per-user, by symmetry) regret certificate.
+
+    Every member of a class has the same current cost and the same
+    unilateral best-response cost, so the per-class regrets *are* the
+    per-user regrets of the expanded profile and ``epsilon`` is the same
+    epsilon :func:`repro.core.equilibrium.best_response_regrets` would
+    report on the ``(m, n)`` expansion (exactly for exact grouping).
+    """
+
+    regrets: FloatArray
+    class_times: FloatArray
+    best_response_times: FloatArray
+    counts: IntArray
+    epsilon: float
+
+    def is_equilibrium(self, tol: float) -> bool:
+        return self.epsilon <= tol
+
+
+def class_best_response_regrets(
+    aggregation: ClassAggregation, class_fractions: FloatArray
+) -> ClassEquilibriumCertificate:
+    """Certify a class profile with ``c`` batched best responses.
+
+    Row ``k``'s available rates are ``mu - lam + phi_k f_k`` — the
+    aggregate minus everyone else's flow *including the classmates'* —
+    so this is the exact per-user certificate evaluated once per class.
+    """
+    f = aggregation._validated(class_fractions)
+    mu = aggregation.service_rates
+    rates = aggregation.class_rates
+    lam = aggregation.demands @ f
+    if np.any(mu - lam <= 0.0):
+        raise ValueError("class profile violates per-computer stability")
+    current = f @ expected_response_time(lam, mu)
+    member_flows = rates[:, None] * f
+    available = (mu - lam)[None, :] + member_flows
+    best = optimal_fractions_batch(available, rates).expected_response_times
+    regrets = current - best
+    return ClassEquilibriumCertificate(
+        regrets=regrets,
+        class_times=current,
+        best_response_times=best,
+        counts=aggregation.counts,
+        epsilon=float(regrets.max()),
+    )
+
+
+# ----------------------------------------------------------------------
+# The class-space best-reply solver
+# ----------------------------------------------------------------------
+_FILL_MAX_ITERS = 80
+_FILL_RTOL = 1e-14
+
+
+def _symmetric_class_fill(
+    m: FloatArray, demand: float, count: float
+) -> tuple[FloatArray, float]:
+    """Symmetric intra-class equilibrium fill of ``demand`` over rates ``m``.
+
+    ``m`` holds the class's foreign-free rates (``mu - foreign load``);
+    the class's ``count`` members, each with job rate ``demand / count``,
+    play a symmetric Nash equilibrium among themselves while the rest of
+    the world is frozen.  On the support the per-member KKT condition
+    gives, for the residual gap ``g_i = m_i - y_i`` (``y`` the class
+    *total* on computer ``i``) and multiplier ``t``::
+
+        c g_i^2 - t^2 (c - 1) g_i - t^2 m_i = 0
+
+    whose positive root is monotone in ``t``, with the same support rule
+    as the plain water-fill (``i`` carries flow iff ``m_i > t^2``); for
+    ``c = 1`` it degenerates to ``g_i = t sqrt(m_i)`` — the paper's
+    closed form.  We solve the scalar conservation equation
+    ``sum_i y_i(u) = demand`` in ``u = t^2`` by safeguarded Newton.
+
+    Returns the class-total allocation ``y`` (full length, zeros off the
+    support) and the member expected response time.  Raises
+    :class:`InfeasibleDemand` when ``demand`` is at or above the total
+    positive capacity.
+
+    This is the key fix over the naive ``count * best_reply`` update:
+    jumping *all* members of a class to the member best reply at once is
+    intra-class Jacobi and oscillates for large counts, while this fill
+    lands each class exactly on its internal equilibrium, so the outer
+    Gauss-Seidel inherits the per-user iteration's contraction.
+    """
+    pos = m > 0.0
+    mp = m[pos]
+    cap = float(mp.sum())
+    if demand >= cap:
+        raise InfeasibleDemand(demand, cap)
+    c = count
+    c1 = c - 1.0
+    # Bracket in u = t^2: u -> 0 gives y -> m (sum = cap > demand),
+    # u >= max(m) empties the support (sum = 0 < demand).
+    lo = 0.0
+    hi = float(mp.max())
+    u = hi * (1.0 - demand / cap)
+    if u <= lo or u >= hi:
+        u = 0.5 * hi
+    y = mp.copy()
+    for _ in range(_FILL_MAX_ITERS):
+        root = np.sqrt((u * c1) ** 2 + 4.0 * c * u * mp)
+        g = (u * c1 + root) / (2.0 * c)
+        active = mp > g
+        y = np.where(active, mp - g, 0.0)
+        h = float(y.sum()) - demand
+        if h > 0.0:
+            lo = u
+        else:
+            hi = u
+        if abs(h) <= _FILL_RTOL * demand:
+            break
+        # dh/du = -sum over the support of dg/du (root > 0 for u > 0).
+        dg = (c1 + (2.0 * u * c1 * c1 + 4.0 * c * mp) / (2.0 * root)) / (
+            2.0 * c
+        )
+        slope = float(dg[active].sum())
+        if slope > 0.0:
+            u_next = u + h / slope
+        else:
+            u_next = 0.5 * (lo + hi)
+        if u_next <= lo or u_next >= hi:
+            u_next = 0.5 * (lo + hi)
+        u = u_next
+    # Exact conservation: rescale the residual Newton error away (the
+    # relative correction is at most ~_FILL_RTOL).
+    total = float(y.sum())
+    y *= demand / total
+    gap = mp - y
+    d = float((y / gap)[y > 0.0].sum()) / demand  # reprolint: allow=R003 gap > 0 on the support by construction
+    out = np.zeros(m.shape[0])
+    out[pos] = y
+    return out, d
+
+
+def _fused_class_reply_inplace(
+    mu: FloatArray,
+    rate: float,
+    count: float,
+    own: FloatArray,
+    lam: FloatArray,
+    avail: FloatArray,
+    thr: FloatArray,
+) -> float:
+    """One class's equilibrium reply with in-place aggregate bookkeeping.
+
+    ``own`` is the class's *total* flow row inside the ``(c, n)`` flow
+    matrix and ``lam`` the running aggregate, so ``mu - lam + own`` are
+    the class's foreign-free rates.  A singleton class takes the plain
+    water-fill path whose arithmetic mirrors
+    :func:`repro.core.nash._fused_best_reply_inplace` statement for
+    statement — bit-identical results, which the exact-grouping parity
+    tests pin.  A multi-member class lands on its symmetric intra-class
+    equilibrium via :func:`_symmetric_class_fill`.  Returns the member's
+    new expected response time.
+    """
+    np.subtract(mu, lam, out=avail)
+    avail += own
+    if count <= 1.0:
+        if np.any(avail <= 0.0):
+            # Defensive path: unavailable computers present.
+            reply = optimal_fractions(avail, rate)
+            lam -= own
+            np.multiply(reply.fractions, rate, out=own)
+            lam += own
+            return float(reply.expected_response_time)
+
+        order = np.argsort(-avail, kind="stable")
+        a_sorted = avail[order]
+        roots = np.sqrt(a_sorted)
+        cum_a = np.cumsum(a_sorted)
+        cum_r = np.cumsum(roots)
+        if rate >= cum_a[-1]:
+            raise InfeasibleDemand(rate, float(cum_a[-1]))
+
+        np.subtract(cum_a, rate, out=thr)
+        thr /= cum_r
+        valid = roots > thr
+        cut = a_sorted.size - int(valid[::-1].argmax())
+
+        t = thr[cut - 1]
+        x = a_sorted[:cut] - t * roots[:cut]
+        np.maximum(x, 0.0, out=x)
+        x *= rate / x.sum()
+        gap = a_sorted[:cut] - x
+        d = float((x / gap).sum()) / rate  # reprolint: allow=R003 hot path; gap > 0 by the water-fill support
+
+        lam -= own
+        own[:] = 0.0
+        own[order[:cut]] = x
+        lam += own
+        return d
+
+    y, d = _symmetric_class_fill(avail, rate * count, count)
+    lam -= own
+    own[:] = y
+    lam += own
+    return d
+
+
+@dataclass(frozen=True)
+class ClassNashResult:
+    """Outcome of the class-space best-reply iteration.
+
+    ``class_fractions`` is the ``(c, n)`` equilibrium profile; every
+    member of class ``k`` plays row ``k`` (call :meth:`expand` to
+    materialize the per-user matrix — O(m·n) memory).  ``norm_history``
+    is user-weighted, comparable with the per-user solver's.
+    """
+
+    class_fractions: FloatArray
+    converged: bool
+    iterations: int
+    norm_history: FloatArray
+    class_times: FloatArray
+    aggregation: ClassAggregation
+    backend: str = "numpy"
+    history: tuple[FloatArray, ...] = field(default=())
+
+    @property
+    def final_norm(self) -> float:
+        return float(self.norm_history[-1]) if self.norm_history.size else 0.0
+
+    def expand(self) -> StrategyProfile:
+        """The per-user ``(m, n)`` profile (see the memory note above)."""
+        return self.aggregation.expand(self.class_fractions)
+
+
+@dataclass(frozen=True)
+class ClassNashSolver:
+    """Best-reply solver over user classes — ``(c, n)`` state, ``c << m``.
+
+    The configuration mirrors :class:`~repro.core.nash.NashSolver`
+    (tolerance on the user-weighted sweep norm, sweep budget, update
+    order, seed for the ``"random"`` order).  ``use_jit`` selects the
+    optional numba-compiled sweep kernel for the Gauss-Seidel orders:
+    ``None`` defers to the ``REPRO_JIT`` environment flag, ``True``
+    requests it (falling back to the bit-compatible NumPy path when
+    numba is not installed), ``False`` pins the NumPy path.  The backend
+    that actually ran is recorded on the result.
+    """
+
+    tolerance: float = DEFAULT_TOLERANCE
+    max_sweeps: int = DEFAULT_MAX_SWEEPS
+    order: UpdateOrder = "roundrobin"
+    seed: int = 0
+    use_jit: bool | None = None
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if self.max_sweeps < 1:
+            raise ValueError("max_sweeps must be at least 1")
+        if self.order not in ("roundrobin", "random", "simultaneous"):
+            raise ValueError(f"unknown update order {self.order!r}")
+
+    def _initial_fractions(
+        self,
+        aggregation: ClassAggregation,
+        init: ClassInitialization | FloatArray | StrategyProfile,
+    ) -> FloatArray:
+        c, n = aggregation.n_classes, aggregation.n_computers
+        if isinstance(init, StrategyProfile):
+            init = init.fractions
+        if isinstance(init, np.ndarray):
+            f = np.array(init, dtype=float, copy=True)
+            if f.shape != (c, n):
+                raise ValueError(
+                    f"initial class profile must have shape ({c}, {n}), "
+                    f"got {f.shape}"
+                )
+            return f
+        if init == "zero":
+            return np.zeros((c, n))
+        if init == "proportional":
+            return aggregation.proportional_fractions()
+        if init == "uniform":
+            return np.full((c, n), 1.0 / n)
+        raise ValueError(f"unknown initialization {init!r}")
+
+    def solve(
+        self,
+        aggregation: ClassAggregation,
+        init: ClassInitialization | FloatArray | StrategyProfile = "proportional",
+        *,
+        tracer: Tracer | None = None,
+    ) -> ClassNashResult:
+        """Run class-space best-reply sweeps from the given initialization.
+
+        Emits ``solver.class_start`` / ``solver.class_sweep`` /
+        ``solver.class_done`` events on the (ambient or explicit) tracer;
+        the per-sweep ``norm`` fields reconstruct the run's
+        ``norm_history`` exactly, like the per-user solver's.
+        """
+        fractions = self._initial_fractions(aggregation, init)
+        mu = aggregation.service_rates
+        rates = aggregation.class_rates
+        demands = aggregation.demands
+        counts_f = aggregation.counts.astype(float)
+        singleton = bool(np.all(aggregation.counts == 1))
+        c, n = aggregation.n_classes, aggregation.n_computers
+        rng = np.random.default_rng(self.seed) if self.order == "random" else None
+        backend = resolve_backend(self.use_jit)
+        kernel = sweep_kernel(backend) if self.order != "simultaneous" else None
+        if kernel is None:
+            backend = "numpy"
+        tracer = tracer if tracer is not None else current_tracer()
+        trace = tracer.enabled
+        if trace:
+            tracer.emit(
+                "solver.class_start",
+                order=self.order,
+                classes=c,
+                users=aggregation.n_users,
+                computers=n,
+                compression=aggregation.compression,
+                grouping_tol=aggregation.grouping_tol,
+                tolerance=self.tolerance,
+                max_sweeps=self.max_sweeps,
+                backend=backend,
+            )
+
+        # D_k^{(0)}: zero without a conserving allocation (NASH_0), the
+        # actual member times otherwise — mirroring the per-user solver.
+        last_times = np.zeros(c)
+        if np.allclose(fractions.sum(axis=1), 1.0):
+            try:
+                last_times = aggregation.class_times(fractions)
+            except ValueError:
+                pass
+
+        # Hot loop state: (c, n) class *total* flows and the running
+        # aggregate, refreshed once per sweep against round-off drift.
+        flows = fractions * demands[:, None]
+        avail = np.empty(n)
+        thr = np.empty(n)
+
+        norms: list[float] = []
+        history: list[FloatArray] = []
+        converged = False
+        for _sweep in range(self.max_sweeps):
+            lam = flows.sum(axis=0)
+            sweep_started = perf_counter() if trace else 0.0
+            if self.order == "simultaneous":
+                if singleton:
+                    # All-singleton aggregation: the member availables
+                    # are the per-user ones, so this is bit-identical to
+                    # NashSolver's Jacobi sweep.
+                    available = (mu - lam)[None, :] + flows
+                    replies = optimal_fractions_batch(available, rates)
+                    np.multiply(replies.fractions, demands[:, None], out=flows)
+                    times = replies.expected_response_times
+                else:
+                    # Jacobi across classes, each landing on its internal
+                    # symmetric equilibrium against the frozen aggregate.
+                    foreign_free = (mu - lam)[None, :] + flows
+                    times = np.empty(c)
+                    for k in range(c):
+                        flows[k], times[k] = _symmetric_class_fill(
+                            foreign_free[k],
+                            float(demands[k]),
+                            float(counts_f[k]),
+                        )
+                norm = float((counts_f * np.abs(times - last_times)).sum())
+                last_times = times
+            else:
+                schedule = (
+                    rng.permutation(c) if rng is not None else np.arange(c)
+                )
+                if kernel is not None and backend != "numpy":
+                    norm = float(
+                        kernel(
+                            mu, rates, counts_f, flows, lam, last_times,
+                            np.asarray(schedule, dtype=np.intp),
+                        )
+                    )
+                    if norm < 0.0:
+                        raise InfeasibleDemand(
+                            aggregation.total_demand, float(mu.sum())
+                        )
+                else:
+                    norm = 0.0
+                    for k in schedule:
+                        d_k = _fused_class_reply_inplace(
+                            mu,
+                            float(rates[k]),
+                            float(counts_f[k]),
+                            flows[k],
+                            lam,
+                            avail,
+                            thr,
+                        )
+                        norm += counts_f[k] * abs(d_k - last_times[k])
+                        last_times[k] = d_k
+            norms.append(norm)
+            if trace:
+                elapsed = perf_counter() - sweep_started
+                tracer.emit(
+                    "solver.class_sweep",
+                    index=len(norms) - 1,
+                    sweep=len(norms),
+                    norm=norm,
+                    elapsed_s=elapsed,
+                    classes=c,
+                )
+                tracer.count("solver.class_sweeps")
+                tracer.count("solver.class_replies", c)
+                tracer.observe("solver.class_sweep_seconds", elapsed)
+            if self.record_history:
+                history.append(flows / demands[:, None])
+            if norm <= self.tolerance:
+                converged = True
+                break
+
+        final = flows / demands[:, None]
+        try:
+            class_times = aggregation.class_times(final)
+        except ValueError:
+            # Only reachable with the simultaneous (Jacobi) order, which
+            # can overshoot into an unstable joint profile mid-oscillation.
+            class_times = np.full(c, np.inf)
+            converged = False
+        if trace:
+            tracer.emit(
+                "solver.class_done",
+                converged=converged,
+                iterations=len(norms),
+                final_norm=norms[-1] if norms else 0.0,
+                backend=backend,
+            )
+        return ClassNashResult(
+            class_fractions=final,
+            converged=converged,
+            iterations=len(norms),
+            norm_history=np.asarray(norms, dtype=float),
+            class_times=class_times,
+            aggregation=aggregation,
+            backend=backend,
+            history=tuple(history),
+        )
+
+
+# Re-exported for callers that want the sweep kernel directly (tests,
+# benchmarks); the solver itself dispatches through resolve_backend.
+_ = class_sweep_inplace

@@ -1,0 +1,275 @@
+"""Optional numba JIT backend for the class-space sweep kernel.
+
+The class-space best-reply sweep (:mod:`repro.core.classes`) spends its
+time in a fused water-fill per class; :func:`class_sweep_inplace` is a
+loop-style restatement of that kernel written in the numba ``njit``
+subset so the whole Gauss-Seidel sweep can compile to one native call.
+
+numba is **never required**: it is an optional extra (``pip install
+.[jit]``) requested via the ``REPRO_JIT`` environment flag or the
+solver's ``use_jit`` knob.  When numba is absent (the CI default) the
+solver silently takes its standard fused-NumPy path, which is
+*bit-identical* to running with ``use_jit=False`` — the JIT is a pure
+accelerator, not a semantic switch.  The compiled kernel itself is
+tolerance-checked against the NumPy path (sort tie-breaking may differ
+in the last ulp), see ``tests/core/test_classes_jit.py``.
+
+Resolution order:
+
+1. ``use_jit=False`` (or unset with ``REPRO_JIT`` unset/falsy) → numpy.
+2. ``use_jit=True`` or ``REPRO_JIT`` truthy, numba importable and the
+   kernel compiles → numba.
+3. Otherwise → numpy fallback (no warning; the chosen backend is
+   recorded on :class:`~repro.core.classes.ClassNashResult`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Final
+
+import numpy as np
+import numpy.typing as npt
+
+from repro._typing import FloatArray
+
+__all__ = [
+    "class_sweep_inplace",
+    "jit_available",
+    "jit_requested",
+    "resolve_backend",
+    "sweep_kernel",
+]
+
+IndexArray = npt.NDArray[np.intp]
+
+#: Signature shared by the python and compiled sweep kernels.
+SweepKernel = Callable[
+    [
+        FloatArray,  # mu            (n,)   read-only
+        FloatArray,  # rates         (c,)   read-only
+        FloatArray,  # counts        (c,)   read-only
+        FloatArray,  # flows         (c, n) mutated: class *total* flows
+        FloatArray,  # lam           (n,)   mutated: running aggregate
+        FloatArray,  # last_times    (c,)   mutated: previous member times
+        IndexArray,  # schedule      (c,)   read-only update order
+    ],
+    float,
+]
+
+_TRUTHY: Final = frozenset({"1", "true", "yes", "on"})
+
+_compiled_kernel: SweepKernel | None = None
+_compile_attempted: bool = False
+
+
+def jit_requested() -> bool:
+    """Whether the ``REPRO_JIT`` environment flag asks for the JIT."""
+    return os.environ.get("REPRO_JIT", "").strip().lower() in _TRUTHY
+
+
+def jit_available() -> bool:
+    """Whether numba is importable in this environment."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def resolve_backend(use_jit: bool | None) -> str:
+    """Resolve a solver's ``use_jit`` knob to ``"numba"`` or ``"numpy"``.
+
+    ``None`` defers to :func:`jit_requested` (the ``REPRO_JIT`` flag);
+    an explicit ``True`` still degrades gracefully to ``"numpy"`` when
+    numba is not installed, so requesting the JIT is always safe.
+    """
+    wanted = jit_requested() if use_jit is None else use_jit
+    if wanted and jit_available():
+        return "numba"
+    return "numpy"
+
+
+def sweep_kernel(backend: str) -> SweepKernel | None:
+    """The compiled sweep kernel for ``backend``, or ``None`` for numpy.
+
+    Returning ``None`` tells the solver to run its standard fused-NumPy
+    path (bit-identical to ``use_jit=False``); that is also the answer
+    when numba is present but compilation fails for any reason.
+    """
+    global _compiled_kernel, _compile_attempted
+    if backend != "numba":
+        return None
+    if not _compile_attempted:
+        _compile_attempted = True
+        try:
+            from numba import njit
+
+            compiled: SweepKernel = njit(cache=False, fastmath=False)(
+                class_sweep_inplace
+            )
+            # Force compilation on a toy instance so runtime failures
+            # surface here (and fall back) rather than mid-solve.
+            mu = np.array([4.0, 2.0])
+            flows = np.array([[0.5, 0.5]])
+            lam = flows.sum(axis=0)
+            compiled(
+                mu,
+                np.array([1.0]),
+                np.array([1.0]),
+                flows,
+                lam,
+                np.zeros(1),
+                np.zeros(1, dtype=np.intp),
+            )
+            _compiled_kernel = compiled
+        except Exception:
+            _compiled_kernel = None
+    return _compiled_kernel
+
+
+def class_sweep_inplace(
+    mu: FloatArray,
+    rates: FloatArray,
+    counts: FloatArray,
+    flows: FloatArray,
+    lam: FloatArray,
+    last_times: FloatArray,
+    schedule: IndexArray,
+) -> float:
+    """One Gauss-Seidel sweep of class best replies, loop form.
+
+    Mutates ``flows`` (class *total* flow rows), ``lam`` (the running
+    aggregate) and ``last_times`` (per-class member response times) in
+    place and returns the user-weighted sweep norm
+    ``sum_k count_k |D_k - D_k_prev|`` — or ``-1.0`` if some class's
+    demand exceeds its available capacity (the caller raises
+    :class:`~repro.core.waterfill.InfeasibleDemand`).
+
+    Written in the numba ``njit`` subset (flat loops, no fancy
+    indexing); running it under plain Python is supported and is what
+    the parity tests do.  Computers whose available rate is non-positive
+    are excluded from the water-fill, mirroring the defensive mask in
+    :func:`repro.core.best_response.optimal_fractions`.
+    """
+    n = mu.shape[0]
+    avail = np.empty(n)
+    idx = np.empty(n, dtype=np.intp)
+    norm = 0.0
+    for s in range(schedule.shape[0]):
+        k = schedule[s]
+        rate = rates[k]
+        count = counts[k]
+        demand = rate * count
+        # Foreign-free rates m_i = mu_i - lam_i + own_i; collect the
+        # usable (positive) ones.
+        n_pos = 0
+        total = 0.0
+        m_max = 0.0
+        for i in range(n):
+            a = mu[i] - lam[i] + flows[k, i]
+            avail[i] = a
+            if a > 0.0:
+                idx[n_pos] = i
+                n_pos += 1
+                total += a
+                if a > m_max:
+                    m_max = a
+        if demand >= total:
+            return -1.0
+        vals = np.empty(n_pos)
+        for j in range(n_pos):
+            vals[j] = avail[idx[j]]
+        x = np.empty(n_pos)
+        d = 0.0
+        if count <= 1.0:
+            # Singleton class: plain sqrt water-fill (closed form).
+            order = np.argsort(-vals)
+            # Threshold scan: cut is the last position whose sqrt clears
+            # the running threshold (a prefix property, descending sort).
+            cum_a = 0.0
+            cum_r = 0.0
+            cut = 0
+            t = 0.0
+            for j in range(n_pos):
+                a = vals[order[j]]
+                r = np.sqrt(a)
+                cum_a += a
+                cum_r += r
+                tj = (cum_a - rate) / cum_r
+                if r > tj:
+                    cut = j + 1
+                    t = tj
+            x_sum = 0.0
+            for j in range(cut):
+                a = vals[order[j]]
+                xv = a - t * np.sqrt(a)
+                if xv < 0.0:
+                    xv = 0.0
+                x[j] = xv
+                x_sum += xv
+            scale = rate / x_sum
+            for j in range(cut):
+                x[j] *= scale
+                a = vals[order[j]]
+                d += x[j] / (a - x[j])  # reprolint: allow=R003 fused kernel; gap > 0 on the support
+            d /= rate
+            for i in range(n):
+                lam[i] -= flows[k, i]
+                flows[k, i] = 0.0
+            for j in range(cut):
+                i = idx[order[j]]
+                flows[k, i] = x[j]
+                lam[i] += x[j]
+        else:
+            # Multi-member class: symmetric intra-class equilibrium.
+            # Bisection on u = t^2 for the conservation equation
+            # sum_i max(m_i - g_i(u), 0) = demand, where g_i solves
+            # c g^2 - u (c-1) g - u m_i = 0 (see _symmetric_class_fill).
+            c1 = count - 1.0
+            lo = 0.0
+            hi = m_max
+            u = 0.5 * hi
+            for _ in range(90):
+                y_sum = 0.0
+                for j in range(n_pos):
+                    mpj = vals[j]
+                    root = np.sqrt((u * c1) ** 2 + 4.0 * count * u * mpj)
+                    g = (u * c1 + root) / (2.0 * count)
+                    if mpj > g:
+                        y_sum += mpj - g
+                if y_sum > demand:
+                    lo = u
+                else:
+                    hi = u
+                u = 0.5 * (lo + hi)
+            y_sum = 0.0
+            for j in range(n_pos):
+                mpj = vals[j]
+                root = np.sqrt((u * c1) ** 2 + 4.0 * count * u * mpj)
+                g = (u * c1 + root) / (2.0 * count)
+                yv = mpj - g
+                if yv < 0.0:
+                    yv = 0.0
+                x[j] = yv
+                y_sum += yv
+            scale = demand / y_sum
+            for j in range(n_pos):
+                x[j] *= scale
+                if x[j] > 0.0:
+                    d += x[j] / (vals[j] - x[j])  # reprolint: allow=R003 fused kernel; gap > 0 on the support
+            d /= demand
+            for i in range(n):
+                lam[i] -= flows[k, i]
+                flows[k, i] = 0.0
+            for j in range(n_pos):
+                if x[j] > 0.0:
+                    i = idx[j]
+                    flows[k, i] = x[j]
+                    lam[i] += x[j]
+        diff = d - last_times[k]
+        if diff < 0.0:
+            diff = -diff
+        norm += count * diff
+        last_times[k] = d
+    return norm

@@ -103,6 +103,16 @@ def parallel_map(
     is omitted it is computed adaptively from the item and worker counts
     (see :func:`adaptive_chunksize`).
 
+    Pass ``chunksize`` explicitly when per-item costs are *skewed*: the
+    adaptive heuristic assumes roughly uniform items, and a coarse chunk
+    that happens to collect several expensive items serializes them
+    behind one worker while the rest of the pool idles.  Class-shard
+    solves (:func:`repro.core.sharding.solve_sharded`) are the canonical
+    case — shard costs vary with class demand even after LPT balancing —
+    so that call site pins ``chunksize=1``.  An explicit chunk size must
+    be a positive integer; invalid values raise ``ValueError`` up front
+    rather than surfacing as an opaque pool error mid-sweep.
+
     The parallel path draws on a shared per-worker-count executor that
     persists across calls (workers are expensive to spawn; sweeps are
     not), so back-to-back sweeps — ``repro-experiments --all``, the
@@ -113,6 +123,8 @@ def parallel_map(
         n_workers = default_workers()
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
+    if chunksize is not None and chunksize < 1:
+        raise ValueError("chunksize must be at least 1")
     if n_workers == 1 or len(items) <= 1:
         return [fn(item) for item in items]
     if chunksize is None:

@@ -17,6 +17,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.telemetry.events import TraceEvent
 
 __all__ = [
+    "class_summary",
     "engine_summary",
     "event_counts",
     "metrics_snapshot",
@@ -29,7 +30,7 @@ __all__ = [
 ]
 
 #: Event names carrying one completed sweep's convergence norm.
-_SWEEP_EVENTS = ("solver.sweep", "protocol.sweep")
+_SWEEP_EVENTS = ("solver.sweep", "protocol.sweep", "solver.class_sweep")
 
 
 def event_counts(events: Iterable[TraceEvent]) -> dict[str, int]:
@@ -200,6 +201,58 @@ def sweep_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
         "n_points": len(points),
         "by_scheme": by_scheme,
         "continuation": any(p.get("continuation") for p in points),
+    }
+
+
+def class_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Class-space solver and sharded-solve view.
+
+    Rolls up the ``solver.class_*`` events a
+    :class:`~repro.core.classes.ClassNashSolver` run emits (start /
+    per-sweep norms / done) and the coordinator-side ``shard.round`` /
+    ``shard.solve`` events of :func:`~repro.core.sharding.solve_sharded`
+    into one overview: aggregation shape (classes, users, compression),
+    the user-weighted norm history (reconstructible exactly — the same
+    float round-trip guarantee the per-user solver enjoys), the chosen
+    kernel backend, and the per-round global certificate epsilons of a
+    sharded run.
+    """
+    starts: list[dict[str, Any]] = []
+    sweeps: list[dict[str, Any]] = []
+    dones: list[dict[str, Any]] = []
+    rounds: list[dict[str, Any]] = []
+    shard_solves: list[dict[str, Any]] = []
+    for event in events:
+        if event.name == "solver.class_start":
+            starts.append(dict(event.fields))
+        elif event.name == "solver.class_sweep":
+            sweeps.append(dict(event.fields))
+        elif event.name == "solver.class_done":
+            dones.append(dict(event.fields))
+        elif event.name == "shard.round":
+            rounds.append(dict(event.fields))
+        elif event.name == "shard.solve":
+            shard_solves.append(dict(event.fields))
+    last_start = starts[-1] if starts else {}
+    return {
+        "solves": dones,
+        "n_solves": len(dones),
+        "classes": int(last_start.get("classes", 0)),
+        "users": int(last_start.get("users", 0)),
+        "compression": float(last_start.get("compression", 0.0)),
+        "backend": str(last_start.get("backend", "numpy")),
+        "norm_history": [float(s["norm"]) for s in sweeps],
+        "total_sweeps": len(sweeps),
+        "total_elapsed_s": float(
+            sum(float(s.get("elapsed_s", 0.0)) for s in sweeps)
+        ),
+        "shard_rounds": rounds,
+        "n_rounds": len(rounds),
+        "n_shard_solves": len(shard_solves),
+        "epsilon_history": [float(r["epsilon"]) for r in rounds],
+        "final_epsilon": (
+            float(rounds[-1]["epsilon"]) if rounds else None
+        ),
     }
 
 

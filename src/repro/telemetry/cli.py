@@ -18,6 +18,7 @@ import sys
 from typing import Any, Sequence
 
 from repro.telemetry.analysis import (
+    class_summary,
     engine_summary,
     protocol_summary,
     reconstruct_norm_history,
@@ -98,6 +99,30 @@ def _render_summary(events: list[TraceEvent]) -> tuple[dict[str, Any], str]:
         lines.append(
             f"sweeps: {sweeps['n_points']} point solves ({mode}): {per_scheme}"
         )
+    classes = class_summary(events)
+    if classes["n_solves"] or classes["n_rounds"]:
+        shape = (
+            f"{classes['classes']} classes / {classes['users']} users "
+            f"({classes['compression']:.0f}x, {classes['backend']})"
+        )
+        if classes["n_rounds"]:
+            lines.append(
+                f"class-space: {classes['n_solves']} solves, "
+                f"{classes['total_sweeps']} sweeps, {shape}; "
+                f"sharded: {classes['n_rounds']} rounds / "
+                f"{classes['n_shard_solves']} shard solves, "
+                f"final epsilon {classes['final_epsilon']:.3g}"
+            )
+        else:
+            final = (
+                f"final norm {classes['norm_history'][-1]:.3g}, "
+                if classes["norm_history"]
+                else ""
+            )
+            lines.append(
+                f"class-space: {classes['n_solves']} solves, "
+                f"{classes['total_sweeps']} sweeps, {final}{shape}"
+            )
     engine = engine_summary(events)
     if engine["n_epochs"]:
         lines.append(

@@ -53,6 +53,13 @@ DECLARED_EVENTS: dict[str, str] = {
     "solver.start": "summary",
     "solver.sweep": "convergence",
     "solver.done": "summary",
+    # ClassNashSolver (class-space) instrumentation
+    "solver.class_start": "summary",
+    "solver.class_sweep": "convergence",
+    "solver.class_done": "summary",
+    # sharded class-space solve (coordinator-side)
+    "shard.solve": "summary",
+    "shard.round": "summary",
     # simulation engine
     "sim.run": "summary",
     "sim.outage": "summary",

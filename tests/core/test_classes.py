@@ -1,0 +1,300 @@
+"""Tests for user-class aggregation and the class-space NASH solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classes import (
+    ClassAggregation,
+    ClassNashSolver,
+    aggregate_users,
+    class_best_response_regrets,
+)
+from repro.core.equilibrium import best_response_regrets
+from repro.core.model import DistributedSystem
+from repro.core.nash import NashSolver
+from repro.core.strategy import StrategyProfile
+from repro.core.waterfill import InfeasibleDemand
+from repro.workloads.configs import paper_table1_system, random_system
+
+
+class TestAggregateUsers:
+    def test_uniform_population_collapses_to_one_class(self):
+        system = paper_table1_system(n_users=10)
+        agg = aggregate_users(system)
+        assert agg.n_classes == 1
+        assert agg.n_users == 10
+        assert agg.compression == 10.0
+        np.testing.assert_allclose(agg.total_demand, system.total_arrival_rate)
+
+    def test_exact_grouping_by_rate(self):
+        system = DistributedSystem(
+            service_rates=[20.0, 10.0],
+            arrival_rates=[2.0, 1.0, 2.0, 3.0, 1.0, 2.0],
+        )
+        agg = aggregate_users(system)
+        assert agg.n_classes == 3
+        np.testing.assert_array_equal(agg.class_rates, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(agg.counts, [2, 3, 1])
+        # class_of maps each user to the class holding its exact rate
+        assert agg.class_of is not None
+        np.testing.assert_array_equal(
+            agg.class_rates[agg.class_of], system.arrival_rates
+        )
+
+    def test_demands_account_for_every_user(self):
+        system = random_system(np.random.default_rng(7), n_computers=5, n_users=40)
+        agg = aggregate_users(system)
+        np.testing.assert_allclose(
+            agg.total_demand, system.total_arrival_rate, rtol=1e-12
+        )
+        assert int(agg.counts.sum()) == system.n_users
+
+    def test_tolerance_grouping_merges_near_rates(self):
+        system = DistributedSystem(
+            service_rates=[50.0],
+            arrival_rates=[1.0, 1.005, 1.009, 2.0, 2.004],
+        )
+        exact = aggregate_users(system)
+        coarse = aggregate_users(system, tol=0.01)
+        assert exact.n_classes == 5
+        assert coarse.n_classes == 2
+        np.testing.assert_array_equal(coarse.counts, [3, 2])
+        # weighted demand is conserved under merging
+        np.testing.assert_allclose(
+            coarse.total_demand, system.total_arrival_rate, rtol=1e-12
+        )
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            aggregate_users(paper_table1_system(n_users=4), tol=-0.1)
+
+    def test_rejects_unstable_demand(self):
+        with pytest.raises(ValueError):
+            ClassAggregation(
+                service_rates=np.array([1.0]),
+                class_rates=np.array([2.0]),
+                counts=np.array([1]),
+                demands=np.array([2.0]),
+            )
+
+
+class TestExpandContract:
+    def test_expand_contract_roundtrip(self):
+        system = random_system(np.random.default_rng(3), n_computers=4, n_users=12)
+        agg = aggregate_users(system)
+        f = agg.proportional_fractions()
+        profile = agg.expand(f)
+        assert isinstance(profile, StrategyProfile)
+        assert profile.fractions.shape == (system.n_users, system.n_computers)
+        np.testing.assert_allclose(agg.contract(profile), f, atol=1e-12)
+
+    def test_expand_assigns_class_row_to_each_member(self):
+        system = paper_table1_system(n_users=6)
+        agg = aggregate_users(system)
+        f = agg.proportional_fractions()
+        profile = agg.expand(f)
+        for j in range(system.n_users):
+            np.testing.assert_array_equal(profile.fractions[j], f[0])
+
+    def test_synthetic_aggregation_cannot_expand(self):
+        agg = ClassAggregation(
+            service_rates=np.array([10.0]),
+            class_rates=np.array([1.0]),
+            counts=np.array([3]),
+            demands=np.array([3.0]),
+        )
+        with pytest.raises(ValueError, match="no user mapping"):
+            agg.expand(np.array([[1.0]]))
+
+
+class TestSingletonBitParity:
+    """Singleton classes reduce to the per-user solver bit-for-bit."""
+
+    @pytest.mark.parametrize("order", ["roundrobin", "random"])
+    @pytest.mark.parametrize("init", ["zero", "proportional"])
+    def test_bit_identical_to_per_user(self, order, init):
+        base = random_system(np.random.default_rng(11), n_computers=4, n_users=8)
+        # Distinct rates -> every class is a singleton.  Rates are sorted
+        # so class index == user index (np.unique sorts): the class-space
+        # Gauss-Seidel then visits the same schedule as the per-user one
+        # and the trajectories must agree to the last bit.
+        system = DistributedSystem(
+            service_rates=base.service_rates,
+            arrival_rates=np.sort(base.arrival_rates),
+        )
+        assert np.unique(system.arrival_rates).size == system.n_users
+        agg = aggregate_users(system)
+        assert agg.n_classes == system.n_users
+
+        per_user = NashSolver(order=order, seed=5).solve(system, init)
+        per_class = ClassNashSolver(order=order, seed=5).solve(agg, init)
+
+        assert per_class.converged
+        assert per_class.iterations == per_user.iterations
+        np.testing.assert_array_equal(
+            per_class.expand().fractions, per_user.profile.fractions
+        )
+        np.testing.assert_array_equal(
+            np.asarray(per_class.norm_history),
+            np.asarray(per_user.norm_history),
+        )
+
+    def test_simultaneous_order_bit_identical(self):
+        base = random_system(np.random.default_rng(2), n_computers=4, n_users=6)
+        system = DistributedSystem(
+            service_rates=base.service_rates,
+            arrival_rates=np.sort(base.arrival_rates),
+        )
+        agg = aggregate_users(system)
+        per_user = NashSolver(order="simultaneous").solve(system, "zero")
+        per_class = ClassNashSolver(order="simultaneous").solve(agg, "zero")
+        assert per_class.iterations == per_user.iterations
+        np.testing.assert_array_equal(
+            per_class.expand().fractions, per_user.profile.fractions
+        )
+
+
+class TestGroupedParity:
+    def test_uniform_class_solve_matches_per_user_equilibrium(self):
+        system = paper_table1_system(n_users=10, utilization=0.6)
+        per_user = NashSolver(tolerance=1e-9).solve(system, "proportional")
+        agg = aggregate_users(system)
+        per_class = ClassNashSolver(tolerance=1e-9).solve(agg, "proportional")
+        assert per_class.converged
+        # Same equilibrium (it is unique), certified in user space.
+        cert = best_response_regrets(system, per_class.expand())
+        assert cert.epsilon <= 1e-6
+        np.testing.assert_allclose(
+            per_class.expand().fractions,
+            per_user.profile.fractions,
+            atol=1e-6,
+        )
+
+    def test_tolerance_grouping_epsilon_within_slack(self):
+        rng = np.random.default_rng(9)
+        base = rng.uniform(0.5, 2.0, size=6)
+        phi = np.repeat(base, 4) * rng.uniform(1.0, 1.0005, size=24)
+        system = DistributedSystem(
+            service_rates=[40.0, 25.0, 15.0], arrival_rates=phi
+        )
+        agg = aggregate_users(system, tol=1e-3)
+        assert agg.n_classes < system.n_users
+        result = ClassNashSolver().solve(agg, "proportional")
+        assert result.converged
+        # user-space certificate degrades by O(tol), not more
+        cert = best_response_regrets(system, result.expand())
+        assert cert.epsilon <= 1e-2
+
+    def test_class_certificate_matches_user_certificate_exact_grouping(self):
+        system = random_system(np.random.default_rng(21), n_computers=4, n_users=10)
+        agg = aggregate_users(system)
+        result = ClassNashSolver().solve(agg, "proportional")
+        class_cert = class_best_response_regrets(agg, result.class_fractions)
+        user_cert = best_response_regrets(system, result.expand())
+        np.testing.assert_allclose(
+            class_cert.epsilon, user_cert.epsilon, atol=1e-12
+        )
+        assert class_cert.is_equilibrium(1e-6)
+
+
+class TestMultiMemberClasses:
+    def test_converges_and_certifies(self):
+        system = paper_table1_system(n_users=32, utilization=0.7)
+        agg = aggregate_users(system)
+        assert agg.n_classes == 1  # uniform rates -> a genuinely fat class
+        result = ClassNashSolver().solve(agg, "zero")
+        assert result.converged
+        cert = class_best_response_regrets(agg, result.class_fractions)
+        assert cert.epsilon <= 1e-6
+
+    def test_mixed_counts_reach_user_space_equilibrium(self):
+        phi = np.array([1.0] * 5 + [2.5] * 3 + [0.4])
+        system = DistributedSystem(
+            service_rates=[30.0, 20.0, 10.0], arrival_rates=phi
+        )
+        agg = aggregate_users(system)
+        np.testing.assert_array_equal(np.sort(agg.counts), [1, 3, 5])
+        result = ClassNashSolver().solve(agg, "proportional")
+        assert result.converged
+        cert = best_response_regrets(system, result.expand())
+        assert cert.epsilon <= 1e-6
+
+    def test_infeasible_class_fill_raises(self):
+        from repro.core.classes import _symmetric_class_fill
+
+        with pytest.raises(InfeasibleDemand):
+            _symmetric_class_fill(np.array([1.0, 0.5]), 2.0, 3)
+
+    def test_symmetric_fill_degenerates_to_waterfill_for_count_one(self):
+        from repro.core.best_response import optimal_fractions
+        from repro.core.classes import _symmetric_class_fill
+
+        m = np.array([9.0, 4.0, 1.0])
+        demand = 2.5
+        y, d = _symmetric_class_fill(m, demand, 1)
+        reply = optimal_fractions(m, demand)
+        np.testing.assert_allclose(y, reply.fractions * demand, atol=1e-12)
+
+    def test_symmetric_fill_conserves_demand(self):
+        from repro.core.classes import _symmetric_class_fill
+
+        m = np.array([12.0, 7.0, 3.0, 0.5])
+        for count in (1, 2, 5, 100):
+            y, d = _symmetric_class_fill(m, 4.0, count)
+            np.testing.assert_allclose(y.sum(), 4.0, rtol=1e-10)
+            assert np.all(y >= 0.0)
+            assert np.all(y <= m + 1e-12)
+            assert d > 0.0
+
+
+class TestSolverConfig:
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            ClassNashSolver(tolerance=0.0)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            ClassNashSolver(order="sideways")
+
+    def test_record_history(self):
+        agg = aggregate_users(paper_table1_system(n_users=4))
+        result = ClassNashSolver(record_history=True).solve(agg, "zero")
+        assert result.history is not None
+        assert len(result.history) == result.iterations
+
+
+class TestTracing:
+    def test_traced_run_reconstructs_norm_history(self, tmp_path):
+        from repro.telemetry.analysis import reconstruct_norm_history
+        from repro.telemetry.sinks import JsonlSink, read_trace
+        from repro.telemetry.trace import Tracer
+
+        path = tmp_path / "class.trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        agg = aggregate_users(paper_table1_system(n_users=10))
+        result = ClassNashSolver().solve(agg, "zero", tracer=tracer)
+        tracer.close()
+        events = read_trace(path)
+        assert reconstruct_norm_history(events) == list(result.norm_history)
+        names = [event.name for event in events]
+        assert names.count("solver.class_start") == 1
+        assert names.count("solver.class_done") == 1
+
+    def test_class_summary_rollup(self, tmp_path):
+        from repro.telemetry.analysis import class_summary
+        from repro.telemetry.sinks import JsonlSink, read_trace
+        from repro.telemetry.trace import Tracer
+
+        path = tmp_path / "class.trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        agg = aggregate_users(paper_table1_system(n_users=10))
+        result = ClassNashSolver().solve(agg, "zero", tracer=tracer)
+        tracer.close()
+        summary = class_summary(read_trace(path))
+        assert summary["n_solves"] == 1
+        assert summary["classes"] == 1
+        assert summary["users"] == 10
+        assert summary["total_sweeps"] == result.iterations
+        assert summary["backend"] == result.backend

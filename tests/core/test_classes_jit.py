@@ -1,0 +1,164 @@
+"""Tests for the optional JIT water-fill kernel and its numpy fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classes import ClassNashSolver, aggregate_users
+from repro.core.jit import (
+    class_sweep_inplace,
+    jit_available,
+    jit_requested,
+    resolve_backend,
+    sweep_kernel,
+)
+from repro.workloads.configs import paper_table1_system
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_JIT", value)
+        assert jit_requested()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "banana"])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_JIT", value)
+        assert not jit_requested()
+
+    def test_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        assert not jit_requested()
+
+
+class TestResolveBackend:
+    def test_explicit_false_is_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "1")
+        assert resolve_backend(False) == "numpy"
+
+    def test_none_defers_to_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        assert resolve_backend(None) == "numpy"
+
+    def test_requesting_jit_without_numba_degrades(self, monkeypatch):
+        if jit_available():
+            pytest.skip("numba installed; fallback path not reachable")
+        assert resolve_backend(True) == "numpy"
+
+    def test_env_request_without_numba_degrades(self, monkeypatch):
+        if jit_available():
+            pytest.skip("numba installed; fallback path not reachable")
+        monkeypatch.setenv("REPRO_JIT", "1")
+        assert resolve_backend(None) == "numpy"
+
+    def test_numpy_backend_has_no_kernel(self):
+        assert sweep_kernel("numpy") is None
+
+
+class TestFallbackBitIdentity:
+    def test_use_jit_true_matches_false_without_numba(self):
+        # With numba absent, use_jit=True must be *bit-identical* to the
+        # plain numpy path — same backend resolution, same kernel.
+        if jit_available():
+            pytest.skip("numba installed; exercising the absent-numba path")
+        agg = aggregate_users(paper_table1_system(n_users=16))
+        plain = ClassNashSolver(use_jit=False).solve(agg, "proportional")
+        fallback = ClassNashSolver(use_jit=True).solve(agg, "proportional")
+        assert fallback.backend == "numpy"
+        assert fallback.iterations == plain.iterations
+        np.testing.assert_array_equal(
+            fallback.class_fractions, plain.class_fractions
+        )
+        np.testing.assert_array_equal(
+            np.asarray(fallback.norm_history), np.asarray(plain.norm_history)
+        )
+
+
+class TestPythonModeKernel:
+    """class_sweep_inplace run as plain Python (no numba required)."""
+
+    def _solve_with_kernel(self, agg, max_sweeps=500, tolerance=1e-9):
+        c, n = agg.n_classes, agg.n_computers
+        mu = agg.service_rates
+        rates = agg.class_rates
+        counts = agg.counts.astype(float)
+        flows = agg.proportional_fractions() * agg.demands[:, None]
+        lam = flows.sum(axis=0)
+        last = np.zeros(c)
+        schedule = np.arange(c, dtype=np.intp)
+        for sweep in range(max_sweeps):
+            norm = class_sweep_inplace(
+                mu, rates, counts, flows, lam, last, schedule
+            )
+            assert norm >= 0.0
+            if norm <= tolerance:
+                return flows / agg.demands[:, None], sweep + 1
+        raise AssertionError("kernel iteration did not converge")
+
+    def test_matches_solver_at_tolerance(self):
+        agg = aggregate_users(paper_table1_system(n_users=12))
+        fractions, iters = self._solve_with_kernel(agg)
+        reference = ClassNashSolver(tolerance=1e-9).solve(
+            agg, "proportional"
+        )
+        np.testing.assert_allclose(
+            fractions, reference.class_fractions, atol=1e-7
+        )
+
+    def test_multi_class_system(self):
+        rng = np.random.default_rng(31)
+        mu = rng.uniform(20.0, 50.0, size=6)
+        rates = np.array([0.5, 1.0, 2.0])
+        counts = np.array([4, 3, 2])
+        phi = np.repeat(rates, counts)
+        phi *= 0.65 * mu.sum() / phi.sum()
+        from repro.core.model import DistributedSystem
+
+        system = DistributedSystem(service_rates=mu, arrival_rates=phi)
+        agg = aggregate_users(system)
+        fractions, _ = self._solve_with_kernel(agg)
+        from repro.core.classes import class_best_response_regrets
+
+        cert = class_best_response_regrets(agg, fractions)
+        assert cert.epsilon <= 1e-6
+
+    def test_infeasible_returns_sentinel(self):
+        mu = np.array([2.0, 1.0])
+        rates = np.array([5.0])
+        counts = np.array([1.0])
+        flows = np.zeros((1, 2))
+        lam = np.zeros(2)
+        last = np.zeros(1)
+        schedule = np.zeros(1, dtype=np.intp)
+        norm = class_sweep_inplace(
+            mu, rates, counts, flows, lam, last, schedule
+        )
+        assert norm == -1.0
+
+
+@pytest.mark.skipif(not jit_available(), reason="numba not installed")
+class TestCompiledKernel:
+    def test_compiled_matches_python_mode(self):
+        kernel = sweep_kernel("numba")
+        assert kernel is not None
+        agg = aggregate_users(paper_table1_system(n_users=12))
+        args_py = self._fresh_state(agg)
+        args_nb = self._fresh_state(agg)
+        norm_py = class_sweep_inplace(*args_py)
+        norm_nb = kernel(*args_nb)
+        assert norm_py == norm_nb
+        np.testing.assert_array_equal(args_py[3], args_nb[3])
+
+    @staticmethod
+    def _fresh_state(agg):
+        flows = agg.proportional_fractions() * agg.demands[:, None]
+        return (
+            agg.service_rates,
+            agg.class_rates,
+            agg.counts.astype(float),
+            flows,
+            flows.sum(axis=0),
+            np.zeros(agg.n_classes),
+            np.arange(agg.n_classes, dtype=np.intp),
+        )

@@ -1,0 +1,170 @@
+"""Tests for the two-level sharded class-space NASH solve."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classes import (
+    ClassNashSolver,
+    aggregate_users,
+    class_best_response_regrets,
+)
+from repro.core.model import DistributedSystem
+from repro.core.sharding import partition_classes, solve_sharded
+from repro.workloads.configs import random_system
+
+
+def _many_class_system(
+    n_computers: int = 8, n_classes: int = 12, seed: int = 17
+) -> DistributedSystem:
+    """A system whose users split into ``n_classes`` weighted classes."""
+    rng = np.random.default_rng(seed)
+    mu = rng.uniform(20.0, 60.0, size=n_computers)
+    rates = rng.uniform(0.2, 1.0, size=n_classes)
+    counts = rng.integers(1, 5, size=n_classes)
+    phi = np.repeat(rates, counts)
+    phi *= 0.6 * mu.sum() / phi.sum()
+    return DistributedSystem(service_rates=mu, arrival_rates=phi)
+
+
+class TestPartitionClasses:
+    def test_covers_every_class_exactly_once(self):
+        agg = aggregate_users(_many_class_system())
+        shards = partition_classes(agg, 4)
+        assert len(shards) == 4
+        merged = np.sort(np.concatenate(shards))
+        np.testing.assert_array_equal(merged, np.arange(agg.n_classes))
+
+    def test_lpt_balances_demand(self):
+        agg = aggregate_users(_many_class_system(n_classes=24))
+        shards = partition_classes(agg, 4)
+        loads = np.array([agg.demands[s].sum() for s in shards])
+        # LPT guarantees no shard exceeds the mean by more than the
+        # largest single class demand.
+        assert loads.max() - loads.min() <= agg.demands.max() + 1e-9
+
+    def test_more_shards_than_classes(self):
+        agg = aggregate_users(_many_class_system(n_classes=3))
+        shards = partition_classes(agg, 8)
+        assert len(shards) == 3  # capped at one class per shard
+
+    def test_rejects_bad_shard_count(self):
+        agg = aggregate_users(_many_class_system())
+        with pytest.raises(ValueError):
+            partition_classes(agg, 0)
+
+
+class TestSolveSharded:
+    def test_single_shard_matches_plain_class_solve(self):
+        agg = aggregate_users(_many_class_system())
+        sharded = solve_sharded(agg, n_shards=1, tolerance=1e-8)
+        assert sharded.converged
+        plain = ClassNashSolver(tolerance=1e-10).solve(agg, "proportional")
+        # The equilibrium is unique; near the certificate floor the
+        # *delays* agree tightly even where boundary fractions wiggle.
+        np.testing.assert_allclose(
+            agg.class_times(sharded.class_fractions),
+            agg.class_times(plain.class_fractions),
+            rtol=1e-4,
+        )
+        assert class_best_response_regrets(
+            agg, plain.class_fractions
+        ).is_equilibrium(1e-8)
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_sharded_reaches_same_certificate_epsilon(self, n_shards):
+        agg = aggregate_users(_many_class_system(n_classes=16, seed=5))
+        tolerance = 1e-6
+        sharded = solve_sharded(
+            agg, n_shards=n_shards, tolerance=tolerance
+        )
+        assert sharded.converged
+        assert sharded.epsilon <= tolerance
+        # The certificate the result carries is the real class-space one.
+        cert = class_best_response_regrets(agg, sharded.class_fractions)
+        np.testing.assert_allclose(cert.epsilon, sharded.epsilon, rtol=1e-9)
+
+    def test_epsilon_history_is_recorded(self):
+        agg = aggregate_users(_many_class_system(seed=3))
+        result = solve_sharded(agg, n_shards=2, tolerance=1e-6)
+        assert result.converged
+        assert len(result.epsilon_history) == result.rounds
+        assert result.epsilon_history[-1] <= 1e-6
+
+    def test_pool_matches_serial_bit_for_bit(self):
+        # Identical shard maths whether shards run in-process or across
+        # a process pool (explicit n_workers=2 so the pool really runs
+        # even on single-core CI).
+        agg = aggregate_users(_many_class_system(n_classes=10, seed=8))
+        serial = solve_sharded(agg, n_shards=2, tolerance=1e-6, n_workers=1)
+        pooled = solve_sharded(agg, n_shards=2, tolerance=1e-6, n_workers=2)
+        assert serial.rounds == pooled.rounds
+        np.testing.assert_array_equal(
+            serial.class_fractions, pooled.class_fractions
+        )
+        np.testing.assert_array_equal(
+            np.asarray(serial.epsilon_history),
+            np.asarray(pooled.epsilon_history),
+        )
+
+    def test_chunksize_is_forwarded(self):
+        agg = aggregate_users(_many_class_system(seed=4))
+        result = solve_sharded(
+            agg, n_shards=2, tolerance=1e-6, n_workers=2, chunksize=2
+        )
+        assert result.converged
+        with pytest.raises(ValueError, match="chunksize"):
+            solve_sharded(
+                agg, n_shards=2, tolerance=1e-6, n_workers=2, chunksize=0
+            )
+
+    def test_expand_produces_user_profile(self):
+        system = _many_class_system(seed=12)
+        agg = aggregate_users(system)
+        result = solve_sharded(agg, n_shards=2, tolerance=1e-6)
+        profile = result.expand()
+        assert profile.fractions.shape == (system.n_users, system.n_computers)
+        np.testing.assert_allclose(
+            profile.fractions.sum(axis=1), 1.0, atol=1e-9
+        )
+
+    def test_warm_start_init(self):
+        agg = aggregate_users(_many_class_system(seed=6))
+        cold = solve_sharded(agg, n_shards=2, tolerance=1e-6)
+        warm = solve_sharded(
+            agg, n_shards=2, tolerance=1e-6, init=cold.class_fractions
+        )
+        assert warm.converged
+        assert warm.rounds <= cold.rounds
+
+    def test_rejects_bad_config(self):
+        agg = aggregate_users(_many_class_system())
+        with pytest.raises(ValueError):
+            solve_sharded(agg, n_shards=1, tolerance=0.0)
+        with pytest.raises(ValueError):
+            solve_sharded(agg, n_shards=1, max_rounds=0)
+        with pytest.raises(ValueError):
+            solve_sharded(agg, n_shards=1, reconcile_sweeps=0)
+
+
+class TestShardTelemetry:
+    def test_traced_round_and_solve_events(self, tmp_path):
+        from repro.telemetry.analysis import class_summary
+        from repro.telemetry.sinks import JsonlSink, read_trace
+        from repro.telemetry.trace import Tracer
+
+        path = tmp_path / "shard.trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        agg = aggregate_users(_many_class_system(seed=2))
+        result = solve_sharded(
+            agg, n_shards=2, tolerance=1e-6, tracer=tracer
+        )
+        tracer.close()
+        events = read_trace(path)
+        names = [event.name for event in events]
+        assert names.count("shard.round") == result.rounds
+        assert names.count("shard.solve") == 2 * result.rounds
+        summary = class_summary(events)
+        assert summary["n_rounds"] == result.rounds
+        assert summary["final_epsilon"] == result.epsilon

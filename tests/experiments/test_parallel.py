@@ -48,6 +48,27 @@ class TestParallelMap:
         )
         assert result == [x * x for x in range(10)]
 
+    def test_chunksize_one_for_skewed_items(self):
+        # Skewed workloads (e.g. class shards) pin chunksize=1 so no
+        # expensive item queues behind a cheap one; semantics unchanged.
+        result = parallel_map(
+            square, list(range(10)), n_workers=2, chunksize=1
+        )
+        assert result == [x * x for x in range(10)]
+
+    @pytest.mark.parametrize("chunksize", [0, -1])
+    def test_chunksize_validation(self, chunksize):
+        with pytest.raises(ValueError, match="chunksize"):
+            parallel_map(
+                square, [1, 2, 3], n_workers=2, chunksize=chunksize
+            )
+
+    def test_chunksize_validated_even_on_serial_path(self):
+        # The serial fallback still rejects nonsense chunk sizes so the
+        # bug does not hide until a sweep first runs with n_workers > 1.
+        with pytest.raises(ValueError, match="chunksize"):
+            parallel_map(square, [1, 2, 3], n_workers=1, chunksize=0)
+
 
 class TestPoolReuse:
     def test_executor_is_reused_across_calls(self):
