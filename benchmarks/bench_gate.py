@@ -13,9 +13,12 @@ fails when
   looped replications, ``--min-warm-speedup`` (default 2x) for the
   warm-started versus cold Figure-4 sweep, ``--min-churn-speedup``
   (default 2x) for the online engine's incremental re-equilibration
-  versus cold re-solves over the churn trace, and
+  versus cold re-solves over the churn trace,
   ``--min-class-speedup`` (default 5x) for the class-space versus
-  per-user fixed-budget NASH solve at m=100k users.
+  per-user fixed-budget NASH solve at m=100k users, and
+  ``--min-sample-msg-reduction`` (default 10x) for the sampled
+  (power-of-k) ring protocol's per-sweep message reduction against the
+  full-information baseline.
 
 Usage::
 
@@ -53,6 +56,7 @@ def compare(
     min_warm_speedup: float = 2.0,
     min_churn_speedup: float = 2.0,
     min_class_speedup: float = 5.0,
+    min_sample_msg_reduction: float = 10.0,
 ) -> list[str]:
     """Return a list of human-readable gate violations (empty = pass)."""
     failures = []
@@ -72,6 +76,7 @@ def compare(
         ("churn", min_churn_speedup),
         ("class", min_class_speedup),
         ("sweep", min_warm_speedup),
+        ("sample", min_sample_msg_reduction),
     )
     for key, speedup in sorted(fresh.get("speedups", {}).items()):
         for token, floor in floors:
@@ -100,6 +105,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-warm-speedup", type=float, default=2.0)
     parser.add_argument("--min-churn-speedup", type=float, default=2.0)
     parser.add_argument("--min-class-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--min-sample-msg-reduction", type=float, default=10.0
+    )
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -111,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
         min_warm_speedup=args.min_warm_speedup,
         min_churn_speedup=args.min_churn_speedup,
         min_class_speedup=args.min_class_speedup,
+        min_sample_msg_reduction=args.min_sample_msg_reduction,
     )
     if failures:
         print("bench-gate: FAIL")

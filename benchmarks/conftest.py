@@ -16,13 +16,18 @@ replications and warm-started sweeps; group ``engine-churn``: the
 online engine's incremental re-equilibration versus cold re-solves
 over a churn trace; group ``class-scale``: million-user solves in
 user-class space and the fixed-budget per-user versus class-space
-pair) into ``BENCH_nash.json`` at the
+pair; group ``sampled-nash``: power-of-k sampled versus
+full-information class solves and the sampled ring's message
+reduction) into ``BENCH_nash.json`` at the
 repo root — the perf-regression trajectory CI gates on (see
 ``benchmarks/bench_gate.py`` and docs/PERFORMANCE.md).  Baseline/
 optimized benchmark pairs — names differing only in a
 ``_legacy``/``_vectorized``, ``_looped``/``_batched``,
-``_cold``/``_warm`` or ``_peruser``/``_classspace`` suffix —
-additionally record their speedup ratio.
+``_cold``/``_warm``, ``_peruser``/``_classspace`` or
+``_fullinfo``/``_sampled`` suffix — additionally record their speedup
+ratio.  Benchmarks may also record non-timing ratios (e.g. the sampled
+protocol's message reduction) through the ``record_speedup`` fixture;
+they land in the same ``speedups`` mapping the gate applies floors to.
 """
 
 from __future__ import annotations
@@ -34,7 +39,13 @@ import pathlib
 import pytest
 
 #: Benchmark groups serialized into the BENCH JSON.
-BENCH_GROUPS = ("nash-core", "sim-fastpath", "engine-churn", "class-scale")
+BENCH_GROUPS = (
+    "nash-core",
+    "sim-fastpath",
+    "engine-churn",
+    "class-scale",
+    "sampled-nash",
+)
 #: Baseline/optimized name-suffix pairs recorded as speedups
 #: (baseline suffix first; speedup = baseline mean / optimized mean).
 SPEEDUP_SUFFIXES = (
@@ -42,7 +53,11 @@ SPEEDUP_SUFFIXES = (
     ("_looped", "_batched"),
     ("_cold", "_warm"),
     ("_peruser", "_classspace"),
+    ("_fullinfo", "_sampled"),
 )
+#: Non-timing ratios recorded by benchmarks via the ``record_speedup``
+#: fixture; merged into the serialized ``speedups`` mapping.
+EXTRA_SPEEDUPS: dict[str, float] = {}
 #: Default output path (repo root); override with the env var.
 BENCH_ENV_VAR = "BENCH_NASH_JSON"
 BENCH_DEFAULT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_nash.json"
@@ -57,6 +72,16 @@ def emit(table) -> None:
 @pytest.fixture
 def show():
     return emit
+
+
+@pytest.fixture
+def record_speedup():
+    """Record a named non-timing ratio into the BENCH JSON speedups."""
+
+    def record(key: str, value: float) -> None:
+        EXTRA_SPEEDUPS[key] = float(value)
+
+    return record
 
 
 def _serialize(benchmarks) -> dict:
@@ -88,6 +113,7 @@ def _serialize(benchmarks) -> dict:
             if partner in means and means[partner] > 0.0:
                 key = name[: -len(slow_suffix)].rstrip("_")
                 speedups[key] = mean / means[partner]
+    speedups.update(EXTRA_SPEEDUPS)
     return {"schema": 1, "benchmarks": entries, "speedups": speedups}
 
 

@@ -51,6 +51,14 @@ from repro.core.nash import (
 )
 from repro.core.jit import jit_available, jit_requested, resolve_backend
 from repro.core.reference import reference_solve
+from repro.core.sampled import (
+    SampleCertificate,
+    SampledBatchReply,
+    SampledReply,
+    sample_indices,
+    sampled_best_reply,
+    sampled_best_reply_batch,
+)
 from repro.core.sharding import (
     ShardedNashResult,
     partition_classes,
@@ -107,6 +115,12 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "NashResult",
     "NashSolver",
+    "SampleCertificate",
+    "SampledBatchReply",
+    "SampledReply",
+    "sample_indices",
+    "sampled_best_reply",
+    "sampled_best_reply_batch",
     "compute_nash_equilibrium",
     "initial_profile",
     "reference_solve",

@@ -55,6 +55,12 @@ from repro.core.best_response import optimal_fractions, optimal_fractions_batch
 from repro.core.jit import class_sweep_inplace, resolve_backend, sweep_kernel
 from repro.core.model import DistributedSystem
 from repro.core.nash import DEFAULT_MAX_SWEEPS, DEFAULT_TOLERANCE, UpdateOrder
+from repro.core.sampled import (
+    SampleCertificate,
+    reply_set,
+    sample_indices,
+    widen_reply_set,
+)
 from repro.core.strategy import StrategyProfile
 from repro.core.waterfill import InfeasibleDemand
 from repro.queueing.mm1 import expected_response_time
@@ -88,10 +94,13 @@ class ClassAggregation:
     counts:
         Number of users in each class, length ``c``.
     demands:
-        Total demand of each class.  Defined as ``class_rates * counts``
-        so the solver's per-member/total accounting is self-consistent to
-        the last bit; it differs from the raw member-rate sum by at most
-        one rounding.
+        Total demand of each class — the *exact sum of its members' job
+        rates*, never re-derived from the representative rate.  Summing
+        keeps ``demands.sum()`` equal to the system's total arrival rate
+        (up to summation order), so a feasible system stays feasible
+        after aggregation even at the capacity boundary; the re-derived
+        ``class_rates * counts`` form drifts by rounding and used to
+        push boundary systems over the feasibility check.
     class_of:
         Per-user class index, length ``m`` (``None`` for synthetic
         aggregations such as shard subproblems, which never expand).
@@ -309,7 +318,10 @@ def aggregate_users(
             phi, return_inverse=True, return_counts=True
         )
         class_of = inverse.astype(np.intp)
-        raw_demands = values * counts
+        # True member-rate sums (values * counts re-rounds and can drift
+        # from the system's total demand at the feasibility boundary).
+        raw_demands = np.bincount(class_of, weights=phi, minlength=values.size)
+        class_rates = values
     else:
         order = np.argsort(phi, kind="stable")
         sorted_phi = phi[order]
@@ -330,14 +342,16 @@ def aggregate_users(
             class_of[order[lo:hi]] = k
             counts[k] = hi - lo
             raw_demands[k] = float(sorted_phi[lo:hi].sum())
-    class_rates = raw_demands / counts
+        class_rates = raw_demands / counts
     return ClassAggregation(
         service_rates=system.service_rates,
         class_rates=class_rates,
         counts=counts,
-        # Re-derived from the representative rate so per-member/total
-        # accounting is bitwise self-consistent inside the solver.
-        demands=class_rates * counts,
+        # The true member-rate sums: re-deriving ``class_rates * counts``
+        # here drifts from ``phi.sum()`` by rounding, which can push a
+        # boundary-feasible system over the capacity check (see the
+        # regression tests in tests/core/test_classes.py).
+        demands=raw_demands,
         class_of=class_of,
         member_rates=phi,
         grouping_tol=float(tol),
@@ -489,6 +503,7 @@ def _fused_class_reply_inplace(
     mu: FloatArray,
     rate: float,
     count: float,
+    demand: float,
     own: FloatArray,
     lam: FloatArray,
     avail: FloatArray,
@@ -498,8 +513,11 @@ def _fused_class_reply_inplace(
 
     ``own`` is the class's *total* flow row inside the ``(c, n)`` flow
     matrix and ``lam`` the running aggregate, so ``mu - lam + own`` are
-    the class's foreign-free rates.  A singleton class takes the plain
-    water-fill path whose arithmetic mirrors
+    the class's foreign-free rates.  ``demand`` is the class's true
+    member-rate sum (``ClassAggregation.demands[k]``, *not* re-derived as
+    ``rate * count`` — see :func:`aggregate_users`).  A singleton class
+    (where ``demand == rate`` bitwise) takes the plain water-fill path
+    whose arithmetic mirrors
     :func:`repro.core.nash._fused_best_reply_inplace` statement for
     statement — bit-identical results, which the exact-grouping parity
     tests pin.  A multi-member class lands on its symmetric intra-class
@@ -511,9 +529,9 @@ def _fused_class_reply_inplace(
     if count <= 1.0:
         if np.any(avail <= 0.0):
             # Defensive path: unavailable computers present.
-            reply = optimal_fractions(avail, rate)
+            reply = optimal_fractions(avail, demand)
             lam -= own
-            np.multiply(reply.fractions, rate, out=own)
+            np.multiply(reply.fractions, demand, out=own)
             lam += own
             return float(reply.expected_response_time)
 
@@ -522,10 +540,10 @@ def _fused_class_reply_inplace(
         roots = np.sqrt(a_sorted)
         cum_a = np.cumsum(a_sorted)
         cum_r = np.cumsum(roots)
-        if rate >= cum_a[-1]:
-            raise InfeasibleDemand(rate, float(cum_a[-1]))
+        if demand >= cum_a[-1]:
+            raise InfeasibleDemand(demand, float(cum_a[-1]))
 
-        np.subtract(cum_a, rate, out=thr)
+        np.subtract(cum_a, demand, out=thr)
         thr /= cum_r
         valid = roots > thr
         cut = a_sorted.size - int(valid[::-1].argmax())
@@ -533,9 +551,9 @@ def _fused_class_reply_inplace(
         t = thr[cut - 1]
         x = a_sorted[:cut] - t * roots[:cut]
         np.maximum(x, 0.0, out=x)
-        x *= rate / x.sum()
+        x *= demand / x.sum()
         gap = a_sorted[:cut] - x
-        d = float((x / gap).sum()) / rate  # reprolint: allow=R003 hot path; gap > 0 by the water-fill support
+        d = float((x / gap).sum()) / demand  # reprolint: allow=R003 hot path; gap > 0 by the water-fill support
 
         lam -= own
         own[:] = 0.0
@@ -543,11 +561,51 @@ def _fused_class_reply_inplace(
         lam += own
         return d
 
-    y, d = _symmetric_class_fill(avail, rate * count, count)
+    y, d = _symmetric_class_fill(avail, demand, count)
     lam -= own
     own[:] = y
     lam += own
     return d
+
+
+def _sampled_class_reply(
+    avail: FloatArray,
+    own: FloatArray,
+    demand: float,
+    count: float,
+    *,
+    seed: int,
+    sweep: int,
+    index: int,
+    k: int,
+) -> tuple[FloatArray, float, int]:
+    """One class's reply restricted to ``support ∪ k-sample``.
+
+    The class-space twin of :func:`repro.core.sampled.sampled_best_reply`:
+    the class observes its own support for free, spends ``k`` probes on a
+    seeded sample, and lands on its (singleton water-fill or symmetric
+    intra-class) equilibrium over the union — widening deterministically
+    when the sampled capacity cannot carry the demand (cold starts).
+    Returns the new full-length class-total flow row, the member expected
+    response time and the polls spent.
+    """
+    n = avail.shape[0]
+    indices = sample_indices(seed, sweep, index, n, k)
+    chosen = reply_set(own, indices)
+    polls = int(indices.size)
+    chosen, extra = widen_reply_set(
+        chosen, avail, demand, seed=seed, sweep=sweep, index=index
+    )
+    polls += extra
+    flows = np.zeros(n)
+    if count <= 1.0:
+        reply = optimal_fractions(avail[chosen], demand)
+        flows[chosen] = reply.fractions * demand
+        d = float(reply.expected_response_time)
+    else:
+        y, d = _symmetric_class_fill(avail[chosen], demand, count)
+        flows[chosen] = y
+    return flows, d, polls
 
 
 @dataclass(frozen=True)
@@ -568,6 +626,7 @@ class ClassNashResult:
     aggregation: ClassAggregation
     backend: str = "numpy"
     history: tuple[FloatArray, ...] = field(default=())
+    sample: SampleCertificate | None = None
 
     @property
     def final_norm(self) -> float:
@@ -590,6 +649,14 @@ class ClassNashSolver:
     requests it (falling back to the bit-compatible NumPy path when
     numba is not installed), ``False`` pins the NumPy path.  The backend
     that actually ran is recorded on the result.
+
+    ``sample_k`` switches to power-of-k sampled class replies
+    (:mod:`repro.core.sampled`): each class best-responds over its
+    current support plus ``k`` seeded probes per sweep, taking the
+    NumPy path (the JIT kernel is full-information).  ``k >= n`` runs
+    the exact code path unchanged — bit-for-bit identical profiles —
+    and only attaches the full-information
+    :class:`~repro.core.sampled.SampleCertificate`.
     """
 
     tolerance: float = DEFAULT_TOLERANCE
@@ -598,6 +665,7 @@ class ClassNashSolver:
     seed: int = 0
     use_jit: bool | None = None
     record_history: bool = False
+    sample_k: int | None = None
 
     def __post_init__(self) -> None:
         if self.tolerance <= 0.0:
@@ -606,6 +674,8 @@ class ClassNashSolver:
             raise ValueError("max_sweeps must be at least 1")
         if self.order not in ("roundrobin", "random", "simultaneous"):
             raise ValueError(f"unknown update order {self.order!r}")
+        if self.sample_k is not None and self.sample_k < 1:
+            raise ValueError("sample_k must be at least 1 (or None)")
 
     def _initial_fractions(
         self,
@@ -653,8 +723,18 @@ class ClassNashSolver:
         singleton = bool(np.all(aggregation.counts == 1))
         c, n = aggregation.n_classes, aggregation.n_computers
         rng = np.random.default_rng(self.seed) if self.order == "random" else None
+        # Power-of-k mode: k < n restricts every class reply to
+        # support ∪ sample on the NumPy path (the JIT kernel is
+        # full-information); k >= n runs the exact path unchanged.
+        sampling = self.sample_k is not None and self.sample_k < n
+        sample_k = 0 if self.sample_k is None else self.sample_k
+        total_polls = 0
         backend = resolve_backend(self.use_jit)
-        kernel = sweep_kernel(backend) if self.order != "simultaneous" else None
+        kernel = (
+            sweep_kernel(backend)
+            if self.order != "simultaneous" and not sampling
+            else None
+        )
         if kernel is None:
             backend = "numpy"
         tracer = tracer if tracer is not None else current_tracer()
@@ -695,7 +775,24 @@ class ClassNashSolver:
             lam = flows.sum(axis=0)
             sweep_started = perf_counter() if trace else 0.0
             if self.order == "simultaneous":
-                if singleton:
+                if sampling:
+                    # Jacobi over reply sets: each class responds to the
+                    # frozen aggregate over support ∪ sample.
+                    foreign_free = (mu - lam)[None, :] + flows
+                    times = np.empty(c)
+                    for k in range(c):
+                        flows[k], times[k], p = _sampled_class_reply(
+                            foreign_free[k],
+                            flows[k],
+                            float(demands[k]),
+                            float(counts_f[k]),
+                            seed=self.seed,
+                            sweep=_sweep,
+                            index=k,
+                            k=sample_k,
+                        )
+                        total_polls += p
+                elif singleton:
                     # All-singleton aggregation: the member availables
                     # are the per-user ones, so this is bit-identical to
                     # NashSolver's Jacobi sweep.
@@ -720,11 +817,31 @@ class ClassNashSolver:
                 schedule = (
                     rng.permutation(c) if rng is not None else np.arange(c)
                 )
-                if kernel is not None and backend != "numpy":
+                if sampling:
+                    norm = 0.0
+                    for k in schedule:
+                        np.subtract(mu, lam, out=avail)
+                        avail += flows[k]
+                        y, d_k, p = _sampled_class_reply(
+                            avail,
+                            flows[k],
+                            float(demands[k]),
+                            float(counts_f[k]),
+                            seed=self.seed,
+                            sweep=_sweep,
+                            index=int(k),
+                            k=sample_k,
+                        )
+                        total_polls += p
+                        lam += y - flows[k]
+                        flows[k] = y
+                        norm += counts_f[k] * abs(d_k - last_times[k])
+                        last_times[k] = d_k
+                elif kernel is not None and backend != "numpy":
                     norm = float(
                         kernel(
-                            mu, rates, counts_f, flows, lam, last_times,
-                            np.asarray(schedule, dtype=np.intp),
+                            mu, rates, counts_f, demands, flows, lam,
+                            last_times, np.asarray(schedule, dtype=np.intp),
                         )
                     )
                     if norm < 0.0:
@@ -738,6 +855,7 @@ class ClassNashSolver:
                             mu,
                             float(rates[k]),
                             float(counts_f[k]),
+                            float(demands[k]),
                             flows[k],
                             lam,
                             avail,
@@ -773,6 +891,36 @@ class ClassNashSolver:
             # can overshoot into an unstable joint profile mid-oscillation.
             class_times = np.full(c, np.inf)
             converged = False
+        sample: SampleCertificate | None = None
+        if self.sample_k is not None:
+            if not sampling:
+                # Full-information bypass: every class reply observed all
+                # n computers — the poll baseline EXT11 measures against.
+                total_polls = len(norms) * c * n
+            try:
+                epsilon = float(
+                    class_best_response_regrets(aggregation, final).epsilon
+                )
+            except ValueError:
+                epsilon = float("inf")
+            sample = SampleCertificate(
+                k=min(self.sample_k, n),
+                n_computers=n,
+                sweeps=len(norms),
+                polls=total_polls,
+                sampled_norm=norms[-1] if norms else 0.0,
+                epsilon=epsilon,
+            )
+            if trace:
+                tracer.emit(
+                    "solver.sample",
+                    k=sample.k,
+                    computers=n,
+                    sweeps=sample.sweeps,
+                    polls=sample.polls,
+                    sampled_norm=sample.sampled_norm,
+                    epsilon=sample.epsilon,
+                )
         if trace:
             tracer.emit(
                 "solver.class_done",
@@ -790,6 +938,7 @@ class ClassNashSolver:
             aggregation=aggregation,
             backend=backend,
             history=tuple(history),
+            sample=sample,
         )
 
 

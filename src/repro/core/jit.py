@@ -49,6 +49,7 @@ SweepKernel = Callable[
         FloatArray,  # mu            (n,)   read-only
         FloatArray,  # rates         (c,)   read-only
         FloatArray,  # counts        (c,)   read-only
+        FloatArray,  # demands       (c,)   read-only member-rate sums
         FloatArray,  # flows         (c, n) mutated: class *total* flows
         FloatArray,  # lam           (n,)   mutated: running aggregate
         FloatArray,  # last_times    (c,)   mutated: previous member times
@@ -117,6 +118,7 @@ def sweep_kernel(backend: str) -> SweepKernel | None:
                 mu,
                 np.array([1.0]),
                 np.array([1.0]),
+                np.array([1.0]),
                 flows,
                 lam,
                 np.zeros(1),
@@ -132,6 +134,7 @@ def class_sweep_inplace(
     mu: FloatArray,
     rates: FloatArray,
     counts: FloatArray,
+    demands: FloatArray,
     flows: FloatArray,
     lam: FloatArray,
     last_times: FloatArray,
@@ -139,9 +142,12 @@ def class_sweep_inplace(
 ) -> float:
     """One Gauss-Seidel sweep of class best replies, loop form.
 
-    Mutates ``flows`` (class *total* flow rows), ``lam`` (the running
-    aggregate) and ``last_times`` (per-class member response times) in
-    place and returns the user-weighted sweep norm
+    ``demands`` are the classes' true member-rate sums
+    (:attr:`~repro.core.classes.ClassAggregation.demands`) — *not*
+    re-derived as ``rates * counts``, whose rounding drifts from the
+    system's total demand.  Mutates ``flows`` (class *total* flow rows),
+    ``lam`` (the running aggregate) and ``last_times`` (per-class member
+    response times) in place and returns the user-weighted sweep norm
     ``sum_k count_k |D_k - D_k_prev|`` — or ``-1.0`` if some class's
     demand exceeds its available capacity (the caller raises
     :class:`~repro.core.waterfill.InfeasibleDemand`).
@@ -158,9 +164,8 @@ def class_sweep_inplace(
     norm = 0.0
     for s in range(schedule.shape[0]):
         k = schedule[s]
-        rate = rates[k]
         count = counts[k]
-        demand = rate * count
+        demand = demands[k]
         # Foreign-free rates m_i = mu_i - lam_i + own_i; collect the
         # usable (positive) ones.
         n_pos = 0
@@ -183,7 +188,8 @@ def class_sweep_inplace(
         x = np.empty(n_pos)
         d = 0.0
         if count <= 1.0:
-            # Singleton class: plain sqrt water-fill (closed form).
+            # Singleton class (demand == rate bitwise): plain sqrt
+            # water-fill (closed form).
             order = np.argsort(-vals)
             # Threshold scan: cut is the last position whose sqrt clears
             # the running threshold (a prefix property, descending sort).
@@ -196,7 +202,7 @@ def class_sweep_inplace(
                 r = np.sqrt(a)
                 cum_a += a
                 cum_r += r
-                tj = (cum_a - rate) / cum_r
+                tj = (cum_a - demand) / cum_r
                 if r > tj:
                     cut = j + 1
                     t = tj
@@ -208,12 +214,12 @@ def class_sweep_inplace(
                     xv = 0.0
                 x[j] = xv
                 x_sum += xv
-            scale = rate / x_sum
+            scale = demand / x_sum
             for j in range(cut):
                 x[j] *= scale
                 a = vals[order[j]]
                 d += x[j] / (a - x[j])  # reprolint: allow=R003 fused kernel; gap > 0 on the support
-            d /= rate
+            d /= demand
             for i in range(n):
                 lam[i] -= flows[k, i]
                 flows[k, i] = 0.0

@@ -37,7 +37,13 @@ from typing import Literal
 import numpy as np
 
 from repro.core.best_response import optimal_fractions, optimal_fractions_batch
+from repro.core.equilibrium import best_response_regrets
 from repro.core.model import DistributedSystem
+from repro.core.sampled import (
+    SampleCertificate,
+    sampled_best_reply,
+    sampled_best_reply_batch,
+)
 from repro.core.strategy import StrategyProfile
 from repro.core.waterfill import InfeasibleDemand
 from repro.telemetry.trace import Tracer, current_tracer
@@ -166,6 +172,10 @@ class NashResult:
         Per-user expected response times under the final profile.
     profile_history:
         Profiles after each sweep (present only when recorded).
+    sample:
+        The :class:`~repro.core.sampled.SampleCertificate` of a
+        ``sample_k`` solve — poll spend, sampled norm and the *true*
+        global epsilon — or ``None`` for a full-information solve.
     """
 
     profile: StrategyProfile
@@ -174,6 +184,7 @@ class NashResult:
     norm_history: np.ndarray
     user_times: np.ndarray
     profile_history: tuple[StrategyProfile, ...] = field(default=())
+    sample: SampleCertificate | None = None
 
     @property
     def final_norm(self) -> float:
@@ -205,7 +216,17 @@ class NashSolver:
         has every user best-respond to the *previous* sweep's profile
         (Jacobi); it can overshoot and is included as an ablation.
     seed:
-        RNG seed for the ``"random"`` order (ignored otherwise).
+        RNG seed for the ``"random"`` order (ignored otherwise) and for
+        the per-reply sample draws of ``sample_k`` mode.
+    sample_k:
+        ``None`` (default) runs the paper's full-information best
+        replies.  An integer ``k`` switches to power-of-k sampled
+        replies (:mod:`repro.core.sampled`): each user best-responds
+        over its current support plus ``k`` seeded random probes per
+        sweep.  ``k >= n`` takes the exact full-information code path —
+        bit-for-bit identical profiles — while still attaching the
+        :class:`~repro.core.sampled.SampleCertificate` with the
+        full-information poll baseline.
     """
 
     tolerance: float = DEFAULT_TOLERANCE
@@ -213,6 +234,7 @@ class NashSolver:
     record_history: bool = False
     order: UpdateOrder = "roundrobin"
     seed: int = 0
+    sample_k: int | None = None
 
     def __post_init__(self) -> None:
         if self.tolerance <= 0.0:
@@ -221,6 +243,8 @@ class NashSolver:
             raise ValueError("max_sweeps must be at least 1")
         if self.order not in ("roundrobin", "random", "simultaneous"):
             raise ValueError(f"unknown update order {self.order!r}")
+        if self.sample_k is not None and self.sample_k < 1:
+            raise ValueError("sample_k must be at least 1 (or None)")
 
     def solve(
         self,
@@ -277,6 +301,12 @@ class NashSolver:
         avail = np.empty(n)
         thr = np.empty(n)
 
+        # Power-of-k mode: k < n restricts every reply to support ∪
+        # sample; k >= n runs the exact path below unchanged (bit-for-bit
+        # parity) and only the certificate accounting differs.
+        sampling = self.sample_k is not None and self.sample_k < n
+        total_polls = 0
+
         norms: list[float] = []
         history: list[StrategyProfile] = []
         converged = False
@@ -290,11 +320,25 @@ class NashSolver:
             regrets = np.zeros(m) if trace else None
             if self.order == "simultaneous":
                 # Jacobi: everyone responds to the previous sweep's profile,
-                # so all m best replies batch into one vectorized call.
+                # so all m best replies batch into one vectorized call
+                # (masked to the per-user reply sets in sampled mode).
                 available = (mu - lam)[None, :] + flows
-                replies = optimal_fractions_batch(available, phi)
-                np.multiply(replies.fractions, phi[:, None], out=flows)
-                times = replies.expected_response_times
+                if sampling:
+                    batch = sampled_best_reply_batch(
+                        available,
+                        flows,
+                        phi,
+                        seed=self.seed,
+                        sweep=_sweep,
+                        k=self.sample_k,
+                    )
+                    flows[:] = batch.flows
+                    times = batch.expected_response_times
+                    total_polls += batch.polls
+                else:
+                    replies = optimal_fractions_batch(available, phi)
+                    np.multiply(replies.fractions, phi[:, None], out=flows)
+                    times = replies.expected_response_times
                 deltas = np.abs(times - last_times)
                 norm = float(deltas.sum())
                 if trace:
@@ -305,15 +349,38 @@ class NashSolver:
                     rng.permutation(m) if rng is not None else range(m)
                 )
                 norm = 0.0
-                for j in schedule:
-                    d_j = _fused_best_reply_inplace(
-                        mu, float(phi[j]), flows[j], lam, avail, thr
-                    )
-                    delta = abs(d_j - last_times[j])
-                    norm += delta
-                    if regrets is not None:
-                        regrets[j] = delta
-                    last_times[j] = d_j
+                if sampling:
+                    for j in schedule:
+                        np.subtract(mu, lam, out=avail)
+                        avail += flows[j]
+                        rep = sampled_best_reply(
+                            avail,
+                            flows[j],
+                            float(phi[j]),
+                            seed=self.seed,
+                            sweep=_sweep,
+                            index=int(j),
+                            k=self.sample_k,
+                        )
+                        total_polls += rep.polls
+                        lam += rep.flows - flows[j]
+                        flows[j] = rep.flows
+                        d_j = rep.expected_response_time
+                        delta = abs(d_j - last_times[j])
+                        norm += delta
+                        if regrets is not None:
+                            regrets[j] = delta
+                        last_times[j] = d_j
+                else:
+                    for j in schedule:
+                        d_j = _fused_best_reply_inplace(
+                            mu, float(phi[j]), flows[j], lam, avail, thr
+                        )
+                        delta = abs(d_j - last_times[j])
+                        norm += delta
+                        if regrets is not None:
+                            regrets[j] = delta
+                        last_times[j] = d_j
             norms.append(norm)
             if trace:
                 elapsed = perf_counter() - sweep_started
@@ -342,6 +409,34 @@ class NashSolver:
             # can overshoot into an unstable joint profile mid-oscillation.
             user_times = np.full(m, np.inf)
             converged = False
+        sample: SampleCertificate | None = None
+        if self.sample_k is not None:
+            if not sampling:
+                # Full-information bypass: every reply observed all n
+                # computers — the poll baseline EXT11 measures against.
+                total_polls = len(norms) * m * n
+            try:
+                epsilon = float(best_response_regrets(system, final).epsilon)
+            except ValueError:
+                epsilon = float("inf")
+            sample = SampleCertificate(
+                k=min(self.sample_k, n),
+                n_computers=n,
+                sweeps=len(norms),
+                polls=total_polls,
+                sampled_norm=norms[-1] if norms else 0.0,
+                epsilon=epsilon,
+            )
+            if trace:
+                tracer.emit(
+                    "solver.sample",
+                    k=sample.k,
+                    computers=n,
+                    sweeps=sample.sweeps,
+                    polls=sample.polls,
+                    sampled_norm=sample.sampled_norm,
+                    epsilon=sample.epsilon,
+                )
         if trace:
             tracer.emit(
                 "solver.done",
@@ -356,6 +451,7 @@ class NashSolver:
             norm_history=np.asarray(norms, dtype=float),
             user_times=user_times,
             profile_history=tuple(history),
+            sample=sample,
         )
 
 

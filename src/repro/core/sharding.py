@@ -64,10 +64,20 @@ DEFAULT_MAX_ROUNDS = 50
 _BACKTRACK_LIMIT = 60
 
 #: Payload handed to a shard worker: residual service rates, the shard's
-#: per-member class rates and counts, its current class fractions, and
-#: the solver configuration (tolerance, max_sweeps, order, seed, use_jit).
+#: per-member class rates, counts and true member-sum demands, its
+#: current class fractions, and the solver configuration (tolerance,
+#: max_sweeps, order, seed, use_jit).
 ShardPayload = tuple[
-    FloatArray, FloatArray, IndexArray, FloatArray, float, int, str, int, bool | None
+    FloatArray,
+    FloatArray,
+    IndexArray,
+    FloatArray,
+    FloatArray,
+    float,
+    int,
+    str,
+    int,
+    bool | None,
 ]
 
 
@@ -111,6 +121,7 @@ def _solve_shard(
         mu_residual,
         class_rates,
         counts,
+        demands,
         fractions,
         tolerance,
         max_sweeps,
@@ -122,7 +133,10 @@ def _solve_shard(
         service_rates=mu_residual,
         class_rates=class_rates,
         counts=counts,
-        demands=class_rates * counts.astype(float),
+        # The parent aggregation's member-sum demands — never re-derived
+        # as ``class_rates * counts``, whose rounding can break a
+        # boundary-feasible shard (see aggregate_users).
+        demands=demands,
     )
     solver = ClassNashSolver(
         tolerance=tolerance,
@@ -249,6 +263,7 @@ def solve_sharded(
                     mu_residual,
                     aggregation.class_rates[shard],
                     aggregation.counts[shard],
+                    aggregation.demands[shard],
                     fractions[shard],
                     inner_tol,
                     shard_max_sweeps,
@@ -293,9 +308,14 @@ def solve_sharded(
             )
         # Cross-shard reconciliation: a few serial Gauss-Seidel sweeps
         # over all classes with fresh global information.
+        # The reconciler honors the caller's update order — dropping it
+        # silently ran the default order regardless of ``order=`` (the
+        # order-plumbing regression test in tests/core/test_sharding.py
+        # pins this).
         reconciler = ClassNashSolver(
             tolerance=max(inner_tol / 10.0, 1e-15),
             max_sweeps=reconcile_budget,
+            order=order,  # type: ignore[arg-type]
             seed=seed,
             use_jit=use_jit,
         )

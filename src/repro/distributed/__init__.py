@@ -35,6 +35,11 @@ from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import MessageBus
 from repro.distributed.node import ComputerBoard, UserAgent
 from repro.distributed.runtime import ProtocolOutcome, run_nash_protocol
+from repro.distributed.sampled import (
+    SampledProtocolOutcome,
+    SampledUserAgent,
+    run_sampled_nash_protocol,
+)
 
 __all__ = [
     "AgentCheckpoint",
@@ -57,5 +62,8 @@ __all__ = [
     "ComputerBoard",
     "UserAgent",
     "ProtocolOutcome",
+    "SampledProtocolOutcome",
+    "SampledUserAgent",
+    "run_sampled_nash_protocol",
     "run_nash_protocol",
 ]

@@ -38,6 +38,13 @@ class Message:
         The iteration counter ``l``.
     norm:
         Accumulated convergence norm for the current sweep.
+    polls:
+        Availability probes accumulated along the current circulation —
+        the sampled (power-of-k) protocol's analogue of ``norm``: each
+        agent adds the probes its update spent before forwarding the
+        token, so the initiator reads the ring-wide poll cost of every
+        sweep off the returning token.  Always zero in the
+        full-information protocol.
     """
 
     kind: MessageKind
@@ -45,9 +52,12 @@ class Message:
     receiver: int
     sweep: int
     norm: float = 0.0
+    polls: int = 0
 
     def __post_init__(self) -> None:
         if self.sweep < 0:
             raise ValueError("sweep counter must be nonnegative")
         if self.norm < 0.0:
             raise ValueError("norm must be nonnegative")
+        if self.polls < 0:
+            raise ValueError("polls must be nonnegative")

@@ -99,6 +99,18 @@ class ComputerBoard:
         others = self._total - self._flows[user]
         return np.where(self._online, self._mu - others, 0.0)
 
+    def available_rates_at(self, user: int, computers: np.ndarray) -> np.ndarray:
+        """:meth:`available_rates` restricted to ``computers`` — O(k).
+
+        The observation primitive of the sampled (power-of-k) protocol:
+        polling ``k`` computers touches ``k`` board entries instead of
+        all ``n``, which is the whole point of sampling.  Returns the
+        available rates in the order of ``computers``.
+        """
+        idx = np.asarray(computers, dtype=np.intp)
+        others = self._total[idx] - self._flows[user, idx]
+        return np.where(self._online[idx], self._mu[idx] - others, 0.0)
+
 
 class UserAgent:
     """One selfish user executing the ring protocol."""
@@ -125,6 +137,10 @@ class UserAgent:
         self._tracer = tracer if tracer is not None else DISABLED
         self._next_rank = (rank + 1) % bus.n_agents
         self._previous_time = 0.0
+        #: Probes the *last* update spent; stays zero for full-information
+        #: agents, set per update by the sampled subclass so the token can
+        #: accumulate the circulation's poll cost next to its norm.
+        self._last_update_polls = 0
         #: Set once the agent has forwarded or received TERMINATE.
         self.finished = False
         #: Sweep norms observed by the initiator (rank 0 only).
@@ -143,6 +159,7 @@ class UserAgent:
                 receiver=self._next_rank,
                 sweep=1,
                 norm=norm,
+                polls=self._last_update_polls,
             )
         )
 
@@ -186,6 +203,7 @@ class UserAgent:
                     sweep=message.sweep,
                     norm=message.norm,
                 )
+            self._record_circulation(message)
             if self._should_terminate(message):
                 self.finished = True
                 if self._next_rank != 0:
@@ -206,6 +224,7 @@ class UserAgent:
                     receiver=self._next_rank,
                     sweep=message.sweep + 1,
                     norm=norm,
+                    polls=self._last_update_polls,
                 )
             )
         else:
@@ -217,10 +236,18 @@ class UserAgent:
                     receiver=self._next_rank,
                     sweep=message.sweep,
                     norm=norm,
+                    polls=message.polls + self._last_update_polls,
                 )
             )
 
     # ------------------------------------------------------------------
+    def _record_circulation(self, message: Message) -> None:
+        """Initiator hook: one token circulation just completed.
+
+        A no-op here; the sampled protocol's initiator overrides it to
+        emit the per-circulation ``protocol.sample`` poll accounting.
+        """
+
     def _should_terminate(self, message: Message) -> bool:
         """Initiator's acceptance test on a completed circulation.
 

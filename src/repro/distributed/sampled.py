@@ -1,0 +1,305 @@
+"""The NASH ring protocol under power-of-k sampled information.
+
+The full-information protocol (:mod:`repro.distributed.runtime`) has
+every agent observe all ``n`` computers before each best reply — an
+``O(m n)`` observation cost per sweep that dwarfs the ``O(m)`` token
+hops.  This driver runs the same ring with
+:class:`SampledUserAgent`\\ s, which poll only their current support
+(free — their own jobs measure those queues) plus ``k`` seeded random
+computers per update (:mod:`repro.core.sampled`), cutting the per-sweep
+observation cost to ``O(m k)``.
+
+Poll accounting is a first-class protocol quantity: each update's probe
+count rides the token next to the norm (``Message.polls``), so the
+initiator reads the ring-wide poll cost of every circulation off the
+returning token and emits it as one ``protocol.sample`` event — the
+trace alone reconstructs the full message economics
+(``messages_sent = token/terminate hops + polls``).  With ``k >= n``
+every update honestly pays ``n`` polls: that run *is* the
+full-information baseline the EXT11 message-reduction figures divide by.
+
+Determinism and parity: agent ``j``'s ``l``-th update draws
+``sample_indices(seed, l, j, n, k)`` — the same generator the sequential
+:class:`~repro.core.nash.NashSolver` uses for user ``j`` in sweep ``l``
+— so the ring computes the sequential sampled solver's iterates up to
+the usual board-summation round-off, and exactly the base protocol's
+when ``k >= n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.best_response import optimal_fractions
+from repro.core.equilibrium import best_response_regrets
+from repro.core.model import DistributedSystem
+from repro.core.nash import (
+    DEFAULT_MAX_SWEEPS,
+    DEFAULT_TOLERANCE,
+    Initialization,
+    NashResult,
+)
+from repro.core.sampled import (
+    SampleCertificate,
+    reply_set,
+    sample_indices,
+    widen_reply_set,
+)
+from repro.core.strategy import StrategyProfile
+from repro.distributed.messages import Message
+from repro.distributed.network import MessageBus
+from repro.distributed.node import ComputerBoard, UserAgent
+from repro.distributed.runtime import seed_initial_state
+from repro.telemetry.trace import Tracer, current_tracer
+
+__all__ = [
+    "SampledProtocolOutcome",
+    "SampledUserAgent",
+    "run_sampled_nash_protocol",
+]
+
+
+class SampledUserAgent(UserAgent):
+    """A ring agent that best-responds over ``support ∪ k-sample``.
+
+    The update observes the board only at the reply set — an O(k) poll
+    via :meth:`~repro.distributed.node.ComputerBoard.available_rates_at`
+    — and falls back to the deterministic widening scan (extra polls,
+    honestly counted) when the sampled capacity cannot carry the job
+    rate, e.g. on a cold start from the all-zero profile.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        job_rate: float,
+        board: ComputerBoard,
+        bus: MessageBus,
+        *,
+        tolerance: float,
+        max_sweeps: int,
+        sample_k: int,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+    ):
+        super().__init__(
+            rank,
+            job_rate,
+            board,
+            bus,
+            tolerance=tolerance,
+            max_sweeps=max_sweeps,
+            tracer=tracer,
+        )
+        if sample_k < 1:
+            raise ValueError("sample_k must be at least 1")
+        self.sample_k = int(sample_k)
+        self._seed = int(seed)
+        #: Completed updates — the agent's local sweep counter, which by
+        #: ring construction equals the sequential solver's sweep index
+        #: for this user, so both draw identical samples.
+        self._updates = 0
+        #: Total availability probes this agent has spent.
+        self.polls = 0
+
+    def _update_delta(self) -> float:
+        board = self._board
+        n = board.service_rates.size
+        sweep = self._updates
+        indices = sample_indices(self._seed, sweep, self.rank, n, self.sample_k)
+        chosen = reply_set(board.flows[self.rank], indices)
+        polls = int(indices.size)
+        observed = board.available_rates_at(self.rank, chosen)
+        if self.job_rate >= float(np.clip(observed, 0.0, None).sum()):
+            # The sampled capacity cannot carry the demand: widen the
+            # reply set deterministically, paying for every newly
+            # examined computer.
+            available = board.available_rates(self.rank)
+            chosen, extra = widen_reply_set(
+                chosen,
+                available,
+                self.job_rate,
+                seed=self._seed,
+                sweep=sweep,
+                index=self.rank,
+            )
+            polls += extra
+            observed = available[chosen]
+        reply = optimal_fractions(observed, self.job_rate)
+        flows = np.zeros(n)
+        flows[chosen] = reply.fractions * self.job_rate
+        board.publish(self.rank, flows)
+        self._updates += 1
+        self.polls += polls
+        self._last_update_polls = polls
+        if self._tracer.enabled:
+            self._tracer.count("protocol.messages.probe", polls)
+        delta = abs(reply.expected_response_time - self._previous_time)
+        self._previous_time = reply.expected_response_time
+        return delta
+
+    def _record_circulation(self, message: Message) -> None:
+        # The returning token carries the circulation's ring-wide poll
+        # cost next to its norm; one event per sweep reconstructs the
+        # whole poll economics from the trace (see protocol_summary).
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "protocol.sample",
+                index=len(self.norm_history) - 1,
+                sweep=message.sweep,
+                norm=message.norm,
+                k=self.sample_k,
+                polls=message.polls,
+            )
+
+
+@dataclass(frozen=True)
+class SampledProtocolOutcome:
+    """A sampled protocol run: equilibrium result plus message economics.
+
+    ``messages_sent`` is the honest total cost — bus messages (token
+    hops + termination) **plus** availability polls, since under partial
+    information every probe is a message to a computer.  The
+    full-information baseline is the same driver at ``k = n``, where
+    every update pays ``n`` polls.
+    """
+
+    result: NashResult
+    messages_sent: int
+    bus_messages: int
+    polls: int
+    sample_k: int
+    epsilon: float
+    transcript: tuple[Message, ...]
+
+
+def run_sampled_nash_protocol(
+    system: DistributedSystem,
+    *,
+    sample_k: int,
+    seed: int = 0,
+    init: Initialization | StrategyProfile = "proportional",
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    record_transcript: bool = True,
+    tracer: Tracer | None = None,
+) -> SampledProtocolOutcome:
+    """Execute the ring protocol under power-of-k sampled information.
+
+    Mirrors :func:`repro.distributed.runtime.run_nash_protocol` —
+    ``protocol.start`` / ``protocol.deliver`` (+ per-kind counters) /
+    ``protocol.sweep`` / ``protocol.done`` — and adds the sampled
+    accounting: a ``protocol.messages.probe`` counter per update and one
+    ``protocol.sample`` event per completed circulation carrying that
+    sweep's ring-wide poll cost.  The result's
+    :class:`~repro.core.sampled.SampleCertificate` reports the **true**
+    global epsilon of the final profile against exact full-information
+    best responses.
+    """
+    if sample_k < 1:
+        raise ValueError("sample_k must be at least 1")
+    tracer = tracer if tracer is not None else current_tracer()
+    trace = tracer.enabled
+    m, n = system.n_users, system.n_computers
+    board = ComputerBoard(system.service_rates, m)
+    bus = MessageBus(m, record_transcript=record_transcript)
+    agents = [
+        SampledUserAgent(
+            rank=j,
+            job_rate=float(system.arrival_rates[j]),
+            board=board,
+            bus=bus,
+            tolerance=tolerance,
+            max_sweeps=max_sweeps,
+            sample_k=sample_k,
+            seed=seed,
+            tracer=tracer,
+        )
+        for j in range(m)
+    ]
+
+    seed_initial_state(system, board, agents, init)
+    if trace:
+        tracer.emit(
+            "protocol.start",
+            driver="sampled",
+            users=m,
+            computers=n,
+            k=min(sample_k, n),
+            tolerance=tolerance,
+            max_sweeps=max_sweeps,
+        )
+
+    agents[0].start()
+    bus_messages = 0
+    while True:
+        pending = bus.pending_ranks()
+        if not pending:
+            break
+        for rank in pending:
+            message = bus.recv(rank)
+            if trace:
+                kind = message.kind.name.lower()
+                tracer.emit(
+                    "protocol.deliver",
+                    kind=kind,
+                    sender=message.sender,
+                    receiver=message.receiver,
+                    sweep=message.sweep,
+                    norm=message.norm,
+                )
+                tracer.count(f"protocol.messages.{kind}")
+            agents[rank].handle(message)
+            bus_messages += 1
+
+    if not all(agent.finished for agent in agents):  # pragma: no cover
+        raise RuntimeError("protocol stalled before termination circulated")
+
+    polls = sum(agent.polls for agent in agents)
+    fractions = board.flows / system.arrival_rates[:, None]
+    profile = StrategyProfile(fractions)
+    norms = np.asarray(agents[0].norm_history, dtype=float)
+    converged = bool(norms.size and norms[-1] <= tolerance)
+    try:
+        epsilon = float(best_response_regrets(system, profile).epsilon)
+        user_times = system.user_response_times(profile.fractions)
+    except ValueError:
+        epsilon = float("inf")
+        user_times = np.full(m, np.inf)
+        converged = False
+    certificate = SampleCertificate(
+        k=min(sample_k, n),
+        n_computers=n,
+        sweeps=int(norms.size),
+        polls=polls,
+        sampled_norm=float(norms[-1]) if norms.size else 0.0,
+        epsilon=epsilon,
+    )
+    result = NashResult(
+        profile=profile,
+        converged=converged,
+        iterations=int(norms.size),
+        norm_history=norms,
+        user_times=user_times,
+        sample=certificate,
+    )
+    if trace:
+        tracer.emit(
+            "protocol.done",
+            driver="sampled",
+            converged=converged,
+            sweeps=int(norms.size),
+            messages_sent=bus_messages + polls,
+            retransmissions=0,
+        )
+    return SampledProtocolOutcome(
+        result=result,
+        messages_sent=bus_messages + polls,
+        bus_messages=bus_messages,
+        polls=polls,
+        sample_k=min(sample_k, n),
+        epsilon=epsilon,
+        transcript=bus.transcript,
+    )

@@ -16,6 +16,7 @@ ext_models            EXT4 (comm delays), EXT5 (misspecification)
 ext_deployment        EXT6 (measured closed loop), ABL5 (network faults)
 ext_crash_recovery    EXT9 (protocol crash-fault tolerance)
 ext_online            EXT10 (online engine: a day in production)
+ext_sampled           EXT11 (power-of-k sampled best replies)
 =========  =================================================
 """
 

@@ -20,6 +20,7 @@ from repro.experiments import (
     ext_mechanism,
     ext_models,
     ext_online,
+    ext_sampled,
     extensions,
     fig2_convergence,
     fig3_users,
@@ -60,6 +61,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "abl5": ext_deployment.run_fault_tolerance,
     "ext9": ext_crash_recovery.run_crash_recovery,
     "ext10": ext_online.run_online_service,
+    "ext11": ext_sampled.run_sampled_information,
 }
 
 

@@ -102,6 +102,12 @@ def protocol_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
             per_kind[kind] += 1
             if kind == "token":
                 token_hops += 1
+        elif event.name == "protocol.sample":
+            # One event per circulation of the sampled protocol, carrying
+            # that sweep's ring-wide poll cost: folding the polls into the
+            # per-kind tally makes ``messages_delivered`` equal the
+            # sampled driver's honest ``messages_sent`` (bus + probes).
+            per_kind["probe"] += int(event.fields.get("polls", 0))
         elif event.name == "protocol.retransmit":
             retransmissions += 1
         elif event.name == "protocol.suspect":
@@ -135,17 +141,21 @@ def solver_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
     """Convergence/timing view of the sequential solver's sweeps."""
     sweeps: list[dict[str, Any]] = []
     done: dict[str, Any] | None = None
+    sample: dict[str, Any] | None = None
     for event in events:
         if event.name == "solver.sweep":
             sweeps.append(dict(event.fields))
         elif event.name == "solver.done":
             done = dict(event.fields)
+        elif event.name == "solver.sample":
+            sample = dict(event.fields)
     return {
         "sweeps": sweeps,
         "norm_history": [float(s["norm"]) for s in sweeps],
         "total_elapsed_s": float(
             sum(float(s.get("elapsed_s", 0.0)) for s in sweeps)
         ),
+        "sample": sample,
         "outcome": done,
     }
 

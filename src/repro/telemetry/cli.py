@@ -72,6 +72,13 @@ def _render_summary(events: list[TraceEvent]) -> tuple[dict[str, Any], str]:
             f"final norm {solver['norm_history'][-1]:.3g}, "
             f"{solver['total_elapsed_s']:.4f}s in best replies"
         )
+    if solver["sample"] is not None:
+        sample = solver["sample"]
+        lines.append(
+            f"sampled: k={sample.get('k')}/{sample.get('computers')} "
+            f"computers, {sample.get('polls')} polls, "
+            f"true epsilon {float(sample.get('epsilon', 0.0)):.3g}"
+        )
     if protocol["messages_delivered"]:
         kinds = ", ".join(
             f"{kind}={count}"

@@ -48,11 +48,15 @@ DECLARED_EVENTS: dict[str, str] = {
     "protocol.restore": "protocol",
     "protocol.fault": "protocol",
     "protocol.reopen": "protocol",
+    # sampled (power-of-k) protocol: per-circulation poll accounting
+    "protocol.sample": "protocol",
     "protocol.done": "protocol",
     # NashSolver.solve instrumentation
     "solver.start": "summary",
     "solver.sweep": "convergence",
     "solver.done": "summary",
+    # sampled (power-of-k) solve certificate: k, polls, true epsilon
+    "solver.sample": "summary",
     # ClassNashSolver (class-space) instrumentation
     "solver.class_start": "summary",
     "solver.class_sweep": "convergence",

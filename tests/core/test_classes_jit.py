@@ -83,13 +83,14 @@ class TestPythonModeKernel:
         mu = agg.service_rates
         rates = agg.class_rates
         counts = agg.counts.astype(float)
+        demands = agg.demands
         flows = agg.proportional_fractions() * agg.demands[:, None]
         lam = flows.sum(axis=0)
         last = np.zeros(c)
         schedule = np.arange(c, dtype=np.intp)
         for sweep in range(max_sweeps):
             norm = class_sweep_inplace(
-                mu, rates, counts, flows, lam, last, schedule
+                mu, rates, counts, demands, flows, lam, last, schedule
             )
             assert norm >= 0.0
             if norm <= tolerance:
@@ -127,12 +128,13 @@ class TestPythonModeKernel:
         mu = np.array([2.0, 1.0])
         rates = np.array([5.0])
         counts = np.array([1.0])
+        demands = np.array([5.0])
         flows = np.zeros((1, 2))
         lam = np.zeros(2)
         last = np.zeros(1)
         schedule = np.zeros(1, dtype=np.intp)
         norm = class_sweep_inplace(
-            mu, rates, counts, flows, lam, last, schedule
+            mu, rates, counts, demands, flows, lam, last, schedule
         )
         assert norm == -1.0
 
@@ -157,6 +159,7 @@ class TestCompiledKernel:
             agg.service_rates,
             agg.class_rates,
             agg.counts.astype(float),
+            agg.demands,
             flows,
             flows.sum(axis=0),
             np.zeros(agg.n_classes),

@@ -92,6 +92,27 @@ class TestSolveSharded:
         assert len(result.epsilon_history) == result.rounds
         assert result.epsilon_history[-1] <= 1e-6
 
+    def test_reconciler_honors_update_order(self):
+        # Regression: solve_sharded forwarded ``order=`` into the shard
+        # payloads but built the reconciliation ClassNashSolver with the
+        # default order, so cross-shard reconciliation silently ignored
+        # the caller's choice.  With singleton shards (one class each)
+        # the shard-internal solves are order-independent, so *all*
+        # order sensitivity lives in the reconciler: a "random"-order
+        # run must diverge from "roundrobin", which must match the
+        # default-order run bit for bit.
+        agg = aggregate_users(_many_class_system(n_classes=12, seed=9))
+        kwargs = dict(n_shards=agg.n_classes, tolerance=1e-6, max_rounds=8)
+        default = solve_sharded(agg, **kwargs)
+        roundrobin = solve_sharded(agg, order="roundrobin", **kwargs)
+        randomized = solve_sharded(agg, order="random", seed=123, **kwargs)
+        np.testing.assert_array_equal(
+            default.class_fractions, roundrobin.class_fractions
+        )
+        assert not np.array_equal(
+            roundrobin.class_fractions, randomized.class_fractions
+        )
+
     def test_pool_matches_serial_bit_for_bit(self):
         # Identical shard maths whether shards run in-process or across
         # a process pool (explicit n_workers=2 so the pool really runs

@@ -1,0 +1,120 @@
+"""The sampled (power-of-k) ring protocol vs its full-information twin.
+
+The message-economics contract is the load-bearing one: every
+availability probe is a message, the per-circulation poll cost rides the
+token, and the trace alone must reconstruct the driver's honest
+``messages_sent`` (``protocol_summary``'s per-kind delivery sum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nash import NashSolver
+from repro.distributed.runtime import run_nash_protocol
+from repro.distributed.sampled import run_sampled_nash_protocol
+from repro.telemetry.analysis import protocol_summary, solver_summary
+from repro.telemetry.sinks import InMemorySink
+from repro.telemetry.trace import Tracer
+from repro.workloads.configs import paper_table1_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_table1_system(utilization=0.6, n_users=4)
+
+
+class TestFullInformationParity:
+    def test_k_equal_n_matches_base_protocol(self, system):
+        n = system.n_computers
+        base = run_nash_protocol(system)
+        sampled = run_sampled_nash_protocol(system, sample_k=n)
+        np.testing.assert_array_equal(
+            sampled.result.profile.fractions, base.result.profile.fractions
+        )
+        np.testing.assert_array_equal(
+            sampled.result.norm_history, base.result.norm_history
+        )
+        assert sampled.bus_messages == base.messages_sent
+        # Full information honestly pays n polls per update.
+        assert sampled.polls == sampled.result.iterations * system.n_users * n
+        assert sampled.messages_sent == sampled.bus_messages + sampled.polls
+
+    def test_matches_sequential_sampled_solver(self, system):
+        sequential = NashSolver(seed=0, sample_k=2).solve(system)
+        protocol = run_sampled_nash_protocol(system, sample_k=2, seed=0)
+        assert protocol.result.iterations == sequential.iterations
+        np.testing.assert_allclose(
+            protocol.result.profile.fractions,
+            sequential.profile.fractions,
+            atol=1e-10,
+        )
+
+
+class TestSampledRun:
+    def test_converges_and_certifies(self, system):
+        outcome = run_sampled_nash_protocol(system, sample_k=2)
+        assert outcome.result.converged
+        assert outcome.epsilon < 1e-4
+        certificate = outcome.result.sample
+        assert certificate is not None
+        assert certificate.k == 2 and not certificate.full_information
+
+    def test_zero_init_widens(self, system):
+        outcome = run_sampled_nash_protocol(system, sample_k=2, init="zero")
+        assert outcome.result.converged
+        # Cold-start widening pays extra polls beyond k per update.
+        assert outcome.polls > outcome.result.iterations * system.n_users * 2
+
+    def test_message_reduction_per_sweep(self, system):
+        n = system.n_computers
+        sampled = run_sampled_nash_protocol(system, sample_k=2)
+        baseline = run_sampled_nash_protocol(system, sample_k=n)
+        per_sweep = sampled.messages_sent / sampled.result.iterations
+        baseline_per_sweep = baseline.messages_sent / baseline.result.iterations
+        assert baseline_per_sweep / per_sweep > 3.0
+
+    def test_rejects_bad_k(self, system):
+        with pytest.raises(ValueError):
+            run_sampled_nash_protocol(system, sample_k=0)
+
+
+class TestSampledTelemetry:
+    def test_trace_reconstructs_messages_sent(self, system):
+        sink = InMemorySink()
+        outcome = run_sampled_nash_protocol(
+            system, sample_k=2, tracer=Tracer(sink)
+        )
+        summary = protocol_summary(sink.events)
+        # The per-kind delivery sum (token/terminate deliveries plus the
+        # probe polls folded in from protocol.sample) equals the
+        # driver's honest total.
+        assert summary["messages_delivered"] == outcome.messages_sent
+        assert summary["messages_by_kind"]["probe"] == outcome.polls
+        assert (
+            summary["messages_by_kind"]["token"]
+            + summary["messages_by_kind"]["terminate"]
+            == outcome.bus_messages
+        )
+
+    def test_sample_events_cover_every_circulation(self, system):
+        sink = InMemorySink()
+        outcome = run_sampled_nash_protocol(
+            system, sample_k=3, tracer=Tracer(sink)
+        )
+        samples = [e for e in sink.events if e.name == "protocol.sample"]
+        assert len(samples) == outcome.result.iterations
+        assert sum(e.fields["polls"] for e in samples) == outcome.polls
+        norms = [e.fields["norm"] for e in samples]
+        assert norms == list(outcome.result.norm_history)
+        assert all(e.fields["k"] == 3 for e in samples)
+
+    def test_solver_summary_exposes_sample_certificate(self, system):
+        sink = InMemorySink()
+        NashSolver(seed=0, sample_k=2).solve(system, tracer=Tracer(sink))
+        summary = solver_summary(sink.events)
+        sample = summary["sample"]
+        assert sample is not None
+        assert sample["k"] == 2
+        assert sample["polls"] > 0

@@ -209,6 +209,7 @@ class TestRunner:
             "ext8",
             "ext9",
             "ext10",
+            "ext11",
             "abl5",
             "abl1",
             "abl2",

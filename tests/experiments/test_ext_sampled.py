@@ -1,0 +1,54 @@
+"""EXT11 artifact: power-of-k sampled best replies at reduced scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ext_sampled import run_sampled_information
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return run_sampled_information(
+        ks=(1, 2, 5),
+        n_computers=200,
+        n_classes=12,
+        users_per_class=50,
+        max_sweeps=120,
+        protocol_computers=32,
+        protocol_users=8,
+        seed=3,
+    )
+
+
+class TestSampledInformationArtifact:
+    def test_structure(self, artifact):
+        assert artifact.experiment_id == "EXT11"
+        assert "vs_exact_pct" in artifact.columns
+        assert artifact.column("k") == [1, 2, 5, 200]
+
+    def test_last_row_is_the_exact_baseline(self, artifact):
+        last = artifact.rows[-1]
+        assert last["k"] == 200
+        assert last["vs_exact_pct"] == 0.0
+        assert last["msg_x"] == 1.0
+
+    def test_quality_close_to_exact_at_moderate_k(self, artifact):
+        gaps = artifact.column("vs_exact_pct")
+        # k=5 lands within a few percent of the exact solve; sampling
+        # can even edge past a sweep-budget-limited exact run, so only
+        # the magnitude is pinned, not the sign.
+        assert abs(gaps[2]) <= 5.0
+        assert all(abs(gap) <= abs(gaps[0]) + 5.0 for gap in gaps)
+
+    def test_message_reduction_shrinks_with_k(self, artifact):
+        reductions = artifact.column("msg_x")
+        assert reductions == sorted(reductions, reverse=True)
+        assert reductions[0] > reductions[-1] == 1.0
+
+    def test_polls_scale_with_k(self, artifact):
+        polls = artifact.column("polls")
+        assert polls == sorted(polls)
+        sweeps = artifact.column("sweeps")
+        # The k=n row pays the full m·n observation cost every sweep.
+        assert polls[-1] == sweeps[-1] * 12 * 200
