@@ -15,10 +15,13 @@ fails when
   (default 2x) for the online engine's incremental re-equilibration
   versus cold re-solves over the churn trace,
   ``--min-class-speedup`` (default 5x) for the class-space versus
-  per-user fixed-budget NASH solve at m=100k users, and
+  per-user fixed-budget NASH solve at m=100k users,
   ``--min-sample-msg-reduction`` (default 10x) for the sampled
   (power-of-k) ring protocol's per-sweep message reduction against the
-  full-information baseline.
+  full-information baseline, and ``--min-shm-speedup`` (default 2x)
+  for the zero-copy data plane's coordinator-serialization-bytes
+  reduction on the sharded m=1e6 solve (a deterministic byte ratio,
+  not a timing — exact on any machine).
 
 Usage::
 
@@ -57,6 +60,7 @@ def compare(
     min_churn_speedup: float = 2.0,
     min_class_speedup: float = 5.0,
     min_sample_msg_reduction: float = 10.0,
+    min_shm_speedup: float = 2.0,
 ) -> list[str]:
     """Return a list of human-readable gate violations (empty = pass)."""
     failures = []
@@ -77,6 +81,7 @@ def compare(
         ("class", min_class_speedup),
         ("sweep", min_warm_speedup),
         ("sample", min_sample_msg_reduction),
+        ("shm", min_shm_speedup),
     )
     for key, speedup in sorted(fresh.get("speedups", {}).items()):
         for token, floor in floors:
@@ -108,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--min-sample-msg-reduction", type=float, default=10.0
     )
+    parser.add_argument("--min-shm-speedup", type=float, default=2.0)
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -120,6 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         min_churn_speedup=args.min_churn_speedup,
         min_class_speedup=args.min_class_speedup,
         min_sample_msg_reduction=args.min_sample_msg_reduction,
+        min_shm_speedup=args.min_shm_speedup,
     )
     if failures:
         print("bench-gate: FAIL")

@@ -18,13 +18,16 @@ over a churn trace; group ``class-scale``: million-user solves in
 user-class space and the fixed-budget per-user versus class-space
 pair; group ``sampled-nash``: power-of-k sampled versus
 full-information class solves and the sampled ring's message
-reduction) into ``BENCH_nash.json`` at the
+reduction; group ``shm-plane``: the zero-copy shared-memory data
+plane versus per-task pickling, including the deterministic
+coordinator-serialization-bytes reduction) into ``BENCH_nash.json`` at the
 repo root — the perf-regression trajectory CI gates on (see
 ``benchmarks/bench_gate.py`` and docs/PERFORMANCE.md).  Baseline/
 optimized benchmark pairs — names differing only in a
 ``_legacy``/``_vectorized``, ``_looped``/``_batched``,
-``_cold``/``_warm``, ``_peruser``/``_classspace`` or
-``_fullinfo``/``_sampled`` suffix — additionally record their speedup
+``_cold``/``_warm``, ``_peruser``/``_classspace``,
+``_fullinfo``/``_sampled`` or ``_pickled``/``_shmplane`` suffix —
+additionally record their speedup
 ratio.  Benchmarks may also record non-timing ratios (e.g. the sampled
 protocol's message reduction) through the ``record_speedup`` fixture;
 they land in the same ``speedups`` mapping the gate applies floors to.
@@ -45,6 +48,7 @@ BENCH_GROUPS = (
     "engine-churn",
     "class-scale",
     "sampled-nash",
+    "shm-plane",
 )
 #: Baseline/optimized name-suffix pairs recorded as speedups
 #: (baseline suffix first; speedup = baseline mean / optimized mean).
@@ -54,6 +58,7 @@ SPEEDUP_SUFFIXES = (
     ("_cold", "_warm"),
     ("_peruser", "_classspace"),
     ("_fullinfo", "_sampled"),
+    ("_pickled", "_shmplane"),
 )
 #: Non-timing ratios recorded by benchmarks via the ``record_speedup``
 #: fixture; merged into the serialized ``speedups`` mapping.

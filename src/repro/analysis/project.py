@@ -60,7 +60,11 @@ __all__ = [
 #: are not pool-purity hazards.  R006 skips writes defined in these
 #: modules the same way R001 skips the audited seed helper.
 AUDITED_STATE_MODULES = frozenset(
-    {"repro.experiments.parallel", "repro.telemetry.trace"}
+    {
+        "repro.experiments.parallel",
+        "repro.experiments.shm",
+        "repro.telemetry.trace",
+    }
 )
 
 #: Calls that construct a ``numpy.random`` generator (seededness is

@@ -11,6 +11,7 @@ from repro.analysis.rules import (  # noqa: F401
     r008_kernel_aliasing,
     r009_swallowed_errors,
     r010_telemetry,
+    r011_shm_lifecycle,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "r008_kernel_aliasing",
     "r009_swallowed_errors",
     "r010_telemetry",
+    "r011_shm_lifecycle",
 ]

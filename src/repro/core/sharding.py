@@ -49,7 +49,13 @@ from repro.core.classes import (
 )
 from repro.core.nash import DEFAULT_TOLERANCE
 from repro.core.strategy import StrategyProfile
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import default_workers, parallel_map
+from repro.experiments.shm import (
+    ArrayRef,
+    SharedArrayPlane,
+    resolve,
+    shm_available,
+)
 from repro.telemetry.trace import DISABLED, Tracer, current_tracer
 
 __all__ = [
@@ -73,6 +79,25 @@ ShardPayload = tuple[
     IndexArray,
     FloatArray,
     FloatArray,
+    float,
+    int,
+    str,
+    int,
+    bool | None,
+]
+
+#: Zero-copy variant: the shard's index array plus the round's frozen
+#: aggregate load travel inline (both tiny), while the class matrices
+#: and the round's fraction matrix arrive as shared-memory handles that
+#: workers slice locally — see :mod:`repro.experiments.shm`.
+ShmShardPayload = tuple[
+    IndexArray,
+    FloatArray,
+    "ArrayRef | FloatArray",
+    "ArrayRef | FloatArray",
+    "ArrayRef | IndexArray",
+    "ArrayRef | FloatArray",
+    "ArrayRef | FloatArray",
     float,
     int,
     str,
@@ -149,6 +174,56 @@ def _solve_shard(
     return result.class_fractions, result.converged, result.iterations
 
 
+def _solve_shard_shm(
+    payload: ShmShardPayload,
+) -> tuple[FloatArray, bool, int]:
+    """Zero-copy twin of :func:`_solve_shard` (pool worker).
+
+    The worker resolves the shared class matrices and the round's frozen
+    fraction matrix (attached once per worker, cached by content token),
+    slices its shard locally, and rebuilds the residual rates with the
+    *same expression* the coordinator uses on the pickling path —
+    ``mu - lam + demands[shard] @ fractions[shard]`` over the same
+    bytes — so both paths are bit-identical by construction (pinned by
+    the parity tests in tests/core/test_sharding.py).
+    """
+    (
+        shard,
+        lam,
+        mu_handle,
+        class_rates_handle,
+        counts_handle,
+        demands_handle,
+        fractions_handle,
+        tolerance,
+        max_sweeps,
+        order,
+        seed,
+        use_jit,
+    ) = payload
+    mu = resolve(mu_handle)
+    class_rates = resolve(class_rates_handle)
+    counts = resolve(counts_handle)
+    demands = resolve(demands_handle)
+    fractions = resolve(fractions_handle)
+    own_load = demands[shard] @ fractions[shard]
+    mu_residual = mu - lam + own_load
+    return _solve_shard(
+        (
+            mu_residual,
+            class_rates[shard],
+            counts[shard],
+            demands[shard],
+            fractions[shard],
+            tolerance,
+            max_sweeps,
+            order,
+            seed,
+            use_jit,
+        )
+    )
+
+
 @dataclass(frozen=True)
 class ShardedNashResult:
     """Outcome of a sharded class-space solve.
@@ -189,6 +264,8 @@ def solve_sharded(
     use_jit: bool | None = None,
     n_workers: int | None = None,
     chunksize: int | None = 1,
+    context: str | None = None,
+    use_shm: bool | None = None,
     init: FloatArray | None = None,
     tracer: Tracer | None = None,
 ) -> ShardedNashResult:
@@ -211,6 +288,17 @@ def solve_sharded(
     ``chunksize=1`` dispatches each shard as its own pool task: shard
     costs are skewed even after LPT balancing, so batching shards into
     chunks serializes the slowest behind the cheapest (see
+    :func:`repro.experiments.parallel.parallel_map`).
+
+    ``use_shm`` selects the zero-copy data plane
+    (:mod:`repro.experiments.shm`): the class matrices are published to
+    shared memory once per solve and the frozen fraction matrix once per
+    round, so shard tasks carry only their index array and the ``(n,)``
+    aggregate load instead of re-pickling ``O(c n)`` arrays every round.
+    ``None`` (default) engages the plane exactly when the solve actually
+    fans out (shared memory available, more than one worker and shard);
+    both paths are bit-identical (see :func:`_solve_shard_shm`).
+    ``context`` pins the pool's multiprocessing start method (see
     :func:`repro.experiments.parallel.parallel_map`).
     """
     if tolerance <= 0.0:
@@ -237,6 +325,23 @@ def solve_sharded(
     tracer = tracer if tracer is not None else current_tracer()
     trace = tracer.enabled
 
+    if use_shm is None:
+        effective = default_workers() if n_workers is None else n_workers
+        use_shm = shm_available() and effective > 1 and len(shards) > 1
+    plane: SharedArrayPlane | None = None
+    static_handles: tuple[ArrayRef | FloatArray, ...] = ()
+    if use_shm:
+        plane = SharedArrayPlane(tracer=tracer)
+        # Published once per solve: service rates and the full class
+        # matrices.  Workers slice their shard locally, so no per-round
+        # or per-task copy of any of these ever crosses the pipe again.
+        static_handles = (
+            plane.publish(mu),
+            plane.publish(aggregation.class_rates),
+            plane.publish(aggregation.counts),
+            plane.publish(demands),
+        )
+
     epsilons: list[float] = []
     converged = False
     certificate = class_best_response_regrets(aggregation, fractions)
@@ -246,12 +351,43 @@ def solve_sharded(
     # reconciliation budget — in the limit the solve degenerates to the
     # plain class-space Gauss-Seidel, so progress is never lost.
     reconcile_budget = reconcile_sweeps
-    for round_index in range(max_rounds):
-        if certificate.epsilon <= tolerance:
-            converged = True
-            break
-        round_started = perf_counter() if trace else 0.0
-        lam = demands @ fractions
+
+    def dispatch_round(lam: FloatArray) -> list[tuple[FloatArray, bool, int]]:
+        """One block-Jacobi fan-out over the shards (both payload paths)."""
+        if plane is not None:
+            # Zero-copy path: the frozen fraction matrix is published
+            # once for the round and released right after — a long solve
+            # must not accrete one dead block per round.  Task payloads
+            # carry only the shard index array, the (n,) aggregate load
+            # and solver scalars.
+            fractions_handle = plane.publish(fractions)
+            shm_payloads: list[ShmShardPayload] = [
+                (
+                    shard,
+                    lam,
+                    *static_handles,
+                    fractions_handle,
+                    inner_tol,
+                    shard_max_sweeps,
+                    order,
+                    seed,
+                    use_jit,
+                )
+                for shard in shards
+            ]
+            plane.account_fanout(
+                [*static_handles, fractions_handle], len(shards)
+            )
+            try:
+                return parallel_map(
+                    _solve_shard_shm,
+                    shm_payloads,
+                    n_workers=n_workers,
+                    chunksize=chunksize,
+                    context=context,
+                )
+            finally:
+                plane.release(fractions_handle)
         payloads: list[ShardPayload] = []
         for shard in shards:
             own_load = demands[shard] @ fractions[shard]
@@ -272,77 +408,90 @@ def solve_sharded(
                     use_jit,
                 )
             )
-        results = parallel_map(
+        return parallel_map(
             _solve_shard,
             payloads,
             n_workers=n_workers,
             chunksize=chunksize,
+            context=context,
         )
-        proposal = fractions.copy()
-        for shard, (shard_fractions, shard_converged, iterations) in zip(
-            shards, results
-        ):
-            proposal[shard] = shard_fractions
-            if trace:
-                tracer.emit(
-                    "shard.solve",
-                    round=round_index,
-                    classes=int(shard.size),
-                    iterations=iterations,
-                    converged=shard_converged,
-                )
-                tracer.count("shard.solves")
-        # The simultaneous write-back can overshoot into an unstable
-        # joint profile; halve the step toward the previous (stable)
-        # iterate until the aggregate fits under mu again.
-        step = 1.0
-        candidate = proposal
-        for _ in range(_BACKTRACK_LIMIT):
-            if np.all(mu - demands @ candidate > 0.0):
+
+    try:
+        for round_index in range(max_rounds):
+            if certificate.epsilon <= tolerance:
+                converged = True
                 break
-            step *= 0.5
-            candidate = fractions + step * (proposal - fractions)
+            round_started = perf_counter() if trace else 0.0
+            lam = demands @ fractions
+            results = dispatch_round(lam)
+            proposal = fractions.copy()
+            for shard, (shard_fractions, shard_converged, iterations) in zip(
+                shards, results
+            ):
+                proposal[shard] = shard_fractions
+                if trace:
+                    tracer.emit(
+                        "shard.solve",
+                        round=round_index,
+                        classes=int(shard.size),
+                        iterations=iterations,
+                        converged=shard_converged,
+                    )
+                    tracer.count("shard.solves")
+            # The simultaneous write-back can overshoot into an unstable
+            # joint profile; halve the step toward the previous (stable)
+            # iterate until the aggregate fits under mu again.
+            step = 1.0
+            candidate = proposal
+            for _ in range(_BACKTRACK_LIMIT):
+                if np.all(mu - demands @ candidate > 0.0):
+                    break
+                step *= 0.5
+                candidate = fractions + step * (proposal - fractions)
+            else:
+                raise RuntimeError(
+                    "sharded write-back failed to restore stability"
+                )
+            # Cross-shard reconciliation: a few serial Gauss-Seidel
+            # sweeps over all classes with fresh global information.
+            # The reconciler honors the caller's update order — dropping
+            # it silently ran the default order regardless of ``order=``
+            # (the order-plumbing regression test in
+            # tests/core/test_sharding.py pins this).
+            reconciler = ClassNashSolver(
+                tolerance=max(inner_tol / 10.0, 1e-15),
+                max_sweeps=reconcile_budget,
+                order=order,  # type: ignore[arg-type]
+                seed=seed,
+                use_jit=use_jit,
+            )
+            reconciled = reconciler.solve(
+                aggregation, init=candidate, tracer=DISABLED
+            )
+            fractions = reconciled.class_fractions
+            previous_epsilon = certificate.epsilon
+            certificate = class_best_response_regrets(aggregation, fractions)
+            if certificate.epsilon > 0.5 * previous_epsilon:
+                reconcile_budget = min(reconcile_budget * 2, 256)
+            epsilons.append(certificate.epsilon)
+            rounds_done = round_index + 1
+            if trace:
+                elapsed = perf_counter() - round_started
+                tracer.emit(
+                    "shard.round",
+                    round=round_index,
+                    shards=len(shards),
+                    epsilon=certificate.epsilon,
+                    step=step,
+                    elapsed_s=elapsed,
+                )
+                tracer.count("shard.rounds")
+                tracer.observe("shard.round_seconds", elapsed)
         else:
-            raise RuntimeError(
-                "sharded write-back failed to restore stability"
-            )
-        # Cross-shard reconciliation: a few serial Gauss-Seidel sweeps
-        # over all classes with fresh global information.
-        # The reconciler honors the caller's update order — dropping it
-        # silently ran the default order regardless of ``order=`` (the
-        # order-plumbing regression test in tests/core/test_sharding.py
-        # pins this).
-        reconciler = ClassNashSolver(
-            tolerance=max(inner_tol / 10.0, 1e-15),
-            max_sweeps=reconcile_budget,
-            order=order,  # type: ignore[arg-type]
-            seed=seed,
-            use_jit=use_jit,
-        )
-        reconciled = reconciler.solve(
-            aggregation, init=candidate, tracer=DISABLED
-        )
-        fractions = reconciled.class_fractions
-        previous_epsilon = certificate.epsilon
-        certificate = class_best_response_regrets(aggregation, fractions)
-        if certificate.epsilon > 0.5 * previous_epsilon:
-            reconcile_budget = min(reconcile_budget * 2, 256)
-        epsilons.append(certificate.epsilon)
-        rounds_done = round_index + 1
-        if trace:
-            elapsed = perf_counter() - round_started
-            tracer.emit(
-                "shard.round",
-                round=round_index,
-                shards=len(shards),
-                epsilon=certificate.epsilon,
-                step=step,
-                elapsed_s=elapsed,
-            )
-            tracer.count("shard.rounds")
-            tracer.observe("shard.round_seconds", elapsed)
-    else:
-        converged = certificate.epsilon <= tolerance
+            converged = certificate.epsilon <= tolerance
+    finally:
+        if plane is not None:
+            plane.close()
 
     if not epsilons:
         # Converged before the first round (init already epsilon-Nash).

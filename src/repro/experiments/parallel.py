@@ -22,6 +22,7 @@ down at interpreter exit (see :func:`shutdown_pools`).
 from __future__ import annotations
 
 import atexit
+import multiprocessing
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
@@ -38,19 +39,37 @@ __all__ = [
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Lazily created executors, keyed by worker count.  Guarded by a lock so
-#: concurrent callers (e.g. threaded test runners) never double-create.
-_POOLS: dict[int, ProcessPoolExecutor] = {}
+#: Multiprocessing start methods a caller may pin (``None`` = platform
+#: default).  Spawn matters for shared-memory payloads: a forked worker
+#: inherits whatever the coordinator had mapped at fork time, while a
+#: spawned worker starts clean and attaches blocks strictly by name —
+#: the hygienic path the zero-copy data plane is tested under.
+_START_METHODS = (None, "fork", "spawn", "forkserver")
+
+#: Lazily created executors, keyed by ``(worker count, start method)``.
+#: Keying by worker count alone silently handed a caller that needed a
+#: different mp context (spawn vs fork) an executor built with the other
+#: one — the workers would run, with the wrong inheritance semantics.
+#: Guarded by a lock so concurrent callers (e.g. threaded test runners)
+#: never double-create.
+_POOLS: dict[tuple[int, str | None], ProcessPoolExecutor] = {}
 _POOLS_LOCK = threading.Lock()
 
 
-def _shared_pool(n_workers: int) -> ProcessPoolExecutor:
-    """The reusable executor for ``n_workers``, created on first use."""
+def _shared_pool(n_workers: int, context: str | None) -> ProcessPoolExecutor:
+    """The reusable executor for ``(n_workers, context)``, created lazily."""
     with _POOLS_LOCK:
-        pool = _POOLS.get(n_workers)
+        pool = _POOLS.get((n_workers, context))
         if pool is None:
-            pool = ProcessPoolExecutor(max_workers=n_workers)
-            _POOLS[n_workers] = pool
+            mp_context = (
+                multiprocessing.get_context(context)
+                if context is not None
+                else None
+            )
+            pool = ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=mp_context
+            )
+            _POOLS[(n_workers, context)] = pool
         return pool
 
 
@@ -82,10 +101,22 @@ def adaptive_chunksize(n_items: int, n_workers: int) -> int:
     submissions (the old ``chunksize=1`` behaviour, which thrashes the
     pool on sweeps of cheap points) against load imbalance from chunks
     that are too coarse.
+
+    The result is additionally clamped so there are always at least
+    ``min(n_items, n_workers)`` chunks: when ``n_items < n_workers``
+    (or rounding would otherwise coarsen chunks past one-per-worker) a
+    single chunk must never collect a whole batch behind one worker
+    while the rest of the pool idles — the boundary the shard solves
+    hit first.  Equivalently: ``n_items <= n_workers`` always yields 1.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
-    return max(1, n_items // (4 * n_workers))
+    if n_items <= n_workers:
+        return 1
+    chunk = max(1, n_items // (4 * n_workers))
+    # ceil(n_items / n_workers): the coarsest chunking that still gives
+    # every worker a chunk.
+    return min(chunk, -(-n_items // n_workers))
 
 
 def parallel_map(
@@ -94,6 +125,7 @@ def parallel_map(
     *,
     n_workers: int | None = None,
     chunksize: int | None = None,
+    context: str | None = None,
 ) -> list[R]:
     """Order-preserving map over a process pool.
 
@@ -113,10 +145,18 @@ def parallel_map(
     be a positive integer; invalid values raise ``ValueError`` up front
     rather than surfacing as an opaque pool error mid-sweep.
 
-    The parallel path draws on a shared per-worker-count executor that
-    persists across calls (workers are expensive to spawn; sweeps are
-    not), so back-to-back sweeps — ``repro-experiments --all``, the
-    fig3/fig4/fig6 trio — pay pool startup once.
+    ``context`` pins the multiprocessing start method (``"fork"``,
+    ``"spawn"`` or ``"forkserver"``; default: the platform's).  Pools
+    are keyed by ``(n_workers, context)``, so callers with different
+    context needs never share an executor built with the wrong one —
+    shared-memory payloads (:mod:`repro.experiments.shm`) are exercised
+    under spawn precisely because spawned workers attach blocks by name
+    instead of inheriting coordinator mappings.
+
+    The parallel path draws on a shared per-(worker count, context)
+    executor that persists across calls (workers are expensive to spawn;
+    sweeps are not), so back-to-back sweeps — ``repro-experiments
+    --all``, the fig3/fig4/fig6 trio — pay pool startup once.
     """
     items = list(items)
     if n_workers is None:
@@ -125,11 +165,15 @@ def parallel_map(
         raise ValueError("n_workers must be at least 1")
     if chunksize is not None and chunksize < 1:
         raise ValueError("chunksize must be at least 1")
+    if context not in _START_METHODS:
+        raise ValueError(
+            f"context must be one of {_START_METHODS}, got {context!r}"
+        )
     if n_workers == 1 or len(items) <= 1:
         return [fn(item) for item in items]
     if chunksize is None:
         chunksize = adaptive_chunksize(len(items), n_workers)
-    pool = _shared_pool(min(n_workers, len(items)))
+    pool = _shared_pool(min(n_workers, len(items)), context)
     return list(pool.map(fn, items, chunksize=chunksize))
 
 

@@ -14,8 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentTable
+from repro.experiments.replication import simulate_batch_parallel
 from repro.schemes import NashScheme
-from repro.simengine.fastpath import simulate_profile_fast_batch
 from repro.simengine.stats import replicate
 from repro.workloads.configs import paper_table1_system
 
@@ -30,25 +30,31 @@ def run(
     warmup: float = 400.0,
     n_replications: int = 5,
     seed: int = 2002,
+    n_workers: int = 1,
 ) -> ExperimentTable:
     """Simulated vs analytic per-user expected response times (NASH).
 
     The default horizon generates roughly ``0.6 * 510 * 3600 ~ 1.1M``
     counted jobs across the replications, matching the paper's "1 to 2
-    millions jobs typically".
+    millions jobs typically".  ``n_workers > 1`` fans the replications
+    over the process pool with the pre-drawn uniform block shared
+    zero-copy (:mod:`repro.experiments.replication`) — bit-identical to
+    the serial batch.
     """
     system = paper_table1_system(utilization=utilization, n_users=n_users)
     allocation = NashScheme().allocate(system)
 
     def measure_batch(seeds) -> np.ndarray:
-        # All replications in one vectorized pass — bit-identical to
-        # looping simulate_profile_fast over the seed tree, just faster.
-        results = simulate_profile_fast_batch(
+        # All replications in one vectorized pass (chunked across the
+        # pool when n_workers > 1) — bit-identical to looping
+        # simulate_profile_fast over the seed tree, just faster.
+        results = simulate_batch_parallel(
             system,
             allocation.profile,
             horizon=horizon,
             warmup=warmup,
             seeds=seeds,
+            n_workers=n_workers,
         )
         return np.stack([r.user_mean_response_times for r in results])
 

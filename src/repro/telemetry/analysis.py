@@ -22,6 +22,7 @@ __all__ = [
     "event_counts",
     "metrics_snapshot",
     "reconstruct_norm_history",
+    "pool_summary",
     "protocol_summary",
     "sim_summary",
     "solver_summary",
@@ -211,6 +212,35 @@ def sweep_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
         "n_points": len(points),
         "by_scheme": by_scheme,
         "continuation": any(p.get("continuation") for p in points),
+    }
+
+
+def pool_summary(events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Zero-copy data-plane view (:mod:`repro.experiments.shm`).
+
+    Rolls up the ``pool.shm.publish`` events (one per shared block) and
+    the ``pool.shm.close`` events (one per plane lifetime, carrying the
+    plane's final :class:`~repro.experiments.shm.PlaneStats`) into one
+    overview: blocks and bytes actually shared, bytes saved by content
+    dedupe and fan-out (versus re-pickling per task), and how often the
+    plane fell back to inline arrays.
+    """
+    publishes: list[dict[str, Any]] = []
+    closes: list[dict[str, Any]] = []
+    for event in events:
+        if event.name == "pool.shm.publish":
+            publishes.append(dict(event.fields))
+        elif event.name == "pool.shm.close":
+            closes.append(dict(event.fields))
+    return {
+        "publishes": publishes,
+        "n_blocks": len(publishes),
+        "bytes_published": sum(int(p.get("nbytes", 0)) for p in publishes),
+        "n_planes": len(closes),
+        "bytes_shared": sum(int(c.get("bytes_shared", 0)) for c in closes),
+        "bytes_saved": sum(int(c.get("bytes_saved", 0)) for c in closes),
+        "cache_hits": sum(int(c.get("cache_hits", 0)) for c in closes),
+        "fallbacks": sum(int(c.get("fallbacks", 0)) for c in closes),
     }
 
 

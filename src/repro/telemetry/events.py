@@ -70,6 +70,9 @@ DECLARED_EVENTS: dict[str, str] = {
     # sweep evaluator and metrics flushes
     "sweep.point": "summary",
     "telemetry.metrics": "summary",
+    # zero-copy shared-memory data plane (repro.experiments.shm)
+    "pool.shm.publish": "summary",
+    "pool.shm.close": "summary",
 }
 
 

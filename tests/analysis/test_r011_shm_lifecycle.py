@@ -1,0 +1,283 @@
+"""Meta-tests for R011 (shm-lifecycle)."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(body: str) -> str:
+    return textwrap.dedent(body).lstrip()
+
+
+class TestR011Fires:
+    def test_unreleased_create_fires(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def publish(payload):
+                        block = shared_memory.SharedMemory(
+                            create=True, size=len(payload)
+                        )
+                        block.buf[: len(payload)] = payload
+                        return block.name
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert len(findings) == 2  # no close, no unlink
+        assert all(f.rule == "R011" for f in findings)
+        assert any("close" in f.message for f in findings)
+        assert any("unlink" in f.message for f in findings)
+
+    def test_close_without_unlink_fires_for_creator(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing.shared_memory import SharedMemory
+
+                    def publish(payload):
+                        block = SharedMemory(create=True, size=len(payload))
+                        try:
+                            block.buf[: len(payload)] = payload
+                        finally:
+                            block.close()
+                        return block.name
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert [f.rule for f in findings] == ["R011"]
+        assert "unlink" in findings[0].message
+
+    def test_unbound_call_fires(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def peek(token):
+                        return bytes(
+                            shared_memory.SharedMemory(name=token).buf
+                        )
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert [f.rule for f in findings] == ["R011"]
+        assert "not bound" in findings[0].message
+
+    def test_attach_without_close_fires(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def attach(token):
+                        block = shared_memory.SharedMemory(name=token)
+                        return bytes(block.buf)
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert [f.rule for f in findings] == ["R011"]
+        assert "close" in findings[0].message
+
+    def test_dynamic_create_flag_is_conservatively_owning(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def open_block(token, fresh):
+                        block = shared_memory.SharedMemory(
+                            name=token, create=fresh, size=64
+                        )
+                        try:
+                            return bytes(block.buf)
+                        finally:
+                            block.close()
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert [f.rule for f in findings] == ["R011"]
+        assert "unlink" in findings[0].message
+
+    def test_outer_finally_does_not_cover_inner_function(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def outer(payload):
+                        block = None
+
+                        def inner():
+                            block = shared_memory.SharedMemory(
+                                create=True, size=len(payload)
+                            )
+                            return block
+
+                        try:
+                            return inner()
+                        finally:
+                            if block is not None:
+                                block.close()
+                                block.unlink()
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        # The creation lives in inner(), whose own scope has no finally.
+        assert len(findings) == 2
+        assert all(f.rule == "R011" for f in findings)
+
+
+class TestR011Clean:
+    def test_paired_close_and_unlink_in_finally_is_clean(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def publish(payload):
+                        block = shared_memory.SharedMemory(
+                            create=True, size=len(payload)
+                        )
+                        try:
+                            block.buf[: len(payload)] = payload
+                            return block.name
+                        finally:
+                            block.close()
+                            block.unlink()
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert findings == []
+
+    def test_attach_only_needs_close(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def attach(token):
+                        block = shared_memory.SharedMemory(name=token)
+                        try:
+                            return bytes(block.buf)
+                        finally:
+                            block.close()
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert findings == []
+
+    def test_explicit_create_false_positional_is_attach(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def attach(token):
+                        block = shared_memory.SharedMemory(token, False)
+                        try:
+                            return bytes(block.buf)
+                        finally:
+                            block.close()
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert findings == []
+
+    def test_plane_module_is_exempt(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/shm.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def publish(payload):
+                        block = shared_memory.SharedMemory(
+                            create=True, size=len(payload)
+                        )
+                        return block
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert findings == []
+
+    def test_test_files_are_exempt(self, lint):
+        findings = lint(
+            {
+                "tests/experiments/test_leaks.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def test_leak_detection():
+                        shared_memory.SharedMemory(create=True, size=8)
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert findings == []
+
+    def test_unrelated_constructor_is_ignored(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    class SharedMemory:
+                        pass
+
+                    def build():
+                        return SharedMemory()
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert findings == []
+
+    def test_suppression_comment_honoured(self, lint):
+        findings = lint(
+            {
+                "src/repro/experiments/plane2.py": _src(
+                    """
+                    from multiprocessing import shared_memory
+
+                    def probe(token):
+                        # reprolint: allow=R011 probe closes via caller
+                        block = shared_memory.SharedMemory(name=token)
+                        return block
+                    """
+                )
+            },
+            select=["R011"],
+        )
+        assert findings == []

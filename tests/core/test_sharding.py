@@ -189,3 +189,94 @@ class TestShardTelemetry:
         summary = class_summary(events)
         assert summary["n_rounds"] == result.rounds
         assert summary["final_epsilon"] == result.epsilon
+
+
+class TestSharedMemoryParity:
+    """The zero-copy data plane must be invisible in the results."""
+
+    @pytest.fixture(autouse=True)
+    def _small_blocks(self, monkeypatch):
+        # Test arrays are tiny; drop the size threshold so they really
+        # travel through shared-memory blocks instead of falling back.
+        import functools
+
+        from repro.core import sharding as sharding_module
+        from repro.experiments.shm import SharedArrayPlane, clear_worker_cache
+
+        monkeypatch.setattr(
+            sharding_module,
+            "SharedArrayPlane",
+            functools.partial(SharedArrayPlane, min_bytes=0),
+        )
+        clear_worker_cache()
+        yield
+        clear_worker_cache()
+
+    @pytest.mark.parametrize("order", ["roundrobin", "random"])
+    def test_bit_identical_to_pickling_path(self, order):
+        agg = aggregate_users(_many_class_system(n_classes=16, seed=5))
+        pickled = solve_sharded(
+            agg,
+            n_shards=3,
+            tolerance=1e-6,
+            order=order,
+            use_shm=False,
+            n_workers=1,
+        )
+        shm = solve_sharded(
+            agg,
+            n_shards=3,
+            tolerance=1e-6,
+            order=order,
+            use_shm=True,
+            n_workers=2,
+        )
+        np.testing.assert_array_equal(
+            shm.class_fractions, pickled.class_fractions
+        )
+        np.testing.assert_array_equal(
+            shm.epsilon_history, pickled.epsilon_history
+        )
+        assert shm.rounds == pickled.rounds
+        assert shm.converged == pickled.converged
+
+    def test_simultaneous_order_fails_identically(self):
+        # The undamped simultaneous order overshoots into instability on
+        # this workload regardless of transport (a pre-existing solver
+        # property) — parity means the shm path raises exactly where the
+        # pickling path does, not that it magically converges.
+        agg = aggregate_users(_many_class_system(n_classes=16, seed=5))
+        kwargs = dict(n_shards=3, tolerance=1e-6, order="simultaneous")
+        with pytest.raises(ValueError, match="stability"):
+            solve_sharded(agg, use_shm=False, n_workers=1, **kwargs)
+        with pytest.raises(ValueError, match="stability"):
+            solve_sharded(agg, use_shm=True, n_workers=2, **kwargs)
+
+    def test_plane_publishes_and_closes(self):
+        from repro.telemetry.sinks import InMemorySink
+        from repro.telemetry.trace import Tracer
+
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        agg = aggregate_users(_many_class_system(n_classes=16, seed=5))
+        solve_sharded(
+            agg,
+            n_shards=2,
+            tolerance=1e-6,
+            use_shm=True,
+            n_workers=2,
+            tracer=tracer,
+        )
+        names = [event.name for event in sink.events]
+        assert "pool.shm.publish" in names
+        assert names.count("pool.shm.close") == 1
+        counters = tracer.registry.snapshot()["counters"]
+        # Static class matrices + at least one per-round fraction matrix.
+        assert counters["pool.shm.blocks"] >= 5
+        assert counters["pool.shm.bytes_saved"] > 0
+
+    def test_shm_serial_fallback_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        agg = aggregate_users(_many_class_system(seed=5))
+        result = solve_sharded(agg, n_shards=2, tolerance=1e-6)
+        assert result.converged

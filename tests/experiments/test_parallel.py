@@ -74,9 +74,9 @@ class TestPoolReuse:
     def test_executor_is_reused_across_calls(self):
         shutdown_pools()
         parallel_map(square, list(range(8)), n_workers=2)
-        first = _POOLS[2]
+        first = _POOLS[(2, None)]
         parallel_map(square, list(range(8)), n_workers=2)
-        assert _POOLS[2] is first
+        assert _POOLS[(2, None)] is first
 
     def test_shutdown_then_recreate(self):
         parallel_map(square, list(range(8)), n_workers=2)
@@ -95,7 +95,38 @@ class TestPoolReuse:
     def test_pool_capped_by_item_count(self):
         shutdown_pools()
         parallel_map(square, [1, 2], n_workers=16)
-        assert list(_POOLS) == [2]
+        assert list(_POOLS) == [(2, None)]
+        shutdown_pools()
+
+    def test_pools_keyed_by_context(self):
+        # Regression: pools used to be keyed by worker count alone, so a
+        # caller pinning a different start method silently reused an
+        # executor built with the wrong one.
+        shutdown_pools()
+        parallel_map(square, list(range(8)), n_workers=2)
+        default_pool = _POOLS[(2, None)]
+        result = parallel_map(
+            square, list(range(8)), n_workers=2, context="spawn"
+        )
+        assert result == [x * x for x in range(8)]
+        assert set(_POOLS) == {(2, None), (2, "spawn")}
+        assert _POOLS[(2, "spawn")] is not default_pool
+        shutdown_pools()
+
+    def test_invalid_context_rejected(self):
+        with pytest.raises(ValueError, match="context"):
+            parallel_map(square, [1, 2, 3], n_workers=2, context="thread")
+
+    def test_shutdown_midflight_then_immediate_reuse(self):
+        # Lifecycle: shutting the shared pools down while results from a
+        # previous call are still in hand must not poison the next call —
+        # parallel_map transparently rebuilds what it needs.
+        shutdown_pools()
+        first = parallel_map(square, list(range(12)), n_workers=2)
+        shutdown_pools()
+        assert not _POOLS
+        second = parallel_map(square, list(range(12)), n_workers=2)
+        assert first == second == [x * x for x in range(12)]
         shutdown_pools()
 
 
@@ -107,6 +138,23 @@ class TestAdaptiveChunksize:
     def test_small_sweeps_floor_at_one(self):
         assert adaptive_chunksize(3, 8) == 1
         assert adaptive_chunksize(0, 2) == 1
+
+    def test_fewer_items_than_workers_never_batches(self):
+        # Boundary: with n_items < n_workers, rounding used to hand a
+        # whole shard batch to one worker as a single chunk.  Every item
+        # must be its own chunk so the pool actually fans out.
+        for n_items in range(1, 8):
+            assert adaptive_chunksize(n_items, 8) == 1
+
+    def test_items_equal_workers_is_one_per_worker(self):
+        assert adaptive_chunksize(8, 8) == 1
+
+    def test_chunk_never_coarser_than_one_per_worker(self):
+        # Just above the boundary the chunk may grow, but never past
+        # ceil(n_items / n_workers) — each worker always gets a chunk.
+        for n_items in range(9, 40):
+            chunk = adaptive_chunksize(n_items, 8)
+            assert 1 <= chunk <= -(-n_items // 8)
 
     def test_worker_validation(self):
         with pytest.raises(ValueError):
